@@ -1,0 +1,119 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation at laptop scale: it prints the same rows/series the paper
+reports and archives them under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite stable numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig, TenantConfig
+from repro.stats.distributions import LognormalModel
+from repro.workload.generator import StatisticalWorkloadModel
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_model,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Format, print, and archive one experiment's table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.01 or abs(cell) >= 1e5):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def contended_two_tenant_model(scale: float = 1.0) -> StatisticalWorkloadModel:
+    """The two-tenant mix pushed into the preemption regime.
+
+    Longer best-effort reduce tasks (matching Figure 8's heavy tail)
+    clog the reduce pool so the deadline tenant regularly starves below
+    its minimum share and preempts — the dynamics behind Figures 7/9.
+    """
+    base = two_tenant_model(scale)
+    best_effort = base.tenant_model(BEST_EFFORT_TENANT)
+    stages = []
+    for stage in best_effort.stages:
+        if stage.pool == REDUCE_POOL:
+            stages.append(
+                replace(
+                    stage,
+                    task_duration=LognormalModel(
+                        mu=math.log(300.0), sigma=1.1, minimum=5.0
+                    ),
+                )
+            )
+        else:
+            stages.append(stage)
+    best_effort = replace(best_effort, stages=tuple(stages))
+    return StatisticalWorkloadModel([base.tenant_model(DEADLINE_TENANT), best_effort])
+
+
+def preemption_prone_config(cluster: ClusterSpec | None = None) -> RMConfig:
+    """Expert-style config with aggressive deadline-tenant preemption."""
+    cluster = cluster or two_tenant_cluster()
+    reduce_cap = cluster.capacity(REDUCE_POOL)
+    map_cap = cluster.capacity(MAP_POOL)
+    return RMConfig(
+        {
+            DEADLINE_TENANT: TenantConfig(
+                weight=2.0,
+                min_share={
+                    MAP_POOL: max(1, map_cap // 3),
+                    REDUCE_POOL: max(1, reduce_cap // 2),
+                },
+                min_share_preemption_timeout=60.0,
+                fair_share_preemption_timeout=300.0,
+            ),
+            BEST_EFFORT_TENANT: TenantConfig(
+                weight=1.0,
+                fair_share_preemption_timeout=900.0,
+            ),
+        }
+    )
+
+
+def moving_average(times: np.ndarray, values: np.ndarray, window: float, step: float):
+    """(t, mean of values whose time falls in [t - window, t]) series."""
+    if times.size == 0:
+        return np.empty(0), np.empty(0)
+    grid = np.arange(window, float(times.max()) + step, step)
+    means = []
+    for t in grid:
+        mask = (times > t - window) & (times <= t)
+        means.append(float(np.mean(values[mask])) if np.any(mask) else np.nan)
+    return grid, np.asarray(means)

@@ -1,0 +1,93 @@
+"""Ablation — the trust-region radius (the DBA's risk tolerance).
+
+Section 4: candidate configurations are generated only within a maximum
+normalized-l2 distance of the current configuration, trading convergence
+speed against the risk of "dramatic impact on the running workloads".
+This bench sweeps the radius and reports both the final AJR and the
+worst *transient* AJR encountered along the trajectory — the production
+risk the bound exists to control.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.core.pald import PALD
+from repro.rm.config import ConfigSpace
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.whatif.model import WhatIfModel
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+RADII = (0.05, 0.1, 0.2, 0.4)
+ITERATIONS = 10
+
+
+def _run_all():
+    cluster = two_tenant_cluster()
+    expert = two_tenant_expert_config(cluster)
+    workload = two_tenant_model(scale=1.1).generate(29, 3600.0)
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    x0 = space.encode(expert)
+    out = {}
+    for radius in RADII:
+        whatif = WhatIfModel(cluster, slos, [workload])
+        pald = PALD(
+            space,
+            whatif.evaluator(space),
+            slos.thresholds(),
+            trust_radius=radius,
+            candidates=5,
+            seed=1,
+        )
+        res = pald.optimize(x0, ITERATIONS)
+        out[radius] = res
+    baseline = WhatIfModel(cluster, slos, [workload]).evaluate(expert)
+    return out, baseline
+
+
+def test_ablation_trust_region(benchmark):
+    results, baseline = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for radius in RADII:
+        res = results[radius]
+        traj = res.trajectory()
+        final_ajr = traj[-1][1]
+        worst_dl = float(np.max(traj[:, 0]))
+        rows.append(
+            [
+                f"{radius:g}",
+                f"{final_ajr:.0f}",
+                f"{1 - final_ajr / baseline[1]:+.0%}",
+                f"{worst_dl:.2%}",
+            ]
+        )
+    report(
+        "ablation_trust_region",
+        f"Ablation: trust-region radius (baseline AJR {baseline[1]:.0f}s); "
+        "worst-DL = worst transient deadline violations on the trajectory",
+        ["radius", "final AJR (s)", "AJR gain", "worst transient DL"],
+        rows,
+    )
+    # Selection keeps only non-regressing candidates, so every radius
+    # must end at-or-better than baseline; tiny radii converge slower
+    # (strictly less improvement than the largest radius here).
+    final = {r: results[r].trajectory()[-1][1] for r in RADII}
+    assert all(v <= baseline[1] + 1e-6 for v in final.values())
+    assert final[0.05] >= min(final.values()) - 1e-9

@@ -1,0 +1,93 @@
+"""Figure 5 — key statistics of Company ABC's workloads.
+
+The paper shows per-tenant CDFs of four quantities: maps per job,
+reduces per job, job response time, and task wait time, from one week of
+production traces.  We regenerate the same four panels (as quantiles)
+from a simulated multi-hour window of the ABC-like workload executing on
+the ABC-like cluster under the expert configuration.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.sim.predictor import SchedulePredictor
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import (
+    company_abc_cluster,
+    company_abc_model,
+    expert_config,
+)
+
+HORIZON = 12 * 3600.0
+TENANTS = ["BI", "DEV", "APP", "STR", "MV", "ETL"]
+
+
+def _run():
+    cluster = company_abc_cluster()
+    workload = company_abc_model().generate(5, HORIZON)
+    schedule = SchedulePredictor(cluster).predict(workload, expert_config(cluster))
+    return workload, schedule
+
+
+def _quantiles(values, qs=(0.1, 0.5, 0.9)):
+    if not values:
+        return ["-"] * len(qs)
+    return [f"{np.quantile(values, q):.0f}" for q in qs]
+
+
+def test_fig5_workload_statistics(benchmark):
+    workload, schedule = benchmark.pedantic(_run, rounds=1, iterations=1)
+    panels = {
+        "maps/job": lambda t: [
+            sum(1 for _, task in j.tasks() if task.pool == MAP_POOL)
+            for j in workload.jobs_of(t)
+        ],
+        "reduces/job": lambda t: [
+            sum(1 for _, task in j.tasks() if task.pool == REDUCE_POOL)
+            for j in workload.jobs_of(t)
+        ],
+        "response time (s)": lambda t: schedule.response_times(t),
+        "wait time (s)": lambda t: schedule.wait_times(t),
+    }
+    rows = []
+    for panel, extract in panels.items():
+        for tenant in TENANTS:
+            rows.append([panel, tenant] + _quantiles(extract(tenant)))
+    report(
+        "fig5_workload_stats",
+        f"Figure 5: workload statistics ({len(workload)} jobs, "
+        f"{workload.num_tasks} tasks over 12h)",
+        ["panel", "tenant", "p10", "p50", "p90"],
+        rows,
+    )
+    # Qualitative shape checks mirroring the paper's panels:
+    # STR runs map-only jobs; APP jobs are the smallest.
+    str_reduces = sum(
+        1
+        for j in workload.jobs_of("STR")
+        for _, task in j.tasks()
+        if task.pool == REDUCE_POOL
+    )
+    assert str_reduces == 0
+    app_maps = np.median(
+        [
+            sum(1 for _, task in j.tasks() if task.pool == MAP_POOL)
+            for j in workload.jobs_of("APP")
+        ]
+    )
+    bi_maps = np.median(
+        [
+            sum(1 for _, task in j.tasks() if task.pool == MAP_POOL)
+            for j in workload.jobs_of("BI")
+        ]
+    )
+    assert app_maps < bi_maps
+    # MV's response times dominate everyone's (long CPU-bound reduces).
+    mv_median = np.median(schedule.response_times("MV"))
+    app_median = np.median(schedule.response_times("APP"))
+    assert mv_median > app_median

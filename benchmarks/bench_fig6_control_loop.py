@@ -1,0 +1,122 @@
+"""Figure 6 — SLO trajectories across Tempo control-loop iterations.
+
+Scenario 1 (Section 8.2.1): a deadline-driven tenant whose jobs must
+finish no later than under the expert configuration (r = 0 violations)
+plus a best-effort tenant minimizing average response time.  The paper
+plots, per iteration, the best-effort AJR (normalized) and the fraction
+of deadline violations for slack 25% and 50%; at convergence AJR
+improves 50%/58% with the deadline QS breaking even.
+"""
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.core.pald import PALD
+from repro.rm.config import ConfigSpace
+from repro.sim.predictor import SchedulePredictor
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.whatif.model import WhatIfModel
+from repro.workload.model import Workload
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+ITERATIONS = 20
+
+
+def _stamp_expert_deadlines(workload, cluster, config):
+    """Deadlines = completion times under the expert configuration."""
+    schedule = SchedulePredictor(cluster).predict(workload, config)
+    finish = {j.job_id: j.finish_time for j in schedule.job_records}
+    jobs = []
+    for job in workload:
+        if job.tenant == DEADLINE_TENANT and job.job_id in finish:
+            jobs.append(replace(job, deadline=finish[job.job_id]))
+        else:
+            jobs.append(replace(job, deadline=None))
+    return Workload(jobs, horizon=workload.horizon), schedule
+
+
+def _optimize(slack: float):
+    cluster = two_tenant_cluster()
+    expert = two_tenant_expert_config(cluster)
+    workload = two_tenant_model().generate(seed=42, horizon=2 * 3600.0)
+    workload, expert_schedule = _stamp_expert_deadlines(workload, cluster, expert)
+
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.0, slack=slack),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+    expert_ajr = slos[1].raw(expert_schedule)
+
+    whatif = WhatIfModel(cluster, slos, [workload])
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    pald = PALD(
+        space,
+        whatif.evaluator(space),
+        slos.thresholds(),
+        trust_radius=0.2,
+        candidates=5,
+        seed=7,
+    )
+    trajectory = [(0.0, 1.0)]  # (deadline violations, normalized AJR)
+    x = space.encode(expert)
+    f = whatif.evaluate(expert)
+    for _ in range(ITERATIONS):
+        step = pald.step(x, f)
+        pald.ratchet(step.f)
+        x, f = step.x, step.f
+        trajectory.append((float(f[0]), float(f[1] / expert_ajr)))
+    return trajectory
+
+
+def test_fig6_control_loop_trajectories(benchmark):
+    def run_both():
+        return {0.25: _optimize(0.25), 0.50: _optimize(0.50)}
+
+    curves = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for i in range(ITERATIONS + 1):
+        rows.append(
+            [
+                i,
+                f"{curves[0.25][i][1]:.3f}",
+                f"{curves[0.25][i][0]:.2%}",
+                f"{curves[0.50][i][1]:.3f}",
+                f"{curves[0.50][i][0]:.2%}",
+            ]
+        )
+    report(
+        "fig6_control_loop",
+        "Figure 6: AJR (normalized) and deadline violations per iteration",
+        ["iter", "AJR@25%", "DL@25%", "AJR@50%", "DL@50%"],
+        rows,
+    )
+    final25 = curves[0.25][-1]
+    final50 = curves[0.50][-1]
+    improvement25 = 1.0 - final25[1]
+    improvement50 = 1.0 - final50[1]
+    print(
+        f"\nAJR improvement at convergence: {improvement25:.0%} @25% slack "
+        f"(paper: 50%), {improvement50:.0%} @50% slack (paper: 58%)"
+    )
+    # Reproduction bar: >= 25% improvement at both slacks, monotone-ish
+    # descent, and the 50%-slack run at least as good as the 25% one.
+    assert improvement25 >= 0.25
+    assert improvement50 >= improvement25 - 0.05
+    # Deadline violations bounded through convergence (strict r = 0 with
+    # slack tolerance keeps them at/near zero).
+    assert final25[0] <= 0.05

@@ -1,0 +1,94 @@
+"""Figure 7 — task preemptions for MapReduce workloads over a week.
+
+The paper observed, per day of week, the fraction of preempted map and
+reduce tasks split by tenant class: over the week 6% of maps and 23% of
+reduces were preempted, the reduce preemptions dominated by the
+best-effort tenant (whose reduces are long-running, Figure 8).
+
+We replay the contended two-tenant mix day by day (scaled: 6-hour
+"days") under a preemption-prone expert configuration and report the
+same breakdown.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import contended_two_tenant_model, preemption_prone_config, report
+
+from repro.sim.predictor import SchedulePredictor
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+)
+
+DAYS = ["Tue", "Wed", "Thu", "Fri", "Sat", "Sun", "Mon"]
+DAY_SECONDS = 6 * 3600.0  # scaled-down "day"
+
+
+def _run_week():
+    cluster = two_tenant_cluster()
+    config = preemption_prone_config(cluster)
+    model = contended_two_tenant_model()
+    predictor = SchedulePredictor(cluster)
+    schedules = []
+    for day in range(len(DAYS)):
+        workload = model.generate(100 + day, DAY_SECONDS)
+        schedules.append(predictor.predict(workload, config))
+    return schedules
+
+
+def test_fig7_weekly_preemptions(benchmark):
+    schedules = benchmark.pedantic(_run_week, rounds=1, iterations=1)
+    rows = []
+    total_map = {"attempts": 0, "killed": 0}
+    total_red = {"attempts": 0, "killed": 0}
+    for day, schedule in zip(DAYS, schedules):
+        by = {}
+        for pool in (MAP_POOL, REDUCE_POOL):
+            for tenant in (BEST_EFFORT_TENANT, DEADLINE_TENANT):
+                by[(pool, tenant)] = schedule.preemption_fraction(tenant, pool)
+        map_attempts = [r for r in schedule.task_records if r.pool == MAP_POOL]
+        red_attempts = [r for r in schedule.task_records if r.pool == REDUCE_POOL]
+        total_map["attempts"] += len(map_attempts)
+        total_map["killed"] += sum(1 for r in map_attempts if r.preempted)
+        total_red["attempts"] += len(red_attempts)
+        total_red["killed"] += sum(1 for r in red_attempts if r.preempted)
+        rows.append(
+            [
+                day,
+                f"{by[(MAP_POOL, BEST_EFFORT_TENANT)]:.1%}",
+                f"{by[(MAP_POOL, DEADLINE_TENANT)]:.1%}",
+                f"{by[(REDUCE_POOL, BEST_EFFORT_TENANT)]:.1%}",
+                f"{by[(REDUCE_POOL, DEADLINE_TENANT)]:.1%}",
+            ]
+        )
+    week_map = total_map["killed"] / max(total_map["attempts"], 1)
+    week_red = total_red["killed"] / max(total_red["attempts"], 1)
+    rows.append(
+        ["WEEK", f"{week_map:.1%}", "", f"{week_red:.1%}", "(paper: 6% / 23%)"]
+    )
+    report(
+        "fig7_preemption_week",
+        "Figure 7: preempted task fractions by day "
+        "(map best-effort / map deadline / reduce best-effort / reduce deadline)",
+        ["day", "map BE", "map DL", "red BE", "red DL"],
+        rows,
+    )
+    # Shape assertions: reduce preemptions dominate map preemptions, and
+    # the best-effort tenant takes the brunt on the reduce side.
+    assert week_red > week_map
+    assert week_red > 0.05
+    be_red = sum(
+        sum(1 for r in s.task_records
+            if r.pool == REDUCE_POOL and r.tenant == BEST_EFFORT_TENANT and r.preempted)
+        for s in schedules
+    )
+    dl_red = sum(
+        sum(1 for r in s.task_records
+            if r.pool == REDUCE_POOL and r.tenant == DEADLINE_TENANT and r.preempted)
+        for s in schedules
+    )
+    assert be_red > dl_red

@@ -1,0 +1,70 @@
+"""Figure 8 — task duration distributions by pool and tenant class.
+
+The paper's CDFs show why the best-effort tenant suffers the reduce
+preemptions of Figure 7: its reduce tasks are mostly long-running, while
+the deadline-driven tenant's tasks are short.  We sample the same
+distributions from the contended two-tenant mix and print duration
+quantiles per (pool, tenant-class) panel.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import contended_two_tenant_model, report
+
+from repro.stats.distributions import EmpiricalCDF
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import BEST_EFFORT_TENANT, DEADLINE_TENANT
+
+HORIZON = 12 * 3600.0
+
+
+def _sample():
+    workload = contended_two_tenant_model().generate(21, HORIZON)
+    durations = {}
+    for pool in (MAP_POOL, REDUCE_POOL):
+        for tenant in (DEADLINE_TENANT, BEST_EFFORT_TENANT):
+            values = [
+                t.duration
+                for j in workload.jobs_of(tenant)
+                for s in j.stages
+                for t in s.tasks
+                if t.pool == pool
+            ]
+            durations[(pool, tenant)] = EmpiricalCDF(values)
+    return durations
+
+
+def test_fig8_duration_distributions(benchmark):
+    durations = benchmark.pedantic(_sample, rounds=1, iterations=1)
+    rows = []
+    for (pool, tenant), cdf in durations.items():
+        rows.append(
+            [
+                pool,
+                tenant,
+                len(cdf),
+                f"{cdf.quantile(0.1):.0f}",
+                f"{cdf.quantile(0.5):.0f}",
+                f"{cdf.quantile(0.9):.0f}",
+                f"{cdf.quantile(0.99):.0f}",
+            ]
+        )
+    report(
+        "fig8_duration_cdf",
+        "Figure 8: task duration quantiles (seconds) by pool and tenant",
+        ["pool", "tenant", "tasks", "p10", "p50", "p90", "p99"],
+        rows,
+    )
+    # The paper's asymmetry: best-effort reduces are much longer than
+    # deadline reduces; maps are comparatively short for both.
+    be_red = durations[(REDUCE_POOL, BEST_EFFORT_TENANT)]
+    dl_red = durations[(REDUCE_POOL, DEADLINE_TENANT)]
+    be_map = durations[(MAP_POOL, BEST_EFFORT_TENANT)]
+    assert be_red.median > 3.0 * dl_red.median
+    assert be_red.median > 3.0 * be_map.median
+    # Long heavy tail on best-effort reduces (hours at p99 vs minutes).
+    assert be_red.quantile(0.99) > 10.0 * dl_red.quantile(0.99) / 3.0

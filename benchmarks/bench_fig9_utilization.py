@@ -1,0 +1,103 @@
+"""Figure 9 — SLOs under the original vs Tempo-optimized configuration.
+
+Scenario 2 (Section 8.2.2): on top of the deadline + response-time SLOs,
+map- and reduce-container utilization SLOs are added (thresholds set to
+the expert configuration's measured utilizations, slack 0).  The paper
+reports the optimized configuration improving best-effort AJR by 22%,
+the deadline QS by 10%, and reduce-container utilization (via fewer
+preemptions), with map utilization flat.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import contended_two_tenant_model, preemption_prone_config, report
+
+from repro.core.pald import PALD
+from repro.rm.config import ConfigSpace
+from repro.sim.predictor import SchedulePredictor
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo, utilization_slo
+from repro.whatif.model import WhatIfModel
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+)
+
+HORIZON = 3 * 3600.0
+ITERATIONS = 12
+
+
+def _run():
+    cluster = two_tenant_cluster()
+    expert = preemption_prone_config(cluster)
+    workload = contended_two_tenant_model().generate(31, HORIZON)
+    predictor = SchedulePredictor(cluster)
+    expert_schedule = predictor.predict(workload, expert)
+
+    map_util = expert_schedule.utilization(pool=MAP_POOL, include_preempted=False)
+    red_util = expert_schedule.utilization(pool=REDUCE_POOL, include_preempted=False)
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.0),
+            response_time_slo(BEST_EFFORT_TENANT),
+            utilization_slo(map_util, pool=MAP_POOL, label="UTILMAP"),
+            utilization_slo(red_util, pool=REDUCE_POOL, label="UTILRED"),
+        ]
+    )
+
+    whatif = WhatIfModel(cluster, slos, [workload])
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    pald = PALD(
+        space,
+        whatif.evaluator(space),
+        slos.thresholds(),
+        trust_radius=0.2,
+        candidates=6,
+        seed=3,
+    )
+    result = pald.optimize(space.encode(expert), ITERATIONS)
+    optimized = space.decode(result.x)
+    optimized_schedule = predictor.predict(workload, optimized)
+    return slos, expert_schedule, optimized_schedule
+
+
+def test_fig9_original_vs_optimized(benchmark):
+    slos, expert_schedule, optimized_schedule = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    f_orig = slos.evaluate(expert_schedule)
+    f_opt = slos.evaluate(optimized_schedule)
+    pre_orig = expert_schedule.preemption_fraction(pool=REDUCE_POOL)
+    pre_opt = optimized_schedule.preemption_fraction(pool=REDUCE_POOL)
+
+    rows = [
+        ["DL (violations)", f"{f_orig[0]:.2%}", f"{f_opt[0]:.2%}"],
+        ["AJR (s)", f"{f_orig[1]:.0f}", f"{f_opt[1]:.0f}"],
+        ["UTILMAP (effective)", f"{-f_orig[2]:.3f}", f"{-f_opt[2]:.3f}"],
+        ["UTILRED (effective)", f"{-f_orig[3]:.3f}", f"{-f_opt[3]:.3f}"],
+        ["reduce preemptions", f"{pre_orig:.1%}", f"{pre_opt:.1%}"],
+    ]
+    report(
+        "fig9_utilization",
+        "Figure 9: SLOs under original vs Tempo-optimized configuration",
+        ["metric", "original", "optimized"],
+        rows,
+    )
+    # Reproduction bar (paper: 22% AJR gain, 10% DL gain, higher reduce
+    # utilization from alleviated preemption, map utilization flat).
+    # Our expert baseline already sits at 0% violations, so instead of a
+    # DL *gain* we require the optimized config to stay within the 5%
+    # deadline SLO while trading for AJR and preemption improvements —
+    # the same Pareto story at a different anchor.
+    assert f_opt[1] <= f_orig[1]  # AJR no worse
+    assert f_opt[0] <= 0.05 + 1e-9  # DL within its SLO threshold
+    assert pre_opt <= pre_orig  # preemptions alleviated
+    ajr_gain = 1.0 - f_opt[1] / f_orig[1]
+    print(f"\nAJR gain: {ajr_gain:.0%} (paper: 22%); reduce preemptions "
+          f"{pre_orig:.1%} -> {pre_opt:.1%}")

@@ -1,0 +1,93 @@
+"""Section 8.2 performance claim — one Tempo control loop's latency.
+
+"Each end-to-end experiment involves approximately 30,000 tasks from two
+tenants, and each Tempo control loop explores 5 RM configuration
+candidates.  Thus, one Tempo control loop requires prediction for
+roughly 150,000 tasks, which takes one second."
+
+This bench measures the optimizer-side cost of one control iteration —
+5 candidate evaluations through the What-if Model — at our experiment
+scale, plus the per-predicted-task cost so the paper's 150k-task loop
+can be extrapolated.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.core.pald import PALD
+from repro.rm.config import ConfigSpace
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.whatif.model import WhatIfModel
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+CANDIDATES = 5
+
+
+def _setup():
+    cluster = two_tenant_cluster()
+    config = two_tenant_expert_config(cluster)
+    workload = two_tenant_model().generate(17, 1800.0)
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+    whatif = WhatIfModel(cluster, slos, [workload])
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    pald = PALD(
+        space,
+        whatif.evaluator(space),
+        slos.thresholds(),
+        candidates=CANDIDATES,
+        seed=0,
+    )
+    return pald, space, whatif, config, workload
+
+
+def test_perf_one_control_loop(benchmark):
+    pald, space, whatif, config, workload = _setup()
+    x = space.encode(config)
+
+    start = time.perf_counter()
+    step = pald.step(x)
+    elapsed = time.perf_counter() - start
+    predicted_tasks = whatif.predicted_tasks
+
+    def one_step():
+        # Fresh PALD each round so caching doesn't trivialize the loop.
+        p2, s2, w2, cfg2, _ = _setup()
+        return p2.step(s2.encode(cfg2))
+
+    benchmark.pedantic(one_step, rounds=3, iterations=1)
+
+    per_task = elapsed / max(predicted_tasks, 1)
+    rows = [
+        ["window tasks", workload.num_tasks],
+        ["candidates explored", step.evaluations],
+        ["tasks predicted", predicted_tasks],
+        ["loop latency", f"{elapsed:.2f}s"],
+        ["per predicted task", f"{per_task * 1e6:.1f}us"],
+        ["extrapolated paper loop (150k tasks)", f"{per_task * 150_000:.1f}s"],
+        ["paper (C++-grade)", "1s"],
+    ]
+    report(
+        "perf_control_loop",
+        "One Tempo control loop: 5 what-if candidate evaluations",
+        ["quantity", "value"],
+        rows,
+    )
+    # Feasibility: a control loop at our window scale finishes in
+    # interactive time.
+    assert elapsed < 30.0

@@ -1,0 +1,70 @@
+"""Table 1 — tenant characteristics at Company ABC.
+
+Regenerates the six-tenant inventory from the synthetic workload model:
+each tenant's workload class, arrival rate, job shape, and deadline
+policy, plus measured per-tenant statistics from a sampled workload.
+The timed portion is workload synthesis itself.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import COMPANY_ABC_TENANTS, company_abc_model
+
+HORIZON = 8 * 3600.0
+
+
+def _characterize():
+    model = company_abc_model()
+    workload = model.generate(0, HORIZON)
+    rows = []
+    for tenant in COMPANY_ABC_TENANTS:
+        tm = model.tenant_model(tenant.name)
+        jobs = workload.jobs_of(tenant.name)
+        map_durs = [
+            t.duration
+            for j in jobs
+            for s in j.stages
+            for t in s.tasks
+            if t.pool == MAP_POOL
+        ]
+        red_durs = [
+            t.duration
+            for j in jobs
+            for s in j.stages
+            for t in s.tasks
+            if t.pool == REDUCE_POOL
+        ]
+        rows.append(
+            [
+                tenant.name,
+                tenant.description,
+                "yes" if tm.deadline_driven else "best-effort",
+                f"{tm.arrival.rate * 3600:.0f}/h",
+                len(jobs),
+                f"{np.median(map_durs):.0f}s" if map_durs else "-",
+                f"{np.median(red_durs):.0f}s" if red_durs else "-",
+            ]
+        )
+    return rows, workload
+
+
+def test_table1_tenant_characteristics(benchmark):
+    rows, workload = benchmark.pedantic(_characterize, rounds=1, iterations=1)
+    report(
+        "table1_tenants",
+        f"Table 1: Company-ABC tenant characteristics "
+        f"({len(workload)} jobs, {workload.num_tasks} tasks over 8h)",
+        ["tenant", "characteristics", "deadlines", "rate", "jobs", "map-med", "red-med"],
+        rows,
+    )
+    names = [r[0] for r in rows]
+    assert names == ["BI", "DEV", "APP", "STR", "MV", "ETL"]
+    # STR is map-only; MV's reduces are the longest.
+    assert rows[3][6] == "-"

@@ -1,0 +1,80 @@
+"""Table 2 — job finish time estimation errors per tenant (Section 8.1).
+
+The paper validates the time-warp Schedule Predictor against one week of
+production traces from the 700-node cluster: RAE/RSE of predicted job
+finish times per tenant, with the worst tenant (MV) at 24.4% due to
+inaccurately recorded killed/failed attempts.
+
+Our analogue: execute the ABC-like workload on the noisy heartbeat
+ground truth (task failures, user kills, node restarts, stragglers,
+measurement jitter), predict the same workload with the deterministic
+time-warp predictor, and compare per-tenant finish times.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import report
+
+from repro.sim.noise import NoiseModel
+from repro.sim.predictor import SchedulePredictor
+from repro.sim.simulator import ClusterSimulator
+from repro.stats.errors import relative_absolute_error, relative_squared_error
+from repro.workload.synthetic import (
+    company_abc_cluster,
+    company_abc_model,
+    expert_config,
+)
+
+HORIZON = 8 * 3600.0
+TENANTS = ["BI", "DEV", "APP", "STR", "MV", "ETL"]
+
+
+def _run():
+    cluster = company_abc_cluster()
+    workload = company_abc_model().generate(11, HORIZON)
+    config = expert_config(cluster)
+    truth = ClusterSimulator(
+        cluster, noise=NoiseModel.harsh(), heartbeat=5.0, seed=2
+    ).run(workload, config)
+
+    start = time.perf_counter()
+    predicted = SchedulePredictor(cluster).predict(workload, config)
+    elapsed = time.perf_counter() - start
+    rate = workload.num_tasks / elapsed
+    return workload, truth, predicted, rate
+
+
+def test_table2_prediction_errors(benchmark):
+    workload, truth, predicted, rate = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    p = {j.job_id: j.finish_time for j in predicted.job_records}
+    t = {j.job_id: j.finish_time for j in truth.job_records}
+    rows = []
+    worst = 0.0
+    for tenant in TENANTS:
+        ids = [j.job_id for j in truth.jobs_of(tenant) if j.job_id in p]
+        if len(ids) < 3:
+            rows.append([tenant, "-", "-", len(ids)])
+            continue
+        rae = relative_absolute_error([p[i] for i in ids], [t[i] for i in ids])
+        rse = relative_squared_error([p[i] for i in ids], [t[i] for i in ids])
+        worst = max(worst, rae)
+        rows.append([tenant, f"{rae:.4f}", f"{rse:.4f}", len(ids)])
+    rows.append(["(paper worst: MV)", "0.2318", "0.2437", ""])
+    rows.append(["predictor speed", f"{rate:,.0f} tasks/s", "(paper: 150k)", ""])
+    report(
+        "table2_prediction_error",
+        f"Table 2: job finish time estimation errors "
+        f"({workload.num_tasks} tasks, noisy ground truth)",
+        ["tenant", "RAE", "RSE", "jobs"],
+        rows,
+    )
+    # The reproduction bar: prediction is far better than the
+    # predict-the-mean baseline (RAE = 1) for every tenant, in the same
+    # error band the paper reports (worst tenant 24.4%; we allow <= 45%
+    # because our noise model is deliberately aggressive).
+    assert worst < 0.45

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Scenario 3 (Section 8.2.3): adapting to workload variations.
+
+The control loop feeds a fixed-length window of the most recent traces
+into each iteration.  Short windows chase the workload aggressively
+(good for best-effort latency, risky for deadlines); longer windows are
+steadier.  The paper compares 15/30/45-minute windows (Figure 11) and
+finds 45 min gives a 22% AJR improvement at deadline parity.
+
+This example runs the same drifting workload (diurnal best-effort surge)
+through controllers with three window lengths and prints the trade-off.
+
+Run:  python examples/adaptive_windows.py
+"""
+
+import numpy as np
+
+from repro.core import TempoController
+from repro.core.controller import windows_from_workload
+from repro.rm import ConfigSpace
+from repro.slo import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.stats.distributions import LognormalModel, PoissonProcessModel
+from repro.workload import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+)
+from repro.workload.generator import (
+    StageModel,
+    StatisticalWorkloadModel,
+    TenantWorkloadModel,
+)
+from repro.workload.patterns import DiurnalPattern
+from repro.workload.synthetic import two_tenant_model
+import math
+
+
+def drifting_model() -> StatisticalWorkloadModel:
+    """Two tenants where the best-effort load swings over the day."""
+    base = two_tenant_model()
+    deadline = base.tenant_model(DEADLINE_TENANT)
+    best_effort = base.tenant_model(BEST_EFFORT_TENANT)
+    from dataclasses import replace
+
+    best_effort = replace(
+        best_effort,
+        rate_pattern=DiurnalPattern(base=0.3, amplitude=1.6, peak_hour=1.0),
+    )
+    return StatisticalWorkloadModel([deadline, best_effort])
+
+
+def run_with_window(window_seconds: float, horizon: float, seed: int = 0):
+    cluster = two_tenant_cluster()
+    expert = two_tenant_expert_config(cluster)
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    controller = TempoController(
+        cluster, slos, space, expert, candidates=5, trust_radius=0.2, seed=seed
+    )
+    workload = drifting_model().generate(seed, horizon)
+    windows = windows_from_workload(workload, window_seconds)
+    records = controller.run(windows)
+    # Score on the latter half (after warm-up), like steady-state plots.
+    tail = records[len(records) // 2 :]
+    dl = float(np.mean([r.observed_raw[0] for r in tail]))
+    ajr = float(np.mean([r.observed_raw[1] for r in tail]))
+    return dl, ajr, len(records)
+
+
+def main() -> None:
+    horizon = 4 * 3600.0
+    print("window  iterations  DL-violations  best-effort AJR (s)")
+    results = {}
+    for minutes in (15, 30, 45):
+        dl, ajr, iters = run_with_window(minutes * 60.0, horizon)
+        results[minutes] = (dl, ajr)
+        print(f"{minutes:4d}m  {iters:10d}  {dl:13.2%}  {ajr:19.1f}")
+
+    print(
+        "\nExpected shape (paper Fig 11): shorter windows favor AJR but "
+        "risk more deadline violations; ~45min reaches deadline parity "
+        "with a clear AJR win."
+    )
+
+
+if __name__ == "__main__":
+    main()

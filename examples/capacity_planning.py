@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario 4 (Section 8.2.4): resource provisioning and cutting costs.
+
+Tempo's What-if machinery can answer "how big a cluster do these SLOs
+need?": collect traces on the current cluster, reconstruct the workload,
+and predict the SLOs at other cluster sizes.  The paper shows SLOs of a
+double-size cluster predicted within 20% error from current-cluster
+traces (Figure 12); this example reproduces the exercise and also asks
+the advisor for the cheapest feasible cluster.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.sim import ClusterSimulator, SchedulePredictor
+from repro.slo import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo, utilization_slo
+from repro.whatif import ProvisioningAdvisor
+from repro.workload import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+
+def main() -> None:
+    reference = two_tenant_cluster()  # the "100%" cluster
+    config = two_tenant_expert_config(reference)
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.1, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT, threshold=1800.0),
+        ]
+    )
+    workload = two_tenant_model(scale=0.8).generate(seed=4, horizon=2 * 3600.0)
+    print(f"Reference cluster: {reference}")
+    print(f"Workload: {workload}\n")
+
+    # --- Collect traces on a *half-size* development cluster -----------
+    small = reference.scaled(0.5)
+    observed = ClusterSimulator(small, heartbeat=5.0).run(workload, config)
+    print(f"Traces collected on {small}: {len(observed.job_records)} jobs")
+
+    advisor = ProvisioningAdvisor(reference, slos, config)
+    replay = advisor.workload_from_trace(observed)
+
+    # --- Predict SLOs at the full size from small-cluster traces -------
+    predicted = advisor.estimate(replay, 1.0)
+    actual_schedule = ClusterSimulator(reference, heartbeat=5.0).run(
+        workload, config
+    )
+    actual = slos.evaluate(actual_schedule)
+    errors = advisor.estimation_errors(predicted.qs, actual)
+
+    print("\nSLO               predicted   actual   error")
+    for label, p, a, e in zip(slos.labels, predicted.qs, actual, errors):
+        print(f"{label:16s} {p:9.2f} {a:9.2f} {e:7.1%}")
+
+    # --- Find the cheapest feasible cluster -----------------------------
+    fractions = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    print("\nfraction  feasible  DL-violations  AJR (s)")
+    for est in advisor.sweep(replay, fractions):
+        print(
+            f"{est.fraction:8.2f}  {str(est.feasible):8s}  "
+            f"{est.qs[0]:13.2%}  {est.qs[1]:8.1f}"
+        )
+    cheapest = advisor.minimum_cluster(replay, fractions)
+    if cheapest is None:
+        print("\nNo candidate size meets the SLOs — provision beyond 2x.")
+    else:
+        print(
+            f"\nCheapest feasible cluster: {cheapest.fraction:.0%} "
+            f"of reference ({cheapest.cluster})"
+        )
+
+
+if __name__ == "__main__":
+    main()

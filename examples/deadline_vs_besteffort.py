@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Scenario 1 (Section 8.2.1): deadline-driven + best-effort tenants.
+
+Reproduces the paper's first end-to-end scenario at example scale:
+
+* the deadline tenant's SLO is *strict*: every job must finish no later
+  than it did under the expert configuration (r_i = 0 violations, with
+  deadlines taken from the expert run's completion times);
+* the best-effort tenant's SLO is the lowest possible average response
+  time, seeded with the expert configuration's value.
+
+The script prints the QS trajectory across control-loop iterations —
+the example-scale analogue of Figure 6.
+
+Run:  python examples/deadline_vs_besteffort.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import PALD
+from repro.rm import ConfigSpace
+from repro.sim import SchedulePredictor
+from repro.slo import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.whatif import WhatIfModel
+from repro.workload import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+from repro.workload.model import JobSpec, Workload
+
+
+def expert_completion_deadlines(workload, cluster, config):
+    """Stamp each deadline-tenant job with its expert-run completion.
+
+    This encodes the scenario's strict constraint: 'every job from the
+    deadline-driven workload must complete no later than the completion
+    of the same job under the expert RM configuration'.
+    """
+    schedule = SchedulePredictor(cluster).predict(workload, config)
+    finish = {j.job_id: j.finish_time for j in schedule.job_records}
+    jobs = []
+    for job in workload:
+        if job.tenant == DEADLINE_TENANT and job.job_id in finish:
+            jobs.append(replace(job, deadline=finish[job.job_id]))
+        else:
+            jobs.append(replace(job, deadline=None))
+    return Workload(jobs, horizon=workload.horizon), schedule
+
+
+def main() -> None:
+    cluster = two_tenant_cluster()
+    expert = two_tenant_expert_config(cluster)
+    workload = two_tenant_model().generate(seed=42, horizon=2 * 3600.0)
+    print(f"Workload: {workload}")
+
+    workload, expert_schedule = expert_completion_deadlines(
+        workload, cluster, expert
+    )
+
+    slack = 0.25  # the paper's de-noising gamma
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.0, slack=slack),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+
+    expert_ajr = slos[1].raw(expert_schedule)
+    print(f"Expert best-effort AJR: {expert_ajr:.1f}s\n")
+
+    whatif = WhatIfModel(cluster, slos, [workload])
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    pald = PALD(
+        space,
+        whatif.evaluator(space),
+        slos.thresholds(),
+        trust_radius=0.2,
+        candidates=5,
+        seed=7,
+    )
+
+    print("iter  deadline-violations  AJR (normalized to expert)")
+    x = space.encode(expert)
+    f = whatif.evaluate(expert)
+    for i in range(15):
+        print(f"{i:4d}  {f[0]:19.2%}  {f[1] / expert_ajr:10.3f}")
+        step = pald.step(x, f)
+        pald.ratchet(step.f)
+        x, f = step.x, step.f
+    print(f"{15:4d}  {f[0]:19.2%}  {f[1] / expert_ajr:10.3f}")
+
+    improvement = 1.0 - f[1] / expert_ajr
+    print(
+        f"\nAt convergence: best-effort AJR improved {improvement:.0%} "
+        f"(paper reports ~50% at 25% slack) with "
+        f"{f[0]:.0%} deadline violations."
+    )
+    print("\nChosen configuration:")
+    print(space.decode(x).describe())
+
+
+if __name__ == "__main__":
+    main()

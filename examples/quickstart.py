@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: declare SLOs, run the Tempo control loop, watch it tune.
+
+This is the smallest end-to-end use of the library:
+
+1. describe the cluster and the tenants' SLOs with QS templates;
+2. start from a hand-written ("expert") RM configuration;
+3. let the Tempo control loop observe production windows and
+   self-tune the configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import TempoController
+from repro.core.controller import windows_from_model
+from repro.rm import ConfigSpace
+from repro.slo import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.workload import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+
+def main() -> None:
+    # -- 1. The cluster and the SLOs -------------------------------------
+    cluster = two_tenant_cluster()
+    print(f"Cluster: {cluster}")
+
+    slos = SLOSet(
+        [
+            # "No more than 5% of the deadline tenant's jobs may miss
+            #  their deadline" (with the paper's 25% slack tolerance).
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            # "Give the best-effort tenant the lowest response time
+            #  possible" (no threshold: a best-effort objective).
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+    print(f"SLOs: {slos}")
+
+    # -- 2. The starting configuration and the tunable space -------------
+    config = two_tenant_expert_config(cluster)
+    print("\nExpert starting configuration:")
+    print(config.describe())
+
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    print(f"\nTunable parameters: {space.dim}")
+
+    # -- 3. The control loop ----------------------------------------------
+    controller = TempoController(
+        cluster,
+        slos,
+        space,
+        config,
+        candidates=5,       # configurations explored per loop (paper: 5)
+        trust_radius=0.2,   # max normalized-l2 move per loop
+        seed=0,
+    )
+
+    # Six half-hour control windows of synthetic production load.
+    windows = windows_from_model(two_tenant_model(), window=1800.0, iterations=6)
+
+    print("\niter  DL-violations  best-effort AJR (s)  reverted")
+    for record in controller.run(windows):
+        dl, ajr = record.observed_raw
+        print(
+            f"{record.index:4d}  {dl:13.2%}  {ajr:19.1f}  {record.reverted}"
+        )
+
+    print("\nFinal configuration:")
+    print(controller.config.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Scenario 2 (Section 8.2.2): adding utilization SLOs, taming preemption.
+
+Preemption-by-kill wastes work: every killed task restarts from scratch
+(Figure 1).  This scenario adds map- and reduce-container utilization
+SLOs on top of the deadline + response-time pair and lets Tempo tune the
+preemption timeouts (among everything else).  The paper reports 22%
+better best-effort AJR, 10% better deadline QS, and higher reduce-
+container utilization from alleviated preemptions (Figure 9).
+
+Run:  python examples/utilization_tuning.py
+"""
+
+import numpy as np
+
+from repro.core import PALD
+from repro.rm import ConfigSpace
+from repro.sim import SchedulePredictor
+from repro.slo import SLOSet
+from repro.slo.templates import (
+    deadline_slo,
+    response_time_slo,
+    utilization_slo,
+)
+from repro.whatif import WhatIfModel
+from repro.workload import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+
+def main() -> None:
+    cluster = two_tenant_cluster()
+    expert = two_tenant_expert_config(cluster)
+    # Higher load so preemption pressure is real.
+    workload = two_tenant_model(scale=1.2).generate(seed=9, horizon=2 * 3600.0)
+    print(f"Workload: {workload}")
+
+    predictor = SchedulePredictor(cluster)
+    expert_schedule = predictor.predict(workload, expert)
+
+    # Utilization thresholds seeded from the expert run, as the paper
+    # sets the r_i "according to the measured map and reduce container
+    # utilization under the expert RM configuration".  Effective
+    # utilization (preempted work excluded) is the honest baseline.
+    map_util = expert_schedule.utilization(pool="map", include_preempted=False)
+    red_util = expert_schedule.utilization(pool="reduce", include_preempted=False)
+
+    slos = SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT),
+            utilization_slo(map_util, pool="map", label="UTILMAP"),
+            utilization_slo(red_util, pool="reduce", label="UTILRED"),
+        ]
+    )
+
+    f_expert = slos.evaluate(expert_schedule)
+    expert_preempt = expert_schedule.preemption_fraction(pool="reduce")
+    print(
+        f"Expert: DL={f_expert[0]:.2%} AJR={f_expert[1]:.0f}s "
+        f"UTILMAP={-f_expert[2]:.2f} UTILRED={-f_expert[3]:.2f} "
+        f"reduce-preemptions={expert_preempt:.1%}\n"
+    )
+
+    whatif = WhatIfModel(cluster, slos, [workload])
+    space = ConfigSpace(cluster, [DEADLINE_TENANT, BEST_EFFORT_TENANT])
+    pald = PALD(
+        space,
+        whatif.evaluator(space),
+        slos.thresholds(),
+        trust_radius=0.2,
+        candidates=6,
+        seed=1,
+    )
+    result = pald.optimize(space.encode(expert), 12)
+
+    best_config = space.decode(result.x)
+    optimized_schedule = predictor.predict(workload, best_config)
+    f_opt = slos.evaluate(optimized_schedule)
+    opt_preempt = optimized_schedule.preemption_fraction(pool="reduce")
+
+    print("metric      expert     optimized")
+    labels = ["DL", "AJR", "UTILMAP", "UTILRED"]
+    for label, fe, fo in zip(labels, f_expert, f_opt):
+        print(f"{label:10s} {fe:9.3f}  {fo:12.3f}")
+    print(f"\nReduce preemption fraction: {expert_preempt:.1%} -> {opt_preempt:.1%}")
+    print("Optimized preemption timeouts:")
+    for tenant in best_config.tenant_names():
+        t = best_config.tenant(tenant)
+        print(
+            f"  {tenant}: min-share {t.min_share_preemption_timeout:.0f}s, "
+            f"fair-share {t.fair_share_preemption_timeout:.0f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

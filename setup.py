@@ -1,0 +1,17 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that ``pip install -e . --no-build-isolation --no-use-pep517``
+(and legacy ``python setup.py develop``) work offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

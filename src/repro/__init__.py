@@ -1,0 +1,32 @@
+"""Tempo: robust, self-tuning resource management for multi-tenant
+parallel databases.
+
+A from-scratch reproduction of Tan & Babu, "Tempo: Robust and
+Self-Tuning Resource Management in Multi-tenant Parallel Databases"
+(VLDB 2016, arXiv:1512.00757).
+
+Public API highlights:
+
+* :mod:`repro.workload` — job/task model, traces, statistical workload
+  generation (Company-ABC and SWIM-style synthetic sources).
+* :mod:`repro.rm` — cluster model, RM configuration space, fair-share /
+  FIFO / capacity policies, preemption machinery.
+* :mod:`repro.sim` — the time-warp Schedule Predictor and the noisy
+  heartbeat cluster simulator.
+* :mod:`repro.slo` — QS metrics and declarative SLO templates.
+* :mod:`repro.whatif` — the What-if Model and provisioning estimator.
+* :mod:`repro.core` — PALD, scalarization baselines, and the Tempo
+  control loop (:class:`~repro.core.controller.TempoController`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "workload",
+    "rm",
+    "sim",
+    "slo",
+    "whatif",
+    "core",
+    "stats",
+]

@@ -1,0 +1,245 @@
+"""Command-line interface: simulate, tune, and inspect without code.
+
+Tempo is pitched as a drop-in component for DBAs, so the library ships a
+small operational CLI:
+
+``python -m repro simulate``
+    Run a built-in workload scenario through the predictor or the noisy
+    cluster simulator; print per-tenant statistics; optionally archive
+    the trace as JSON-lines.
+
+``python -m repro tune``
+    Run the Tempo control loop on a scenario with SLOs declared in a
+    JSON file of QS templates (see ``--slos``); prints the per-iteration
+    observed QS vector and the final configuration.
+
+``python -m repro report``
+    Per-tenant statistics of an archived trace file.
+
+SLO spec file format — a JSON array of QS-template dictionaries::
+
+    [
+      {"queue": "deadline", "slo": "deadline",
+       "max_violation_fraction": 0.05, "slack": 0.25},
+      {"queue": "besteffort", "slo": "response_time"}
+    ]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.controller import TempoController, windows_from_model
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace, RMConfig
+from repro.sim.noise import NoiseModel
+from repro.sim.predictor import SchedulePredictor
+from repro.sim.simulator import ClusterSimulator
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import QSTemplate
+from repro.workload.generator import StatisticalWorkloadModel
+from repro.workload.synthetic import (
+    company_abc_cluster,
+    company_abc_model,
+    expert_config,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+from repro.workload.trace import Trace
+
+#: Built-in scenarios: name -> (cluster factory, model factory, config factory).
+SCENARIOS: dict[str, tuple[Callable, Callable, Callable]] = {
+    "two-tenant": (
+        two_tenant_cluster,
+        two_tenant_model,
+        two_tenant_expert_config,
+    ),
+    "company-abc": (
+        company_abc_cluster,
+        company_abc_model,
+        expert_config,
+    ),
+}
+
+NOISE_PROFILES = {
+    "quiet": NoiseModel.quiet,
+    "production": NoiseModel.production,
+    "harsh": NoiseModel.harsh,
+}
+
+
+def load_slos(path: str) -> SLOSet:
+    """Parse an SLO spec file (JSON array of QS templates)."""
+    specs = json.loads(Path(path).read_text())
+    if not isinstance(specs, list):
+        raise ValueError("SLO spec file must contain a JSON array")
+    return SLOSet([QSTemplate.from_dict(spec).instantiate() for spec in specs])
+
+
+def default_slos(scenario: str) -> SLOSet:
+    """Reasonable SLOs per scenario when no spec file is given."""
+    if scenario == "two-tenant":
+        specs = [
+            {
+                "queue": "deadline",
+                "slo": "deadline",
+                "max_violation_fraction": 0.05,
+                "slack": 0.25,
+            },
+            {"queue": "besteffort", "slo": "response_time"},
+        ]
+    else:
+        specs = [
+            {"queue": t, "slo": "deadline", "max_violation_fraction": 0.05, "slack": 0.25}
+            for t in ("APP", "MV", "ETL")
+        ] + [{"queue": t, "slo": "response_time"} for t in ("BI", "DEV", "STR")]
+    return SLOSet([QSTemplate.from_dict(s).instantiate() for s in specs])
+
+
+def _print_tenant_stats(trace: Trace, out) -> None:
+    print(
+        f"{'tenant':12s} {'jobs':>6s} {'tasks':>7s} {'AJR(s)':>9s} "
+        f"{'p90(s)':>9s} {'preempt':>8s} {'util':>6s}",
+        file=out,
+    )
+    for tenant in sorted(trace.tenants()):
+        jobs = trace.jobs_of(tenant)
+        responses = [j.response_time for j in jobs]
+        tasks = trace.tasks_of(tenant)
+        util = trace.utilization(tenant) if trace.capacity else float("nan")
+        print(
+            f"{tenant:12s} {len(jobs):6d} {len(tasks):7d} "
+            f"{np.mean(responses) if responses else 0:9.1f} "
+            f"{np.percentile(responses, 90) if responses else 0:9.1f} "
+            f"{trace.preemption_fraction(tenant):8.1%} {util:6.2f}",
+            file=out,
+        )
+
+
+def cmd_simulate(args: argparse.Namespace, out) -> int:
+    """``repro simulate``: run a scenario and print tenant statistics."""
+    cluster_fn, model_fn, config_fn = SCENARIOS[args.scenario]
+    cluster = cluster_fn()
+    model: StatisticalWorkloadModel = model_fn(args.scale)
+    config = config_fn(cluster)
+    workload = model.generate(args.seed, args.horizon * 3600.0)
+    print(
+        f"scenario={args.scenario} cluster={cluster} jobs={len(workload)} "
+        f"tasks={workload.num_tasks}",
+        file=out,
+    )
+    if args.engine == "predictor":
+        trace = SchedulePredictor(cluster).predict(workload, config)
+    else:
+        noise = NOISE_PROFILES[args.noise]()
+        trace = ClusterSimulator(cluster, noise=noise, heartbeat=args.heartbeat).run(
+            workload, config, seed=args.seed
+        )
+    _print_tenant_stats(trace, out)
+    if args.save:
+        Path(args.save).write_text(trace.to_jsonl())
+        print(f"trace saved to {args.save}", file=out)
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace, out) -> int:
+    """``repro tune``: run the Tempo control loop on a scenario."""
+    cluster_fn, model_fn, config_fn = SCENARIOS[args.scenario]
+    cluster = cluster_fn()
+    model = model_fn(args.scale)
+    config = config_fn(cluster)
+    slos = load_slos(args.slos) if args.slos else default_slos(args.scenario)
+    space = ConfigSpace(cluster, sorted(model.tenants))
+    controller = TempoController(
+        cluster,
+        slos,
+        space,
+        config,
+        candidates=args.candidates,
+        trust_radius=args.trust_radius,
+        noise=NOISE_PROFILES[args.noise](),
+        seed=args.seed,
+    )
+    windows = windows_from_model(
+        model, args.window * 60.0, args.iterations, seed=args.seed
+    )
+    header = "iter  reverted  " + "  ".join(f"{l:>14s}" for l in slos.labels)
+    print(header, file=out)
+    for record in controller.run(windows):
+        values = "  ".join(f"{v:14.3f}" for v in record.observed_raw)
+        print(f"{record.index:4d}  {str(record.reverted):8s}  {values}", file=out)
+    print("\nfinal configuration:", file=out)
+    print(controller.config.describe(), file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    """``repro report``: summarize an archived trace, optionally vs SLOs."""
+    trace = Trace.from_jsonl(Path(args.trace).read_text())
+    print(f"{trace}", file=out)
+    _print_tenant_stats(trace, out)
+    if args.slos:
+        slos = load_slos(args.slos)
+        f = slos.evaluate(trace)
+        print("\nSLO QS values:", file=out)
+        for label, value, violated in zip(slos.labels, f, slos.violations(f)):
+            flag = "  VIOLATED" if violated else ""
+            print(f"  {label:20s} {value:10.3f}{flag}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tempo: self-tuning RM configuration (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a scenario through a simulator")
+    sim.add_argument("--scenario", choices=sorted(SCENARIOS), default="two-tenant")
+    sim.add_argument("--engine", choices=["predictor", "cluster"], default="predictor")
+    sim.add_argument("--noise", choices=sorted(NOISE_PROFILES), default="quiet")
+    sim.add_argument("--horizon", type=float, default=1.0, help="hours of workload")
+    sim.add_argument("--scale", type=float, default=1.0, help="arrival-rate scale")
+    sim.add_argument("--heartbeat", type=float, default=5.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--save", help="archive the trace as JSON-lines")
+    sim.set_defaults(func=cmd_simulate)
+
+    tune = sub.add_parser("tune", help="run the Tempo control loop")
+    tune.add_argument("--scenario", choices=sorted(SCENARIOS), default="two-tenant")
+    tune.add_argument("--slos", help="JSON file of QS templates")
+    tune.add_argument("--iterations", type=int, default=6)
+    tune.add_argument("--window", type=float, default=30.0, help="minutes per window")
+    tune.add_argument("--candidates", type=int, default=5)
+    tune.add_argument("--trust-radius", type=float, default=0.2)
+    tune.add_argument("--noise", choices=sorted(NOISE_PROFILES), default="quiet")
+    tune.add_argument("--scale", type=float, default=1.0)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(func=cmd_tune)
+
+    rep = sub.add_parser("report", help="summarize an archived trace")
+    rep.add_argument("trace", help="JSON-lines trace file")
+    rep.add_argument("--slos", help="JSON file of QS templates to evaluate")
+    rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

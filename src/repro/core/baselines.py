@@ -1,0 +1,292 @@
+"""Baseline multi-objective optimizers for comparison with PALD.
+
+The related-work classes the paper discusses (Section 6.2, Section 9):
+
+* :class:`RandomSearchOptimizer` — trust-region random probing; the
+  no-model control.
+* :class:`WeightedSumOptimizer` — classic weighted-sum scalarization
+  with LOESS-gradient descent; ignores the constraint structure (the
+  paper's (5,5)-vs-(0,7) counterexample shows why that fails).
+* :class:`NSGAIILite` — a compact NSGA-II-style evolutionary optimizer;
+  representative of the first related-work class (sensitive to noise,
+  needs many QS evaluations).
+
+All share PALD's evaluation interface so ablation benches can compare
+them at an equal evaluation budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.gradients import GradientEstimator, SampleBuffer
+from repro.core.pald import OptimizationResult, PALDStep
+from repro.core.pareto import pareto_front
+from repro.rm.config import ConfigSpace
+
+Evaluator = Callable[[np.ndarray], np.ndarray]
+
+
+class _BudgetedOptimizer:
+    """Shared plumbing: evaluation, feasibility, and regret accounting."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        evaluator: Evaluator,
+        thresholds: Sequence[float],
+        seed: int = 0,
+    ):
+        self.space = space
+        self.evaluator = evaluator
+        self.r = np.asarray(thresholds, dtype=float)
+        self.rng = np.random.default_rng(seed)
+        self._iteration = 0
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self.evaluator(x), dtype=float)
+
+    def _violated(self, f: np.ndarray) -> np.ndarray:
+        return (f >= self.r) & np.isfinite(self.r)
+
+    def _max_regret(self, f: np.ndarray) -> float:
+        finite = np.isfinite(self.r)
+        if not np.any(finite):
+            return -math.inf
+        return float(np.max(f[finite] - self.r[finite]))
+
+    def _scalar(self, f: np.ndarray) -> float:
+        """Equal-weight scalarization used for ranking."""
+        return float(np.sum(f))
+
+    def _rank_key(self, f: np.ndarray) -> tuple[float, float]:
+        """Feasible-first, then regret, then scalarized value."""
+        return (max(self._max_regret(f), 0.0), self._scalar(f))
+
+    def _record(
+        self, x: np.ndarray, f: np.ndarray, evaluations: int, moved: bool
+    ) -> PALDStep:
+        self._iteration += 1
+        return PALDStep(
+            iteration=self._iteration,
+            x=np.asarray(x, dtype=float),
+            f=np.asarray(f, dtype=float),
+            c=None,
+            rho=0.0,
+            feasible=not bool(np.any(self._violated(f))),
+            max_regret=self._max_regret(f),
+            proxy=self._scalar(f),
+            evaluations=evaluations,
+            moved=moved,
+        )
+
+
+class RandomSearchOptimizer(_BudgetedOptimizer):
+    """Evaluate random neighbors in the trust region; keep the best."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        evaluator: Evaluator,
+        thresholds: Sequence[float],
+        *,
+        trust_radius: float = 0.15,
+        candidates: int = 5,
+        seed: int = 0,
+    ):
+        super().__init__(space, evaluator, thresholds, seed)
+        self.trust_radius = trust_radius
+        self.candidates = candidates
+
+    def optimize(self, x0: Sequence[float], iterations: int) -> OptimizationResult:
+        """Run ``iterations`` steps from ``x0``; returns the trajectory."""
+        result = OptimizationResult()
+        x = self.space.clip(x0)
+        f = self._evaluate(x)
+        for _ in range(iterations):
+            evaluations = 0
+            pool = [(x, f)]
+            for _ in range(self.candidates - 1):
+                xc = self.space.random_neighbor(x, self.trust_radius, self.rng)
+                pool.append((xc, self._evaluate(xc)))
+                evaluations += 1
+            best_x, best_f = min(pool, key=lambda p: self._rank_key(p[1]))
+            moved = bool(self.space.distance(best_x, x) > 1e-9)
+            x, f = best_x, best_f
+            result.steps.append(self._record(x, f, evaluations, moved))
+        return result
+
+
+class WeightedSumOptimizer(_BudgetedOptimizer):
+    """LOESS-gradient descent on the fixed weighted sum ``c^T f``.
+
+    The constraint thresholds only enter the reporting, not the descent —
+    precisely the deficiency (SP2) fixes.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        evaluator: Evaluator,
+        thresholds: Sequence[float],
+        *,
+        weights: Sequence[float] | None = None,
+        trust_radius: float = 0.15,
+        step_size: float = 0.7,
+        candidates: int = 5,
+        loess_frac: float = 0.6,
+        seed: int = 0,
+    ):
+        super().__init__(space, evaluator, thresholds, seed)
+        k = len(self.r)
+        self.c = (
+            np.full(k, 1.0 / math.sqrt(k))
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        if self.c.shape != (k,):
+            raise ValueError(f"weights shape {self.c.shape} != ({k},)")
+        self.trust_radius = trust_radius
+        self.step_size = step_size
+        self.candidates = candidates
+        self.buffer = SampleBuffer(space.dim, k)
+        self.estimator = GradientEstimator(self.buffer, frac=loess_frac)
+
+    def _scalar(self, f: np.ndarray) -> float:
+        return float(self.c @ f)
+
+    def _rank_key(self, f: np.ndarray) -> tuple[float, float]:
+        # Pure weighted sum: constraints are invisible to the ranking.
+        return (0.0, self._scalar(f))
+
+    def optimize(self, x0: Sequence[float], iterations: int) -> OptimizationResult:
+        """Run ``iterations`` weighted-sum descent steps from ``x0``."""
+        result = OptimizationResult()
+        x = self.space.clip(x0)
+        f = self._evaluate(x)
+        self.buffer.add(x, f)
+        for _ in range(iterations):
+            evaluations = 0
+            pool = [(x, f)]
+            for _ in range(max(self.candidates - 2, 1)):
+                xc = self.space.random_neighbor(x, self.trust_radius, self.rng)
+                fc = self._evaluate(xc)
+                self.buffer.add(xc, fc)
+                pool.append((xc, fc))
+                evaluations += 1
+            if self.estimator.ready:
+                jacobian = self.estimator.jacobian(x)
+                direction = jacobian.T @ self.c
+                norm = float(np.linalg.norm(direction))
+                if norm > 1e-12:
+                    raw = (
+                        self.step_size
+                        * self.trust_radius
+                        * math.sqrt(self.space.dim)
+                        * direction
+                        / norm
+                    )
+                    x_sgd = self.space.project(x - raw, x, self.trust_radius)
+                    f_sgd = self._evaluate(x_sgd)
+                    self.buffer.add(x_sgd, f_sgd)
+                    pool.append((x_sgd, f_sgd))
+                    evaluations += 1
+            best_x, best_f = min(pool, key=lambda p: self._scalar(p[1]))
+            moved = bool(self.space.distance(best_x, x) > 1e-9)
+            x, f = best_x, best_f
+            result.steps.append(self._record(x, f, evaluations, moved))
+        return result
+
+
+class NSGAIILite(_BudgetedOptimizer):
+    """A compact NSGA-II-style evolutionary multi-objective optimizer.
+
+    Non-dominated sorting plus crowding-distance selection, blend
+    crossover, and Gaussian mutation.  Global (no trust region) — which
+    is exactly why it is risky to run against a production database, the
+    deployment constraint motivating PALD's bounded moves.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        evaluator: Evaluator,
+        thresholds: Sequence[float],
+        *,
+        population: int = 12,
+        mutation_scale: float = 0.15,
+        seed: int = 0,
+    ):
+        super().__init__(space, evaluator, thresholds, seed)
+        if population < 4:
+            raise ValueError(f"population must be >= 4, got {population}")
+        self.population = population
+        self.mutation_scale = mutation_scale
+
+    def optimize(self, x0: Sequence[float], iterations: int) -> OptimizationResult:
+        """Evolve for ``iterations`` generations seeded with ``x0``."""
+        result = OptimizationResult()
+        pop_x = [self.space.clip(x0)]
+        pop_x += [self.space.random_point(self.rng) for _ in range(self.population - 1)]
+        pop_f = [self._evaluate(x) for x in pop_x]
+        for _ in range(iterations):
+            evaluations = 0
+            children_x: list[np.ndarray] = []
+            for _ in range(self.population):
+                i, j = self.rng.integers(0, len(pop_x), size=2)
+                parent_a, parent_b = pop_x[i], pop_x[j]
+                blend = self.rng.uniform(size=self.space.dim)
+                child = blend * parent_a + (1.0 - blend) * parent_b
+                child += self.rng.normal(0.0, self.mutation_scale, self.space.dim)
+                children_x.append(self.space.clip(child))
+            children_f = [self._evaluate(x) for x in children_x]
+            evaluations += len(children_x)
+            pop_x, pop_f = self._survive(pop_x + children_x, pop_f + children_f)
+            best = min(range(len(pop_x)), key=lambda i: self._rank_key(pop_f[i]))
+            result.steps.append(
+                self._record(pop_x[best], pop_f[best], evaluations, True)
+            )
+        return result
+
+    def _survive(
+        self, xs: list[np.ndarray], fs: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Keep ``population`` members: Pareto fronts, then crowding."""
+        survivors: list[int] = []
+        remaining = list(range(len(xs)))
+        while remaining and len(survivors) < self.population:
+            front_local = pareto_front([fs[i] for i in remaining])
+            front = [remaining[i] for i in front_local]
+            if len(survivors) + len(front) <= self.population:
+                survivors.extend(front)
+            else:
+                slots = self.population - len(survivors)
+                crowding = self._crowding([fs[i] for i in front])
+                ranked = sorted(
+                    range(len(front)), key=lambda i: crowding[i], reverse=True
+                )
+                survivors.extend(front[i] for i in ranked[:slots])
+            remaining = [i for i in remaining if i not in front]
+        return [xs[i] for i in survivors], [fs[i] for i in survivors]
+
+    @staticmethod
+    def _crowding(front: list[np.ndarray]) -> np.ndarray:
+        """NSGA-II crowding distance within one front."""
+        n = len(front)
+        if n <= 2:
+            return np.full(n, np.inf)
+        arr = np.vstack(front)
+        distance = np.zeros(n)
+        for m in range(arr.shape[1]):
+            order = np.argsort(arr[:, m])
+            span = arr[order[-1], m] - arr[order[0], m]
+            distance[order[0]] = distance[order[-1]] = np.inf
+            if span <= 0:
+                continue
+            for rank in range(1, n - 1):
+                gap = arr[order[rank + 1], m] - arr[order[rank - 1], m]
+                distance[order[rank]] += gap / span
+        return distance

@@ -1,0 +1,288 @@
+"""The Tempo control loop (Section 4, Figure 3).
+
+Each iteration performs the paper's Steps (1)-(8):
+
+1. extract the recent task schedule from the RM (here: run the
+   production-side :class:`~repro.sim.simulator.ClusterSimulator` on the
+   window's workload under the current configuration);
+2. hand the window's job traces to the Workload Generator (trace replay
+   or a freshly fitted statistical model);
+3-7. the Optimizer (PALD) proposes candidate configurations inside the
+   trust region, the What-if Model predicts their schedules with the
+   time-warp Schedule Predictor and evaluates the QS metrics;
+8. the Pareto-improving configuration is applied to the RM.
+
+Two robustness mechanisms frame the loop: the **trust region** bounds
+each move's normalized-l2 distance (the DBA's risk tolerance), and the
+**revert guard** rolls back a newly applied configuration whose observed
+QS vector regresses the previously observed one.  Thresholds of
+best-effort SLOs are *ratcheted*: the best value observed so far becomes
+the constraint for the next iteration (Section 6.1), so the loop keeps
+improving on the incumbent rather than merely not regressing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.pald import PALD
+from repro.core.pareto import dominates
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace, RMConfig
+from repro.rm.policies import SchedulingPolicy
+from repro.sim.noise import NoiseModel
+from repro.sim.schedule import TaskSchedule
+from repro.sim.simulator import ClusterSimulator
+from repro.slo.objectives import SLOSet
+from repro.whatif.model import WhatIfModel
+from repro.workload.generator import StatisticalWorkloadModel, fit_workload_model
+from repro.workload.model import Workload
+
+
+@dataclass
+class ControlIteration:
+    """Record of one pass through the control loop."""
+
+    index: int
+    config: RMConfig
+    x: np.ndarray
+    observed: np.ndarray
+    observed_raw: np.ndarray
+    thresholds: np.ndarray
+    reverted: bool
+    whatif_evaluations: int
+    trace: TaskSchedule | None = None
+
+    @property
+    def feasible(self) -> bool:
+        finite = np.isfinite(self.thresholds)
+        return bool(np.all(self.observed[finite] <= self.thresholds[finite]))
+
+
+def windows_from_model(
+    model: StatisticalWorkloadModel,
+    window: float,
+    iterations: int,
+    seed: int = 0,
+) -> list[Workload]:
+    """Independent same-distribution workload windows (stationary load)."""
+    return [model.generate(seed + 101 * i, window) for i in range(iterations)]
+
+
+def windows_from_workload(workload: Workload, window: float) -> list[Workload]:
+    """Slice one long workload into consecutive control windows.
+
+    Preserves temporal patterns (diurnal drift, weekly cycles) — the
+    input to the adaptivity experiment (Section 8.2.3).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    count = max(1, int(workload.horizon // window))
+    return [workload.window(i * window, (i + 1) * window) for i in range(count)]
+
+
+class TempoController:
+    """Drop-in self-tuning loop around a (simulated) production RM.
+
+    Args:
+        cluster: The production cluster.
+        slos: Tenant SLOs (QS metrics + thresholds + priorities).
+        space: Tunable RM configuration space (the trust-region geometry).
+        initial_config: Starting configuration (e.g. the DBA's expert one).
+        policy: RM allocation policy (fair share by default).
+        noise: Production-side disturbances for the ground-truth runs.
+        whatif_mode: ``"replay"`` re-simulates the window's observed jobs;
+            ``"fit"`` fits a statistical model to the window trace and
+            samples ``replicas`` synthetic workloads (noise averaging,
+            the expectation in (SP1)).
+        replicas: What-if workload replicas in ``"fit"`` mode.
+        candidates: Configurations explored per loop (paper: 5).
+        trust_radius: Maximum normalized-l2 move per loop.
+        revert_mode: ``"regression"`` reverts when the previous observed
+            QS vector Pareto-dominates the new one (noise-tolerant);
+            ``"strict"`` reverts whenever the new vector does not
+            dominate the previous one (the paper's letter); ``"off"``
+            disables the guard.
+        revert_tol: Relative tolerance for the revert comparison.
+        ratchet: Ratchet best-effort thresholds to the best observed QS.
+        heartbeat: Production simulator heartbeat seconds.
+        store_traces: Keep each iteration's full trace on the record
+            (memory-heavy; useful for analysis).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        slos: SLOSet,
+        space: ConfigSpace,
+        initial_config: RMConfig,
+        *,
+        policy: SchedulingPolicy | None = None,
+        noise: NoiseModel | None = None,
+        whatif_mode: str = "replay",
+        replicas: int = 2,
+        candidates: int = 5,
+        trust_radius: float = 0.15,
+        step_size: float = 0.7,
+        loess_frac: float = 0.6,
+        revert_mode: str = "regression",
+        revert_tol: float = 0.05,
+        ratchet: bool = True,
+        heartbeat: float = 5.0,
+        seed: int = 0,
+        store_traces: bool = False,
+    ):
+        if whatif_mode not in ("replay", "fit"):
+            raise ValueError(f"unknown whatif_mode {whatif_mode!r}")
+        if revert_mode not in ("regression", "strict", "off"):
+            raise ValueError(f"unknown revert_mode {revert_mode!r}")
+        self.cluster = cluster
+        self.slos = slos
+        self.space = space
+        self.policy = policy
+        self.noise = noise or NoiseModel.quiet()
+        self.whatif_mode = whatif_mode
+        self.replicas = max(1, replicas)
+        self.revert_mode = revert_mode
+        self.revert_tol = revert_tol
+        self.ratchet = ratchet
+        self.seed = seed
+        self.store_traces = store_traces
+
+        self.production = ClusterSimulator(
+            cluster, policy, self.noise, heartbeat=heartbeat, seed=seed
+        )
+        self.config = initial_config
+        self.x = space.encode(initial_config)
+        self._prev: tuple[RMConfig, np.ndarray, np.ndarray] | None = None
+        self._ratchet_values: np.ndarray | None = None
+
+        # One persistent PALD: its sample buffer accumulates QS
+        # observations across control iterations (the workload is
+        # statistically stable per tenant — Section 10's assumption),
+        # which is what lets LOESS gradients converge despite only
+        # `candidates` evaluations per loop.
+        self._pald = PALD(
+            space,
+            evaluator=lambda x: np.zeros(len(slos)),  # replaced per iteration
+            thresholds=slos.thresholds(),
+            trust_radius=trust_radius,
+            step_size=step_size,
+            candidates=candidates,
+            loess_frac=loess_frac,
+            seed=seed,
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def pald(self) -> PALD:
+        return self._pald
+
+    def run(self, windows: Sequence[Workload]) -> list[ControlIteration]:
+        """Run one control iteration per workload window."""
+        return [self.run_iteration(i, w) for i, w in enumerate(windows)]
+
+    def run_iteration(self, index: int, window: Workload) -> ControlIteration:
+        """One pass of Steps (1)-(8) on this window's workload."""
+        # Step (1): observe the production task schedule under the
+        # currently applied configuration.
+        trace = self.production.run(
+            window, self.config, seed=self.seed + 31 * index + 1
+        )
+        observed = self.slos.evaluate(trace)
+        observed_raw = self.slos.evaluate_raw(trace)
+
+        # Revert guard: roll back a regressing configuration before
+        # optimizing further (Section 4's robustness mechanism).
+        reverted = self._maybe_revert(observed)
+
+        # Ratchet best-effort thresholds to the best observed QS so far.
+        thresholds = self._current_thresholds(observed)
+        self._pald.set_thresholds(thresholds)
+
+        # Steps (2)-(7): workload generation + what-if + PALD.
+        whatif = self._build_whatif(trace, window, thresholds, index)
+        self._pald.evaluator = whatif.evaluator(self.space)
+        step = self._pald.step(self.x, f_x=whatif.evaluate(self.config))
+
+        record = ControlIteration(
+            index=index,
+            config=self.config,
+            x=self.x.copy(),
+            observed=observed,
+            observed_raw=observed_raw,
+            thresholds=thresholds.copy(),
+            reverted=reverted,
+            whatif_evaluations=whatif.evaluations,
+            trace=trace if self.store_traces else None,
+        )
+
+        # Step (8): apply the Pareto-improving configuration.  After a
+        # revert the incumbent keeps its original observation as the
+        # baseline for the next guard comparison.
+        if not reverted:
+            self._prev = (self.config, observed, self.x.copy())
+        self.x = step.x
+        self.config = self.space.decode(step.x)
+        return record
+
+    # -- internals -------------------------------------------------------------
+
+    def _maybe_revert(self, observed: np.ndarray) -> bool:
+        if self.revert_mode == "off" or self._prev is None:
+            return False
+        prev_config, prev_observed, prev_x = self._prev
+        tol = self.revert_tol * (np.abs(prev_observed) + 1e-9)
+        if self.revert_mode == "regression":
+            regress = dominates(prev_observed, observed, tol)
+        else:  # strict: revert unless the new observation dominates.
+            regress = not dominates(observed, prev_observed, tol) and not np.allclose(
+                observed, prev_observed
+            )
+        if regress:
+            self.config = prev_config
+            self.x = prev_x.copy()
+        return bool(regress)
+
+    def _current_thresholds(self, observed: np.ndarray) -> np.ndarray:
+        base = self.slos.thresholds()
+        if not self.ratchet:
+            return base
+        unconstrained = ~np.isfinite(base)
+        if self._ratchet_values is None:
+            self._ratchet_values = np.where(unconstrained, observed, base)
+        else:
+            self._ratchet_values = np.where(
+                unconstrained,
+                np.minimum(self._ratchet_values, observed),
+                base,
+            )
+        return self._ratchet_values.copy()
+
+    def _build_whatif(
+        self,
+        trace: TaskSchedule,
+        window: Workload,
+        thresholds: np.ndarray,
+        index: int,
+    ) -> WhatIfModel:
+        workloads: list[Workload]
+        if self.whatif_mode == "fit":
+            try:
+                model = fit_workload_model(trace)
+                workloads = model.replicas(
+                    self.seed + 977 * index, window.horizon, self.replicas
+                )
+            except ValueError:
+                # Sparse window: fall back to replaying the observations.
+                workloads = [trace.to_workload()]
+        else:
+            workloads = [trace.to_workload()]
+        if not any(len(w) for w in workloads):
+            workloads = [window]
+        return WhatIfModel(self.cluster, self.slos, workloads, self.policy)

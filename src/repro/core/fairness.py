@@ -1,0 +1,91 @@
+"""The max-min fairness LP choosing PALD's weight vector ``c``.
+
+Section 6.3.1: "To achieve max-min fairness of SLOs, PALD chooses c that
+improves the most violated constraint, through the following linear
+program:
+
+    maximize   z
+    subject to J_{i: f_i(x) >= r_i} J^T c >= z 1
+               c >= 0,  z <= eps"
+
+Interpreting the rows: for each violated constraint ``i``, the inner
+product of its gradient with the candidate descent direction
+``d = J^T c`` must be at least ``z``; maximizing ``z`` maximizes the
+guaranteed improvement of the *worst-off* violated SLO when stepping
+along ``-d`` — max-min fairness over SLO satisfactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.scalarization import min_norm_weights
+
+
+def max_min_fair_weights(
+    jacobian: np.ndarray,
+    violated: np.ndarray,
+    epsilon: float = 1.0,
+) -> np.ndarray:
+    """Solve the fairness LP for ``c`` (l2-normalized).
+
+    Args:
+        jacobian: Estimated QS Jacobian ``J``, shape ``(k, n)``.
+        violated: Boolean mask of constraints with ``f_i >= r_i``.
+        epsilon: The arbitrary positive cap on ``z``.
+
+    Returns:
+        Weight vector ``c`` of length ``k`` (c >= 0, ||c||_2 = 1).  When
+        no constraint is violated, falls back to the MGDA min-norm
+        weights, which yield a common descent direction for *all*
+        objectives (the pure Pareto-improvement regime).
+    """
+    jacobian = np.atleast_2d(np.asarray(jacobian, dtype=float))
+    violated = np.asarray(violated, dtype=bool)
+    k = jacobian.shape[0]
+    if violated.shape != (k,):
+        raise ValueError(
+            f"violated mask has shape {violated.shape}, expected ({k},)"
+        )
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+
+    if not np.any(violated):
+        return _normalize(min_norm_weights(jacobian))
+
+    # G has one row per violated constraint: G[v] = <grad f_v, grad f_j>_j
+    gram = jacobian @ jacobian.T  # (k, k)
+    g_violated = gram[violated]  # (m, k)
+
+    # Variables: [c_1..c_k, z].  linprog minimizes, so use -z.
+    m = g_violated.shape[0]
+    cost = np.zeros(k + 1)
+    cost[-1] = -1.0
+    # -G c + z <= 0  per violated row.
+    a_ub = np.hstack([-g_violated, np.ones((m, 1))])
+    b_ub = np.zeros(m)
+    # Normalization: sum(c) <= 1 bounds the polytope (c is rescaled after).
+    norm_row = np.concatenate([np.ones(k), [0.0]])
+    a_ub = np.vstack([a_ub, norm_row])
+    b_ub = np.append(b_ub, 1.0)
+    bounds = [(0.0, None)] * k + [(None, epsilon)]
+
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success or result.x is None:
+        # Degenerate geometry (e.g. zero gradients): fall back to MGDA.
+        return _normalize(min_norm_weights(jacobian))
+    c = np.clip(result.x[:k], 0.0, None)
+    if float(np.sum(c)) <= 1e-12:
+        # LP found z <= 0 with c = 0 optimal (conflicting gradients);
+        # weight the violated constraints equally so the descent at least
+        # trades off between them.
+        c = violated.astype(float)
+    return _normalize(c)
+
+
+def _normalize(c: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(c))
+    if norm <= 0:
+        return np.full_like(c, 1.0 / np.sqrt(len(c)))
+    return c / norm

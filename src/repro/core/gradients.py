@@ -1,0 +1,94 @@
+"""Jacobian estimation from noisy QS samples via LOESS.
+
+QS measurements are noisy (trace inaccuracies, interval choices,
+replica sampling), so finite differences would amplify noise.  PALD
+instead keeps a buffer of evaluated ``(x, f)`` pairs and fits a local
+linear model around the query point (Section 6.3.1); the fitted slopes
+form the Jacobian used by the fairness LP, ``rho*``, and the descent
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.loess import LoessModel
+
+
+class SampleBuffer:
+    """A bounded buffer of (configuration vector, QS vector) samples."""
+
+    def __init__(self, dim: int, n_objectives: int, max_size: int = 512):
+        if max_size < dim + 2:
+            raise ValueError(
+                f"max_size must be at least dim+2={dim + 2}, got {max_size}"
+            )
+        self.dim = dim
+        self.n_objectives = n_objectives
+        self.max_size = max_size
+        self._xs: list[np.ndarray] = []
+        self._fs: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def add(self, x: Sequence[float], f: Sequence[float]) -> None:
+        """Append one (configuration, QS vector) observation."""
+        x = np.asarray(x, dtype=float).ravel()
+        f = np.asarray(f, dtype=float).ravel()
+        if x.size != self.dim:
+            raise ValueError(f"x has dim {x.size}, expected {self.dim}")
+        if f.size != self.n_objectives:
+            raise ValueError(
+                f"f has {f.size} objectives, expected {self.n_objectives}"
+            )
+        self._xs.append(x.copy())
+        self._fs.append(f.copy())
+        if len(self._xs) > self.max_size:
+            # Drop the oldest samples: the workload drifts, so stale QS
+            # observations describe a different function.
+            self._xs.pop(0)
+            self._fs.pop(0)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All samples as ``(xs, fs)`` matrices."""
+        if not self._xs:
+            return np.empty((0, self.dim)), np.empty((0, self.n_objectives))
+        return np.vstack(self._xs), np.vstack(self._fs)
+
+    def clear(self) -> None:
+        """Drop all samples (e.g. after a workload regime change)."""
+        self._xs.clear()
+        self._fs.clear()
+
+
+class GradientEstimator:
+    """LOESS Jacobian/value estimation over a sample buffer."""
+
+    def __init__(self, buffer: SampleBuffer, frac: float = 0.6):
+        self.buffer = buffer
+        self.frac = frac
+
+    @property
+    def ready(self) -> bool:
+        """Enough samples for a local linear fit?"""
+        return len(self.buffer) >= self.buffer.dim + 2
+
+    def jacobian(self, x: Sequence[float]) -> np.ndarray:
+        """Estimated Jacobian at ``x``, shape (n_objectives, dim)."""
+        if not self.ready:
+            raise ValueError(
+                f"need at least {self.buffer.dim + 2} samples, have "
+                f"{len(self.buffer)}"
+            )
+        xs, fs = self.buffer.arrays()
+        return LoessModel(xs, fs, frac=self.frac).jacobian(x)
+
+    def smoothed(self, x: Sequence[float]) -> np.ndarray:
+        """De-noised QS vector estimate at ``x``."""
+        if not self.ready:
+            raise ValueError("not enough samples for smoothing")
+        xs, fs = self.buffer.arrays()
+        return LoessModel(xs, fs, frac=self.frac).predict(x)

@@ -1,0 +1,110 @@
+"""Pareto dominance utilities for QS vectors (lower = better).
+
+(SP1)'s vector minimization is in the Pareto-optimal sense: ``x``
+dominates ``x'`` if ``f_i(x) <= f_i(x')`` for all ``i`` with at least
+one strict inequality; a configuration is weakly Pareto-optimal when no
+other configuration dominates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def dominates(f: Sequence[float], g: Sequence[float], tol: float = 0.0) -> bool:
+    """True if ``f`` Pareto-dominates ``g``: <= everywhere, < somewhere.
+
+    ``tol`` makes the comparison noise-tolerant: components within
+    ``tol`` count as ties (both for the "no worse" and the "strictly
+    better" tests).
+    """
+    f = np.asarray(f, dtype=float)
+    g = np.asarray(g, dtype=float)
+    if f.shape != g.shape:
+        raise ValueError(f"shape mismatch: {f.shape} vs {g.shape}")
+    no_worse = bool(np.all(f <= g + tol))
+    strictly_better = bool(np.any(f < g - tol))
+    return no_worse and strictly_better
+
+
+def weakly_dominates(f: Sequence[float], g: Sequence[float], tol: float = 0.0) -> bool:
+    """True if ``f`` is no worse than ``g`` in every component."""
+    f = np.asarray(f, dtype=float)
+    g = np.asarray(g, dtype=float)
+    if f.shape != g.shape:
+        raise ValueError(f"shape mismatch: {f.shape} vs {g.shape}")
+    return bool(np.all(f <= g + tol))
+
+
+def pareto_front(points: Sequence[Sequence[float]], tol: float = 0.0) -> list[int]:
+    """Indices of the non-dominated points (the empirical Pareto front)."""
+    arr = [np.asarray(p, dtype=float) for p in points]
+    front: list[int] = []
+    for i, p in enumerate(arr):
+        if not any(dominates(q, p, tol) for j, q in enumerate(arr) if j != i):
+            front.append(i)
+    return front
+
+
+@dataclass
+class ArchiveEntry:
+    """One evaluated configuration in the archive."""
+
+    x: np.ndarray
+    f: np.ndarray
+    tag: str = ""
+
+
+class ParetoArchive:
+    """Maintains the non-dominated set of evaluated configurations.
+
+    The archive is the optimizer's memory of the empirical Pareto front;
+    its best entry under a scalarization is the fallback answer if a
+    descent step ever regresses.
+    """
+
+    def __init__(self, tol: float = 0.0):
+        self.tol = tol
+        self._entries: list[ArchiveEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> list[ArchiveEntry]:
+        return list(self._entries)
+
+    def add(self, x: Sequence[float], f: Sequence[float], tag: str = "") -> bool:
+        """Insert if non-dominated; evict entries the new point dominates.
+
+        Returns True if the point joined the archive.
+        """
+        x = np.asarray(x, dtype=float).copy()
+        f = np.asarray(f, dtype=float).copy()
+        for entry in self._entries:
+            duplicate = np.allclose(entry.f, f, rtol=0.0, atol=self.tol)
+            if dominates(entry.f, f, self.tol) or duplicate:
+                return False
+        self._entries = [
+            e for e in self._entries if not dominates(f, e.f, self.tol)
+        ]
+        self._entries.append(ArchiveEntry(x=x, f=f, tag=tag))
+        return True
+
+    def best_by(self, key) -> ArchiveEntry:
+        """Entry minimizing ``key(f)`` (e.g. a scalarization)."""
+        if not self._entries:
+            raise ValueError("archive is empty")
+        return min(self._entries, key=lambda e: key(e.f))
+
+    def front(self) -> np.ndarray:
+        """The archived QS vectors, one row per entry."""
+        if not self._entries:
+            return np.empty((0, 0))
+        return np.vstack([e.f for e in self._entries])

@@ -1,0 +1,166 @@
+"""The proxy problem (SP2): objective, optimal rho*, descent direction.
+
+PALD transforms (SP1) into the proxy problem
+
+    minimize  c^T [ f(x) - rho * max(f(x), r) ]            (SP2)
+
+whose every solution solves (SP1) for any positive ``c`` and ``rho < 1``
+(Theorem 1 — the objective is strictly increasing in every ``f_i``).
+``rho = 0`` recovers the weighted sum; ``rho`` re-weights the violated
+objectives (``f_i > r_i`` contribute ``c_i (1 - rho) f_i``): negative
+``rho`` *amplifies* violated gradients (the common case — push hard
+toward feasibility), positive ``rho`` de-emphasizes violated directions
+when they conflict with the rest.
+
+``rho*`` solves problem (RHO):
+
+    maximize   min over violated i of  grad f_i . grad s(x)
+    subject to grad f_i . grad s(x) >= 0 for all violated i, rho < 1,
+
+i.e. the SGD step must not increase any violated QS, and among such
+``rho`` the one improving the *worst* violated QS fastest is chosen.
+With ``grad s = sum_j c_j g_j - rho * sum_{j in V} c_j g_j`` the inner
+products are linear in ``rho``:
+
+    g_i . grad s = a_i - rho * v_i,
+    a_i = sum_j c_j g_i.g_j,   v_i = sum_{j in V} c_j g_i.g_j,
+
+so the objective is a piecewise-linear concave function of ``rho`` and
+the maximum over the feasible interval is attained at an interval
+endpoint or at an intersection of two of the lines.  We enumerate those
+vertices exactly (the paper derives the equivalent closed-form bounds by
+sign analysis of the same quantities; at non-differentiable points it
+conditions on subgradients, which we avoid by using the one-sided
+gradient of the active branch).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: rho must be < 1 for Theorem 1; cap slightly below for strictness.
+RHO_MAX = 0.999
+#: Floor for the amplifying branch.  The theory only requires rho < 1;
+#: at rho = -1 a violated objective's gradient weight doubles, which is
+#: plenty of feasibility pressure while keeping steps stable under
+#: gradient noise.
+RHO_MIN = -1.0
+
+
+def proxy_value(f: np.ndarray, r: np.ndarray, c: np.ndarray, rho: float) -> float:
+    """The proxy objective ``c^T [f - rho * max(f, r)]``.
+
+    Satisfied objectives (``f_i <= r_i``) contribute ``c_i (f_i - rho r_i)``
+    and violated ones ``c_i (1 - rho) f_i``; the branches agree at
+    ``f_i = r_i`` so the objective is continuous.  Unconstrained
+    objectives (``r_i = inf``) are never violated and their constant
+    ``-rho c_i r_i`` term is identical for every configuration, so it is
+    dropped to keep the value finite — argmins are unaffected.
+    """
+    f = np.asarray(f, dtype=float)
+    r = np.asarray(r, dtype=float)
+    c = np.asarray(c, dtype=float)
+    finite = np.isfinite(r)
+    value = 0.0
+    for i in range(len(f)):
+        if not finite[i]:
+            value += c[i] * f[i]
+        elif f[i] <= r[i]:
+            value += c[i] * (f[i] - rho * r[i])
+        else:
+            value += c[i] * (1.0 - rho) * f[i]
+    return float(value)
+
+
+def rho_star(
+    jacobian: np.ndarray,
+    c: np.ndarray,
+    violated: np.ndarray,
+    grad_tol: float = 1e-12,
+    rho_min: float = RHO_MIN,
+    rho_max: float = RHO_MAX,
+) -> float:
+    """Optimal ``rho`` for problem (RHO) by exact vertex enumeration.
+
+    Returns 0.0 (the weighted-sum special case) when no constraint is
+    violated or every violated gradient is numerically zero.
+    """
+    jacobian = np.atleast_2d(np.asarray(jacobian, dtype=float))
+    c = np.asarray(c, dtype=float)
+    violated = np.asarray(violated, dtype=bool)
+    k = jacobian.shape[0]
+    if c.shape != (k,) or violated.shape != (k,):
+        raise ValueError("c and violated must match the Jacobian's row count")
+    if not np.any(violated):
+        return 0.0
+
+    grad_norms = np.linalg.norm(jacobian, axis=1)
+    active = [i for i in range(k) if violated[i] and grad_norms[i] > grad_tol]
+    if not active:
+        return 0.0
+
+    gram = jacobian @ jacobian.T
+    viol_idx = np.flatnonzero(violated)
+    a = np.array([float(np.sum(c * gram[i])) for i in active])
+    v = np.array([float(np.sum(c[viol_idx] * gram[i, viol_idx])) for i in active])
+
+    def alignment(rho: float) -> float:
+        return float(np.min(a - rho * v))
+
+    # Vertex candidates: interval ends, the weighted-sum point, each
+    # line's zero crossing (feasibility boundary), and pairwise line
+    # intersections (kinks of the concave piecewise-linear objective).
+    candidates = {rho_min, rho_max, 0.0}
+    for i in range(len(active)):
+        if abs(v[i]) > grad_tol:
+            candidates.add(a[i] / v[i])
+        for j in range(i + 1, len(active)):
+            dv = v[i] - v[j]
+            if abs(dv) > grad_tol:
+                candidates.add((a[i] - a[j]) / dv)
+
+    best_rho = 0.0
+    best_val = -math.inf
+    for rho in sorted(candidates):
+        rho = min(max(rho, rho_min), rho_max)
+        value = alignment(rho)
+        if value < -grad_tol:
+            continue  # violates the do-not-increase constraint
+        # Prefer strictly better alignment; tie-break toward smaller |rho|
+        # (the least aggressive re-weighting achieving it).
+        if value > best_val + 1e-12 or (
+            abs(value - best_val) <= 1e-12 and abs(rho) < abs(best_rho)
+        ):
+            best_val = value
+            best_rho = rho
+    if best_val == -math.inf:
+        # No rho keeps every violated QS non-increasing (conflicting
+        # gradients); fall back to the weighted sum and let the fairness
+        # LP's c carry the trade-off.
+        return 0.0
+    return float(best_rho)
+
+
+def descent_direction(
+    jacobian: np.ndarray,
+    c: np.ndarray,
+    rho: float,
+    violated: np.ndarray,
+) -> np.ndarray:
+    """Gradient of the proxy objective:
+
+    ``grad s(x) = sum_i c_i g_i - rho * sum_{i violated} c_i g_i``
+
+    (satisfied objectives' ``max(f_i, r_i) = r_i`` terms are constant and
+    vanish).  SGD steps along the negation.
+    """
+    jacobian = np.atleast_2d(np.asarray(jacobian, dtype=float))
+    c = np.asarray(c, dtype=float)
+    violated = np.asarray(violated, dtype=bool)
+    full = jacobian.T @ c
+    if np.any(violated):
+        viol = jacobian[violated].T @ c[violated]
+        return full - rho * viol
+    return full

@@ -1,0 +1,155 @@
+"""Scalarizations of multi-objective QS vectors.
+
+Provides the comparators the paper discusses (Section 6.3 and Related
+Work):
+
+* **weighted sum** — the classic scalarization; provably insufficient
+  for (SP1) because it ignores the constraint set (the paper's
+  (5,5) vs (0,7) example);
+* **conic scalarization** (Kasimbeyli 2013) — handles non-convexity but
+  leaves the weight choice open;
+* **MGDA min-norm weights** (Désidéri 2012) — the convex-hull min-norm
+  element of the objective gradients, whose negation is a common descent
+  direction for *all* objectives.  PALD uses these weights whenever no
+  constraint is violated, and its conditions (9) reference MGDA's ``c``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def weighted_sum(c: Sequence[float], f: Sequence[float]) -> float:
+    """The weighted-sum scalarization ``c^T f``."""
+    c = np.asarray(c, dtype=float)
+    f = np.asarray(f, dtype=float)
+    if c.shape != f.shape:
+        raise ValueError(f"shape mismatch: {c.shape} vs {f.shape}")
+    return float(c @ f)
+
+
+def conic_scalarize(
+    c: Sequence[float],
+    f: Sequence[float],
+    alpha: float,
+    reference: Sequence[float] | None = None,
+) -> float:
+    """Conic scalarization ``c^T (f - a) + alpha * ||f - a||_1``.
+
+    ``alpha`` in ``[0, min_i c_i)`` preserves (proper) Pareto optimality
+    of minimizers; larger alphas emphasize balanced solutions.
+    """
+    c = np.asarray(c, dtype=float)
+    f = np.asarray(f, dtype=float)
+    a = np.zeros_like(f) if reference is None else np.asarray(reference, dtype=float)
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    shifted = f - a
+    return float(c @ shifted + alpha * np.sum(np.abs(shifted)))
+
+
+#: Above this many objectives, fall back from exact enumeration to
+#: Frank-Wolfe (2^k support subsets become expensive).
+_EXACT_MAX_K = 12
+
+
+def min_norm_weights(
+    jacobian: np.ndarray, iterations: int = 2000, tol: float = 1e-12
+) -> np.ndarray:
+    """MGDA weights: ``argmin_{c in simplex} || J^T c ||^2``.
+
+    Solved exactly for small ``k`` by enumerating support subsets (the
+    optimum restricted to its support solves ``G_S c_S = lambda 1``, an
+    equality-constrained convex QP); Frank-Wolfe fallback for large
+    ``k``.  The returned ``c`` satisfies ``sum(c) = 1``, ``c >= 0``; the
+    direction ``d = J^T c`` has ``g_i . d >= ||d||^2`` for every
+    objective gradient ``g_i``, hence ``-d`` is a common descent
+    direction.
+    """
+    jacobian = np.atleast_2d(np.asarray(jacobian, dtype=float))
+    k = jacobian.shape[0]
+    if k == 1:
+        return np.array([1.0])
+    gram = jacobian @ jacobian.T  # (k, k) inner products of gradients
+    if k <= _EXACT_MAX_K:
+        c = _min_norm_exact(gram)
+        if c is not None:
+            return c
+    return _min_norm_frank_wolfe(gram, iterations, tol)
+
+
+def _min_norm_exact(gram: np.ndarray) -> np.ndarray | None:
+    """Enumerate support subsets; return the best feasible solution.
+
+    For support ``S``, stationarity of ``c^T G c`` under ``sum(c_S) = 1``
+    gives ``G_S c_S = lambda 1``; solving with the pseudo-inverse and
+    normalizing covers singular Gram blocks.  Candidates with negative
+    components are infeasible and skipped; the global optimum's own
+    support always yields a feasible candidate, so the minimum over
+    feasible candidates is the global optimum.
+    """
+    k = gram.shape[0]
+    best_c: np.ndarray | None = None
+    best_val = math.inf
+    for mask in range(1, 2**k):
+        support = [i for i in range(k) if mask >> i & 1]
+        m = len(support)
+        sub = gram[np.ix_(support, support)]
+        # KKT system of min c^T G_S c subject to 1^T c = 1:
+        #   [2 G_S  1] [c     ]   [0]
+        #   [1^T    0] [lambda] = [1]
+        # lstsq handles singular Gram blocks (null-space optima).
+        kkt = np.zeros((m + 1, m + 1))
+        kkt[:m, :m] = 2.0 * sub
+        kkt[:m, m] = 1.0
+        kkt[m, :m] = 1.0
+        rhs = np.zeros(m + 1)
+        rhs[m] = 1.0
+        solution = np.linalg.lstsq(kkt, rhs, rcond=None)[0]
+        c_s = solution[:m]
+        if abs(float(np.sum(c_s)) - 1.0) > 1e-6:
+            continue  # KKT system inconsistent for this support
+        if np.any(c_s < -1e-9):
+            continue
+        c = np.zeros(k)
+        c[support] = np.clip(c_s, 0.0, None)
+        c /= float(np.sum(c))
+        value = float(c @ gram @ c)
+        if value < best_val - 1e-15:
+            best_val = value
+            best_c = c
+    return best_c
+
+
+def _min_norm_frank_wolfe(
+    gram: np.ndarray, iterations: int, tol: float
+) -> np.ndarray:
+    k = gram.shape[0]
+    c = np.full(k, 1.0 / k)
+    for _ in range(iterations):
+        grad = 2.0 * gram @ c
+        idx = int(np.argmin(grad))
+        vertex = np.zeros(k)
+        vertex[idx] = 1.0
+        direction = vertex - c
+        denom = float(direction @ gram @ direction)
+        if denom <= tol:
+            break
+        # Exact minimizer of the quadratic along the segment.
+        step = float(-(c @ gram @ direction) / denom)
+        step = min(max(step, 0.0), 1.0)
+        if step <= tol:
+            break
+        c = c + step * direction
+    c = np.clip(c, 0.0, None)
+    total = float(np.sum(c))
+    return c / total if total > 0 else np.full(k, 1.0 / k)
+
+
+def mgda_direction(jacobian: np.ndarray) -> np.ndarray:
+    """The MGDA common descent direction ``J^T c`` (to be negated)."""
+    c = min_norm_weights(jacobian)
+    return np.asarray(jacobian, dtype=float).T @ c

@@ -1,0 +1,46 @@
+"""Resource-Manager substrate: cluster model, configuration space, policies.
+
+Models the per-tenant RM configuration surface of Section 3.2 — resource
+shares, resource limits, and two-level preemption timeouts — plus the
+weighted max-min fair allocation machinery that YARN/Mesos-style fair
+schedulers implement.
+"""
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import (
+    ConfigSpace,
+    ParamSpec,
+    RMConfig,
+    TenantConfig,
+)
+from repro.rm.fair import fair_shares, weighted_water_fill
+from repro.rm.policies import (
+    CapacityPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    TenantDemand,
+)
+from repro.rm.preemption import StarvationClock, select_victims
+from repro.rm.hierarchy import QueueNode, flatten_hierarchy, hierarchy, leaf
+
+__all__ = [
+    "QueueNode",
+    "flatten_hierarchy",
+    "hierarchy",
+    "leaf",
+    "ClusterSpec",
+    "TenantConfig",
+    "RMConfig",
+    "ConfigSpace",
+    "ParamSpec",
+    "fair_shares",
+    "weighted_water_fill",
+    "SchedulingPolicy",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "CapacityPolicy",
+    "TenantDemand",
+    "StarvationClock",
+    "select_victims",
+]

@@ -1,0 +1,75 @@
+"""Cluster model: named pools of interchangeable containers.
+
+Section 3.2 adopts a uni-dimensional resource representation — an integer
+number of containers (slots) — as done in Mesos and YARN.  We generalize
+minimally to *named pools* of containers (e.g. separate map and reduce
+slots) because the evaluation reports per-pool utilizations (Figure 9)
+and per-pool preemption counts (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster: a fixed total number of containers per pool.
+
+    Attributes:
+        pools: Mapping from pool name to container count.
+        name: Label used in reports.
+    """
+
+    pools: tuple[tuple[str, int], ...]
+    name: str = "cluster"
+
+    def __init__(self, pools: Mapping[str, int], name: str = "cluster"):
+        items = tuple(sorted((str(k), int(v)) for k, v in pools.items()))
+        if not items:
+            raise ValueError("cluster needs at least one pool")
+        for pool, cap in items:
+            if cap < 1:
+                raise ValueError(f"pool {pool!r} capacity must be >= 1, got {cap}")
+        object.__setattr__(self, "pools", items)
+        object.__setattr__(self, "name", name)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}={c}" for p, c in self.pools)
+        return f"ClusterSpec({self.name}: {inner})"
+
+    def capacity(self, pool: str) -> int:
+        """Container count of ``pool``; raises KeyError if unknown."""
+        for p, c in self.pools:
+            if p == pool:
+                return c
+        raise KeyError(f"cluster has no pool {pool!r}")
+
+    @property
+    def pool_names(self) -> list[str]:
+        return [p for p, _ in self.pools]
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(c for _, c in self.pools)
+
+    def as_dict(self) -> dict[str, int]:
+        """Pools as a plain ``{name: capacity}`` dict."""
+        return dict(self.pools)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """Iterate ``(pool, capacity)`` pairs in name order."""
+        return iter(self.pools)
+
+    def scaled(self, fraction: float, name: str | None = None) -> "ClusterSpec":
+        """A cluster with every pool scaled by ``fraction`` (at least 1).
+
+        Used by the provisioning experiment (Section 8.2.4) to model the
+        100% / 50% / 25% cluster sizes.
+        """
+        if fraction <= 0:
+            raise ValueError(f"fraction must be positive, got {fraction}")
+        pools = {p: max(1, round(c * fraction)) for p, c in self.pools}
+        label = name if name is not None else f"{self.name}x{fraction:g}"
+        return ClusterSpec(pools, name=label)

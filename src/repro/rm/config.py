@@ -1,0 +1,402 @@
+"""RM configuration: per-tenant knobs and the tunable configuration space.
+
+The configuration parameters follow Section 3.2 exactly:
+
+* **Resource shares** — a weight giving the tenant's proportion of total
+  resources relative to other tenants.
+* **Resource limits** — per-pool minimum and maximum container counts.
+* **Resource preemption** — two timeout levels: one for when the tenant
+  is below its fair share, and a more critical one for when it is below
+  its configured minimum limit.
+
+:class:`ConfigSpace` is the set ``X`` of (SP1): it enumerates the tunable
+parameters with bounds, encodes configurations as vectors in the unit
+cube (so the *normalized l2-norm* trust-region distance of Section 4 is
+just Euclidean distance divided by sqrt(n)), and decodes vectors back to
+:class:`RMConfig` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.rm.cluster import ClusterSpec
+
+#: Timeouts at or above this value disable the corresponding preemption.
+NO_PREEMPTION = math.inf
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant RM settings (Section 3.2).
+
+    Attributes:
+        weight: Resource share relative to other tenants (> 0).
+        min_share: Per-pool guaranteed minimum containers.
+        max_share: Per-pool maximum containers (absent pool = unlimited).
+        min_share_preemption_timeout: Seconds a tenant starving below its
+            *minimum limit* waits before preempting others (the "more
+            critical" level).
+        fair_share_preemption_timeout: Seconds below the *fair share*
+            before preempting.  ``math.inf`` disables either level.
+    """
+
+    weight: float = 1.0
+    min_share: Mapping[str, int] = field(default_factory=dict)
+    max_share: Mapping[str, int] = field(default_factory=dict)
+    min_share_preemption_timeout: float = NO_PREEMPTION
+    fair_share_preemption_timeout: float = NO_PREEMPTION
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        for pool, v in self.min_share.items():
+            if v < 0:
+                raise ValueError(f"min_share[{pool!r}] must be >= 0, got {v}")
+        for pool, v in self.max_share.items():
+            if v < 1:
+                raise ValueError(f"max_share[{pool!r}] must be >= 1, got {v}")
+            if self.min_share.get(pool, 0) > v:
+                raise ValueError(
+                    f"min_share[{pool!r}]={self.min_share.get(pool)} exceeds "
+                    f"max_share[{pool!r}]={v}"
+                )
+        if self.min_share_preemption_timeout <= 0:
+            raise ValueError("min_share_preemption_timeout must be positive")
+        if self.fair_share_preemption_timeout <= 0:
+            raise ValueError("fair_share_preemption_timeout must be positive")
+
+    def min_for(self, pool: str) -> int:
+        """Guaranteed minimum containers in ``pool`` (0 if unset)."""
+        return int(self.min_share.get(pool, 0))
+
+    def max_for(self, pool: str, capacity: int) -> int:
+        """Effective cap in ``pool``: own limit clipped to capacity."""
+        return int(min(self.max_share.get(pool, capacity), capacity))
+
+
+#: Shared immutable default returned for tenants without explicit settings.
+_DEFAULT_TENANT_CONFIG = TenantConfig()
+
+
+@dataclass(frozen=True)
+class RMConfig:
+    """A complete RM configuration: settings for every tenant queue."""
+
+    tenants: Mapping[str, TenantConfig]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", dict(self.tenants))
+        if not self.tenants:
+            raise ValueError("RMConfig needs at least one tenant")
+
+    def tenant(self, name: str) -> TenantConfig:
+        """Settings for ``name``; unknown tenants get defaults."""
+        cfg = self.tenants.get(name)
+        return cfg if cfg is not None else _DEFAULT_TENANT_CONFIG
+
+    def tenant_names(self) -> list[str]:
+        """Sorted names of explicitly configured tenants."""
+        return sorted(self.tenants)
+
+    def with_tenant(self, name: str, cfg: TenantConfig) -> "RMConfig":
+        """Copy of this config with ``name``'s settings replaced."""
+        merged = dict(self.tenants)
+        merged[name] = cfg
+        return RMConfig(merged)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (for reports and examples)."""
+        lines = []
+        for name in self.tenant_names():
+            t = self.tenant(name)
+            mins = ",".join(f"{p}={v}" for p, v in sorted(t.min_share.items())) or "-"
+            maxs = ",".join(f"{p}={v}" for p, v in sorted(t.max_share.items())) or "-"
+            pre_min = (
+                "off"
+                if math.isinf(t.min_share_preemption_timeout)
+                else f"{t.min_share_preemption_timeout:.0f}s"
+            )
+            pre_fair = (
+                "off"
+                if math.isinf(t.fair_share_preemption_timeout)
+                else f"{t.fair_share_preemption_timeout:.0f}s"
+            )
+            lines.append(
+                f"{name}: weight={t.weight:.2f} min[{mins}] max[{maxs}] "
+                f"preempt(min={pre_min}, fair={pre_fair})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable scalar in the configuration space.
+
+    Attributes:
+        tenant: Owning tenant queue.
+        kind: One of ``weight``, ``min_share``, ``max_share``,
+            ``min_timeout``, ``fair_timeout``.
+        pool: Pool name for share limits; empty for weights/timeouts.
+        lo, hi: Inclusive bounds in natural units.
+        log: Encode on a log scale (used for timeouts and weights whose
+            effect is multiplicative).
+        integer: Round decoded value to an integer.
+    """
+
+    tenant: str
+    kind: str
+    pool: str
+    lo: float
+    hi: float
+    log: bool = False
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError(f"{self.name}: hi {self.hi} must exceed lo {self.lo}")
+        if self.log and self.lo <= 0:
+            raise ValueError(f"{self.name}: log scale requires positive lo")
+
+    @property
+    def name(self) -> str:
+        suffix = f".{self.pool}" if self.pool else ""
+        return f"{self.tenant}.{self.kind}{suffix}"
+
+    def encode(self, value: float) -> float:
+        """Natural units -> [0, 1]."""
+        value = min(max(value, self.lo), self.hi)
+        if self.log:
+            return (math.log(value) - math.log(self.lo)) / (
+                math.log(self.hi) - math.log(self.lo)
+            )
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def decode(self, unit: float) -> float:
+        """[0, 1] -> natural units (clipped, optionally rounded)."""
+        unit = min(max(unit, 0.0), 1.0)
+        if self.log:
+            value = math.exp(
+                math.log(self.lo) + unit * (math.log(self.hi) - math.log(self.lo))
+            )
+        else:
+            value = self.lo + unit * (self.hi - self.lo)
+        if self.integer:
+            value = round(value)
+        return float(min(max(value, self.lo), self.hi))
+
+
+class ConfigSpace:
+    """The tunable RM configuration space ``X`` with vector codec.
+
+    Vectors live in the unit cube ``[0, 1]^n``; the normalized l2
+    distance between two configurations is
+    ``||x - x'||_2 / sqrt(n)`` which is what the DBA's risk-tolerance
+    radius bounds (Section 4).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        tenants: Sequence[str],
+        *,
+        tune_weights: bool = True,
+        tune_limits: bool = True,
+        tune_timeouts: bool = True,
+        weight_bounds: tuple[float, float] = (0.25, 8.0),
+        timeout_bounds: tuple[float, float] = (15.0, 1800.0),
+        base_config: RMConfig | None = None,
+    ):
+        if not tenants:
+            raise ValueError("config space needs at least one tenant")
+        self.cluster = cluster
+        self.tenant_names = sorted(tenants)
+        self._base = base_config
+        self._params: list[ParamSpec] = []
+        for tenant in self.tenant_names:
+            if tune_weights:
+                self._params.append(
+                    ParamSpec(tenant, "weight", "", *weight_bounds, log=True)
+                )
+            if tune_limits:
+                for pool, cap in cluster.items():
+                    self._params.append(
+                        ParamSpec(tenant, "min_share", pool, 0.0, float(cap), integer=True)
+                    )
+                    self._params.append(
+                        ParamSpec(tenant, "max_share", pool, 1.0, float(cap), integer=True)
+                    )
+            if tune_timeouts:
+                self._params.append(
+                    ParamSpec(tenant, "min_timeout", "", *timeout_bounds, log=True)
+                )
+                self._params.append(
+                    ParamSpec(tenant, "fair_timeout", "", *timeout_bounds, log=True)
+                )
+        if not self._params:
+            raise ValueError("config space has no tunable parameters")
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self._params)
+
+    @property
+    def params(self) -> Sequence[ParamSpec]:
+        return tuple(self._params)
+
+    def param_names(self) -> list[str]:
+        """Human-readable names of the tunable parameters, in order."""
+        return [p.name for p in self._params]
+
+    # -- codec ----------------------------------------------------------------
+
+    def encode(self, config: RMConfig) -> np.ndarray:
+        """RMConfig -> unit-cube vector (untuned params use defaults)."""
+        x = np.empty(self.dim)
+        for i, p in enumerate(self._params):
+            t = config.tenant(p.tenant)
+            if p.kind == "weight":
+                value = t.weight
+            elif p.kind == "min_share":
+                value = float(t.min_for(p.pool))
+            elif p.kind == "max_share":
+                value = float(t.max_for(p.pool, self.cluster.capacity(p.pool)))
+            elif p.kind == "min_timeout":
+                value = _finite_timeout(t.min_share_preemption_timeout, p.hi)
+            elif p.kind == "fair_timeout":
+                value = _finite_timeout(t.fair_share_preemption_timeout, p.hi)
+            else:  # pragma: no cover - kinds fixed at construction
+                raise AssertionError(p.kind)
+            x[i] = p.encode(value)
+        return x
+
+    def decode(self, x: Sequence[float]) -> RMConfig:
+        """Unit-cube vector -> RMConfig.
+
+        Guarantees validity: decoded min shares are clamped below max
+        shares, and per-pool min shares never oversubscribe the pool.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.dim,):
+            raise ValueError(f"vector has shape {x.shape}, expected ({self.dim},)")
+        values: dict[str, dict[str, object]] = {
+            t: {"min_share": {}, "max_share": {}} for t in self.tenant_names
+        }
+        for i, p in enumerate(self._params):
+            v = p.decode(float(x[i]))
+            slot = values[p.tenant]
+            if p.kind == "weight":
+                slot["weight"] = v
+            elif p.kind == "min_share":
+                slot["min_share"][p.pool] = int(v)  # type: ignore[index]
+            elif p.kind == "max_share":
+                slot["max_share"][p.pool] = int(v)  # type: ignore[index]
+            elif p.kind == "min_timeout":
+                slot["min_timeout"] = v
+            elif p.kind == "fair_timeout":
+                slot["fair_timeout"] = v
+
+        self._reconcile_min_shares(values)
+
+        tenants: dict[str, TenantConfig] = {}
+        for name in self.tenant_names:
+            slot = values[name]
+            base = self._base.tenant(name) if self._base is not None else TenantConfig()
+            min_share: dict[str, int] = dict(base.min_share)
+            min_share.update(slot["min_share"])  # type: ignore[arg-type]
+            max_share: dict[str, int] = dict(base.max_share)
+            max_share.update(slot["max_share"])  # type: ignore[arg-type]
+            for pool in list(min_share):
+                hi = max_share.get(pool)
+                if hi is not None and min_share[pool] > hi:
+                    min_share[pool] = hi
+            tenants[name] = TenantConfig(
+                weight=float(slot.get("weight", base.weight)),
+                min_share=min_share,
+                max_share=max_share,
+                min_share_preemption_timeout=float(
+                    slot.get("min_timeout", base.min_share_preemption_timeout)
+                ),
+                fair_share_preemption_timeout=float(
+                    slot.get("fair_timeout", base.fair_share_preemption_timeout)
+                ),
+            )
+        return RMConfig(tenants)
+
+    def _reconcile_min_shares(self, values: dict[str, dict[str, object]]) -> None:
+        """Scale down per-pool min shares that oversubscribe a pool."""
+        for pool, cap in self.cluster.items():
+            total = sum(
+                int(values[t]["min_share"].get(pool, 0))  # type: ignore[union-attr]
+                for t in self.tenant_names
+            )
+            if total <= cap:
+                continue
+            scale = cap / total
+            for t in self.tenant_names:
+                mins = values[t]["min_share"]  # type: ignore[assignment]
+                if pool in mins:  # type: ignore[operator]
+                    mins[pool] = int(mins[pool] * scale)  # type: ignore[index]
+
+    # -- geometry ---------------------------------------------------------------
+
+    def distance(self, x: Sequence[float], y: Sequence[float]) -> float:
+        """Normalized l2 distance (Section 4's risk metric), in [0, 1]."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return float(np.linalg.norm(x - y) / math.sqrt(self.dim))
+
+    def clip(self, x: Sequence[float]) -> np.ndarray:
+        """Project a vector onto the unit cube."""
+        return np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
+
+    def project(
+        self, x: Sequence[float], center: Sequence[float], radius: float
+    ) -> np.ndarray:
+        """Project ``x`` into the trust region around ``center``.
+
+        The trust region is the normalized-l2 ball of the given radius
+        intersected with the unit cube.
+        """
+        x = self.clip(x)
+        center = np.asarray(center, dtype=float)
+        d = self.distance(x, center)
+        if d <= radius or d == 0.0:
+            return x
+        pulled = center + (x - center) * (radius / d)
+        return self.clip(pulled)
+
+    def random_point(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random configuration vector."""
+        return rng.uniform(0.0, 1.0, size=self.dim)
+
+    def random_neighbor(
+        self, x: Sequence[float], radius: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform perturbation within the trust region around ``x``.
+
+        This is how the Optimizer "meticulously generates configurations
+        only within a given maximum distance to the currently used RM
+        configuration" (Section 4).
+        """
+        x = np.asarray(x, dtype=float)
+        direction = rng.normal(size=self.dim)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            return self.clip(x)
+        direction /= norm
+        # Scale so normalized-l2 distance is uniform in (0, radius].
+        dist = radius * rng.uniform() ** (1.0 / self.dim)
+        step = direction * dist * math.sqrt(self.dim)
+        return self.project(x + step, x, radius)
+
+
+def _finite_timeout(timeout: float, cap: float) -> float:
+    """Map an 'infinite' (disabled) timeout to the bound's upper edge."""
+    return cap if math.isinf(timeout) else timeout

@@ -1,0 +1,207 @@
+"""Weighted max-min fair allocation with minimum/maximum limits.
+
+Implements the allocation semantics of Section 3.2's worked examples:
+
+* shares 1:2:3 over 12 containers with full demand -> 2, 4, 6;
+* tenant C idle -> A and B get 4 and 8 (unused quota redistributed in
+  proportion to the remaining tenants' shares);
+* max limit 3 on C -> 3, 6, 3.
+
+The continuous solution is a weighted water-fill; integer containers are
+then assigned by largest-remainder rounding that respects each tenant's
+bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def weighted_water_fill(
+    capacity: float,
+    weights: Mapping[str, float],
+    floors: Mapping[str, float],
+    ceilings: Mapping[str, float],
+) -> dict[str, float]:
+    """Continuous weighted max-min allocation.
+
+    Finds the water level ``lam`` such that every tenant receives
+    ``clamp(lam * weight, floor, ceiling)`` and the total equals
+    ``min(capacity, sum(ceilings))``.  Floors are assumed feasible
+    (``sum(floors) <= capacity``); callers pre-scale them otherwise.
+    """
+    tenants = sorted(weights)
+    if not tenants:
+        return {}
+    for t in tenants:
+        if weights[t] < 0:
+            raise ValueError(f"negative weight for {t!r}")
+        if floors.get(t, 0.0) > ceilings.get(t, math.inf):
+            raise ValueError(f"floor above ceiling for {t!r}")
+    total_ceiling = sum(ceilings.get(t, math.inf) for t in tenants)
+    target = min(capacity, total_ceiling)
+    total_floor = sum(floors.get(t, 0.0) for t in tenants)
+    if total_floor > capacity + 1e-9:
+        raise ValueError(
+            f"floors sum to {total_floor}, exceeding capacity {capacity}"
+        )
+    if target <= total_floor:
+        return {t: floors.get(t, 0.0) for t in tenants}
+
+    floor_list = [floors.get(t, 0.0) for t in tenants]
+    ceil_list = [ceilings.get(t, math.inf) for t in tenants]
+    weight_list = [weights[t] for t in tenants]
+
+    def allocated(lam: float) -> float:
+        total = 0.0
+        for w, lo, hi in zip(weight_list, floor_list, ceil_list):
+            value = lam * w
+            if value < lo:
+                value = lo
+            elif value > hi:
+                value = hi
+            total += value
+        return total
+
+    # The allocation is a piecewise-linear non-decreasing function of
+    # the water level lam with breakpoints where a tenant enters or
+    # leaves its clamp; walk the (at most 2n) segments and interpolate
+    # exactly instead of bisecting.
+    breakpoints = {0.0}
+    for w, lo, hi in zip(weight_list, floor_list, ceil_list):
+        if w > 0:
+            breakpoints.add(lo / w)
+            if math.isfinite(hi):
+                breakpoints.add(hi / w)
+    levels = sorted(breakpoints)
+
+    lam = levels[-1]
+    reached = False
+    prev_level, prev_alloc = levels[0], allocated(levels[0])
+    if prev_alloc >= target:
+        lam, reached = prev_level, True
+    else:
+        for level in levels[1:]:
+            alloc = allocated(level)
+            if alloc >= target:
+                # Linear on this segment: interpolate the exact level.
+                if alloc > prev_alloc:
+                    lam = prev_level + (target - prev_alloc) * (
+                        level - prev_level
+                    ) / (alloc - prev_alloc)
+                else:
+                    lam = level
+                reached = True
+                break
+            prev_level, prev_alloc = level, alloc
+    if not reached:
+        # Beyond the last breakpoint only unbounded-ceiling tenants grow.
+        slope = sum(
+            w
+            for w, hi in zip(weight_list, ceil_list)
+            if w > 0 and math.isinf(hi)
+        )
+        if slope > 0:
+            lam = prev_level + (target - prev_alloc) / slope
+        # else: target is unreachable (zero-weight floors); keep lam at
+        # the last breakpoint, allocating as much as the clamps allow.
+    return {
+        t: min(max(lam * weights[t], floors.get(t, 0.0)), ceilings.get(t, math.inf))
+        for t in tenants
+    }
+
+
+def fair_shares(
+    capacity: int,
+    demands: Mapping[str, int],
+    weights: Mapping[str, float] | None = None,
+    min_shares: Mapping[str, int] | None = None,
+    max_shares: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Integer weighted max-min fair shares for one container pool.
+
+    Args:
+        capacity: Total containers in the pool.
+        demands: Runnable-container demand per tenant; tenants with zero
+            demand receive zero (their quota redistributes).
+        weights: Resource-share weights (default 1 each).
+        min_shares: Guaranteed minimums (clipped to demand; scaled down
+            proportionally if collectively infeasible).
+        max_shares: Hard per-tenant caps.
+
+    Returns:
+        Integer allocation per tenant summing to
+        ``min(capacity, total effective demand)``.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    tenants = sorted(demands)
+    weights = dict(weights or {})
+    min_shares = dict(min_shares or {})
+    max_shares = dict(max_shares or {})
+
+    ceilings: dict[str, float] = {}
+    floors: dict[str, float] = {}
+    eff_weights: dict[str, float] = {}
+    for t in tenants:
+        demand = max(int(demands[t]), 0)
+        cap_t = min(demand, int(max_shares.get(t, capacity)))
+        ceilings[t] = float(cap_t)
+        floors[t] = float(min(int(min_shares.get(t, 0)), cap_t))
+        eff_weights[t] = float(weights.get(t, 1.0))
+        if eff_weights[t] < 0:
+            raise ValueError(f"negative weight for tenant {t!r}")
+
+    total_floor = sum(floors.values())
+    if total_floor > capacity:
+        # Guaranteed minimums oversubscribe the pool: scale proportionally
+        # (the "if all SLOs cannot be satisfied" degenerate case at the
+        # allocation layer).
+        scale = capacity / total_floor
+        floors = {t: f * scale for t, f in floors.items()}
+
+    continuous = weighted_water_fill(float(capacity), eff_weights, floors, ceilings)
+    return _round_preserving_sum(continuous, floors, ceilings)
+
+
+def _round_preserving_sum(
+    continuous: Mapping[str, float],
+    floors: Mapping[str, float],
+    ceilings: Mapping[str, float],
+) -> dict[str, int]:
+    """Largest-remainder rounding that respects floors/ceilings.
+
+    The integer total equals ``round(sum(continuous))`` (the water-fill
+    already made that ``min(capacity, total demand)`` up to float error).
+    """
+    tenants = sorted(continuous)
+    target = int(round(sum(continuous.values())))
+    alloc = {t: int(math.floor(continuous[t] + 1e-9)) for t in tenants}
+    # Never round below a ceil of the floor's integer part requirement:
+    # floors may be fractional after scaling; integer allocations only
+    # need to respect ceilings here.
+    leftover = target - sum(alloc.values())
+    if leftover > 0:
+        remainders = sorted(
+            tenants,
+            key=lambda t: (continuous[t] - alloc[t], continuous[t]),
+            reverse=True,
+        )
+        idx = 0
+        while leftover > 0 and idx < 10 * len(tenants) + 10:
+            t = remainders[idx % len(remainders)]
+            if alloc[t] + 1 <= ceilings[t] + 1e-9:
+                alloc[t] += 1
+                leftover -= 1
+            idx += 1
+    elif leftover < 0:  # pragma: no cover - floor() cannot overshoot
+        over = sorted(tenants, key=lambda t: continuous[t] - alloc[t])
+        idx = 0
+        while leftover < 0 and idx < 10 * len(tenants) + 10:
+            t = over[idx % len(over)]
+            if alloc[t] > 0:
+                alloc[t] -= 1
+                leftover += 1
+            idx += 1
+    return alloc

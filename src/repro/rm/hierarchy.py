@@ -1,0 +1,166 @@
+"""Hierarchical tenants: fine-grained SLOs within one tenant (§10).
+
+The paper's SLO abstraction applies per tenant queue; its suggested
+workaround for finer-grained SLOs is "to create hierarchical tenants as
+used in the Hadoop Capacity Scheduler".  This module implements that
+workaround as a first-class feature: a tree of queues where each node
+carries a weight (and optional limits) *relative to its siblings*, and
+only leaves receive work.
+
+The tree flattens into an equivalent single-level :class:`RMConfig`
+whose leaf weights are the products of the relative weights along each
+root-to-leaf path, scaled so that every subtree's total weight equals
+the weight the parent was assigned.  With weighted max-min fair
+allocation this reproduces hierarchical fair scheduling exactly in the
+common case (every subtree saturated or idle as a unit) and
+approximates it otherwise — the same fidelity the Hadoop workaround
+offers.  Min shares flatten additively top-down; max shares and
+preemption timeouts are inherited by children unless overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.rm.config import NO_PREEMPTION, RMConfig, TenantConfig
+
+
+@dataclass(frozen=True)
+class QueueNode:
+    """One node of the tenant hierarchy.
+
+    Attributes:
+        name: Queue name; leaf names must be globally unique (they become
+            the flat tenant names jobs are submitted to).
+        weight: Share relative to siblings.
+        children: Sub-queues; empty for leaves.
+        min_share: Per-pool guaranteed minimum for this subtree.  Parent
+            minimums are distributed over children in proportion to
+            their weights (after honoring the children's own minimums).
+        max_share: Per-pool cap for this subtree; children inherit the
+            tighter of their own and their ancestors' caps.
+        min_share_preemption_timeout / fair_share_preemption_timeout:
+            Preemption settings; inherited by children unless overridden
+            (``None`` = inherit).
+    """
+
+    name: str
+    weight: float = 1.0
+    children: tuple["QueueNode", ...] = ()
+    min_share: Mapping[str, int] = field(default_factory=dict)
+    max_share: Mapping[str, int] = field(default_factory=dict)
+    min_share_preemption_timeout: float | None = None
+    fair_share_preemption_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"queue {self.name}: weight must be positive")
+        names = [c.name for c in self.children]
+        if len(set(names)) != len(names):
+            raise ValueError(f"queue {self.name}: duplicate child names {names}")
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> list["QueueNode"]:
+        """All leaf queues of this subtree, in tree order."""
+        if self.is_leaf:
+            return [self]
+        out: list[QueueNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+
+def flatten_hierarchy(root: QueueNode) -> RMConfig:
+    """Flatten a queue tree into an equivalent single-level RMConfig.
+
+    Leaf weights multiply down the tree (normalized per sibling group so
+    a subtree's children split exactly their parent's weight); minimum
+    shares distribute top-down in weight proportion; maximum shares take
+    the tightest ancestor cap; preemption timeouts inherit.
+    """
+    leaves: dict[str, TenantConfig] = {}
+
+    def walk(
+        node: QueueNode,
+        weight: float,
+        inherited_min: dict[str, float],
+        inherited_max: dict[str, int],
+        min_timeout: float,
+        fair_timeout: float,
+    ) -> None:
+        # Merge this node's own settings with what it inherited.
+        node_min: dict[str, float] = dict(inherited_min)
+        for pool, value in node.min_share.items():
+            node_min[pool] = max(node_min.get(pool, 0.0), float(value))
+        node_max = dict(inherited_max)
+        for pool, value in node.max_share.items():
+            node_max[pool] = min(node_max.get(pool, value), value)
+        if node.min_share_preemption_timeout is not None:
+            min_timeout = node.min_share_preemption_timeout
+        if node.fair_share_preemption_timeout is not None:
+            fair_timeout = node.fair_share_preemption_timeout
+
+        if node.is_leaf:
+            if node.name in leaves:
+                raise ValueError(f"duplicate leaf queue name {node.name!r}")
+            min_share = {p: int(round(v)) for p, v in node_min.items() if v >= 1.0}
+            max_share = dict(node_max)
+            for pool in list(min_share):
+                cap = max_share.get(pool)
+                if cap is not None and min_share[pool] > cap:
+                    min_share[pool] = cap
+            leaves[node.name] = TenantConfig(
+                weight=weight,
+                min_share=min_share,
+                max_share=max_share,
+                min_share_preemption_timeout=min_timeout,
+                fair_share_preemption_timeout=fair_timeout,
+            )
+            return
+
+        total = sum(c.weight for c in node.children)
+        for child in node.children:
+            fraction = child.weight / total
+            child_min = {p: v * fraction for p, v in node_min.items()}
+            walk(
+                child,
+                weight * fraction,
+                child_min,
+                node_max,
+                min_timeout,
+                fair_timeout,
+            )
+
+    walk(
+        root,
+        weight=root.weight,
+        inherited_min={p: float(v) for p, v in root.min_share.items()},
+        inherited_max=dict(root.max_share),
+        min_timeout=(
+            root.min_share_preemption_timeout
+            if root.min_share_preemption_timeout is not None
+            else NO_PREEMPTION
+        ),
+        fair_timeout=(
+            root.fair_share_preemption_timeout
+            if root.fair_share_preemption_timeout is not None
+            else NO_PREEMPTION
+        ),
+    )
+    if not leaves:
+        raise ValueError("hierarchy has no leaf queues")
+    return RMConfig(leaves)
+
+
+def hierarchy(name: str, *children: QueueNode, weight: float = 1.0, **kwargs) -> QueueNode:
+    """Terse builder: ``hierarchy("root", leaf("a", 2), leaf("b"))``."""
+    return QueueNode(name=name, weight=weight, children=tuple(children), **kwargs)
+
+
+def leaf(name: str, weight: float = 1.0, **kwargs) -> QueueNode:
+    """Terse leaf builder."""
+    return QueueNode(name=name, weight=weight, **kwargs)

@@ -1,0 +1,164 @@
+"""Instantaneous scheduling policies: fair share, FIFO, capacity.
+
+A policy answers one question for one pool at one decision instant:
+*given tenant demands and the RM configuration, what is each tenant's
+target allocation?*  Simulators then launch/preempt tasks to track that
+target.  The fair policy reproduces the YARN/Mesos fair scheduler the
+paper tunes; FIFO and capacity policies serve as baselines and as
+substrates for the related-work comparisons.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig
+from repro.rm.fair import fair_shares
+
+
+@dataclass(frozen=True)
+class TenantDemand:
+    """A tenant's instantaneous demand in one pool.
+
+    Attributes:
+        tenant: Queue name.
+        runnable: Containers' worth of runnable (pending) tasks.
+        running: Containers currently held.
+        oldest_pending_submit: Submission time of the oldest pending
+            task's job (drives FIFO ordering); ``inf`` when none pending.
+    """
+
+    tenant: str
+    runnable: int
+    running: int
+    oldest_pending_submit: float = float("inf")
+
+    @property
+    def total_demand(self) -> int:
+        """Containers the tenant could use right now."""
+        return self.runnable + self.running
+
+
+class SchedulingPolicy(ABC):
+    """Maps (pool state, RM config) to per-tenant target allocations."""
+
+    @abstractmethod
+    def allocate(
+        self,
+        pool: str,
+        capacity: int,
+        demands: Sequence[TenantDemand],
+        config: RMConfig,
+    ) -> dict[str, int]:
+        """Target integer allocation per tenant; sums to <= capacity."""
+
+    def fair_entitlements(
+        self,
+        pool: str,
+        capacity: int,
+        demands: Sequence[TenantDemand],
+        config: RMConfig,
+    ) -> dict[str, int]:
+        """Entitlements used for preemption decisions.
+
+        Defaults to the allocation itself; the fair policy overrides
+        nothing because its targets *are* the fair shares.
+        """
+        return self.allocate(pool, capacity, demands, config)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Weighted max-min fair scheduler with min/max limits (Section 3.2)."""
+
+    def allocate(
+        self,
+        pool: str,
+        capacity: int,
+        demands: Sequence[TenantDemand],
+        config: RMConfig,
+    ) -> dict[str, int]:
+        demand_map = {d.tenant: d.total_demand for d in demands}
+        weights = {d.tenant: config.tenant(d.tenant).weight for d in demands}
+        mins = {d.tenant: config.tenant(d.tenant).min_for(pool) for d in demands}
+        maxs = {
+            d.tenant: config.tenant(d.tenant).max_for(pool, capacity)
+            for d in demands
+        }
+        return fair_shares(capacity, demand_map, weights, mins, maxs)
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First-in-first-out across tenants (no fairness).
+
+    Tenants are served in order of their oldest pending work; each takes
+    as much as its demand (and max limit) allows before the next is
+    considered.  Models the "low-priority tenant who submitted tasks
+    earlier ... can cause the high-priority tenant to miss deadlines"
+    pathology the paper motivates preemption with.
+    """
+
+    def allocate(
+        self,
+        pool: str,
+        capacity: int,
+        demands: Sequence[TenantDemand],
+        config: RMConfig,
+    ) -> dict[str, int]:
+        order = sorted(
+            demands,
+            key=lambda d: (
+                min(d.oldest_pending_submit, 0.0 if d.running else float("inf")),
+                d.tenant,
+            ),
+        )
+        remaining = capacity
+        alloc: dict[str, int] = {}
+        for d in order:
+            cap_t = config.tenant(d.tenant).max_for(pool, capacity)
+            take = min(d.total_demand, cap_t, remaining)
+            alloc[d.tenant] = take
+            remaining -= take
+        return alloc
+
+
+class CapacityPolicy(SchedulingPolicy):
+    """Capacity-scheduler style: fixed fractions with elastic spillover.
+
+    Each tenant owns ``fraction * capacity`` containers; unused capacity
+    spills over to tenants with outstanding demand proportionally to
+    their fractions.  Implemented as weighted max-min with floors at the
+    owned capacity, which is the fair scheduler's semantics with
+    ``min_share = owned`` and ``weight = fraction``.
+    """
+
+    def __init__(self, fractions: Mapping[str, float]):
+        total = sum(fractions.values())
+        if total <= 0:
+            raise ValueError("capacity fractions must sum to a positive value")
+        self._fractions = {t: f / total for t, f in fractions.items()}
+
+    def allocate(
+        self,
+        pool: str,
+        capacity: int,
+        demands: Sequence[TenantDemand],
+        config: RMConfig,
+    ) -> dict[str, int]:
+        demand_map = {d.tenant: d.total_demand for d in demands}
+        weights = {
+            d.tenant: self._fractions.get(d.tenant, 1e-6) for d in demands
+        }
+        mins = {
+            d.tenant: int(self._fractions.get(d.tenant, 0.0) * capacity)
+            for d in demands
+        }
+        maxs = {
+            d.tenant: config.tenant(d.tenant).max_for(pool, capacity)
+            for d in demands
+        }
+        # Floors may exceed caps for idle tenants; clip to demand first.
+        mins = {t: min(mins[t], demand_map[t]) for t in mins}
+        return fair_shares(capacity, demand_map, weights, mins, maxs)

@@ -1,0 +1,142 @@
+"""Preemption machinery: starvation clocks and victim selection.
+
+Section 3.2 describes two levels of preemption timeouts: a tenant whose
+allocation has stayed below its configured *minimum limit* for the
+min-share timeout, or below its *fair share* for the fair-share timeout,
+may preempt tasks from tenants that hold resources rightly owed to it.
+Preemption is by killing the most recently launched tasks of over-share
+tenants (Figure 1's semantics), which wastes their unfinished work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+
+@dataclass
+class StarvationClock:
+    """Tracks how long a tenant has been starving at each level.
+
+    A level's clock starts when the tenant first drops below the
+    corresponding entitlement *while having unmet demand*, and resets when
+    the entitlement is met (or demand vanishes).
+    """
+
+    below_min_since: float | None = None
+    below_fair_since: float | None = None
+
+    def update(
+        self,
+        now: float,
+        allocation: int,
+        demand: int,
+        min_entitlement: int,
+        fair_entitlement: int,
+    ) -> None:
+        """Advance the clocks given the current instantaneous state."""
+        wants_more = demand > allocation
+        starving_min = wants_more and allocation < min_entitlement
+        starving_fair = wants_more and allocation < fair_entitlement
+        if starving_min:
+            if self.below_min_since is None:
+                self.below_min_since = now
+        else:
+            self.below_min_since = None
+        if starving_fair:
+            if self.below_fair_since is None:
+                self.below_fair_since = now
+        else:
+            self.below_fair_since = None
+
+    def next_deadline(self, min_timeout: float, fair_timeout: float) -> float:
+        """Earliest future instant at which a preemption could trigger."""
+        deadlines = []
+        if self.below_min_since is not None and not math.isinf(min_timeout):
+            deadlines.append(self.below_min_since + min_timeout)
+        if self.below_fair_since is not None and not math.isinf(fair_timeout):
+            deadlines.append(self.below_fair_since + fair_timeout)
+        return min(deadlines, default=math.inf)
+
+    def triggered_level(
+        self, now: float, min_timeout: float, fair_timeout: float
+    ) -> str | None:
+        """Which level (if any) has expired by ``now``.
+
+        Returns ``"min"`` (the more critical level), ``"fair"``, or
+        ``None``.
+        """
+        if (
+            self.below_min_since is not None
+            and not math.isinf(min_timeout)
+            and now >= self.below_min_since + min_timeout - 1e-9
+        ):
+            return "min"
+        if (
+            self.below_fair_since is not None
+            and not math.isinf(fair_timeout)
+            and now >= self.below_fair_since + fair_timeout - 1e-9
+        ):
+            return "fair"
+        return None
+
+
+class RunningTask(Protocol):
+    """Minimal view of a running task that victim selection needs."""
+
+    tenant: str
+    start_time: float
+    containers: int
+
+
+def select_victims(
+    running: Iterable[RunningTask],
+    needed: int,
+    allocations: Mapping[str, int],
+    fair_entitlements: Mapping[str, int],
+    protected: frozenset[str] | set[str] = frozenset(),
+) -> list[RunningTask]:
+    """Pick tasks to kill to free ``needed`` containers.
+
+    Only tenants holding more than their fair entitlement lose tasks, and
+    each loses at most its surplus — preemption reclaims resources
+    "rightly owed" to the starving tenant, never digs a victim below its
+    own fair share.  Within the eligible set, the most recently launched
+    tasks die first (minimizing wasted work per Figure 1's narrative).
+
+    Args:
+        running: Currently running tasks across all tenants.
+        needed: Containers to free (non-negative).
+        allocations: Current per-tenant allocation in this pool.
+        fair_entitlements: Per-tenant fair entitlement in this pool.
+        protected: Tenants exempt from preemption (e.g. the starving
+            tenant itself).
+
+    Returns:
+        Tasks to kill, most recent first; may free fewer than ``needed``
+        containers if surpluses are insufficient.
+    """
+    if needed <= 0:
+        return []
+    surplus: dict[str, int] = {}
+    for tenant, alloc in allocations.items():
+        if tenant in protected:
+            continue
+        surplus[tenant] = max(0, alloc - fair_entitlements.get(tenant, 0))
+    candidates = sorted(
+        (t for t in running if surplus.get(t.tenant, 0) > 0),
+        key=lambda t: t.start_time,
+        reverse=True,
+    )
+    victims: list[RunningTask] = []
+    freed = 0
+    for task in candidates:
+        if freed >= needed:
+            break
+        if surplus.get(task.tenant, 0) < task.containers:
+            continue
+        victims.append(task)
+        surplus[task.tenant] -= task.containers
+        freed += task.containers
+    return victims

@@ -1,0 +1,27 @@
+"""Schedule simulators: the time-warp predictor and the noisy ground truth.
+
+Two engines produce the same artifact (a :class:`TaskSchedule`):
+
+* :class:`~repro.sim.predictor.SchedulePredictor` — Tempo's fast,
+  deterministic *time-warp* simulator (Section 7.2): it touches only
+  task submission, tentative finish, and possible preemption instants,
+  never running tasks or synchronizing an RM.
+* :class:`~repro.sim.simulator.ClusterSimulator` — a heartbeat-granularity
+  simulator with injected noise (task failures, user kills, node
+  restarts, stragglers) standing in for the production cluster that the
+  paper validates against (Section 8.1).
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.schedule import TaskSchedule
+from repro.sim.noise import NoiseModel
+from repro.sim.predictor import SchedulePredictor
+from repro.sim.simulator import ClusterSimulator
+
+__all__ = [
+    "EventQueue",
+    "TaskSchedule",
+    "NoiseModel",
+    "SchedulePredictor",
+    "ClusterSimulator",
+]

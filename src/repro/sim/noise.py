@@ -1,0 +1,165 @@
+"""Noise injection for the ground-truth cluster simulator.
+
+Section 8.1 stresses that the validation traces were "collected in a
+noisy environment where there were job and task failures, jobs killed by
+users and DBAs, and node blacklisting and restarts", and that killed and
+failed tasks have inaccurately recorded start/finish times.  This module
+models exactly those effects so that the predictor-vs-ground-truth
+comparison (Table 2) exercises the same robustness the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Stochastic disturbances applied by :class:`ClusterSimulator`.
+
+    All rates are per task-second (exponential hazards), applied at
+    heartbeat granularity.
+
+    Attributes:
+        task_failure_rate: Hazard of a running task failing; failed tasks
+            restart from scratch (a new attempt).
+        job_kill_rate: Hazard, per running *job*-second, of a user/DBA
+            killing the whole job; killed jobs leave the system with all
+            their running tasks marked failed.
+        straggler_probability: Chance that a launching task is a
+            straggler.
+        straggler_slowdown: Service-speed divisor for stragglers
+            (e.g. 2.0 means half speed).
+        node_restart_rate: Hazard of a node restart event per second;
+            each event removes ``node_restart_capacity_fraction`` of every
+            pool's capacity for ``node_restart_duration`` seconds,
+            failing the most recently launched tasks that no longer fit.
+        node_restart_capacity_fraction: See above.
+        node_restart_duration: See above.
+        record_jitter: Standard deviation (seconds) of recording error
+            added to killed/failed attempts' start/finish times in the
+            emitted trace (the paper's "not recorded accurately").
+        duration_noise: Multiplicative lognormal sigma applied to every
+            task's actual service time (systemic runtime variability).
+    """
+
+    task_failure_rate: float = 0.0
+    job_kill_rate: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 2.0
+    node_restart_rate: float = 0.0
+    node_restart_capacity_fraction: float = 0.1
+    node_restart_duration: float = 120.0
+    record_jitter: float = 0.0
+    duration_noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_failure_rate",
+            "job_kill_rate",
+            "straggler_probability",
+            "node_restart_rate",
+            "record_jitter",
+            "duration_noise",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if not 0.0 <= self.node_restart_capacity_fraction < 1.0:
+            raise ValueError("node_restart_capacity_fraction must be in [0, 1)")
+        if self.node_restart_duration <= 0:
+            raise ValueError("node_restart_duration must be positive")
+
+    @classmethod
+    def quiet(cls) -> "NoiseModel":
+        """No noise: the ground truth degenerates to exact execution."""
+        return cls()
+
+    @classmethod
+    def production(cls) -> "NoiseModel":
+        """Noise levels qualitatively matching the paper's environment."""
+        return cls(
+            task_failure_rate=2e-5,
+            job_kill_rate=2e-6,
+            straggler_probability=0.05,
+            straggler_slowdown=2.0,
+            node_restart_rate=1e-4,
+            node_restart_capacity_fraction=0.08,
+            node_restart_duration=180.0,
+            record_jitter=3.0,
+            duration_noise=0.15,
+        )
+
+    @classmethod
+    def harsh(cls) -> "NoiseModel":
+        """Aggressive noise for validation experiments.
+
+        A simulated ground truth shares the predictor's scheduling
+        engine, so unlike the paper's real cluster it has no *systematic*
+        model error; this profile compensates with heavy stochastic
+        disturbance (large duration variance, frequent stragglers and
+        failures, coarse record jitter) so that predictor-vs-truth
+        comparisons are not trivially exact.
+        """
+        return cls(
+            task_failure_rate=1e-4,
+            job_kill_rate=4e-6,
+            straggler_probability=0.12,
+            straggler_slowdown=2.5,
+            node_restart_rate=2e-4,
+            node_restart_capacity_fraction=0.10,
+            node_restart_duration=240.0,
+            record_jitter=10.0,
+            duration_noise=0.4,
+        )
+
+    @property
+    def is_quiet(self) -> bool:
+        return (
+            self.task_failure_rate == 0.0
+            and self.job_kill_rate == 0.0
+            and self.straggler_probability == 0.0
+            and self.node_restart_rate == 0.0
+            and self.record_jitter == 0.0
+            and self.duration_noise == 0.0
+        )
+
+    # -- draws -------------------------------------------------------------
+
+    def actual_duration(self, rng: np.random.Generator, nominal: float) -> float:
+        """Realized service time for a launching task."""
+        duration = nominal
+        if self.duration_noise > 0:
+            duration *= float(
+                np.exp(rng.normal(0.0, self.duration_noise))
+            )
+        if self.straggler_probability > 0 and rng.uniform() < self.straggler_probability:
+            duration *= self.straggler_slowdown
+        return max(duration, 1e-6)
+
+    def task_fails(self, rng: np.random.Generator, dt: float) -> bool:
+        """Whether a running task fails within a ``dt``-second heartbeat."""
+        if self.task_failure_rate <= 0:
+            return False
+        return rng.uniform() < -np.expm1(-self.task_failure_rate * dt)
+
+    def job_killed(self, rng: np.random.Generator, dt: float) -> bool:
+        """Whether a user/DBA kills a running job within ``dt`` seconds."""
+        if self.job_kill_rate <= 0:
+            return False
+        return rng.uniform() < -np.expm1(-self.job_kill_rate * dt)
+
+    def node_restarts(self, rng: np.random.Generator, dt: float) -> bool:
+        """Whether a node-restart event strikes within ``dt`` seconds."""
+        if self.node_restart_rate <= 0:
+            return False
+        return rng.uniform() < -np.expm1(-self.node_restart_rate * dt)
+
+    def jittered(self, rng: np.random.Generator, t: float, lo: float) -> float:
+        """A recorded timestamp with measurement error, floored at ``lo``."""
+        if self.record_jitter <= 0:
+            return t
+        return max(lo, t + float(rng.normal(0.0, self.record_jitter)))

@@ -1,0 +1,371 @@
+"""The time-warp Schedule Predictor (Section 7.2).
+
+Tempo needs to evaluate many candidate RM configurations per control
+loop, so schedule prediction must be very fast.  Following the paper,
+the predictor "computes the cluster resource usage at only the
+submission time, tentative finish time, and possible preemption time of
+each task" — a discrete-event (time-warp) simulation that never runs
+tasks or synchronizes an RM.  It is deterministic: a fixed workload,
+cluster, policy, and configuration always yield the identical schedule.
+
+The per-instant semantics are those of a YARN/Mesos-style fair
+scheduler (Section 3.2):
+
+* target allocations per pool come from the pluggable
+  :class:`~repro.rm.policies.SchedulingPolicy` (weighted max-min fair
+  with min/max limits by default);
+* tenants below their entitlement start a starvation clock; after the
+  configured two-level timeout, the most recently launched tasks of
+  over-share tenants are killed (losing their work) and the freed
+  containers are handed to the starving tenant;
+* killed tasks restart from scratch, re-entering the queue head.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig
+from repro.rm.policies import FairSharePolicy, SchedulingPolicy, TenantDemand
+from repro.rm.preemption import StarvationClock, select_victims
+from repro.sim.events import EventQueue
+from repro.sim.runtime import (
+    JobRun,
+    PendingTask,
+    PoolState,
+    RunningTask,
+    validate_workload_fits,
+)
+from repro.sim.schedule import TaskSchedule
+from repro.workload.model import JobSpec, Workload
+from repro.workload.trace import JobRecord, TaskRecord
+
+#: Event kinds used by the predictor.
+_ARRIVAL = "arrival"
+_FINISH = "finish"
+_PREEMPT = "preempt"
+
+
+class SchedulePredictor:
+    """Fast deterministic task-schedule prediction for a workload.
+
+    Args:
+        cluster: The cluster whose RM is being simulated.
+        policy: Instantaneous allocation policy (fair share by default,
+            matching the RMs the paper tunes).
+
+    Usage::
+
+        predictor = SchedulePredictor(cluster)
+        schedule = predictor.predict(workload, rm_config)
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy | None = None,
+    ):
+        self.cluster = cluster
+        self.policy = policy or FairSharePolicy()
+
+    def predict(self, workload: Workload, config: RMConfig) -> TaskSchedule:
+        """Simulate ``workload`` under ``config`` and return the schedule."""
+        run = _PredictorRun(self.cluster, self.policy, workload, config)
+        return run.execute()
+
+
+class _PredictorRun:
+    """One prediction: all mutable simulation state lives here."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy,
+        workload: Workload,
+        config: RMConfig,
+    ):
+        self.cluster = cluster
+        self.policy = policy
+        self.workload = workload
+        self.config = config
+        validate_workload_fits(
+            (t for job in workload for _, t in job.tasks()), cluster.as_dict()
+        )
+        self.pools: dict[str, PoolState] = {
+            pool: PoolState(pool, cap) for pool, cap in cluster.items()
+        }
+        self.clocks: dict[tuple[str, str], StarvationClock] = {}
+        self.events = EventQueue()
+        self.task_records: list[TaskRecord] = []
+        self.job_records: list[JobRecord] = []
+        self._scheduled_preempt = math.inf
+        self._task_ready_time: dict[tuple[str, str], float] = {}
+
+    # -- main loop -----------------------------------------------------------
+
+    def execute(self) -> TaskSchedule:
+        for job in self.workload:
+            self.events.push(job.submit_time, _ARRIVAL, job)
+        now = 0.0
+        while self.events:
+            batch = self.events.pop_batch()
+            now = batch[0].time
+            if now >= self._scheduled_preempt - 1e-9:
+                self._scheduled_preempt = math.inf
+            for event in batch:
+                if event.kind == _ARRIVAL:
+                    self._handle_arrival(event.payload, now)
+                elif event.kind == _FINISH:
+                    self._handle_finish(event.payload, now)
+                # _PREEMPT events carry no state change; the reschedule
+                # below performs the starvation check.
+            self._reschedule_all(now)
+        horizon = max(now, self.workload.horizon)
+        return TaskSchedule(
+            self.task_records,
+            self.job_records,
+            cluster=self.cluster,
+            config=self.config,
+            horizon=horizon,
+        )
+
+    # -- event handlers --------------------------------------------------------
+
+    def _handle_arrival(self, spec: JobSpec, now: float) -> None:
+        job = JobRun(spec)
+        if job.tasks_left == 0:
+            self._record_job(job, now)
+            return
+        self._release_stages(job, job.release_ready_stages(), now)
+
+    def _handle_finish(self, run: RunningTask, now: float) -> None:
+        if run.cancelled:
+            return
+        pool = self.pools[run.task.pool]
+        pool.remove_running(run)
+        self.task_records.append(
+            TaskRecord(
+                job_id=run.job.spec.job_id,
+                task_id=run.task.task_id,
+                tenant=run.tenant,
+                pool=run.task.pool,
+                stage=run.stage,
+                submit_time=self._ready_time(run),
+                start_time=run.start_time,
+                finish_time=now,
+                containers=run.containers,
+                preempted=False,
+                attempt=run.attempt,
+            )
+        )
+        newly_ready = run.job.complete_task(run.stage)
+        self._release_stages(run.job, newly_ready, now)
+        if run.job.done:
+            self._record_job(run.job, now)
+
+    def _record_job(self, job: JobRun, now: float) -> None:
+        spec = job.spec
+        self.job_records.append(
+            JobRecord(
+                job_id=spec.job_id,
+                tenant=spec.tenant,
+                submit_time=spec.submit_time,
+                finish_time=max(now, spec.submit_time),
+                deadline=spec.deadline,
+                num_tasks=spec.num_tasks,
+                tags=spec.tags,
+                stage_deps=tuple((s.name, s.deps) for s in spec.stages),
+            )
+        )
+
+    def _release_stages(self, job: JobRun, stages, now: float) -> None:
+        for stage in stages:
+            for task in stage.tasks:
+                self._task_ready_time[(task.task_id, stage.name)] = now
+                self.pools[task.pool].add_pending(
+                    PendingTask(job, task, stage.name, now)
+                )
+
+    def _ready_time(self, run: RunningTask) -> float:
+        return self._task_ready_time.get(
+            (run.task.task_id, run.stage), run.job.spec.submit_time
+        )
+
+    # -- scheduling core ----------------------------------------------------------
+
+    def _reschedule_all(self, now: float) -> None:
+        next_deadline = math.inf
+        for pool_state in self.pools.values():
+            deadline = self._reschedule_pool(pool_state, now)
+            next_deadline = min(next_deadline, deadline)
+        if next_deadline < self._scheduled_preempt - 1e-9:
+            self._scheduled_preempt = next_deadline
+            self.events.push(next_deadline, _PREEMPT)
+
+    def _compute_targets(
+        self, pool_state: PoolState, now: float
+    ) -> tuple[dict[str, int], dict[str, TenantDemand]]:
+        demands: dict[str, TenantDemand] = {}
+        for tenant in sorted(pool_state.tenants()):
+            demands[tenant] = TenantDemand(
+                tenant=tenant,
+                runnable=pool_state.runnable_containers(tenant),
+                running=pool_state.running_containers(tenant),
+                oldest_pending_submit=pool_state.oldest_pending_submit(tenant),
+            )
+        if not demands:
+            return {}, {}
+        targets = self.policy.allocate(
+            pool_state.pool, pool_state.capacity, list(demands.values()), self.config
+        )
+        return targets, demands
+
+    def _launch(
+        self, pool_state: PoolState, targets: Mapping[str, int], now: float
+    ) -> None:
+        """Hand free containers to tenants below target, round-robin."""
+        free = pool_state.capacity - pool_state.total_running_containers()
+        progressed = True
+        while free > 0 and progressed:
+            progressed = False
+            for tenant in sorted(
+                targets,
+                key=lambda t: targets[t] - pool_state.running_containers(t),
+                reverse=True,
+            ):
+                if free <= 0:
+                    break
+                item = pool_state.peek_pending(tenant)
+                if item is None:
+                    continue
+                if pool_state.running_containers(tenant) >= targets.get(tenant, 0):
+                    continue
+                if item.task.containers > free:
+                    continue
+                pool_state.pop_pending(tenant)
+                run = pool_state.start(item, now)
+                self.events.push(now + item.task.duration, _FINISH, run)
+                free -= item.task.containers
+                progressed = True
+
+    def _reschedule_pool(self, pool_state: PoolState, now: float) -> float:
+        """Allocate, launch, update starvation clocks, maybe preempt.
+
+        Returns the earliest future preemption deadline for this pool.
+        """
+        targets, demands = self._compute_targets(pool_state, now)
+        if demands:
+            self._launch(pool_state, targets, now)
+
+        # Re-read state after launches for the starvation accounting.
+        kills = self._starvation_pass(pool_state, targets, demands, now)
+        if kills:
+            # Freed containers: recompute targets (demand shifted) and
+            # hand them out, then refresh the clocks once more.
+            targets, demands = self._compute_targets(pool_state, now)
+            if demands:
+                self._launch(pool_state, targets, now)
+            self._starvation_pass(pool_state, targets, demands, now, allow_kills=False)
+
+        return self._next_preemption_deadline(pool_state)
+
+    def _starvation_pass(
+        self,
+        pool_state: PoolState,
+        targets: Mapping[str, int],
+        demands: Mapping[str, TenantDemand],
+        now: float,
+        *,
+        allow_kills: bool = True,
+    ) -> int:
+        """Update clocks; fire due preemptions.  Returns kill count."""
+        total_kills = 0
+        # Tenants with no work in this pool must not accumulate starvation.
+        for (pool, tenant), clock in self.clocks.items():
+            if pool == pool_state.pool and tenant not in demands:
+                clock.below_min_since = None
+                clock.below_fair_since = None
+        for tenant, demand in demands.items():
+            cfg = self.config.tenant(tenant)
+            clock = self.clocks.setdefault(
+                (pool_state.pool, tenant), StarvationClock()
+            )
+            running = pool_state.running_containers(tenant)
+            runnable = pool_state.runnable_containers(tenant)
+            total_demand = running + runnable
+            min_ent = min(cfg.min_for(pool_state.pool), total_demand)
+            fair_ent = targets.get(tenant, 0)
+            clock.update(now, running, total_demand, min_ent, fair_ent)
+            if not allow_kills:
+                continue
+            level = clock.triggered_level(
+                now,
+                cfg.min_share_preemption_timeout,
+                cfg.fair_share_preemption_timeout,
+            )
+            if level is None:
+                continue
+            entitlement = min_ent if level == "min" else fair_ent
+            needed = entitlement - running
+            if needed > 0:
+                victims = select_victims(
+                    pool_state.all_running(),
+                    needed,
+                    allocations={
+                        t: pool_state.running_containers(t)
+                        for t in pool_state.running
+                    },
+                    fair_entitlements=dict(targets),
+                    protected={tenant},
+                )
+                for victim in victims:
+                    self._kill(pool_state, victim, now)
+                total_kills += len(victims)
+            # Restart the clock: one kill volley per timeout period.
+            if level == "min":
+                clock.below_min_since = now
+            else:
+                clock.below_fair_since = now
+        return total_kills
+
+    def _kill(self, pool_state: PoolState, run: RunningTask, now: float) -> None:
+        """Preempt a running task: record the wasted attempt, requeue it."""
+        run.cancelled = True
+        pool_state.remove_running(run)
+        self.task_records.append(
+            TaskRecord(
+                job_id=run.job.spec.job_id,
+                task_id=run.task.task_id,
+                tenant=run.tenant,
+                pool=run.task.pool,
+                stage=run.stage,
+                submit_time=self._ready_time(run),
+                start_time=run.start_time,
+                finish_time=now,
+                containers=run.containers,
+                preempted=True,
+                attempt=run.attempt,
+            )
+        )
+        pool_state.add_pending(
+            PendingTask(run.job, run.task, run.stage, now, run.attempt + 1),
+            front=True,
+        )
+
+    def _next_preemption_deadline(self, pool_state: PoolState) -> float:
+        deadline = math.inf
+        for tenant in pool_state.tenants():
+            cfg = self.config.tenant(tenant)
+            clock = self.clocks.get((pool_state.pool, tenant))
+            if clock is None:
+                continue
+            deadline = min(
+                deadline,
+                clock.next_deadline(
+                    cfg.min_share_preemption_timeout,
+                    cfg.fair_share_preemption_timeout,
+                ),
+            )
+        return deadline

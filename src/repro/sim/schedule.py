@@ -1,0 +1,44 @@
+"""The task schedule artifact produced by simulators.
+
+A :class:`TaskSchedule` is a :class:`~repro.workload.trace.Trace` — the
+(start, end, resource) record per task that Section 3.2 defines — with
+provenance attached: which cluster and RM configuration produced it.
+QS metrics consume it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig
+from repro.workload.trace import JobRecord, TaskRecord, Trace
+
+
+class TaskSchedule(Trace):
+    """A trace plus the cluster/config provenance that produced it."""
+
+    def __init__(
+        self,
+        task_records: Iterable[TaskRecord],
+        job_records: Iterable[JobRecord],
+        *,
+        cluster: ClusterSpec,
+        config: RMConfig | None = None,
+        horizon: float | None = None,
+    ):
+        super().__init__(
+            task_records,
+            job_records,
+            capacity=cluster.as_dict(),
+            horizon=horizon,
+        )
+        self.cluster = cluster
+        self.config = config
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskSchedule(tasks={len(self.task_records)}, "
+            f"jobs={len(self.job_records)}, cluster={self.cluster.name}, "
+            f"horizon={self.horizon:.0f}s)"
+        )

@@ -1,0 +1,492 @@
+"""Heartbeat-granularity cluster simulator: the noisy "ground truth".
+
+The paper validates Tempo's Schedule Predictor against a real 700-node
+production cluster (Section 8.1) and runs its end-to-end experiments on
+a 20-node EC2 cluster (Section 8.2).  Neither is available here, so this
+simulator plays the production side: it executes a workload under a
+YARN-fair-scheduler-like RM at fixed heartbeat granularity while a
+:class:`~repro.sim.noise.NoiseModel` injects task failures, user/DBA job
+kills, node restarts (temporary capacity loss), stragglers, duration
+variability, and measurement jitter on killed/failed attempts' recorded
+timestamps — the exact disturbances Section 8.1 enumerates.
+
+With a quiet noise model and a small heartbeat it converges to the same
+schedule as the time-warp predictor, which is the predictor's
+correctness oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig
+from repro.rm.policies import FairSharePolicy, SchedulingPolicy, TenantDemand
+from repro.rm.preemption import StarvationClock, select_victims
+from repro.sim.noise import NoiseModel
+from repro.sim.runtime import (
+    JobRun,
+    PendingTask,
+    PoolState,
+    RunningTask,
+    validate_workload_fits,
+)
+from repro.sim.schedule import TaskSchedule
+from repro.workload.model import JobSpec, Workload
+from repro.workload.trace import JobRecord, TaskRecord
+
+
+class ClusterSimulator:
+    """Execute a workload on a simulated noisy cluster.
+
+    Args:
+        cluster: Cluster being simulated.
+        policy: Instantaneous allocation policy (fair share by default).
+        noise: Disturbance model; ``NoiseModel.quiet()`` for exactness.
+        heartbeat: Scheduling interval in seconds (YARN-style).
+        seed: Default RNG seed for the noise draws.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy | None = None,
+        noise: NoiseModel | None = None,
+        heartbeat: float = 5.0,
+        seed: int = 0,
+    ):
+        if heartbeat <= 0:
+            raise ValueError(f"heartbeat must be positive, got {heartbeat}")
+        self.cluster = cluster
+        self.policy = policy or FairSharePolicy()
+        self.noise = noise or NoiseModel.quiet()
+        self.heartbeat = heartbeat
+        self.seed = seed
+
+    def run(
+        self,
+        workload: Workload,
+        config: RMConfig,
+        *,
+        seed: int | None = None,
+        max_time: float | None = None,
+    ) -> TaskSchedule:
+        """Execute ``workload`` under ``config``; returns the observed trace.
+
+        ``max_time`` bounds the drain phase after the last submission
+        (default: three times the horizon plus two hours); jobs still
+        incomplete at that point are dropped from the job records, like
+        jobs that never finished within an observation window.
+        """
+        state = _SimulatorRun(
+            self.cluster,
+            self.policy,
+            self.noise,
+            self.heartbeat,
+            workload,
+            config,
+            np.random.default_rng(self.seed if seed is None else seed),
+            max_time,
+        )
+        return state.execute()
+
+
+class _SimulatorRun:
+    """All mutable state of one simulation run."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulingPolicy,
+        noise: NoiseModel,
+        heartbeat: float,
+        workload: Workload,
+        config: RMConfig,
+        rng: np.random.Generator,
+        max_time: float | None,
+    ):
+        self.cluster = cluster
+        self.policy = policy
+        self.noise = noise
+        self.dt = heartbeat
+        self.workload = workload
+        self.config = config
+        self.rng = rng
+        validate_workload_fits(
+            (t for job in workload for _, t in job.tasks()), cluster.as_dict()
+        )
+        self.max_time = (
+            max_time
+            if max_time is not None
+            else workload.horizon * 3.0 + 7200.0
+        )
+        self.pools: dict[str, PoolState] = {
+            pool: PoolState(pool, cap) for pool, cap in cluster.items()
+        }
+        self.clocks: dict[tuple[str, str], StarvationClock] = {}
+        self.capacity_penalty: dict[str, int] = {p: 0 for p in cluster.pool_names}
+        self.penalty_until: float = -math.inf
+        self.task_records: list[TaskRecord] = []
+        self.job_records: list[JobRecord] = []
+        self.killed_jobs: set[str] = set()
+        self._arrivals: list[JobSpec] = sorted(
+            workload, key=lambda j: (j.submit_time, j.job_id), reverse=True
+        )
+        self._ready_time: dict[tuple[str, str], float] = {}
+        self._outstanding = 0  # tasks not yet completed across live jobs
+
+    # -- main loop ---------------------------------------------------------
+
+    def execute(self) -> TaskSchedule:
+        now = 0.0
+        while now <= self.max_time:
+            self._admit_arrivals(now)
+            self._advance_running(now)
+            self._apply_noise(now)
+            self._schedule(now)
+            if not self._arrivals and self._outstanding == 0:
+                break
+            now += self.dt
+        horizon = max(now, self.workload.horizon)
+        return TaskSchedule(
+            self.task_records,
+            self.job_records,
+            cluster=self.cluster,
+            config=self.config,
+            horizon=horizon,
+        )
+
+    # -- phases ----------------------------------------------------------------
+
+    def _admit_arrivals(self, now: float) -> None:
+        while self._arrivals and self._arrivals[-1].submit_time <= now:
+            spec = self._arrivals.pop()
+            job = JobRun(spec)
+            if job.tasks_left == 0:
+                self._record_job(job, now)
+                continue
+            self._outstanding += job.tasks_left
+            self._release_stages(job, job.release_ready_stages(), now)
+
+    def _advance_running(self, now: float) -> None:
+        """Progress running tasks by one heartbeat; complete the done ones."""
+        for pool_state in self.pools.values():
+            completed: list[RunningTask] = []
+            for runs in pool_state.running.values():
+                for run in runs:
+                    run.remaining -= self.dt
+                    if run.remaining <= 1e-9:
+                        completed.append(run)
+            for run in completed:
+                self._complete(pool_state, run, now + run.remaining)
+
+    def _complete(self, pool_state: PoolState, run: RunningTask, finish: float) -> None:
+        pool_state.remove_running(run)
+        finish = max(finish, run.start_time)
+        self.task_records.append(
+            TaskRecord(
+                job_id=run.job.spec.job_id,
+                task_id=run.task.task_id,
+                tenant=run.tenant,
+                pool=run.task.pool,
+                stage=run.stage,
+                submit_time=self._task_ready(run),
+                start_time=run.start_time,
+                finish_time=finish,
+                containers=run.containers,
+                preempted=False,
+                attempt=run.attempt,
+            )
+        )
+        self._outstanding -= 1
+        newly_ready = run.job.complete_task(run.stage)
+        self._release_stages(run.job, newly_ready, finish)
+        if run.job.done:
+            self._record_job(run.job, finish)
+
+    def _apply_noise(self, now: float) -> None:
+        if self.noise.is_quiet:
+            return
+        self._fail_random_tasks(now)
+        self._kill_random_jobs(now)
+        self._maybe_restart_nodes(now)
+
+    def _fail_random_tasks(self, now: float) -> None:
+        for pool_state in self.pools.values():
+            victims = [
+                run
+                for run in pool_state.all_running()
+                if self.noise.task_fails(self.rng, self.dt)
+            ]
+            for run in victims:
+                self._fail(pool_state, run, now, requeue=True)
+
+    def _kill_random_jobs(self, now: float) -> None:
+        live_jobs: dict[str, JobRun] = {}
+        for pool_state in self.pools.values():
+            for run in pool_state.all_running():
+                live_jobs.setdefault(run.job.spec.job_id, run.job)
+        for job_id, job in live_jobs.items():
+            if job_id in self.killed_jobs:
+                continue
+            if self.noise.job_killed(self.rng, self.dt):
+                self._kill_job(job, now)
+
+    def _kill_job(self, job: JobRun, now: float) -> None:
+        """A user/DBA kills the whole job: purge its tasks everywhere."""
+        job_id = job.spec.job_id
+        self.killed_jobs.add(job_id)
+        for pool_state in self.pools.values():
+            for run in [
+                r for r in pool_state.all_running() if r.job.spec.job_id == job_id
+            ]:
+                self._fail(pool_state, run, now, requeue=False)
+            self._outstanding -= pool_state.purge_pending(job_id)
+        # Tasks not yet released to any queue also leave the system.
+        unreleased = sum(
+            len(s.tasks)
+            for s in job.spec.stages
+            if s.name not in job.released
+        )
+        self._outstanding -= unreleased
+
+    def _maybe_restart_nodes(self, now: float) -> None:
+        if now >= self.penalty_until:
+            for pool in self.capacity_penalty:
+                self.capacity_penalty[pool] = 0
+        if not self.noise.node_restarts(self.rng, self.dt):
+            return
+        self.penalty_until = now + self.noise.node_restart_duration
+        for pool, pool_state in self.pools.items():
+            lost = int(pool_state.capacity * self.noise.node_restart_capacity_fraction)
+            if lost <= 0:
+                continue
+            self.capacity_penalty[pool] = lost
+            effective = pool_state.capacity - lost
+            overflow = pool_state.total_running_containers() - effective
+            if overflow <= 0:
+                continue
+            victims = sorted(
+                pool_state.all_running(), key=lambda r: r.start_time, reverse=True
+            )
+            freed = 0
+            for run in victims:
+                if freed >= overflow:
+                    break
+                self._fail(pool_state, run, now, requeue=True)
+                freed += run.containers
+
+    def _fail(
+        self, pool_state: PoolState, run: RunningTask, now: float, *, requeue: bool
+    ) -> None:
+        """A task attempt dies (failure/kill); optionally restarts."""
+        pool_state.remove_running(run)
+        ready = self._task_ready(run)
+        start = self.noise.jittered(self.rng, run.start_time, ready)
+        finish = self.noise.jittered(self.rng, now, start)
+        self.task_records.append(
+            TaskRecord(
+                job_id=run.job.spec.job_id,
+                task_id=run.task.task_id,
+                tenant=run.tenant,
+                pool=run.task.pool,
+                stage=run.stage,
+                submit_time=ready,
+                start_time=start,
+                finish_time=finish,
+                containers=run.containers,
+                preempted=False,
+                failed=True,
+                attempt=run.attempt,
+            )
+        )
+        if requeue:
+            pool_state.add_pending(
+                PendingTask(run.job, run.task, run.stage, now, run.attempt + 1),
+                front=True,
+            )
+        else:
+            self._outstanding -= 1
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _effective_capacity(self, pool: str) -> int:
+        return max(0, self.pools[pool].capacity - self.capacity_penalty[pool])
+
+    def _schedule(self, now: float) -> None:
+        for pool, pool_state in self.pools.items():
+            capacity = self._effective_capacity(pool)
+            targets, demands = self._compute_targets(pool_state, capacity, now)
+            if demands:
+                self._launch(pool_state, capacity, targets, now)
+            kills = self._starvation_pass(pool_state, capacity, targets, demands, now)
+            if kills:
+                targets, demands = self._compute_targets(pool_state, capacity, now)
+                if demands:
+                    self._launch(pool_state, capacity, targets, now)
+                self._starvation_pass(
+                    pool_state, capacity, targets, demands, now, allow_kills=False
+                )
+
+    def _compute_targets(
+        self, pool_state: PoolState, capacity: int, now: float
+    ) -> tuple[dict[str, int], dict[str, TenantDemand]]:
+        demands: dict[str, TenantDemand] = {}
+        for tenant in sorted(pool_state.tenants()):
+            demands[tenant] = TenantDemand(
+                tenant=tenant,
+                runnable=pool_state.runnable_containers(tenant),
+                running=pool_state.running_containers(tenant),
+                oldest_pending_submit=pool_state.oldest_pending_submit(tenant),
+            )
+        if not demands:
+            return {}, {}
+        targets = self.policy.allocate(
+            pool_state.pool, capacity, list(demands.values()), self.config
+        )
+        return targets, demands
+
+    def _launch(
+        self,
+        pool_state: PoolState,
+        capacity: int,
+        targets: Mapping[str, int],
+        now: float,
+    ) -> None:
+        free = capacity - pool_state.total_running_containers()
+        progressed = True
+        while free > 0 and progressed:
+            progressed = False
+            for tenant in sorted(
+                targets,
+                key=lambda t: targets[t] - pool_state.running_containers(t),
+                reverse=True,
+            ):
+                if free <= 0:
+                    break
+                item = pool_state.peek_pending(tenant)
+                if item is None:
+                    continue
+                if pool_state.running_containers(tenant) >= targets.get(tenant, 0):
+                    continue
+                if item.task.containers > free:
+                    continue
+                pool_state.pop_pending(tenant)
+                run = pool_state.start(item, now)
+                run.remaining = self.noise.actual_duration(self.rng, item.task.duration)
+                free -= item.task.containers
+                progressed = True
+
+    def _starvation_pass(
+        self,
+        pool_state: PoolState,
+        capacity: int,
+        targets: Mapping[str, int],
+        demands: Mapping[str, TenantDemand],
+        now: float,
+        *,
+        allow_kills: bool = True,
+    ) -> int:
+        total_kills = 0
+        for (pool, tenant), clock in self.clocks.items():
+            if pool == pool_state.pool and tenant not in demands:
+                clock.below_min_since = None
+                clock.below_fair_since = None
+        for tenant in demands:
+            cfg = self.config.tenant(tenant)
+            clock = self.clocks.setdefault((pool_state.pool, tenant), StarvationClock())
+            running = pool_state.running_containers(tenant)
+            runnable = pool_state.runnable_containers(tenant)
+            total_demand = running + runnable
+            min_ent = min(cfg.min_for(pool_state.pool), total_demand)
+            fair_ent = targets.get(tenant, 0)
+            clock.update(now, running, total_demand, min_ent, fair_ent)
+            if not allow_kills:
+                continue
+            level = clock.triggered_level(
+                now,
+                cfg.min_share_preemption_timeout,
+                cfg.fair_share_preemption_timeout,
+            )
+            if level is None:
+                continue
+            entitlement = min_ent if level == "min" else fair_ent
+            needed = entitlement - running
+            if needed > 0:
+                victims = select_victims(
+                    pool_state.all_running(),
+                    needed,
+                    allocations={
+                        t: pool_state.running_containers(t) for t in pool_state.running
+                    },
+                    fair_entitlements=dict(targets),
+                    protected={tenant},
+                )
+                for victim in victims:
+                    self._preempt(pool_state, victim, now)
+                total_kills += len(victims)
+            if level == "min":
+                clock.below_min_since = now
+            else:
+                clock.below_fair_since = now
+        return total_kills
+
+    def _preempt(self, pool_state: PoolState, run: RunningTask, now: float) -> None:
+        pool_state.remove_running(run)
+        ready = self._task_ready(run)
+        start = self.noise.jittered(self.rng, run.start_time, ready)
+        finish = self.noise.jittered(self.rng, now, start)
+        self.task_records.append(
+            TaskRecord(
+                job_id=run.job.spec.job_id,
+                task_id=run.task.task_id,
+                tenant=run.tenant,
+                pool=run.task.pool,
+                stage=run.stage,
+                submit_time=ready,
+                start_time=start,
+                finish_time=finish,
+                containers=run.containers,
+                preempted=True,
+                attempt=run.attempt,
+            )
+        )
+        pool_state.add_pending(
+            PendingTask(run.job, run.task, run.stage, now, run.attempt + 1),
+            front=True,
+        )
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _release_stages(self, job: JobRun, stages, now: float) -> None:
+        if job.spec.job_id in self.killed_jobs:
+            return
+        for stage in stages:
+            for task in stage.tasks:
+                self._ready_time[(task.task_id, stage.name)] = now
+                self.pools[task.pool].add_pending(
+                    PendingTask(job, task, stage.name, now)
+                )
+
+    def _task_ready(self, run: RunningTask) -> float:
+        return self._ready_time.get(
+            (run.task.task_id, run.stage), run.job.spec.submit_time
+        )
+
+    def _record_job(self, job: JobRun, now: float) -> None:
+        spec = job.spec
+        self.job_records.append(
+            JobRecord(
+                job_id=spec.job_id,
+                tenant=spec.tenant,
+                submit_time=spec.submit_time,
+                finish_time=max(now, spec.submit_time),
+                deadline=spec.deadline,
+                num_tasks=spec.num_tasks,
+                tags=spec.tags,
+                stage_deps=tuple((s.name, s.deps) for s in spec.stages),
+            )
+        )

@@ -1,0 +1,42 @@
+"""SLO layer: QS metrics (Section 5) and declarative templates.
+
+A **QS** (Quantitative SLO) is a loss-function-style metric measuring how
+well one SLO is satisfied by an observed task schedule; minimizing the QS
+improves the SLO.  Templates let tenants declare SLOs like "average job
+response time under two minutes" without touching RM internals.
+"""
+
+from repro.slo.qs import (
+    AverageResponseTime,
+    DeadlineViolationFraction,
+    FairnessDeviation,
+    NegativeThroughput,
+    NegativeUtilization,
+    QSMetric,
+)
+from repro.slo.objectives import Objective, SLOSet
+from repro.slo.templates import (
+    QSTemplate,
+    deadline_slo,
+    fairness_slo,
+    response_time_slo,
+    throughput_slo,
+    utilization_slo,
+)
+
+__all__ = [
+    "QSMetric",
+    "AverageResponseTime",
+    "DeadlineViolationFraction",
+    "NegativeUtilization",
+    "NegativeThroughput",
+    "FairnessDeviation",
+    "Objective",
+    "SLOSet",
+    "QSTemplate",
+    "deadline_slo",
+    "response_time_slo",
+    "utilization_slo",
+    "throughput_slo",
+    "fairness_slo",
+]

@@ -1,0 +1,150 @@
+"""Objectives: QS metrics bound to constraints and priorities.
+
+The optimizer's problem (SP1) minimizes the vector of QS functions
+subject to ``E[f_i(x; w)] <= r_i``.  An :class:`Objective` is one
+component: a QS metric, its threshold ``r_i`` (``None`` for pure
+best-effort objectives that only participate in the Pareto
+minimization), and a priority weight (Section 6.1: "to promote the
+priority of an SLO ... replace the QS with alpha * f_i").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.slo.qs import Interval, QSMetric
+from repro.workload.trace import Trace
+
+
+@dataclass
+class Objective:
+    """One SLO in the optimization problem.
+
+    Attributes:
+        metric: The QS metric measuring this SLO.
+        threshold: The constraint ``r_i``; ``None`` means unconstrained
+            (a best-effort objective to be minimized as far as possible).
+        priority: Multiplier ``alpha >= 1`` promoting the SLO; both the
+            QS value and the threshold are scaled so the constraint's
+            meaning is unchanged while its *violations* weigh more in
+            the optimizer's max-min balancing.
+        label: Optional human-readable name.
+    """
+
+    metric: QSMetric
+    threshold: float | None = None
+    priority: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+        if not self.label:
+            self.label = self.metric.name
+
+    def evaluate(self, trace: Trace, interval: Interval | None = None) -> float:
+        """Priority-scaled QS value."""
+        return self.priority * self.metric.evaluate(trace, interval)
+
+    def raw(self, trace: Trace, interval: Interval | None = None) -> float:
+        """Unscaled QS value (for reporting)."""
+        return self.metric.evaluate(trace, interval)
+
+    @property
+    def scaled_threshold(self) -> float:
+        """Priority-scaled ``r_i``; ``inf`` when unconstrained."""
+        if self.threshold is None:
+            return math.inf
+        return self.priority * self.threshold
+
+    def with_threshold(self, threshold: float | None) -> "Objective":
+        """Copy of this objective with a different ``r_i``."""
+        return Objective(
+            metric=self.metric,
+            threshold=threshold,
+            priority=self.priority,
+            label=self.label,
+        )
+
+
+class SLOSet:
+    """The full SLO vector handed to Tempo's optimizer.
+
+    Evaluating an :class:`SLOSet` on a trace yields the QS vector
+    ``f(x; w)``; ``thresholds`` yields ``r``.
+    """
+
+    def __init__(self, objectives: Iterable[Objective]):
+        self._objectives: list[Objective] = list(objectives)
+        if not self._objectives:
+            raise ValueError("SLOSet needs at least one objective")
+        labels = [o.label for o in self._objectives]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate objective labels: {labels}")
+
+    def __len__(self) -> int:
+        return len(self._objectives)
+
+    def __iter__(self):
+        return iter(self._objectives)
+
+    def __getitem__(self, i: int) -> Objective:
+        return self._objectives[i]
+
+    def __repr__(self) -> str:
+        return f"SLOSet({', '.join(o.label for o in self._objectives)})"
+
+    @property
+    def labels(self) -> list[str]:
+        return [o.label for o in self._objectives]
+
+    def evaluate(self, trace: Trace, interval: Interval | None = None) -> np.ndarray:
+        """Priority-scaled QS vector ``f`` for one observed schedule."""
+        return np.array([o.evaluate(trace, interval) for o in self._objectives])
+
+    def evaluate_raw(self, trace: Trace, interval: Interval | None = None) -> np.ndarray:
+        """Unscaled QS vector (for human-facing reporting)."""
+        return np.array([o.raw(trace, interval) for o in self._objectives])
+
+    def thresholds(self) -> np.ndarray:
+        """Priority-scaled constraint vector ``r`` (``inf`` = none)."""
+        return np.array([o.scaled_threshold for o in self._objectives])
+
+    def violations(self, f: Sequence[float]) -> np.ndarray:
+        """Boolean mask of constraints with ``f_i >= r_i``."""
+        f = np.asarray(f, dtype=float)
+        r = self.thresholds()
+        return f >= r
+
+    def max_regret(self, f: Sequence[float]) -> float:
+        """Largest constraint excess ``max_i (f_i - r_i)`` (can be < 0).
+
+        PALD's max-min fairness minimizes exactly this quantity when not
+        all SLOs can be met.
+        """
+        f = np.asarray(f, dtype=float)
+        r = self.thresholds()
+        finite = np.isfinite(r)
+        if not np.any(finite):
+            return -math.inf
+        return float(np.max(f[finite] - r[finite]))
+
+    def rebased(self, f: Sequence[float]) -> "SLOSet":
+        """A copy whose unconstrained objectives get thresholds from ``f``.
+
+        Implements the control loop's ratcheting: "Tempo's control loop
+        can use the QS value attained for an SLO at the current
+        configuration as the r_i for the next iteration" (Section 6.1).
+        """
+        f = np.asarray(f, dtype=float)
+        objectives = []
+        for obj, fi in zip(self._objectives, f):
+            if obj.threshold is None:
+                objectives.append(obj.with_threshold(fi / obj.priority))
+            else:
+                objectives.append(obj)
+        return SLOSet(objectives)

@@ -1,0 +1,203 @@
+"""QS templates: declarative SLO specification (Section 5.2).
+
+A QS template names (a) the tenant queue, (b) a predefined QS metric,
+(c) the SLO's parameters (deadline slack, thresholds, ...), and (d) an
+optional priority.  Templates make statements like
+
+* "Average job response time of tenant A must be less than two minutes"
+  -> ``response_time_slo("A", threshold=120)``
+* "No more than 5% of tenant B's jobs can miss their deadline"
+  -> ``deadline_slo("B", max_violation_fraction=0.05)``
+
+They can also be parsed from plain dictionaries (e.g. loaded from YAML/
+JSON by an operator tool) via :meth:`QSTemplate.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.slo.objectives import Objective
+from repro.slo.qs import (
+    AverageResponseTime,
+    DeadlineViolationFraction,
+    FairnessDeviation,
+    NegativeThroughput,
+    NegativeUtilization,
+    QSMetric,
+)
+
+
+def response_time_slo(
+    tenant: str,
+    threshold: float | None = None,
+    priority: float = 1.0,
+    label: str = "",
+) -> Objective:
+    """SLO: average job response time of ``tenant`` below ``threshold`` s.
+
+    With ``threshold=None`` the objective is best-effort: drive response
+    time as low as possible subject to the other SLOs (how the paper
+    treats BI/DEV/STR).
+    """
+    return Objective(
+        metric=AverageResponseTime(tenant),
+        threshold=threshold,
+        priority=priority,
+        label=label or f"AJR[{tenant}]",
+    )
+
+
+def deadline_slo(
+    tenant: str,
+    max_violation_fraction: float = 0.0,
+    slack: float = 0.25,
+    priority: float = 1.0,
+    label: str = "",
+) -> Objective:
+    """SLO: at most ``max_violation_fraction`` of jobs miss deadlines.
+
+    ``slack`` is the gamma tolerance of eq. (2); the paper's experiments
+    use 0.25 and 0.5 to de-noise violation counting.
+    """
+    if not 0.0 <= max_violation_fraction <= 1.0:
+        raise ValueError(
+            f"max_violation_fraction must be in [0, 1], got {max_violation_fraction}"
+        )
+    return Objective(
+        metric=DeadlineViolationFraction(tenant, slack=slack),
+        threshold=max_violation_fraction,
+        priority=priority,
+        label=label or f"DL[{tenant}]",
+    )
+
+
+def utilization_slo(
+    min_utilization: float,
+    tenant: str | None = None,
+    pool: str | None = None,
+    priority: float = 1.0,
+    label: str = "",
+) -> Objective:
+    """SLO: (tenant/pool) utilization at least ``min_utilization``.
+
+    QS_UTIL is the negated utilization, so the constraint is
+    ``-util <= -min_utilization``.
+    """
+    if not 0.0 <= min_utilization <= 1.0:
+        raise ValueError(f"min_utilization must be in [0, 1], got {min_utilization}")
+    scope = pool if pool is not None else "*"
+    return Objective(
+        metric=NegativeUtilization(tenant, pool),
+        threshold=-min_utilization,
+        priority=priority,
+        label=label or f"UTIL[{scope}]",
+    )
+
+
+def throughput_slo(
+    tenant: str,
+    min_jobs: float | None = None,
+    priority: float = 1.0,
+    label: str = "",
+) -> Objective:
+    """SLO: at least ``min_jobs`` completions in the interval."""
+    threshold = None if min_jobs is None else -float(min_jobs)
+    return Objective(
+        metric=NegativeThroughput(tenant),
+        threshold=threshold,
+        priority=priority,
+        label=label or f"THR[{tenant}]",
+    )
+
+
+def fairness_slo(
+    tenant: str,
+    desired_share: float,
+    max_deviation: float = 0.05,
+    pool: str | None = None,
+    priority: float = 1.0,
+    label: str = "",
+) -> Objective:
+    """SLO: tenant's long-term usage within ``max_deviation`` of its share."""
+    return Objective(
+        metric=FairnessDeviation(tenant, desired_share, pool),
+        threshold=max_deviation,
+        priority=priority,
+        label=label or f"FAIR[{tenant}]",
+    )
+
+
+#: Registry of declarative template kinds -> builder callables.
+TEMPLATE_KINDS: dict[str, Callable[..., Objective]] = {
+    "response_time": response_time_slo,
+    "deadline": deadline_slo,
+    "utilization": utilization_slo,
+    "throughput": throughput_slo,
+    "fairness": fairness_slo,
+}
+
+
+@dataclass(frozen=True)
+class QSTemplate:
+    """A declarative SLO specification.
+
+    Attributes:
+        queue: The tenant queue the SLO applies to (template item (a)).
+        kind: Predefined QS metric name (item (b)); one of
+            ``response_time``, ``deadline``, ``utilization``,
+            ``throughput``, ``fairness``.
+        params: Metric parameters (item (c)), e.g. ``threshold``,
+            ``slack``, ``desired_share``.
+        priority: Optional priority value (item (d)).
+    """
+
+    queue: str
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+    priority: float = 1.0
+
+    def __init__(
+        self,
+        queue: str,
+        kind: str,
+        params: Mapping[str, Any] | None = None,
+        priority: float = 1.0,
+    ):
+        if kind not in TEMPLATE_KINDS:
+            raise ValueError(
+                f"unknown QS template kind {kind!r}; known: {sorted(TEMPLATE_KINDS)}"
+            )
+        object.__setattr__(self, "queue", queue)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(
+            self, "params", tuple(sorted((params or {}).items()))
+        )
+        object.__setattr__(self, "priority", float(priority))
+
+    def instantiate(self) -> Objective:
+        """Build the concrete :class:`Objective` for this template."""
+        builder = TEMPLATE_KINDS[self.kind]
+        kwargs = dict(self.params)
+        if self.kind == "utilization":
+            # Utilization SLOs may be cluster-scoped; queue "*" means all.
+            tenant = None if self.queue == "*" else self.queue
+            return builder(tenant=tenant, priority=self.priority, **kwargs)
+        return builder(self.queue, priority=self.priority, **kwargs)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "QSTemplate":
+        """Parse a declarative spec, e.g. loaded from JSON:
+
+        ``{"queue": "A", "slo": "deadline",
+           "max_violation_fraction": 0.05, "slack": 0.25, "priority": 2}``
+        """
+        spec = dict(spec)
+        try:
+            queue = spec.pop("queue")
+            kind = spec.pop("slo")
+        except KeyError as exc:
+            raise ValueError(f"QS template spec missing key: {exc}") from exc
+        priority = float(spec.pop("priority", 1.0))
+        return cls(queue=queue, kind=kind, params=spec, priority=priority)

@@ -1,0 +1,21 @@
+"""Numeric substrate: distribution fitting, LOESS regression, error metrics."""
+
+from repro.stats.distributions import (
+    EmpiricalCDF,
+    LognormalModel,
+    PoissonProcessModel,
+    fit_lognormal,
+)
+from repro.stats.errors import relative_absolute_error, relative_squared_error
+from repro.stats.loess import LoessModel, loess_gradient
+
+__all__ = [
+    "LognormalModel",
+    "PoissonProcessModel",
+    "EmpiricalCDF",
+    "fit_lognormal",
+    "relative_absolute_error",
+    "relative_squared_error",
+    "LoessModel",
+    "loess_gradient",
+]

@@ -1,0 +1,161 @@
+"""Distribution models for workload statistics.
+
+Section 7.1 reports that in the production traces the task duration
+approximately follows a lognormal distribution and job arrivals
+approximately follow a Poisson process (consistent with Ren et al.'s
+Taobao characterization).  These small models are what the Workload
+Generator fits from traces and samples synthetic workloads from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LognormalModel:
+    """Lognormal distribution parameterized by the underlying normal.
+
+    ``X = exp(N(mu, sigma^2))``, optionally truncated to
+    ``[minimum, maximum]`` by resampling-free clipping (cheap and adequate
+    for workload synthesis).
+    """
+
+    mu: float
+    sigma: float
+    minimum: float = 0.0
+    maximum: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if self.minimum < 0:
+            raise ValueError("minimum must be non-negative")
+        if self.maximum <= self.minimum:
+            raise ValueError("maximum must exceed minimum")
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *untruncated* lognormal."""
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` samples (clipped to the truncation bounds)."""
+        draws = np.exp(rng.normal(self.mu, self.sigma, size=size))
+        return np.clip(draws, self.minimum, self.maximum)
+
+    def scaled(self, factor: float) -> "LognormalModel":
+        """Scale the distribution multiplicatively (median * factor).
+
+        Used to apply temporal patterns and what-if growth scenarios such
+        as "data size grows by 30%" (Section 7.1).
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return LognormalModel(
+            mu=self.mu + math.log(factor),
+            sigma=self.sigma,
+            minimum=self.minimum,
+            maximum=self.maximum if math.isinf(self.maximum) else self.maximum * factor,
+        )
+
+
+def fit_lognormal(samples: Sequence[float], minimum: float = 0.0) -> LognormalModel:
+    """Maximum-likelihood lognormal fit (MLE of log-samples).
+
+    Non-positive samples are excluded (they carry no lognormal likelihood);
+    at least two positive samples are required.
+    """
+    arr = np.asarray([s for s in samples if s > 0], dtype=float)
+    if arr.size < 2:
+        raise ValueError(f"need at least 2 positive samples, got {arr.size}")
+    logs = np.log(arr)
+    mu = float(np.mean(logs))
+    sigma = float(np.std(logs))
+    return LognormalModel(mu=mu, sigma=sigma, minimum=minimum)
+
+
+@dataclass(frozen=True)
+class PoissonProcessModel:
+    """A (possibly modulated) Poisson arrival process.
+
+    ``rate`` is the base arrival rate in events per second.  Modulation by
+    a :class:`~repro.workload.patterns.RatePattern` is applied by thinning
+    in the generator, so this class stays a pure homogeneous process.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be non-negative, got {self.rate}")
+
+    def sample_arrivals(
+        self, rng: np.random.Generator, horizon: float, rate_cap: float | None = None
+    ) -> np.ndarray:
+        """Arrival instants over ``[0, horizon)`` for the homogeneous process."""
+        rate = self.rate if rate_cap is None else min(self.rate, rate_cap)
+        if rate <= 0 or horizon <= 0:
+            return np.empty(0)
+        n = rng.poisson(rate * horizon)
+        return np.sort(rng.uniform(0.0, horizon, size=n))
+
+    @classmethod
+    def fit(cls, arrival_times: Sequence[float], horizon: float) -> "PoissonProcessModel":
+        """MLE rate estimate: count / interval length."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return cls(rate=len(arrival_times) / horizon)
+
+
+class EmpiricalCDF:
+    """Empirical distribution function with inverse-transform sampling.
+
+    Used both for reporting CDFs (Figures 5, 8) and for non-parametric
+    workload resampling when the lognormal fit is poor.
+    """
+
+    def __init__(self, samples: Sequence[float]):
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("empirical CDF needs at least one sample")
+        self._sorted = np.sort(arr)
+
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self._sorted, x, side="right")) / len(self)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Bootstrap-resample ``size`` values from the empirical support."""
+        return rng.choice(self._sorted, size=size, replace=True)
+
+    def curve(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) pairs suitable for plotting/printing a CDF."""
+        qs = np.linspace(0.0, 1.0, points)
+        xs = np.quantile(self._sorted, qs)
+        return xs, qs
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._sorted))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self._sorted))

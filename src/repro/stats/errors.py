@@ -1,0 +1,50 @@
+"""Prediction-error metrics used in the paper's validation (Section 8.1).
+
+The schedule-prediction experiment reports the relative absolute error
+(RAE) and relative squared error (RSE) of predicted vs. observed job
+finish times, per tenant:
+
+    RAE_i = sum_j |p_ij - l_ij| / sum_j |l_ij - mean_j(l_ij)|
+    RSE_i = sqrt( sum_j (p_ij - l_ij)^2 / sum_j (l_ij - mean_j(l_ij))^2 )
+
+where ``p`` is predicted and ``l`` observed.  Both normalize by the
+variability of the observations, so a trivial predict-the-mean baseline
+scores 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(predicted: Sequence[float], observed: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(list(predicted), dtype=float)
+    l = np.asarray(list(observed), dtype=float)
+    if p.shape != l.shape:
+        raise ValueError(f"shape mismatch: predicted {p.shape} vs observed {l.shape}")
+    if p.size == 0:
+        raise ValueError("error metrics need at least one sample")
+    return p, l
+
+
+def relative_absolute_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """RAE as defined in Section 8.1 (lower is better; mean-predictor = 1)."""
+    p, l = _validate(predicted, observed)
+    denom = float(np.sum(np.abs(l - np.mean(l))))
+    num = float(np.sum(np.abs(p - l)))
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else math.inf
+    return num / denom
+
+
+def relative_squared_error(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """RSE as defined in Section 8.1 (note the square root)."""
+    p, l = _validate(predicted, observed)
+    denom = float(np.sum((l - np.mean(l)) ** 2))
+    num = float(np.sum((p - l) ** 2))
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else math.inf
+    return math.sqrt(num / denom)

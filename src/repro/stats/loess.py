@@ -1,0 +1,157 @@
+"""LOESS: locally weighted linear regression (Cleveland & Devlin 1988).
+
+PALD estimates gradients of the noisy QS functions with LOESS
+(Section 6.3.1: "the gradients are estimated using the well-known
+LOESS").  We implement multivariate local *linear* fits with tricube
+weights; the fitted slope at the query point is the gradient estimate,
+which smooths out measurement noise instead of amplifying it the way
+finite differences would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Ridge term added to the local normal equations for numerical stability
+#: when neighborhoods are small or degenerate.
+_RIDGE = 1e-8
+
+
+def tricube_weights(distances: np.ndarray, bandwidth: float) -> np.ndarray:
+    """Tricube kernel weights ``(1 - (d/h)^3)^3`` for ``d < h``, else 0."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    u = np.clip(np.asarray(distances, dtype=float) / bandwidth, 0.0, 1.0)
+    return (1.0 - u**3) ** 3
+
+
+@dataclass(frozen=True)
+class LocalFit:
+    """Result of one local regression: value and gradient at the query."""
+
+    value: float
+    gradient: np.ndarray
+    n_used: int
+    bandwidth: float
+
+
+class LoessModel:
+    """Local linear regression over scattered multivariate samples.
+
+    Args:
+        xs: Sample locations, shape ``(n, d)``.
+        ys: Sample responses, shape ``(n,)`` or ``(n, k)`` for ``k``
+            objectives fitted jointly (shared weights).
+        frac: Neighborhood fraction; the bandwidth at a query point is the
+            distance to its ``ceil(frac * n)``-th nearest sample (at least
+            ``d + 2`` samples are always included so the local linear
+            system is overdetermined).
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, frac: float = 0.5):
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        ys = np.asarray(ys, dtype=float)
+        if ys.ndim == 1:
+            ys = ys[:, None]
+        if xs.shape[0] != ys.shape[0]:
+            raise ValueError(
+                f"xs has {xs.shape[0]} rows but ys has {ys.shape[0]}"
+            )
+        if xs.shape[0] < xs.shape[1] + 2:
+            raise ValueError(
+                f"need at least d+2={xs.shape[1] + 2} samples for local "
+                f"linear fits, got {xs.shape[0]}"
+            )
+        if not 0.0 < frac <= 1.0:
+            raise ValueError(f"frac must be in (0, 1], got {frac}")
+        self._xs = xs
+        self._ys = ys
+        self._frac = frac
+
+    @property
+    def dim(self) -> int:
+        return self._xs.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self._ys.shape[1]
+
+    def fit_at(self, x0: Sequence[float]) -> list[LocalFit]:
+        """Local linear fit at ``x0``; one :class:`LocalFit` per output."""
+        x0 = np.asarray(x0, dtype=float).ravel()
+        if x0.size != self.dim:
+            raise ValueError(f"query has dim {x0.size}, expected {self.dim}")
+        n, d = self._xs.shape
+        dists = np.linalg.norm(self._xs - x0, axis=1)
+        k = max(int(np.ceil(self._frac * n)), d + 2)
+        k = min(k, n)
+        order = np.argsort(dists)
+        neighborhood = order[:k]
+        bandwidth = float(dists[neighborhood[-1]])
+        if bandwidth <= 0:
+            # All neighbors coincide with the query point; fall back to a
+            # tiny bandwidth covering everything equally.
+            bandwidth = 1.0
+            weights = np.ones(k)
+        else:
+            # Widen slightly so the farthest neighbor keeps nonzero weight.
+            bandwidth *= 1.0 + 1e-9
+            weights = tricube_weights(dists[neighborhood], bandwidth)
+            if np.sum(weights > 0) < d + 1:
+                weights = np.maximum(weights, 1e-6)
+
+        centered = self._xs[neighborhood] - x0
+        design = np.hstack([np.ones((k, 1)), centered])
+        w_sqrt = np.sqrt(weights)[:, None]
+        a = design * w_sqrt
+        fits: list[LocalFit] = []
+        gram = a.T @ a + _RIDGE * np.eye(d + 1)
+        for col in range(self.n_outputs):
+            b = (self._ys[neighborhood, col : col + 1] * w_sqrt).ravel()
+            beta = np.linalg.solve(gram, a.T @ b)
+            fits.append(
+                LocalFit(
+                    value=float(beta[0]),
+                    gradient=beta[1:].copy(),
+                    n_used=k,
+                    bandwidth=bandwidth,
+                )
+            )
+        return fits
+
+    def predict(self, x0: Sequence[float]) -> np.ndarray:
+        """Smoothed response(s) at ``x0``."""
+        return np.array([f.value for f in self.fit_at(x0)])
+
+    def jacobian(self, x0: Sequence[float]) -> np.ndarray:
+        """Estimated Jacobian at ``x0``, shape ``(n_outputs, d)``.
+
+        Row ``i`` is the LOESS gradient estimate of objective ``i`` —
+        exactly the ``J`` used by PALD's fairness LP and descent step.
+        """
+        return np.vstack([f.gradient for f in self.fit_at(x0)])
+
+
+def loess_gradient(
+    xs: np.ndarray, ys: np.ndarray, x0: Sequence[float], frac: float = 0.5
+) -> np.ndarray:
+    """One-shot Jacobian estimate; see :class:`LoessModel`."""
+    return LoessModel(xs, ys, frac=frac).jacobian(x0)
+
+
+def loess_smooth(
+    x: Sequence[float], y: Sequence[float], frac: float = 0.3, points: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classic 1-D LOESS smoothing of a scatter, for reporting curves."""
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    model = LoessModel(x_arr[:, None], y_arr, frac=frac)
+    if points is None:
+        grid = np.sort(x_arr)
+    else:
+        grid = np.linspace(float(x_arr.min()), float(x_arr.max()), points)
+    smoothed = np.array([model.predict([g])[0] for g in grid])
+    return grid, smoothed

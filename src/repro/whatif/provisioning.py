@@ -1,0 +1,120 @@
+"""Resource provisioning: estimate SLOs across cluster sizes.
+
+Section 8.2.4 applies Tempo to provisioning: collect traces of the
+workload on the *current* cluster, then predict the SLOs the same
+workload would attain on a larger or smaller cluster.  This lets
+operators choose the minimum cluster that still meets the SLOs — cutting
+overprovisioning costs — and bridge development-to-production sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig
+from repro.rm.policies import SchedulingPolicy
+from repro.sim.predictor import SchedulePredictor
+from repro.slo.objectives import SLOSet
+from repro.workload.model import Workload
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProvisioningEstimate:
+    """Predicted SLOs for one candidate cluster size.
+
+    Attributes:
+        fraction: Candidate size relative to the reference cluster.
+        cluster: The scaled cluster spec.
+        qs: Predicted QS vector at this size.
+        feasible: Whether all constrained SLOs are predicted to hold.
+    """
+
+    fraction: float
+    cluster: ClusterSpec
+    qs: np.ndarray
+    feasible: bool
+
+
+class ProvisioningAdvisor:
+    """Estimate SLOs of a workload across cluster sizes.
+
+    Args:
+        reference_cluster: The cluster sizes are expressed relative to.
+        slos: SLO vector to estimate.
+        config: RM configuration to assume at every size.
+        policy: RM allocation policy.
+    """
+
+    def __init__(
+        self,
+        reference_cluster: ClusterSpec,
+        slos: SLOSet,
+        config: RMConfig,
+        policy: SchedulingPolicy | None = None,
+    ):
+        self.reference_cluster = reference_cluster
+        self.slos = slos
+        self.config = config
+        self.policy = policy
+
+    def workload_from_trace(self, trace: Trace) -> Workload:
+        """Reconstruct the replayable workload from observed traces.
+
+        This is the "collect traces on the current cluster" step: task
+        service times observed at one size are (to first order) size
+        independent — only queueing changes — which is what makes
+        cross-size prediction possible.
+        """
+        return trace.to_workload()
+
+    def estimate(self, workload: Workload, fraction: float) -> ProvisioningEstimate:
+        """Predict SLOs of ``workload`` on a ``fraction``-sized cluster."""
+        if fraction <= 0:
+            raise ValueError(f"fraction must be positive, got {fraction}")
+        cluster = self.reference_cluster.scaled(fraction)
+        predictor = SchedulePredictor(cluster, self.policy)
+        schedule = predictor.predict(workload, self.config)
+        qs = self.slos.evaluate(schedule)
+        feasible = not bool(np.any(self.slos.violations(qs)))
+        return ProvisioningEstimate(
+            fraction=fraction, cluster=cluster, qs=qs, feasible=feasible
+        )
+
+    def sweep(
+        self, workload: Workload, fractions: Sequence[float]
+    ) -> list[ProvisioningEstimate]:
+        """Estimate SLOs across candidate sizes (ascending)."""
+        return [self.estimate(workload, f) for f in sorted(fractions)]
+
+    def minimum_cluster(
+        self, workload: Workload, fractions: Sequence[float]
+    ) -> ProvisioningEstimate | None:
+        """Smallest candidate size whose predicted SLOs all hold.
+
+        Returns ``None`` if no candidate is feasible — the signal to
+        provision beyond the largest candidate or renegotiate SLOs.
+        """
+        for estimate in self.sweep(workload, fractions):
+            if estimate.feasible:
+                return estimate
+        return None
+
+    def estimation_errors(
+        self,
+        predicted: np.ndarray,
+        actual: np.ndarray,
+    ) -> np.ndarray:
+        """Relative estimation error per SLO (Figure 12's y-axis).
+
+        ``(predicted - actual) / |actual|`` with a small floor on the
+        denominator; positive = overestimate.
+        """
+        predicted = np.asarray(predicted, dtype=float)
+        actual = np.asarray(actual, dtype=float)
+        denom = np.maximum(np.abs(actual), 1e-9)
+        return (predicted - actual) / denom

@@ -1,0 +1,98 @@
+"""Workload substrate: job/task model, traces, and workload generation.
+
+The paper (Section 7.1) makes workload information available to Tempo in
+two ways: replaying historical job traces, or sampling from a statistical
+model trained on those traces.  This subpackage provides both, plus the
+synthetic "Company ABC" six-tenant workload used throughout the evaluation
+and a SWIM-style scaler for Facebook/Cloudera-like traces.
+"""
+
+from repro.workload.model import (
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    Tenant,
+    Workload,
+    mapreduce_job,
+    single_stage_job,
+)
+from repro.workload.trace import JobRecord, TaskRecord, Trace
+from repro.workload.patterns import (
+    DiurnalPattern,
+    FlatPattern,
+    RatePattern,
+    WeeklyPattern,
+)
+from repro.workload.generator import (
+    StageModel,
+    StatisticalWorkloadModel,
+    TenantWorkloadModel,
+    fit_workload_model,
+)
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    COMPANY_ABC_TENANTS,
+    DEADLINE_TENANT,
+    company_abc_cluster,
+    company_abc_model,
+    company_abc_workload,
+    expert_config,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+    two_tenant_workload,
+)
+from repro.workload.swim import (
+    FacebookLikeModel,
+    ClouderaLikeModel,
+    scale_trace,
+    scale_workload,
+    synthesize_swim_workload,
+)
+from repro.workload.decompose import (
+    DecompositionResult,
+    decompose_tenant,
+    job_features,
+    separation_score,
+)
+
+__all__ = [
+    "TaskSpec",
+    "StageSpec",
+    "JobSpec",
+    "Tenant",
+    "Workload",
+    "mapreduce_job",
+    "single_stage_job",
+    "TaskRecord",
+    "JobRecord",
+    "Trace",
+    "RatePattern",
+    "FlatPattern",
+    "DiurnalPattern",
+    "WeeklyPattern",
+    "StageModel",
+    "TenantWorkloadModel",
+    "StatisticalWorkloadModel",
+    "fit_workload_model",
+    "COMPANY_ABC_TENANTS",
+    "DEADLINE_TENANT",
+    "BEST_EFFORT_TENANT",
+    "company_abc_cluster",
+    "company_abc_model",
+    "company_abc_workload",
+    "expert_config",
+    "two_tenant_cluster",
+    "two_tenant_expert_config",
+    "two_tenant_model",
+    "two_tenant_workload",
+    "FacebookLikeModel",
+    "ClouderaLikeModel",
+    "scale_trace",
+    "scale_workload",
+    "synthesize_swim_workload",
+    "DecompositionResult",
+    "decompose_tenant",
+    "job_features",
+    "separation_score",
+]

@@ -1,0 +1,150 @@
+"""Workload decomposition for mixed statistical characteristics (§10).
+
+Tempo's optimization "exploits the observation that workloads from the
+same tenant follow relatively fixed statistical characteristics"; for
+tenants that mix disparate job populations the paper proposes to
+"decompose the workloads and then distribute the workloads to separate
+tenants".  This module implements that decomposition: it clusters a
+tenant's jobs by size/duration signature (k-means in log space on a
+small feature vector) and rewrites the workload with per-cluster
+sub-tenant names (``tenant/c0``, ``tenant/c1``, ...), ready to pair
+with :mod:`repro.rm.hierarchy` sub-queues and per-cluster SLOs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.workload.model import JobSpec, Workload
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    """Outcome of decomposing one tenant's jobs.
+
+    Attributes:
+        workload: The rewritten workload (sub-tenant names installed).
+        assignments: job_id -> sub-tenant name.
+        centroids: Cluster centers in feature space (log task-count,
+            log mean-duration, log total-work).
+        sub_tenants: The sub-tenant names, ``<tenant>/c<i>``.
+    """
+
+    workload: Workload
+    assignments: dict[str, str]
+    centroids: np.ndarray
+    sub_tenants: tuple[str, ...]
+
+
+def job_features(job: JobSpec) -> np.ndarray:
+    """Log-scale signature of a job: (task count, mean duration, work)."""
+    durations = [t.duration for _, t in job.tasks()]
+    count = max(len(durations), 1)
+    mean_duration = max(float(np.mean(durations)) if durations else 0.0, 1e-3)
+    work = max(job.total_work, 1e-3)
+    return np.array([math.log(count), math.log(mean_duration), math.log(work)])
+
+
+def _kmeans(features: np.ndarray, k: int, seed: int, iterations: int = 50):
+    """Tiny deterministic k-means (k is 2-4 in practice)."""
+    rng = np.random.default_rng(seed)
+    n = features.shape[0]
+    # k-means++ style seeding: spread initial centroids.
+    centroids = [features[rng.integers(n)]]
+    while len(centroids) < k:
+        d2 = np.min(
+            [np.sum((features - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = float(np.sum(d2))
+        if total <= 0:
+            centroids.append(features[rng.integers(n)])
+            continue
+        centroids.append(features[rng.choice(n, p=d2 / total)])
+    centers = np.vstack(centroids)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        dists = np.linalg.norm(features[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = features[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    # Stable ordering: sort clusters by total-work centroid (ascending),
+    # so c0 is always the "smallest jobs" cluster.
+    order = np.argsort(centers[:, 2])
+    remap = {int(old): int(new) for new, old in enumerate(order)}
+    labels = np.array([remap[int(l)] for l in labels])
+    centers = centers[order]
+    return labels, centers
+
+
+def decompose_tenant(
+    workload: Workload,
+    tenant: str,
+    k: int = 2,
+    seed: int = 0,
+) -> DecompositionResult:
+    """Split ``tenant``'s jobs into ``k`` statistical sub-tenants.
+
+    Jobs of other tenants pass through unchanged.  Raises if the tenant
+    has fewer jobs than clusters.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    target_jobs = workload.jobs_of(tenant)
+    if len(target_jobs) < k:
+        raise ValueError(
+            f"tenant {tenant!r} has {len(target_jobs)} jobs, need >= {k}"
+        )
+    features = np.vstack([job_features(j) for j in target_jobs])
+    labels, centers = _kmeans(features, k, seed)
+
+    sub_names = tuple(f"{tenant}/c{i}" for i in range(k))
+    assignments: dict[str, str] = {}
+    rewritten: list[JobSpec] = []
+    by_id = {j.job_id: l for j, l in zip(target_jobs, labels)}
+    for job in workload:
+        if job.tenant != tenant:
+            rewritten.append(job)
+            continue
+        sub = sub_names[by_id[job.job_id]]
+        assignments[job.job_id] = sub
+        rewritten.append(replace(job, tenant=sub))
+    return DecompositionResult(
+        workload=Workload(rewritten, horizon=workload.horizon),
+        assignments=assignments,
+        centroids=centers,
+        sub_tenants=sub_names,
+    )
+
+
+def separation_score(
+    workload: Workload, sub_tenants: Sequence[str]
+) -> float:
+    """How well the decomposition separated the statistics.
+
+    Ratio of between-cluster to within-cluster variance of the job
+    feature vectors (higher = cleaner separation; ~0 = useless split).
+    """
+    groups = []
+    for name in sub_tenants:
+        jobs = workload.jobs_of(name)
+        if jobs:
+            groups.append(np.vstack([job_features(j) for j in jobs]))
+    if len(groups) < 2:
+        return 0.0
+    overall = np.vstack(groups).mean(axis=0)
+    between = sum(
+        len(g) * float(np.sum((g.mean(axis=0) - overall) ** 2)) for g in groups
+    )
+    within = sum(float(np.sum((g - g.mean(axis=0)) ** 2)) for g in groups)
+    if within <= 0:
+        return math.inf if between > 0 else 0.0
+    return between / within

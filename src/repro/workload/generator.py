@@ -1,0 +1,359 @@
+"""Statistical workload models: fit from traces, sample synthetic workloads.
+
+This is the paper's Workload Generator (Section 7.1).  It supports both
+modes the paper describes: replaying historical traces (see
+:meth:`repro.workload.trace.Trace.to_workload`) and sampling from a
+statistical model trained on traces.  Following the paper's observation,
+task durations are lognormal and job arrivals Poisson; both can be
+modulated by temporal patterns and scaled for what-if scenarios such as
+"data size grows by 30%".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.distributions import (
+    LognormalModel,
+    PoissonProcessModel,
+    fit_lognormal,
+)
+from repro.workload.model import (
+    DEFAULT_POOL,
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    Workload,
+)
+from repro.workload.patterns import FlatPattern, RatePattern
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class StageModel:
+    """Statistical description of one stage of a tenant's jobs.
+
+    Attributes:
+        name: Stage name (e.g. ``"map"``).
+        pool: Container pool tasks draw from.
+        task_count: Lognormal model of the number of parallel tasks
+            (rounded to an integer, at least ``1`` — or ``0`` if
+            ``optional`` and the draw rounds to zero, which models jobs
+            like map-only MapReduce).
+        task_duration: Lognormal model of per-task service time.
+        deps: Upstream stage names.
+        ready_fraction: Slowstart fraction (see :class:`StageSpec`).
+        optional: Whether a zero task-count draw drops the stage.
+    """
+
+    name: str
+    pool: str
+    task_count: LognormalModel
+    task_duration: LognormalModel
+    deps: tuple[str, ...] = ()
+    ready_fraction: float = 1.0
+    optional: bool = False
+
+    def sample_tasks(
+        self,
+        rng: np.random.Generator,
+        job_id: str,
+        size_factor: float = 1.0,
+    ) -> tuple[TaskSpec, ...]:
+        """Sample task specs; ``size_factor`` scales the task count."""
+        raw = float(self.task_count.scaled(max(size_factor, 1e-9)).sample(rng, 1)[0])
+        count = int(round(raw))
+        if count <= 0:
+            if self.optional:
+                return ()
+            count = 1
+        durations = self.task_duration.sample(rng, count)
+        prefix = self.name[0] if self.name else "t"
+        return tuple(
+            TaskSpec(
+                task_id=f"{job_id}/{prefix}{i}",
+                duration=float(max(d, 0.01)),
+                pool=self.pool,
+            )
+            for i, d in enumerate(durations)
+        )
+
+
+@dataclass(frozen=True)
+class TenantWorkloadModel:
+    """Statistical model of one tenant's workload.
+
+    Attributes:
+        tenant: Tenant (queue) name.
+        arrival: Base Poisson arrival process; instantaneous rate is
+            ``arrival.rate * rate_pattern.factor(t)``.
+        stages: Stage models forming the job template DAG.
+        rate_pattern: Temporal modulation of the arrival rate.
+        size_pattern: Temporal modulation of job sizes (task counts),
+            modeling e.g. input-size day-of-week effects (Section 2.2).
+        deadline_factor: If set, every job gets
+            ``deadline = submit + deadline_factor * critical_path`` —
+            tight for small factors, loose for large ones.
+        deadline_driven: Convenience flag (deadline_factor is not None).
+        tags: Tags stamped on generated jobs.
+    """
+
+    tenant: str
+    arrival: PoissonProcessModel
+    stages: tuple[StageModel, ...]
+    rate_pattern: RatePattern = field(default_factory=FlatPattern)
+    size_pattern: RatePattern = field(default_factory=FlatPattern)
+    deadline_factor: float | None = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"tenant {self.tenant}: needs at least one stage model")
+        if self.deadline_factor is not None and self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+
+    @property
+    def deadline_driven(self) -> bool:
+        return self.deadline_factor is not None
+
+    def sample_arrivals(self, rng: np.random.Generator, horizon: float) -> np.ndarray:
+        """Nonhomogeneous Poisson arrivals via thinning."""
+        if horizon <= 0 or self.arrival.rate <= 0:
+            return np.empty(0)
+        grid = np.linspace(0.0, horizon, 257)
+        max_factor = max(self.rate_pattern.factor(t) for t in grid)
+        if max_factor <= 0:
+            return np.empty(0)
+        envelope = PoissonProcessModel(self.arrival.rate * max_factor)
+        candidates = envelope.sample_arrivals(rng, horizon)
+        if candidates.size == 0:
+            return candidates
+        accept_p = np.array(
+            [self.rate_pattern.factor(t) / max_factor for t in candidates]
+        )
+        keep = rng.uniform(size=candidates.size) < accept_p
+        return candidates[keep]
+
+    def sample_job(
+        self, rng: np.random.Generator, job_id: str, submit_time: float
+    ) -> JobSpec:
+        """Sample one job arriving at ``submit_time``."""
+        size_factor = max(self.size_pattern.factor(submit_time), 1e-9)
+        stages = []
+        for sm in self.stages:
+            tasks = sm.sample_tasks(rng, job_id, size_factor)
+            if not tasks:
+                continue
+            deps = tuple(
+                d for d in sm.deps if any(s.name == d for s in stages)
+            )
+            stages.append(
+                StageSpec(
+                    name=sm.name,
+                    tasks=tasks,
+                    deps=deps,
+                    ready_fraction=sm.ready_fraction,
+                )
+            )
+        job = JobSpec(
+            job_id=job_id,
+            tenant=self.tenant,
+            submit_time=submit_time,
+            stages=tuple(stages),
+            tags=self.tags,
+        )
+        if self.deadline_factor is not None:
+            deadline = submit_time + self.deadline_factor * max(job.critical_path(), 1.0)
+            job = replace(job, deadline=deadline)
+        return job
+
+    def generate(
+        self, rng: np.random.Generator, horizon: float, id_prefix: str = ""
+    ) -> list[JobSpec]:
+        """Sample this tenant's jobs over ``[0, horizon)``."""
+        arrivals = self.sample_arrivals(rng, horizon)
+        return [
+            self.sample_job(rng, f"{id_prefix}{self.tenant}-{i:05d}", float(t))
+            for i, t in enumerate(arrivals)
+        ]
+
+    def scaled(
+        self,
+        *,
+        rate: float = 1.0,
+        data_size: float = 1.0,
+        duration: float = 1.0,
+    ) -> "TenantWorkloadModel":
+        """What-if scaling of arrival rate, job size, and task duration."""
+        stages = tuple(
+            replace(
+                sm,
+                task_count=sm.task_count.scaled(data_size),
+                task_duration=sm.task_duration.scaled(duration),
+            )
+            for sm in self.stages
+        )
+        return replace(
+            self,
+            arrival=PoissonProcessModel(self.arrival.rate * rate),
+            stages=stages,
+        )
+
+
+class StatisticalWorkloadModel:
+    """A multi-tenant workload model: one :class:`TenantWorkloadModel` each.
+
+    The central synthesis entry point: ``model.generate(seed, horizon)``
+    produces a :class:`Workload` whose statistics match the model.
+    """
+
+    def __init__(self, tenants: Iterable[TenantWorkloadModel]):
+        self._tenants: dict[str, TenantWorkloadModel] = {}
+        for tm in tenants:
+            if tm.tenant in self._tenants:
+                raise ValueError(f"duplicate tenant model {tm.tenant!r}")
+            self._tenants[tm.tenant] = tm
+        if not self._tenants:
+            raise ValueError("workload model needs at least one tenant")
+
+    def __repr__(self) -> str:
+        return f"StatisticalWorkloadModel(tenants={sorted(self._tenants)})"
+
+    @property
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def tenant_model(self, name: str) -> TenantWorkloadModel:
+        """The per-tenant model for ``name`` (KeyError if unknown)."""
+        return self._tenants[name]
+
+    def generate(
+        self,
+        seed: int | np.random.Generator,
+        horizon: float,
+        id_prefix: str = "",
+    ) -> Workload:
+        """Sample a workload over ``[0, horizon)`` seconds."""
+        rng = np.random.default_rng(seed)
+        jobs: list[JobSpec] = []
+        for name in self.tenants:
+            jobs.extend(self._tenants[name].generate(rng, horizon, id_prefix))
+        return Workload(jobs, horizon=horizon)
+
+    def replicas(
+        self, seed: int, horizon: float, count: int
+    ) -> list[Workload]:
+        """Independent same-distribution workloads for noise averaging.
+
+        The expectation in (SP1) is estimated by averaging QS values over
+        these replicas (Section 6.1).
+        """
+        return [
+            self.generate(seed + 1009 * i, horizon, id_prefix=f"r{i}-")
+            for i in range(count)
+        ]
+
+    def scaled(self, **kwargs: float) -> "StatisticalWorkloadModel":
+        """Scale every tenant (see :meth:`TenantWorkloadModel.scaled`)."""
+        return StatisticalWorkloadModel(
+            tm.scaled(**kwargs) for tm in self._tenants.values()
+        )
+
+
+def fit_workload_model(
+    trace: Trace,
+    *,
+    horizon: float | None = None,
+    deadline_factors: Mapping[str, float] | None = None,
+) -> StatisticalWorkloadModel:
+    """Train a statistical workload model from an observed trace.
+
+    Per tenant and stage we fit lognormal task-duration and task-count
+    models; arrivals get a Poisson MLE rate.  Stage dependency structure
+    is taken from the recorded ``stage_deps``.  Deadline factors are
+    estimated from observed deadlines when present (median of
+    ``(deadline - submit) / response_time`` is a robust stand-in for the
+    critical-path multiplier), or can be pinned via ``deadline_factors``.
+    """
+    horizon = trace.horizon if horizon is None else horizon
+    if horizon <= 0:
+        raise ValueError("trace horizon must be positive to fit arrival rates")
+    deadline_factors = dict(deadline_factors or {})
+
+    models: list[TenantWorkloadModel] = []
+    for tenant in sorted(trace.tenants()):
+        jobs = trace.jobs_of(tenant)
+        if len(jobs) < 2:
+            continue
+        durations_by_stage: dict[str, list[float]] = defaultdict(list)
+        counts_by_stage: dict[str, list[int]] = defaultdict(list)
+        per_job_counts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for t in trace.tasks_of(tenant):
+            if not t.completed:
+                continue
+            durations_by_stage[t.stage].append(t.service_time)
+            per_job_counts[t.job_id][t.stage] += 1
+        stage_pools: dict[str, str] = {}
+        for t in trace.tasks_of(tenant):
+            stage_pools.setdefault(t.stage, t.pool)
+        for counts in per_job_counts.values():
+            for stage, n in counts.items():
+                counts_by_stage[stage].append(n)
+
+        deps_union: dict[str, tuple[str, ...]] = {}
+        for j in jobs:
+            for stage, deps in j.stage_deps:
+                deps_union.setdefault(stage, deps)
+
+        stage_models: list[StageModel] = []
+        for stage in sorted(durations_by_stage):
+            durations = durations_by_stage[stage]
+            counts = counts_by_stage[stage]
+            if len(durations) < 2 or len(counts) < 1:
+                continue
+            count_model = (
+                fit_lognormal([float(c) for c in counts])
+                if len(set(counts)) > 1
+                else LognormalModel(mu=math.log(max(counts[0], 1)), sigma=0.0)
+            )
+            optional = len(counts) < len(jobs)
+            stage_models.append(
+                StageModel(
+                    name=stage,
+                    pool=stage_pools.get(stage, DEFAULT_POOL),
+                    task_count=count_model,
+                    task_duration=fit_lognormal(durations, minimum=0.01),
+                    deps=deps_union.get(stage, ()),
+                    optional=optional,
+                )
+            )
+        if not stage_models:
+            continue
+
+        arrival = PoissonProcessModel.fit([j.submit_time for j in jobs], horizon)
+
+        factor = deadline_factors.get(tenant)
+        if factor is None:
+            ratios = [
+                (j.deadline - j.submit_time) / max(j.response_time, 1e-9)
+                for j in jobs
+                if j.deadline is not None and j.response_time > 0
+            ]
+            factor = float(np.median(ratios)) if ratios else None
+
+        models.append(
+            TenantWorkloadModel(
+                tenant=tenant,
+                arrival=arrival,
+                stages=tuple(stage_models),
+                deadline_factor=factor,
+            )
+        )
+    if not models:
+        raise ValueError("trace too sparse to fit any tenant model")
+    return StatisticalWorkloadModel(models)

@@ -1,0 +1,120 @@
+"""Temporal workload patterns: diurnal and day-of-week modulation.
+
+Section 2.2/2.4 of the paper observes that input sizes and arrival rates
+show strong temporal patterns — ETL input varies across days within a week
+but is stable across weeks, and Web-activity volume drops on weekends.
+These classes model a non-negative multiplicative modulation ``m(t)``
+applied to arrival rates and job sizes as a function of simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class RatePattern:
+    """Base class: a multiplicative modulation of rate/size over time."""
+
+    def factor(self, t: float) -> float:
+        """Modulation factor at simulated time ``t`` (non-negative)."""
+        raise NotImplementedError
+
+    def mean_factor(self, horizon: float, samples: int = 512) -> float:
+        """Approximate average factor over ``[0, horizon]``."""
+        if horizon <= 0:
+            return self.factor(0.0)
+        step = horizon / samples
+        return sum(self.factor(i * step) for i in range(samples)) / samples
+
+    def __mul__(self, other: "RatePattern") -> "RatePattern":
+        return _ProductPattern(self, other)
+
+
+@dataclass(frozen=True)
+class FlatPattern(RatePattern):
+    """Constant modulation (no temporal pattern)."""
+
+    level: float = 1.0
+
+    def factor(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class DiurnalPattern(RatePattern):
+    """Smooth day/night cycle.
+
+    ``factor(t) = base + amplitude * (1 + cos(2*pi*(t - peak)/day)) / 2``
+    peaks at ``peak_hour`` and bottoms out half a day away.
+    """
+
+    base: float = 0.25
+    amplitude: float = 1.5
+    peak_hour: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.amplitude < 0:
+            raise ValueError("diurnal base and amplitude must be non-negative")
+
+    def factor(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t - self.peak_hour * SECONDS_PER_HOUR) / SECONDS_PER_DAY
+        return self.base + self.amplitude * (1.0 + math.cos(phase)) / 2.0
+
+
+@dataclass(frozen=True)
+class WeeklyPattern(RatePattern):
+    """Piecewise-constant day-of-week factors, Monday-first.
+
+    The default models the paper's observation that ETL volume is much
+    smaller on weekends (Section 2.4).
+    """
+
+    day_factors: tuple[float, ...] = (1.0, 1.0, 1.0, 1.0, 1.0, 0.35, 0.35)
+
+    def __post_init__(self) -> None:
+        if len(self.day_factors) != 7:
+            raise ValueError("day_factors must have exactly 7 entries")
+        if any(f < 0 for f in self.day_factors):
+            raise ValueError("day factors must be non-negative")
+
+    def factor(self, t: float) -> float:
+        day = int(t // SECONDS_PER_DAY) % 7
+        return self.day_factors[day]
+
+
+@dataclass(frozen=True)
+class BurstPattern(RatePattern):
+    """Periodic bursts: factor ``burst_level`` during the first
+    ``burst_fraction`` of every ``period`` seconds, ``idle_level``
+    otherwise.  Models the "periodic but bursty" ETL tenant of Table 1.
+    """
+
+    period: float = SECONDS_PER_HOUR
+    burst_fraction: float = 0.2
+    burst_level: float = 4.0
+    idle_level: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in (0, 1]")
+
+    def factor(self, t: float) -> float:
+        phase = (t % self.period) / self.period
+        return self.burst_level if phase < self.burst_fraction else self.idle_level
+
+
+@dataclass(frozen=True)
+class _ProductPattern(RatePattern):
+    left: RatePattern
+    right: RatePattern
+
+    def factor(self, t: float) -> float:
+        return self.left.factor(t) * self.right.factor(t)

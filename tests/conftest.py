@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig, TenantConfig
+from repro.workload.model import Workload, mapreduce_job, single_stage_job
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """One-pool cluster with 8 containers."""
+    return ClusterSpec({"slots": 8}, name="small")
+
+
+@pytest.fixture
+def mr_cluster() -> ClusterSpec:
+    """Two-pool MapReduce cluster."""
+    return ClusterSpec({"map": 8, "reduce": 4}, name="mr")
+
+
+@pytest.fixture
+def two_tenant_config() -> RMConfig:
+    return RMConfig(
+        {
+            "A": TenantConfig(weight=1.0),
+            "B": TenantConfig(weight=1.0),
+        }
+    )
+
+
+@pytest.fixture
+def tiny_workload() -> Workload:
+    """Two single-stage jobs from two tenants."""
+    return Workload(
+        [
+            single_stage_job("A", 0.0, [10.0, 10.0], job_id="a0"),
+            single_stage_job("B", 5.0, [10.0], job_id="b0"),
+        ],
+        horizon=60.0,
+    )
+
+
+@pytest.fixture
+def mr_workload() -> Workload:
+    """Two MapReduce jobs with reduces."""
+    return Workload(
+        [
+            mapreduce_job("A", 0.0, [20.0] * 4, [30.0] * 2, job_id="mr-a"),
+            mapreduce_job("B", 10.0, [15.0] * 3, [25.0] * 2, job_id="mr-b"),
+        ],
+        horizon=120.0,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

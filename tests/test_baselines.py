@@ -1,0 +1,114 @@
+"""Unit tests for the baseline optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    NSGAIILite,
+    RandomSearchOptimizer,
+    WeightedSumOptimizer,
+)
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace
+
+
+@pytest.fixture
+def space():
+    return ConfigSpace(ClusterSpec({"slots": 8}), ["A"], tune_limits=False)
+
+
+def sphere(space, center_value=0.2):
+    target = np.full(space.dim, center_value)
+
+    def evaluate(x):
+        return np.array([float(np.sum((x - target) ** 2))])
+
+    return evaluate
+
+
+def two_objective(space):
+    t1 = np.zeros(space.dim)
+    t2 = np.ones(space.dim)
+
+    def evaluate(x):
+        return np.array(
+            [float(np.sum((x - t1) ** 2)), float(np.sum((x - t2) ** 2))]
+        )
+
+    return evaluate
+
+
+class TestRandomSearch:
+    def test_improves_objective(self, space):
+        opt = RandomSearchOptimizer(
+            space, sphere(space), [np.inf], trust_radius=0.3, seed=0
+        )
+        res = opt.optimize(np.full(space.dim, 0.9), 20)
+        assert res.f[0] < 0.5 * np.sum((0.9 - 0.2) ** 2 * np.ones(space.dim))
+
+    def test_never_regresses(self, space):
+        opt = RandomSearchOptimizer(space, sphere(space), [np.inf], seed=1)
+        res = opt.optimize(np.full(space.dim, 0.9), 15)
+        values = res.trajectory()[:, 0]
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_feasibility_first_ranking(self, space):
+        # Constraint on f <= 0.3: once feasible points appear they win.
+        opt = RandomSearchOptimizer(
+            space, sphere(space), [0.3], trust_radius=0.4, seed=2
+        )
+        res = opt.optimize(np.full(space.dim, 0.95), 25)
+        assert res.steps[-1].max_regret <= res.steps[0].max_regret
+
+
+class TestWeightedSum:
+    def test_descends_weighted_sum(self, space):
+        opt = WeightedSumOptimizer(
+            space, two_objective(space), [np.inf, np.inf], seed=3
+        )
+        res = opt.optimize(np.full(space.dim, 0.9), 25)
+        start = res.trajectory()[0].sum()
+        end = res.trajectory()[-1].sum()
+        assert end < start
+
+    def test_weights_shape_validated(self, space):
+        with pytest.raises(ValueError):
+            WeightedSumOptimizer(
+                space, two_objective(space), [np.inf, np.inf], weights=[1.0]
+            )
+
+    def test_ignores_constraints_by_design(self, space):
+        """The documented deficiency: ranking is blind to thresholds."""
+        opt = WeightedSumOptimizer(space, two_objective(space), [0.001, np.inf])
+        f = np.array([10.0, 0.0])
+        assert opt._rank_key(f)[0] == 0.0  # no feasibility component
+
+
+class TestNSGAIILite:
+    def test_runs_and_improves(self, space):
+        opt = NSGAIILite(
+            space, two_objective(space), [np.inf, np.inf], population=8, seed=4
+        )
+        res = opt.optimize(np.full(space.dim, 0.5), 6)
+        assert len(res.steps) == 6
+        # Elitism keeps the front, but crowding may evict the single
+        # scalar-best member; require no gross regression.
+        assert res.steps[-1].proxy <= res.steps[0].proxy * 1.25 + 0.1
+
+    def test_population_validation(self, space):
+        with pytest.raises(ValueError):
+            NSGAIILite(space, two_objective(space), [np.inf, np.inf], population=2)
+
+    def test_evaluation_budget_is_heavy(self, space):
+        """Evolutionary search burns population-many evaluations per
+        generation — the expense the paper holds against this class."""
+        opt = NSGAIILite(
+            space, two_objective(space), [np.inf, np.inf], population=8, seed=5
+        )
+        res = opt.optimize(np.full(space.dim, 0.5), 3)
+        assert res.total_evaluations >= 3 * 8
+
+    def test_crowding_extremes_infinite(self):
+        front = [np.array([0.0, 1.0]), np.array([0.5, 0.5]), np.array([1.0, 0.0])]
+        crowding = NSGAIILite._crowding(front)
+        assert np.isinf(crowding[0]) or np.isinf(crowding[2])

@@ -1,0 +1,120 @@
+"""Tests for the operational CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, default_slos, load_slos, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scenario == "two-tenant"
+        assert args.engine == "predictor"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "nope"])
+
+
+class TestSloSpecs:
+    def test_load_slos(self, tmp_path):
+        spec = [
+            {
+                "queue": "deadline",
+                "slo": "deadline",
+                "max_violation_fraction": 0.1,
+                "slack": 0.25,
+            },
+            {"queue": "besteffort", "slo": "response_time"},
+        ]
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps(spec))
+        slos = load_slos(str(path))
+        assert len(slos) == 2
+        assert slos[0].threshold == 0.1
+
+    def test_load_slos_rejects_non_array(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text('{"queue": "a"}')
+        with pytest.raises(ValueError, match="JSON array"):
+            load_slos(str(path))
+
+    def test_default_slos_cover_scenarios(self):
+        assert len(default_slos("two-tenant")) == 2
+        assert len(default_slos("company-abc")) == 6
+
+
+class TestSimulateCommand:
+    def test_predictor_run(self, tmp_path):
+        out = io.StringIO()
+        save = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--horizon", "0.3",
+                "--seed", "1",
+                "--save", str(save),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "deadline" in text and "besteffort" in text
+        assert save.exists()
+
+    def test_cluster_engine_with_noise(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--engine", "cluster",
+                "--noise", "production",
+                "--horizon", "0.2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "tenant" in out.getvalue()
+
+
+class TestReportCommand:
+    def test_roundtrip_report(self, tmp_path):
+        out = io.StringIO()
+        save = tmp_path / "trace.jsonl"
+        main(["simulate", "--horizon", "0.3", "--save", str(save)], out=out)
+
+        spec = tmp_path / "slos.json"
+        spec.write_text(
+            json.dumps([{"queue": "besteffort", "slo": "response_time", "threshold": 1.0}])
+        )
+        out = io.StringIO()
+        code = main(["report", str(save), "--slos", str(spec)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "SLO QS values" in text
+        assert "VIOLATED" in text  # 1s AJR threshold is surely violated
+
+
+class TestTuneCommand:
+    def test_small_tune_run(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "tune",
+                "--iterations", "2",
+                "--window", "10",
+                "--candidates", "4",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "final configuration" in text
+        assert "DL[deadline]" in text

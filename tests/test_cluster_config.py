@@ -1,0 +1,210 @@
+"""Unit and property tests for ClusterSpec, TenantConfig, ConfigSpace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace, ParamSpec, RMConfig, TenantConfig
+
+
+class TestClusterSpec:
+    def test_basics(self):
+        cl = ClusterSpec({"map": 8, "reduce": 4})
+        assert cl.capacity("map") == 8
+        assert cl.total_capacity == 12
+        assert cl.pool_names == ["map", "reduce"]
+
+    def test_unknown_pool(self):
+        with pytest.raises(KeyError):
+            ClusterSpec({"slots": 4}).capacity("gpu")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec({})
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec({"slots": 0})
+
+    def test_scaled(self):
+        cl = ClusterSpec({"map": 8, "reduce": 4})
+        half = cl.scaled(0.5)
+        assert half.capacity("map") == 4
+        assert half.capacity("reduce") == 2
+
+    def test_scaled_never_below_one(self):
+        tiny = ClusterSpec({"slots": 2}).scaled(0.1)
+        assert tiny.capacity("slots") == 1
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            ClusterSpec({"slots": 2}).scaled(0.0)
+
+
+class TestTenantConfig:
+    def test_defaults(self):
+        t = TenantConfig()
+        assert t.weight == 1.0
+        assert math.isinf(t.min_share_preemption_timeout)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            TenantConfig(min_share={"slots": 5}, max_share={"slots": 3})
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            TenantConfig(weight=0.0)
+
+    def test_max_for_clamps_to_capacity(self):
+        t = TenantConfig(max_share={"slots": 100})
+        assert t.max_for("slots", 8) == 8
+        assert TenantConfig().max_for("slots", 8) == 8
+
+    def test_min_for_default_zero(self):
+        assert TenantConfig().min_for("slots") == 0
+
+
+class TestRMConfig:
+    def test_unknown_tenant_defaults(self):
+        cfg = RMConfig({"A": TenantConfig(weight=2.0)})
+        assert cfg.tenant("ghost").weight == 1.0
+
+    def test_with_tenant(self):
+        cfg = RMConfig({"A": TenantConfig()})
+        cfg2 = cfg.with_tenant("B", TenantConfig(weight=3.0))
+        assert cfg2.tenant("B").weight == 3.0
+        assert "B" not in cfg.tenants
+
+    def test_describe_mentions_everything(self):
+        cfg = RMConfig(
+            {
+                "A": TenantConfig(
+                    weight=2.0,
+                    min_share={"slots": 2},
+                    fair_share_preemption_timeout=300.0,
+                )
+            }
+        )
+        text = cfg.describe()
+        assert "A:" in text and "weight=2.00" in text and "300s" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RMConfig({})
+
+
+class TestParamSpec:
+    def test_linear_roundtrip(self):
+        p = ParamSpec("A", "min_share", "slots", 0.0, 10.0, integer=True)
+        assert p.decode(p.encode(7.0)) == 7.0
+
+    def test_log_roundtrip(self):
+        p = ParamSpec("A", "fair_timeout", "", 10.0, 1000.0, log=True)
+        assert p.decode(p.encode(100.0)) == pytest.approx(100.0, rel=1e-9)
+
+    def test_clipping(self):
+        p = ParamSpec("A", "weight", "", 1.0, 4.0)
+        assert p.encode(99.0) == 1.0
+        assert p.decode(2.0) == 4.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ParamSpec("A", "weight", "", 5.0, 2.0)
+        with pytest.raises(ValueError):
+            ParamSpec("A", "weight", "", 0.0, 2.0, log=True)
+
+
+@pytest.fixture
+def space(mr_cluster):
+    return ConfigSpace(mr_cluster, ["A", "B"])
+
+
+class TestConfigSpace:
+    def test_dim_counts_params(self, mr_cluster):
+        # Per tenant: weight + 2 pools * (min+max) + 2 timeouts = 7.
+        space = ConfigSpace(mr_cluster, ["A", "B"])
+        assert space.dim == 14
+        only_weights = ConfigSpace(
+            mr_cluster, ["A", "B"], tune_limits=False, tune_timeouts=False
+        )
+        assert only_weights.dim == 2
+
+    def test_encode_decode_roundtrip(self, space):
+        cfg = RMConfig(
+            {
+                "A": TenantConfig(
+                    weight=2.0,
+                    min_share={"map": 2, "reduce": 1},
+                    max_share={"map": 6, "reduce": 3},
+                    min_share_preemption_timeout=60.0,
+                    fair_share_preemption_timeout=600.0,
+                ),
+                "B": TenantConfig(weight=1.0),
+            }
+        )
+        decoded = space.decode(space.encode(cfg))
+        a = decoded.tenant("A")
+        assert a.weight == pytest.approx(2.0, rel=0.01)
+        assert a.min_share == {"map": 2, "reduce": 1}
+        assert a.max_share == {"map": 6, "reduce": 3}
+        assert a.min_share_preemption_timeout == pytest.approx(60.0, rel=0.01)
+
+    def test_decode_always_valid(self, space, rng):
+        """Any unit-cube vector decodes to a valid RMConfig."""
+        for _ in range(50):
+            cfg = space.decode(rng.uniform(size=space.dim))
+            for tenant in ("A", "B"):
+                t = cfg.tenant(tenant)
+                for pool in ("map", "reduce"):
+                    assert t.min_for(pool) <= t.max_for(pool, 1_000)
+
+    def test_decode_reconciles_oversubscribed_mins(self, mr_cluster):
+        space = ConfigSpace(mr_cluster, ["A", "B"])
+        # All-ones vector maxes every min share; decode must scale them.
+        cfg = space.decode(np.ones(space.dim))
+        total_min = sum(cfg.tenant(t).min_for("map") for t in ("A", "B"))
+        assert total_min <= mr_cluster.capacity("map")
+
+    def test_distance_normalized(self, space):
+        x = np.zeros(space.dim)
+        y = np.ones(space.dim)
+        assert space.distance(x, y) == pytest.approx(1.0)
+        assert space.distance(x, x) == 0.0
+
+    def test_project_into_ball(self, space, rng):
+        center = space.random_point(rng)
+        x = space.random_point(rng)
+        projected = space.project(x, center, 0.1)
+        assert space.distance(projected, center) <= 0.1 + 1e-9
+
+    def test_wrong_shape_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.decode(np.zeros(3))
+
+    def test_needs_tenants_and_params(self, mr_cluster):
+        with pytest.raises(ValueError):
+            ConfigSpace(mr_cluster, [])
+        with pytest.raises(ValueError):
+            ConfigSpace(
+                mr_cluster,
+                ["A"],
+                tune_weights=False,
+                tune_limits=False,
+                tune_timeouts=False,
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(radius=st.floats(0.01, 0.5), seed=st.integers(0, 1000))
+def test_random_neighbor_within_radius(radius, seed):
+    cluster = ClusterSpec({"slots": 16})
+    space = ConfigSpace(cluster, ["A", "B"])
+    rng = np.random.default_rng(seed)
+    x = space.random_point(rng)
+    neighbor = space.random_neighbor(x, radius, rng)
+    assert space.distance(x, neighbor) <= radius + 1e-9
+    assert np.all(neighbor >= 0.0) and np.all(neighbor <= 1.0)

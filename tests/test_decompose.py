@@ -1,0 +1,110 @@
+"""Unit tests for workload decomposition (the §10 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.decompose import (
+    decompose_tenant,
+    job_features,
+    separation_score,
+)
+from repro.workload.model import Workload, single_stage_job
+
+
+def bimodal_workload(n_small=20, n_big=10, seed=0):
+    """One tenant mixing tiny interactive jobs with huge batch jobs."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    t = 0.0
+    for i in range(n_small):
+        jobs.append(
+            single_stage_job(
+                "mixed", t, rng.uniform(2, 8, size=2), job_id=f"small-{i}"
+            )
+        )
+        t += 10.0
+    for i in range(n_big):
+        jobs.append(
+            single_stage_job(
+                "mixed", t, rng.uniform(200, 600, size=12), job_id=f"big-{i}"
+            )
+        )
+        t += 10.0
+    jobs.append(single_stage_job("other", 0.0, [5.0], job_id="other-0"))
+    return Workload(jobs, horizon=t)
+
+
+class TestJobFeatures:
+    def test_feature_vector_shape(self):
+        job = single_stage_job("A", 0.0, [10.0, 20.0], job_id="j")
+        f = job_features(job)
+        assert f.shape == (3,)
+        assert np.all(np.isfinite(f))
+
+    def test_bigger_job_bigger_features(self):
+        small = job_features(single_stage_job("A", 0.0, [5.0], job_id="s"))
+        big = job_features(single_stage_job("A", 0.0, [500.0] * 10, job_id="b"))
+        assert np.all(big >= small)
+
+
+class TestDecomposeTenant:
+    def test_bimodal_split_is_clean(self):
+        result = decompose_tenant(bimodal_workload(), "mixed", k=2, seed=1)
+        assert result.sub_tenants == ("mixed/c0", "mixed/c1")
+        # Every small job in c0, every big job in c1 (c0 = smallest work).
+        for job_id, sub in result.assignments.items():
+            if job_id.startswith("small"):
+                assert sub == "mixed/c0", job_id
+            else:
+                assert sub == "mixed/c1", job_id
+
+    def test_other_tenants_untouched(self):
+        result = decompose_tenant(bimodal_workload(), "mixed", k=2)
+        assert "other" in result.workload.tenants()
+        assert len(result.workload.jobs_of("other")) == 1
+
+    def test_job_count_preserved(self):
+        w = bimodal_workload()
+        result = decompose_tenant(w, "mixed", k=2)
+        assert len(result.workload) == len(w)
+
+    def test_deterministic(self):
+        r1 = decompose_tenant(bimodal_workload(), "mixed", k=2, seed=5)
+        r2 = decompose_tenant(bimodal_workload(), "mixed", k=2, seed=5)
+        assert r1.assignments == r2.assignments
+
+    def test_validation(self):
+        w = bimodal_workload(n_small=1, n_big=0)
+        with pytest.raises(ValueError, match="jobs"):
+            decompose_tenant(w, "mixed", k=3)
+        with pytest.raises(ValueError, match="k must be"):
+            decompose_tenant(bimodal_workload(), "mixed", k=1)
+
+    def test_three_way_split_runs(self):
+        result = decompose_tenant(bimodal_workload(), "mixed", k=3, seed=2)
+        assert len(result.sub_tenants) == 3
+        assert set(result.assignments.values()) <= set(result.sub_tenants)
+
+
+class TestSeparationScore:
+    def test_bimodal_scores_high(self):
+        result = decompose_tenant(bimodal_workload(), "mixed", k=2, seed=1)
+        score = separation_score(result.workload, result.sub_tenants)
+        assert score > 5.0
+
+    def test_homogeneous_scores_low(self):
+        rng = np.random.default_rng(3)
+        jobs = [
+            single_stage_job("uni", 10.0 * i, rng.uniform(9, 11, size=4), job_id=f"u{i}")
+            for i in range(30)
+        ]
+        w = Workload(jobs)
+        result = decompose_tenant(w, "uni", k=2, seed=3)
+        bimodal = decompose_tenant(bimodal_workload(), "mixed", k=2, seed=1)
+        assert separation_score(
+            result.workload, result.sub_tenants
+        ) < separation_score(bimodal.workload, bimodal.sub_tenants)
+
+    def test_empty_groups_score_zero(self):
+        w = bimodal_workload()
+        assert separation_score(w, ["ghost1", "ghost2"]) == 0.0

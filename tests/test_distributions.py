@@ -1,0 +1,120 @@
+"""Unit and property tests for distribution models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    EmpiricalCDF,
+    LognormalModel,
+    PoissonProcessModel,
+    fit_lognormal,
+)
+
+
+class TestLognormalModel:
+    def test_moments(self):
+        m = LognormalModel(mu=math.log(10.0), sigma=0.5)
+        assert m.median == pytest.approx(10.0)
+        assert m.mean == pytest.approx(10.0 * math.exp(0.125))
+
+    def test_sampling_respects_bounds(self, rng):
+        m = LognormalModel(mu=0.0, sigma=2.0, minimum=0.5, maximum=5.0)
+        draws = m.sample(rng, 500)
+        assert np.all(draws >= 0.5)
+        assert np.all(draws <= 5.0)
+
+    def test_scaled_shifts_median(self):
+        m = LognormalModel(mu=math.log(10.0), sigma=0.3)
+        assert m.scaled(1.3).median == pytest.approx(13.0)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            LognormalModel(mu=0.0, sigma=1.0).scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalModel(mu=0.0, sigma=-1.0)
+        with pytest.raises(ValueError):
+            LognormalModel(mu=0.0, sigma=1.0, minimum=5.0, maximum=2.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mu=st.floats(-2.0, 4.0),
+        sigma=st.floats(0.05, 1.5),
+    )
+    def test_fit_recovers_parameters(self, mu, sigma):
+        rng = np.random.default_rng(7)
+        samples = np.exp(rng.normal(mu, sigma, size=4000))
+        fitted = fit_lognormal(samples)
+        assert fitted.mu == pytest.approx(mu, abs=0.15)
+        assert fitted.sigma == pytest.approx(sigma, abs=0.15)
+
+    def test_fit_requires_positive_samples(self):
+        with pytest.raises(ValueError, match="positive samples"):
+            fit_lognormal([0.0, -1.0])
+
+
+class TestPoissonProcess:
+    def test_rate_estimation(self, rng):
+        m = PoissonProcessModel(rate=0.05)
+        arrivals = m.sample_arrivals(rng, horizon=20000.0)
+        fitted = PoissonProcessModel.fit(arrivals, horizon=20000.0)
+        assert fitted.rate == pytest.approx(0.05, rel=0.15)
+
+    def test_arrivals_sorted_and_in_range(self, rng):
+        arrivals = PoissonProcessModel(0.1).sample_arrivals(rng, 100.0)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert np.all((arrivals >= 0) & (arrivals < 100.0))
+
+    def test_zero_rate(self, rng):
+        assert PoissonProcessModel(0.0).sample_arrivals(rng, 100.0).size == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcessModel(-1.0)
+
+    def test_fit_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            PoissonProcessModel.fit([1.0], 0.0)
+
+
+class TestEmpiricalCDF:
+    def test_cdf_values(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.cdf(0.5) == 0.0
+        assert cdf.cdf(2.0) == pytest.approx(0.5)
+        assert cdf.cdf(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF(list(range(101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_sampling_stays_in_support(self, rng):
+        data = [3.0, 5.0, 9.0]
+        cdf = EmpiricalCDF(data)
+        draws = cdf.sample(rng, 100)
+        assert set(np.unique(draws)) <= set(data)
+
+    def test_curve_monotone(self):
+        cdf = EmpiricalCDF(np.random.default_rng(0).normal(size=100))
+        xs, qs = cdf.curve(50)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(qs) >= 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_cdf_is_monotone_function(self, samples):
+        cdf = EmpiricalCDF(samples)
+        lo, hi = min(samples) - 1, max(samples) + 1
+        values = [cdf.cdf(x) for x in np.linspace(lo, hi, 20)]
+        assert all(b >= a for a, b in zip(values, values[1:]))

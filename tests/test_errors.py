@@ -1,0 +1,67 @@
+"""Unit and property tests for RAE/RSE error metrics (Section 8.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.errors import relative_absolute_error, relative_squared_error
+
+
+class TestDefinitions:
+    def test_perfect_prediction_is_zero(self):
+        obs = [1.0, 2.0, 3.0]
+        assert relative_absolute_error(obs, obs) == 0.0
+        assert relative_squared_error(obs, obs) == 0.0
+
+    def test_mean_predictor_scores_one(self):
+        obs = [1.0, 2.0, 3.0, 4.0]
+        mean_pred = [2.5] * 4
+        assert relative_absolute_error(mean_pred, obs) == pytest.approx(1.0)
+        assert relative_squared_error(mean_pred, obs) == pytest.approx(1.0)
+
+    def test_constant_observations_degenerate(self):
+        assert relative_absolute_error([5.0], [5.0]) == 0.0
+        assert math.isinf(relative_absolute_error([6.0], [5.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            relative_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            relative_squared_error([], [])
+
+    def test_known_value(self):
+        obs = [0.0, 10.0]
+        pred = [1.0, 9.0]
+        # RAE = (1+1) / (5+5) = 0.2 ; RSE = sqrt((1+1)/(25+25)) = 0.2
+        assert relative_absolute_error(pred, obs) == pytest.approx(0.2)
+        assert relative_squared_error(pred, obs) == pytest.approx(0.2)
+
+
+_observations = st.lists(st.floats(-100, 100), min_size=3, max_size=30).filter(
+    lambda xs: max(xs) - min(xs) > 1e-6
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(obs=_observations)
+def test_errors_non_negative(obs):
+    rng = np.random.default_rng(0)
+    pred = np.asarray(obs) + rng.normal(0, 1, len(obs))
+    assert relative_absolute_error(pred, obs) >= 0.0
+    assert relative_squared_error(pred, obs) >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(obs=_observations)
+def test_errors_scale_invariant(obs):
+    pred = [o + 1.0 for o in obs]
+    rae1 = relative_absolute_error(pred, obs)
+    scaled_obs = [3.0 * o for o in obs]
+    scaled_pred = [3.0 * p for p in pred]
+    rae2 = relative_absolute_error(scaled_pred, scaled_obs)
+    assert rae1 == pytest.approx(rae2, rel=1e-9)

@@ -1,0 +1,69 @@
+"""Unit tests for the max-min fairness LP choosing PALD's c vector."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import max_min_fair_weights
+
+
+class TestFairnessLP:
+    def test_normalized_output(self):
+        jac = np.eye(3)
+        c = max_min_fair_weights(jac, np.array([True, False, False]))
+        assert np.linalg.norm(c) == pytest.approx(1.0)
+        assert np.all(c >= -1e-12)
+
+    def test_single_violation_targets_it(self):
+        jac = np.eye(2)
+        c = max_min_fair_weights(jac, np.array([True, False]))
+        # Descent d = J^T c must align with the violated gradient.
+        d = jac.T @ c
+        assert d[0] > 0.5  # strongly weighted toward objective 0
+
+    def test_two_violations_balanced(self):
+        jac = np.eye(2)
+        c = max_min_fair_weights(jac, np.array([True, True]))
+        np.testing.assert_allclose(c, [np.sqrt(0.5)] * 2, atol=1e-6)
+
+    def test_no_violation_falls_back_to_mgda(self):
+        jac = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        c = max_min_fair_weights(jac, np.array([False, False]))
+        # MGDA min-norm for opposing gradients is (0.5, 0.5).
+        np.testing.assert_allclose(c, [np.sqrt(0.5)] * 2, atol=1e-3)
+
+    def test_violated_improvement_is_max_min(self):
+        """The chosen c maximizes the worst violated alignment."""
+        rng = np.random.default_rng(4)
+        jac = rng.normal(size=(3, 5))
+        violated = np.array([True, True, False])
+        c = max_min_fair_weights(jac, violated)
+        d = jac.T @ c
+        alignments = jac[violated] @ d
+        # Compare against a few arbitrary alternative weights.
+        for _ in range(30):
+            alt = np.abs(rng.normal(size=3))
+            alt /= np.linalg.norm(alt)
+            alt_d = jac.T @ alt
+            alt_align = jac[violated] @ alt_d
+            assert np.min(alignments) >= np.min(alt_align) - 1e-6
+
+    def test_conflicting_violations_fall_back_gracefully(self):
+        # Two violated objectives with exactly opposing gradients: no c
+        # improves both; the result must still be a valid weight vector.
+        jac = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        c = max_min_fair_weights(jac, np.array([True, True]))
+        assert np.linalg.norm(c) == pytest.approx(1.0)
+        assert np.all(c >= -1e-12)
+
+    def test_zero_gradients_fall_back(self):
+        jac = np.zeros((2, 3))
+        c = max_min_fair_weights(jac, np.array([True, False]))
+        assert np.linalg.norm(c) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            max_min_fair_weights(np.eye(2), np.array([True]))
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            max_min_fair_weights(np.eye(2), np.array([True, False]), epsilon=0.0)

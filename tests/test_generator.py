@@ -1,0 +1,159 @@
+"""Unit tests for the statistical workload generator and model fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig, TenantConfig
+from repro.sim.predictor import SchedulePredictor
+from repro.stats.distributions import LognormalModel, PoissonProcessModel
+from repro.workload.generator import (
+    StageModel,
+    StatisticalWorkloadModel,
+    TenantWorkloadModel,
+    fit_workload_model,
+)
+from repro.workload.patterns import BurstPattern, FlatPattern
+from repro.workload.model import DEFAULT_POOL
+
+
+def simple_tenant(name="T", rate_per_hour=60.0, deadline_factor=None, pattern=None):
+    return TenantWorkloadModel(
+        tenant=name,
+        arrival=PoissonProcessModel(rate_per_hour / 3600.0),
+        stages=(
+            StageModel(
+                "work",
+                DEFAULT_POOL,
+                LognormalModel(mu=math.log(4), sigma=0.4, minimum=1.0),
+                LognormalModel(mu=math.log(20), sigma=0.5, minimum=1.0),
+            ),
+        ),
+        rate_pattern=pattern or FlatPattern(),
+        deadline_factor=deadline_factor,
+    )
+
+
+class TestTenantModel:
+    def test_arrival_rate_matches(self, rng):
+        tm = simple_tenant(rate_per_hour=120.0)
+        arrivals = tm.sample_arrivals(rng, horizon=3600.0 * 20)
+        rate = len(arrivals) / (3600.0 * 20)
+        assert rate == pytest.approx(120.0 / 3600.0, rel=0.1)
+
+    def test_pattern_thinning(self, rng):
+        # Bursty pattern with mean factor ~0.5 halves the effective rate.
+        pattern = BurstPattern(period=100.0, burst_fraction=0.5, burst_level=1.0, idle_level=0.0)
+        tm = simple_tenant(rate_per_hour=120.0, pattern=pattern)
+        arrivals = tm.sample_arrivals(rng, horizon=3600.0 * 20)
+        rate = len(arrivals) / (3600.0 * 20)
+        assert rate == pytest.approx(60.0 / 3600.0, rel=0.15)
+
+    def test_job_structure(self, rng):
+        job = simple_tenant().sample_job(rng, "j0", 5.0)
+        assert job.submit_time == 5.0
+        assert job.stages[0].name == "work"
+        assert job.num_tasks >= 1
+
+    def test_deadline_factor_applied(self, rng):
+        job = simple_tenant(deadline_factor=3.0).sample_job(rng, "j0", 0.0)
+        assert job.deadline is not None
+        assert job.deadline >= 3.0 * job.critical_path() - 1e-9
+
+    def test_no_deadline_by_default(self, rng):
+        assert simple_tenant().sample_job(rng, "j0", 0.0).deadline is None
+
+    def test_scaled_rate(self, rng):
+        tm = simple_tenant(rate_per_hour=60.0).scaled(rate=2.0)
+        arrivals = tm.sample_arrivals(rng, horizon=3600.0 * 20)
+        assert len(arrivals) / 20 == pytest.approx(120.0, rel=0.15)
+
+    def test_scaled_duration(self):
+        tm = simple_tenant().scaled(duration=2.0)
+        assert tm.stages[0].task_duration.median == pytest.approx(40.0)
+
+    def test_needs_stages(self):
+        with pytest.raises(ValueError):
+            TenantWorkloadModel(
+                tenant="X", arrival=PoissonProcessModel(0.1), stages=()
+            )
+
+
+class TestStatisticalModel:
+    def test_generate_deterministic_per_seed(self):
+        model = StatisticalWorkloadModel([simple_tenant()])
+        w1 = model.generate(42, 3600.0)
+        w2 = model.generate(42, 3600.0)
+        assert [j.job_id for j in w1] == [j.job_id for j in w2]
+        assert [j.submit_time for j in w1] == [j.submit_time for j in w2]
+
+    def test_different_seeds_differ(self):
+        model = StatisticalWorkloadModel([simple_tenant()])
+        w1 = model.generate(1, 3600.0 * 4)
+        w2 = model.generate(2, 3600.0 * 4)
+        assert [j.submit_time for j in w1] != [j.submit_time for j in w2]
+
+    def test_replicas_are_distinct_but_same_distribution(self):
+        model = StatisticalWorkloadModel([simple_tenant(rate_per_hour=240.0)])
+        replicas = model.replicas(0, 3600.0 * 4, 3)
+        assert len(replicas) == 3
+        counts = [len(r) for r in replicas]
+        assert len(set(counts)) > 1 or counts[0] > 0
+        mean = np.mean(counts)
+        assert mean == pytest.approx(240.0 * 4, rel=0.25)
+
+    def test_duplicate_tenant_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticalWorkloadModel([simple_tenant("X"), simple_tenant("X")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticalWorkloadModel([])
+
+
+class TestFitWorkloadModel:
+    def _trace(self, deadline_factor=None):
+        """Generate, simulate, and return the observed trace."""
+        model = StatisticalWorkloadModel(
+            [simple_tenant(rate_per_hour=200.0, deadline_factor=deadline_factor)]
+        )
+        workload = model.generate(3, 3 * 3600.0)
+        cluster = ClusterSpec({DEFAULT_POOL: 16})
+        cfg = RMConfig({"T": TenantConfig()})
+        return SchedulePredictor(cluster).predict(workload, cfg)
+
+    def test_fit_recovers_arrival_rate(self):
+        trace = self._trace()
+        fitted = fit_workload_model(trace)
+        rate = fitted.tenant_model("T").arrival.rate
+        assert rate == pytest.approx(200.0 / 3600.0, rel=0.25)
+
+    def test_fit_recovers_duration_scale(self):
+        trace = self._trace()
+        fitted = fit_workload_model(trace)
+        dur = fitted.tenant_model("T").stages[0].task_duration
+        assert dur.median == pytest.approx(20.0, rel=0.3)
+
+    def test_fit_recovers_deadline_factor(self):
+        trace = self._trace(deadline_factor=3.0)
+        fitted = fit_workload_model(trace)
+        factor = fitted.tenant_model("T").deadline_factor
+        assert factor is not None
+        assert factor > 1.0
+
+    def test_generated_workload_resembles_source(self):
+        trace = self._trace()
+        fitted = fit_workload_model(trace)
+        regen = fitted.generate(0, 3 * 3600.0)
+        observed_work = sum(
+            r.service_time for r in trace.task_records if r.completed
+        )
+        assert regen.total_work == pytest.approx(observed_work, rel=0.4)
+
+    def test_sparse_trace_rejected(self):
+        from repro.workload.trace import Trace
+
+        with pytest.raises(ValueError, match="sparse"):
+            fit_workload_model(Trace([], [], capacity={"slots": 1}, horizon=10.0))

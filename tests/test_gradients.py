@@ -1,0 +1,71 @@
+"""Unit tests for the sample buffer and LOESS gradient estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradients import GradientEstimator, SampleBuffer
+
+
+class TestSampleBuffer:
+    def test_add_and_arrays(self):
+        buf = SampleBuffer(dim=2, n_objectives=3)
+        buf.add([0.1, 0.2], [1.0, 2.0, 3.0])
+        xs, fs = buf.arrays()
+        assert xs.shape == (1, 2)
+        assert fs.shape == (1, 3)
+
+    def test_dimension_validation(self):
+        buf = SampleBuffer(dim=2, n_objectives=1)
+        with pytest.raises(ValueError):
+            buf.add([0.1], [1.0])
+        with pytest.raises(ValueError):
+            buf.add([0.1, 0.2], [1.0, 2.0])
+
+    def test_eviction_drops_oldest(self):
+        buf = SampleBuffer(dim=1, n_objectives=1, max_size=3)
+        for i in range(5):
+            buf.add([float(i)], [float(i)])
+        xs, _ = buf.arrays()
+        assert list(xs.ravel()) == [2.0, 3.0, 4.0]
+
+    def test_max_size_validation(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(dim=5, n_objectives=1, max_size=3)
+
+    def test_clear(self):
+        buf = SampleBuffer(dim=1, n_objectives=1)
+        buf.add([0.0], [0.0])
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_empty_arrays(self):
+        xs, fs = SampleBuffer(dim=2, n_objectives=1).arrays()
+        assert xs.shape == (0, 2)
+
+
+class TestGradientEstimator:
+    def test_not_ready_raises(self):
+        buf = SampleBuffer(dim=2, n_objectives=1)
+        est = GradientEstimator(buf)
+        assert not est.ready
+        with pytest.raises(ValueError):
+            est.jacobian([0.0, 0.0])
+
+    def test_recovers_linear_jacobian(self, rng):
+        buf = SampleBuffer(dim=3, n_objectives=2)
+        a = np.array([[1.0, 2.0, -1.0], [0.0, -3.0, 4.0]])
+        for _ in range(40):
+            x = rng.uniform(size=3)
+            buf.add(x, a @ x)
+        est = GradientEstimator(buf, frac=0.8)
+        assert est.ready
+        jac = est.jacobian([0.5, 0.5, 0.5])
+        np.testing.assert_allclose(jac, a, atol=1e-6)
+
+    def test_smoothed_denoises(self, rng):
+        buf = SampleBuffer(dim=1, n_objectives=1)
+        for _ in range(120):
+            x = rng.uniform(size=1)
+            buf.add(x, [3.0 * x[0] + rng.normal(0, 0.3)])
+        est = GradientEstimator(buf, frac=0.5)
+        assert est.smoothed([0.5])[0] == pytest.approx(1.5, abs=0.2)

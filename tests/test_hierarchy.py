@@ -1,0 +1,165 @@
+"""Unit tests for hierarchical tenants (the §10 extension)."""
+
+import math
+
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig, TenantConfig
+from repro.rm.fair import fair_shares
+from repro.rm.hierarchy import QueueNode, flatten_hierarchy, hierarchy, leaf
+from repro.sim.predictor import SchedulePredictor
+from repro.workload.model import Workload, single_stage_job
+
+
+class TestQueueNode:
+    def test_leaf_detection(self):
+        assert leaf("a").is_leaf
+        assert not hierarchy("root", leaf("a")).is_leaf
+
+    def test_leaves_enumeration(self):
+        tree = hierarchy("root", hierarchy("prod", leaf("etl"), leaf("mv")), leaf("adhoc"))
+        assert [l.name for l in tree.leaves()] == ["etl", "mv", "adhoc"]
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            leaf("a", weight=0.0)
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(ValueError, match="duplicate child"):
+            hierarchy("root", leaf("a"), leaf("a"))
+
+
+class TestFlattening:
+    def test_weights_multiply_down(self):
+        # root splits 3:1 between prod and adhoc; prod splits 1:1.
+        tree = hierarchy(
+            "root",
+            hierarchy("prod", leaf("etl"), leaf("mv"), weight=3.0),
+            leaf("adhoc", weight=1.0),
+        )
+        cfg = flatten_hierarchy(tree)
+        w = {t: cfg.tenant(t).weight for t in cfg.tenant_names()}
+        assert w["etl"] == pytest.approx(w["mv"])
+        assert w["etl"] + w["mv"] == pytest.approx(3.0 * w["adhoc"])
+
+    def test_min_shares_distribute_by_weight(self):
+        tree = hierarchy(
+            "root",
+            hierarchy(
+                "prod",
+                leaf("etl", weight=3.0),
+                leaf("mv", weight=1.0),
+                min_share={"slots": 8},
+            ),
+            leaf("adhoc"),
+        )
+        cfg = flatten_hierarchy(tree)
+        assert cfg.tenant("etl").min_for("slots") == 6
+        assert cfg.tenant("mv").min_for("slots") == 2
+        assert cfg.tenant("adhoc").min_for("slots") == 0
+
+    def test_max_share_takes_tightest_ancestor(self):
+        tree = hierarchy(
+            "root",
+            hierarchy(
+                "prod",
+                leaf("etl", max_share={"slots": 10}),
+                max_share={"slots": 6},
+            ),
+        )
+        cfg = flatten_hierarchy(tree)
+        assert cfg.tenant("etl").max_for("slots", 100) == 6
+
+    def test_timeouts_inherit_and_override(self):
+        tree = hierarchy(
+            "root",
+            hierarchy(
+                "prod",
+                leaf("etl"),
+                leaf("mv", fair_share_preemption_timeout=120.0),
+                fair_share_preemption_timeout=600.0,
+            ),
+        )
+        cfg = flatten_hierarchy(tree)
+        assert cfg.tenant("etl").fair_share_preemption_timeout == 600.0
+        assert cfg.tenant("mv").fair_share_preemption_timeout == 120.0
+        assert math.isinf(cfg.tenant("etl").min_share_preemption_timeout)
+
+    def test_duplicate_leaf_names_rejected(self):
+        tree = hierarchy("root", hierarchy("a", leaf("x")), hierarchy("b", leaf("x")))
+        with pytest.raises(ValueError, match="duplicate leaf"):
+            flatten_hierarchy(tree)
+
+    def test_childless_root_is_single_leaf(self):
+        cfg = flatten_hierarchy(leaf("only", weight=2.0))
+        assert cfg.tenant_names() == ["only"]
+
+
+class TestHierarchicalFairness:
+    """Flattened weights reproduce hierarchical fair allocation."""
+
+    def test_allocation_matches_two_level_fairness(self):
+        # root: prod (3) vs adhoc (1); prod: etl (1) vs mv (1).
+        tree = hierarchy(
+            "root",
+            hierarchy("prod", leaf("etl"), leaf("mv"), weight=3.0),
+            leaf("adhoc"),
+        )
+        cfg = flatten_hierarchy(tree)
+        weights = {t: cfg.tenant(t).weight for t in cfg.tenant_names()}
+        alloc = fair_shares(16, {"etl": 99, "mv": 99, "adhoc": 99}, weights)
+        # prod subtree gets 12, split 6/6; adhoc gets 4.
+        assert alloc == {"etl": 6, "mv": 6, "adhoc": 4}
+
+    def test_sibling_idle_is_approximated(self):
+        """Documented fidelity limit of the Hadoop-style flattening.
+
+        True hierarchical fairness would give the prod subtree 12 (3:1
+        over adhoc) with mv idle, i.e. etl = 12.  Flattened weights give
+        etl its own leaf weight's share (1.5 : 1.0 -> 9.6 ~ 10), which
+        lies strictly between the flat-equal split (8) and the true
+        hierarchical one (12).
+        """
+        tree = hierarchy(
+            "root",
+            hierarchy("prod", leaf("etl"), leaf("mv"), weight=3.0),
+            leaf("adhoc"),
+        )
+        cfg = flatten_hierarchy(tree)
+        weights = {t: cfg.tenant(t).weight for t in cfg.tenant_names()}
+        alloc = fair_shares(16, {"etl": 99, "mv": 0, "adhoc": 99}, weights)
+        assert 8 < alloc["etl"] < 12
+        assert alloc["etl"] + alloc["adhoc"] == 16
+
+    def test_end_to_end_schedule_with_subqueues(self):
+        """Fine-grained SLO scenario: one tenant's interactive jobs get
+        their own sub-queue with a guaranteed minimum."""
+        tree = hierarchy(
+            "root",
+            hierarchy(
+                "analytics",
+                leaf(
+                    "analytics/interactive",
+                    weight=1.0,
+                    min_share={"slots": 4},
+                    min_share_preemption_timeout=30.0,
+                ),
+                leaf("analytics/batch", weight=1.0),
+                weight=1.0,
+            ),
+            leaf("etl", weight=1.0),
+        )
+        cfg = flatten_hierarchy(tree)
+        cluster = ClusterSpec({"slots": 8})
+        workload = Workload(
+            [
+                single_stage_job("analytics/batch", 0.0, [300.0] * 8, job_id="b"),
+                single_stage_job("analytics/interactive", 10.0, [20.0] * 4, job_id="i"),
+                single_stage_job("etl", 10.0, [60.0] * 4, job_id="e"),
+            ]
+        )
+        schedule = SchedulePredictor(cluster).predict(workload, cfg)
+        interactive = schedule.job("i")
+        batch = schedule.job("b")
+        assert interactive.finish_time < batch.finish_time

@@ -1,0 +1,115 @@
+"""Unit and property tests for LOESS local regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.loess import LoessModel, loess_gradient, loess_smooth, tricube_weights
+
+
+class TestTricube:
+    def test_weight_shape(self):
+        w = tricube_weights(np.array([0.0, 0.5, 1.0, 2.0]), bandwidth=1.0)
+        assert w[0] == pytest.approx(1.0)
+        assert 0 < w[1] < 1
+        assert w[2] == pytest.approx(0.0)
+        assert w[3] == pytest.approx(0.0)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            tricube_weights(np.array([1.0]), 0.0)
+
+
+class TestLinearRecovery:
+    def test_exact_on_linear_function(self, rng):
+        """A local linear fit must recover a globally linear function."""
+        coef = np.array([2.0, -3.0, 0.5])
+        xs = rng.uniform(-1, 1, size=(40, 3))
+        ys = xs @ coef + 7.0
+        model = LoessModel(xs, ys, frac=0.7)
+        fit = model.fit_at(np.zeros(3))[0]
+        assert fit.value == pytest.approx(7.0, abs=1e-6)
+        np.testing.assert_allclose(fit.gradient, coef, atol=1e-6)
+
+    def test_jacobian_multi_output(self, rng):
+        xs = rng.uniform(-1, 1, size=(30, 2))
+        ys = np.column_stack([xs @ [1.0, 0.0], xs @ [0.0, -2.0]])
+        jac = LoessModel(xs, ys, frac=0.8).jacobian([0.0, 0.0])
+        np.testing.assert_allclose(jac, [[1.0, 0.0], [0.0, -2.0]], atol=1e-6)
+
+    def test_gradient_of_quadratic_near_point(self, rng):
+        xs = rng.uniform(-0.5, 0.5, size=(80, 2)) + 1.0
+        ys = np.sum(xs**2, axis=1)
+        grad = loess_gradient(xs, ys, [1.0, 1.0], frac=0.3)[0]
+        np.testing.assert_allclose(grad, [2.0, 2.0], atol=0.3)
+
+
+class TestNoiseRobustness:
+    def test_smoothing_beats_raw_noise(self, rng):
+        """LOESS estimate at a point is closer to truth than raw samples."""
+        xs = rng.uniform(-1, 1, size=(200, 1))
+        truth = 3.0 * xs[:, 0]
+        ys = truth + rng.normal(0, 0.5, size=200)
+        model = LoessModel(xs, ys, frac=0.4)
+        estimate = model.predict([0.5])[0]
+        assert abs(estimate - 1.5) < 0.25  # well under the noise sigma
+
+    def test_gradient_stable_under_noise(self, rng):
+        xs = rng.uniform(0, 1, size=(150, 3))
+        ys = xs @ [1.0, 2.0, -1.0] + rng.normal(0, 0.1, 150)
+        jac = loess_gradient(xs, ys, [0.5, 0.5, 0.5], frac=0.6)
+        np.testing.assert_allclose(jac[0], [1.0, 2.0, -1.0], atol=0.35)
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least d\\+2"):
+            LoessModel(np.zeros((3, 2)), np.zeros(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LoessModel(np.zeros((5, 1)), np.zeros(4))
+
+    def test_bad_frac(self):
+        with pytest.raises(ValueError):
+            LoessModel(np.zeros((5, 1)), np.zeros(5), frac=0.0)
+
+    def test_query_dim_mismatch(self):
+        model = LoessModel(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(ValueError, match="dim"):
+            model.fit_at([0.0])
+
+    def test_degenerate_coincident_points(self):
+        """All samples at one point: value recovered, gradient finite."""
+        xs = np.ones((6, 2))
+        ys = np.full(6, 4.0)
+        fit = LoessModel(xs, ys).fit_at([1.0, 1.0])[0]
+        assert fit.value == pytest.approx(4.0, abs=1e-3)
+        assert np.all(np.isfinite(fit.gradient))
+
+
+class TestSmooth1D:
+    def test_smooth_returns_grid(self):
+        x = np.linspace(0, 10, 60)
+        y = np.sin(x)
+        grid, smoothed = loess_smooth(x, y, frac=0.2, points=25)
+        assert len(grid) == len(smoothed) == 25
+        # Smoothed curve tracks the sine reasonably.
+        assert np.max(np.abs(smoothed - np.sin(grid))) < 0.3
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    coef=st.lists(st.floats(-5, 5), min_size=2, max_size=4),
+    intercept=st.floats(-10, 10),
+)
+def test_linear_recovery_property(coef, intercept):
+    """For any linear function, LOESS recovers value + gradient exactly."""
+    coef = np.asarray(coef)
+    rng = np.random.default_rng(3)
+    xs = rng.uniform(-1, 1, size=(30, len(coef)))
+    ys = xs @ coef + intercept
+    fit = LoessModel(xs, ys, frac=0.9).fit_at(np.zeros(len(coef)))[0]
+    assert fit.value == pytest.approx(intercept, abs=1e-5)
+    np.testing.assert_allclose(fit.gradient, coef, atol=1e-5)

@@ -1,0 +1,160 @@
+"""Unit tests for objectives, SLO sets, and QS templates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.slo.objectives import Objective, SLOSet
+from repro.slo.qs import AverageResponseTime, DeadlineViolationFraction
+from repro.slo.templates import (
+    QSTemplate,
+    deadline_slo,
+    fairness_slo,
+    response_time_slo,
+    throughput_slo,
+    utilization_slo,
+)
+from repro.workload.trace import JobRecord, Trace
+
+
+@pytest.fixture
+def trace():
+    jobs = [
+        JobRecord("a0", "A", 0.0, 60.0, deadline=50.0, num_tasks=1),
+        JobRecord("a1", "A", 0.0, 20.0, deadline=40.0, num_tasks=1),
+    ]
+    return Trace([], jobs, capacity={"slots": 2}, horizon=100.0)
+
+
+class TestObjective:
+    def test_priority_scales_value_and_threshold(self, trace):
+        obj = Objective(AverageResponseTime("A"), threshold=30.0, priority=2.0)
+        assert obj.evaluate(trace) == pytest.approx(80.0)  # 2 * 40
+        assert obj.raw(trace) == pytest.approx(40.0)
+        assert obj.scaled_threshold == pytest.approx(60.0)
+
+    def test_unconstrained_threshold_is_inf(self):
+        obj = Objective(AverageResponseTime("A"))
+        assert math.isinf(obj.scaled_threshold)
+
+    def test_default_label(self):
+        obj = Objective(AverageResponseTime("A"))
+        assert obj.label == "ajr(A)"
+
+    def test_bad_priority(self):
+        with pytest.raises(ValueError):
+            Objective(AverageResponseTime("A"), priority=0.0)
+
+    def test_with_threshold(self):
+        obj = Objective(AverageResponseTime("A"))
+        assert obj.with_threshold(5.0).threshold == 5.0
+
+
+class TestSLOSet:
+    def _slos(self):
+        return SLOSet(
+            [
+                Objective(
+                    DeadlineViolationFraction("A", 0.0),
+                    threshold=0.1,
+                    label="DL",
+                ),
+                Objective(AverageResponseTime("A"), label="AJR"),
+            ]
+        )
+
+    def test_evaluate_vector(self, trace):
+        f = self._slos().evaluate(trace)
+        assert f[0] == pytest.approx(0.5)  # one of two misses
+        assert f[1] == pytest.approx(40.0)
+
+    def test_thresholds(self):
+        r = self._slos().thresholds()
+        assert r[0] == pytest.approx(0.1)
+        assert math.isinf(r[1])
+
+    def test_violations_and_regret(self):
+        slos = self._slos()
+        f = np.array([0.5, 40.0])
+        assert list(slos.violations(f)) == [True, False]
+        assert slos.max_regret(f) == pytest.approx(0.4)
+
+    def test_rebased_sets_best_effort_threshold(self):
+        slos = self._slos()
+        rebased = slos.rebased(np.array([0.5, 40.0]))
+        assert rebased[1].threshold == pytest.approx(40.0)
+        assert rebased[0].threshold == pytest.approx(0.1)  # unchanged
+
+    def test_duplicate_labels_rejected(self):
+        obj = Objective(AverageResponseTime("A"), label="X")
+        with pytest.raises(ValueError):
+            SLOSet([obj, Objective(AverageResponseTime("B"), label="X")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSet([])
+
+
+class TestTemplateBuilders:
+    def test_response_time_slo(self):
+        obj = response_time_slo("A", threshold=120.0)
+        assert obj.threshold == 120.0
+        assert obj.label == "AJR[A]"
+
+    def test_deadline_slo(self):
+        obj = deadline_slo("B", max_violation_fraction=0.05, slack=0.25)
+        assert obj.threshold == 0.05
+        assert obj.metric.slack == 0.25
+
+    def test_deadline_slo_validation(self):
+        with pytest.raises(ValueError):
+            deadline_slo("B", max_violation_fraction=2.0)
+
+    def test_utilization_slo_sign(self):
+        obj = utilization_slo(0.7, pool="map")
+        assert obj.threshold == pytest.approx(-0.7)
+
+    def test_throughput_slo(self):
+        obj = throughput_slo("A", min_jobs=10)
+        assert obj.threshold == pytest.approx(-10.0)
+
+    def test_fairness_slo(self):
+        obj = fairness_slo("A", desired_share=0.3, max_deviation=0.05)
+        assert obj.threshold == 0.05
+
+
+class TestQSTemplate:
+    def test_instantiate_deadline(self):
+        tpl = QSTemplate(
+            "B", "deadline", {"max_violation_fraction": 0.05, "slack": 0.25}, priority=2.0
+        )
+        obj = tpl.instantiate()
+        assert obj.priority == 2.0
+        assert obj.metric.tenant == "B"
+
+    def test_from_dict(self):
+        tpl = QSTemplate.from_dict(
+            {
+                "queue": "A",
+                "slo": "response_time",
+                "threshold": 120,
+                "priority": 3,
+            }
+        )
+        obj = tpl.instantiate()
+        assert obj.threshold == 120
+        assert obj.priority == 3.0
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            QSTemplate.from_dict({"slo": "deadline"})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown QS template kind"):
+            QSTemplate("A", "latency_p99")
+
+    def test_cluster_scoped_utilization(self):
+        tpl = QSTemplate("*", "utilization", {"min_utilization": 0.5})
+        obj = tpl.instantiate()
+        assert obj.metric.tenant is None

@@ -1,0 +1,171 @@
+"""Unit tests for the PALD optimizer on controlled analytic problems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pald import PALD
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace
+
+
+@pytest.fixture
+def space():
+    return ConfigSpace(ClusterSpec({"slots": 10}), ["A", "B"], tune_limits=False)
+
+
+def quadratic_evaluator(space, targets, noise_sigma=0.0, seed=0):
+    """f_i(x) = ||x - target_i||^2 (+ optional Gaussian noise)."""
+    rng = np.random.default_rng(seed)
+
+    def evaluate(x):
+        f = np.array([float(np.sum((x - t) ** 2)) for t in targets])
+        if noise_sigma > 0:
+            f = f + rng.normal(0, noise_sigma, len(targets))
+        return f
+
+    return evaluate
+
+
+class TestPALDConstruction:
+    def test_validation(self, space):
+        ev = quadratic_evaluator(space, [np.zeros(space.dim)])
+        with pytest.raises(ValueError):
+            PALD(space, ev, [0.0], trust_radius=0.0)
+        with pytest.raises(ValueError):
+            PALD(space, ev, [0.0], step_size=0.0)
+        with pytest.raises(ValueError):
+            PALD(space, ev, [0.0], candidates=1)
+
+    def test_set_thresholds_shape(self, space):
+        pald = PALD(space, quadratic_evaluator(space, [np.zeros(space.dim)]), [1.0])
+        with pytest.raises(ValueError):
+            pald.set_thresholds([1.0, 2.0])
+
+
+class TestSingleObjectiveDescent:
+    def test_converges_to_unconstrained_minimum(self, space):
+        target = np.full(space.dim, 0.3)
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [target]),
+            [np.inf],
+            trust_radius=0.2,
+            seed=0,
+        )
+        res = pald.optimize(np.full(space.dim, 0.9), 30)
+        assert res.f[0] < 0.05
+
+    def test_monotone_nonincreasing_under_ratchet(self, space):
+        target = np.full(space.dim, 0.3)
+        pald = PALD(
+            space, quadratic_evaluator(space, [target]), [np.inf], seed=1
+        )
+        res = pald.optimize(np.full(space.dim, 0.8), 15)
+        values = res.trajectory()[:, 0]
+        assert np.all(np.diff(values) <= 1e-9)
+
+
+class TestConstrainedDescent:
+    def test_meets_constraint_then_improves_best_effort(self, space):
+        t1 = np.full(space.dim, 0.8)
+        t2 = np.full(space.dim, 0.2)
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [t1, t2], noise_sigma=0.02, seed=2),
+            [0.4, np.inf],
+            trust_radius=0.2,
+            candidates=6,
+            seed=2,
+        )
+        res = pald.optimize(np.full(space.dim, 0.5), 30)
+        f = res.f
+        assert f[0] <= 0.45  # constraint met (noise tolerance)
+        # Best-effort objective improved over the f2-optimal-but-
+        # infeasible starting region value.
+        assert f[1] < 1.4
+
+    def test_infeasible_problem_minimizes_max_regret(self, space):
+        # Two incompatible constraints around opposite corners.
+        t1 = np.zeros(space.dim)
+        t2 = np.ones(space.dim)
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [t1, t2]),
+            [0.05, 0.05],
+            trust_radius=0.25,
+            seed=3,
+        )
+        res = pald.optimize(np.full(space.dim, 0.9), 25)
+        start_regret = res.steps[0].max_regret
+        end_regret = res.steps[-1].max_regret
+        assert end_regret <= start_regret
+
+    def test_feasible_preferred_over_lower_proxy(self, space):
+        """Candidate selection is feasibility-first (the paper's
+        (5,5) vs (0,7) example resolved correctly)."""
+        calls = {"n": 0}
+
+        def evaluator(x):
+            # First call (current point) feasible; all others infeasible
+            # with tempting low first component.
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return np.array([5.0, 5.0])
+            return np.array([0.0, 7.0])
+
+        pald = PALD(space, evaluator, [6.0, 6.0], seed=4)
+        step = pald.step(np.full(space.dim, 0.5))
+        np.testing.assert_allclose(step.f, [5.0, 5.0])
+
+
+class TestDiagnostics:
+    def test_step_accounting(self, space):
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [np.zeros(space.dim)]),
+            [np.inf],
+            candidates=5,
+            seed=5,
+        )
+        res = pald.optimize(np.full(space.dim, 0.5), 3)
+        assert res.total_evaluations >= 3 * 4
+        assert len(res.steps) == 3
+        assert res.steps[0].iteration == 1
+
+    def test_trust_region_respected_between_steps(self, space):
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [np.zeros(space.dim)]),
+            [np.inf],
+            trust_radius=0.1,
+            seed=6,
+        )
+        x = np.full(space.dim, 0.7)
+        step = pald.step(x)
+        assert space.distance(step.x, x) <= 0.1 + 1e-9
+
+    def test_archive_collects_front(self, space):
+        pald = PALD(
+            space,
+            quadratic_evaluator(
+                space, [np.zeros(space.dim), np.ones(space.dim)]
+            ),
+            [np.inf, np.inf],
+            seed=7,
+        )
+        pald.optimize(np.full(space.dim, 0.5), 5)
+        assert len(pald.archive) >= 1
+
+    def test_ratchet_tightens_only_best_effort(self, space):
+        pald = PALD(
+            space,
+            quadratic_evaluator(space, [np.zeros(space.dim)] * 2),
+            [0.7, np.inf],
+        )
+        pald.ratchet(np.array([0.1, 2.0]))
+        assert pald.r[0] == 0.7  # hard constraint untouched
+        assert pald.r[1] == 2.0
+        pald.ratchet(np.array([0.1, 3.0]))
+        assert pald.r[1] == 2.0  # ratchet never loosens

@@ -1,0 +1,126 @@
+"""Unit and property tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import ParetoArchive, dominates, pareto_front, weakly_dominates
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 2.0], [2.0, 3.0])
+        assert dominates([1.0, 3.0], [2.0, 3.0])
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 5.0], [5.0, 1.0])
+        assert not dominates([5.0, 1.0], [1.0, 5.0])
+
+    def test_tolerance(self):
+        # Within tol, the small improvement doesn't count as strict.
+        assert not dominates([0.99, 2.0], [1.0, 2.0], tol=0.05)
+        assert dominates([0.5, 2.0], [1.0, 2.0], tol=0.05)
+
+    def test_weak_dominance(self):
+        assert weakly_dominates([1.0, 2.0], [1.0, 2.0])
+        assert not weakly_dominates([1.1, 2.0], [1.0, 2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1.0], [1.0, 2.0])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [[1.0, 5.0], [5.0, 1.0], [3.0, 3.0], [6.0, 6.0]]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert pareto_front([[1.0, 1.0]]) == [0]
+
+    def test_duplicates_both_kept(self):
+        # Equal points do not dominate each other.
+        assert pareto_front([[1.0, 1.0], [1.0, 1.0]]) == [0, 1]
+
+
+class TestParetoArchive:
+    def test_add_and_evict(self):
+        arch = ParetoArchive()
+        assert arch.add([0.0], [5.0, 5.0])
+        assert arch.add([0.1], [1.0, 9.0])
+        # Dominates the first entry: evicts it.
+        assert arch.add([0.2], [4.0, 4.0])
+        fronts = arch.front()
+        assert fronts.shape[0] == 2
+
+    def test_dominated_rejected(self):
+        arch = ParetoArchive()
+        arch.add([0.0], [1.0, 1.0])
+        assert not arch.add([0.1], [2.0, 2.0])
+
+    def test_duplicate_rejected(self):
+        arch = ParetoArchive()
+        arch.add([0.0], [1.0, 2.0])
+        assert not arch.add([0.5], [1.0, 2.0])
+
+    def test_best_by(self):
+        arch = ParetoArchive()
+        arch.add([0.0], [1.0, 9.0])
+        arch.add([1.0], [9.0, 1.0])
+        best = arch.best_by(lambda f: f[0])
+        assert best.f[0] == 1.0
+
+    def test_best_by_empty(self):
+        with pytest.raises(ValueError):
+            ParetoArchive().best_by(lambda f: f[0])
+
+
+vectors = st.lists(
+    st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(points=vectors)
+def test_front_members_are_mutually_non_dominating(points):
+    front = pareto_front(points)
+    for i in front:
+        for j in front:
+            if i != j:
+                assert not dominates(points[i], points[j])
+
+
+@settings(max_examples=80, deadline=None)
+@given(points=vectors)
+def test_every_non_front_point_is_dominated(points):
+    front = set(pareto_front(points))
+    for i, p in enumerate(points):
+        if i not in front:
+            assert any(dominates(points[j], p) for j in front)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=vectors)
+def test_archive_holds_exactly_the_front_of_inserted_points(points):
+    arch = ParetoArchive()
+    for i, p in enumerate(points):
+        arch.add([float(i)], p)
+    archived = {tuple(e.f) for e in arch.entries}
+    front_points = {tuple(map(float, points[i])) for i in pareto_front(points)}
+    # The archive may hold fewer entries than the front when duplicates
+    # exist (it rejects exact duplicates), but never a dominated point.
+    assert archived <= front_points or all(
+        not any(dominates(q, f) for q in front_points) for f in archived
+    )
+    for f in archived:
+        assert not any(
+            dominates(e2.f, np.array(f))
+            for e2 in arch.entries
+            if tuple(e2.f) != f
+        )

@@ -1,0 +1,84 @@
+"""Unit tests for temporal workload patterns."""
+
+import pytest
+
+from repro.workload.patterns import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    BurstPattern,
+    DiurnalPattern,
+    FlatPattern,
+    WeeklyPattern,
+)
+
+
+class TestFlatPattern:
+    def test_constant(self):
+        p = FlatPattern(2.5)
+        assert p.factor(0.0) == 2.5
+        assert p.factor(1e6) == 2.5
+        assert p.mean_factor(1000.0) == pytest.approx(2.5)
+
+
+class TestDiurnalPattern:
+    def test_peak_at_peak_hour(self):
+        p = DiurnalPattern(base=0.2, amplitude=1.0, peak_hour=14.0)
+        peak = p.factor(14 * SECONDS_PER_HOUR)
+        trough = p.factor(2 * SECONDS_PER_HOUR)
+        assert peak == pytest.approx(1.2)
+        assert trough == pytest.approx(0.2)
+        assert peak > trough
+
+    def test_period_is_one_day(self):
+        p = DiurnalPattern()
+        assert p.factor(3 * SECONDS_PER_HOUR) == pytest.approx(
+            p.factor(3 * SECONDS_PER_HOUR + SECONDS_PER_DAY)
+        )
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(base=-0.1)
+
+
+class TestWeeklyPattern:
+    def test_weekend_drop(self):
+        p = WeeklyPattern()  # default: weekend factor 0.35
+        monday = p.factor(0.0)
+        saturday = p.factor(5 * SECONDS_PER_DAY)
+        assert monday == 1.0
+        assert saturday == pytest.approx(0.35)
+
+    def test_wraps_after_a_week(self):
+        p = WeeklyPattern()
+        assert p.factor(0.0) == p.factor(7 * SECONDS_PER_DAY)
+
+    def test_requires_seven_days(self):
+        with pytest.raises(ValueError, match="7 entries"):
+            WeeklyPattern(day_factors=(1.0, 1.0))
+
+
+class TestBurstPattern:
+    def test_burst_and_idle_levels(self):
+        p = BurstPattern(period=100.0, burst_fraction=0.2, burst_level=5.0, idle_level=0.1)
+        assert p.factor(10.0) == 5.0
+        assert p.factor(50.0) == 0.1
+        assert p.factor(110.0) == 5.0  # next period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPattern(period=0.0)
+        with pytest.raises(ValueError):
+            BurstPattern(burst_fraction=0.0)
+
+
+class TestProductPattern:
+    def test_product_composes(self):
+        p = FlatPattern(2.0) * FlatPattern(3.0)
+        assert p.factor(0.0) == pytest.approx(6.0)
+
+    def test_weekly_times_burst(self):
+        p = WeeklyPattern() * BurstPattern(
+            period=100.0, burst_fraction=0.5, burst_level=2.0, idle_level=0.0
+        )
+        # Saturday burst: 0.35 * 2.
+        assert p.factor(5 * SECONDS_PER_DAY + 10.0) == pytest.approx(0.7)

@@ -1,0 +1,242 @@
+"""Unit tests for the time-warp Schedule Predictor."""
+
+import math
+
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import RMConfig, TenantConfig
+from repro.rm.policies import FifoPolicy
+from repro.sim.predictor import SchedulePredictor
+from repro.workload.model import (
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    Workload,
+    mapreduce_job,
+    single_stage_job,
+)
+
+
+def predict(cluster, workload, config=None, policy=None):
+    config = config or RMConfig({t: TenantConfig() for t in workload.tenants()})
+    return SchedulePredictor(cluster, policy).predict(workload, config)
+
+
+class TestSingleJobTiming:
+    def test_one_task(self, small_cluster):
+        w = Workload([single_stage_job("A", 2.0, [10.0], job_id="j")])
+        s = predict(small_cluster, w)
+        rec = s.task_records[0]
+        assert rec.start_time == pytest.approx(2.0)
+        assert rec.finish_time == pytest.approx(12.0)
+        assert s.job_records[0].response_time == pytest.approx(10.0)
+
+    def test_waves_when_capacity_limited(self):
+        cluster = ClusterSpec({"slots": 2})
+        w = Workload([single_stage_job("A", 0.0, [10.0] * 4, job_id="j")])
+        s = predict(cluster, w)
+        # Two waves of two tasks: finish at 20.
+        assert s.job_records[0].finish_time == pytest.approx(20.0)
+
+    def test_job_finish_is_max_task_finish(self, small_cluster):
+        w = Workload([single_stage_job("A", 0.0, [3.0, 9.0, 6.0], job_id="j")])
+        s = predict(small_cluster, w)
+        assert s.job_records[0].finish_time == pytest.approx(9.0)
+
+    def test_critical_path_is_lower_bound(self, small_cluster, mr_workload):
+        s = predict(small_cluster if False else ClusterSpec({"map": 8, "reduce": 8}), mr_workload)
+        for job in mr_workload:
+            rec = s.job(job.job_id)
+            assert rec.response_time >= job.critical_path() - 1e-6
+
+
+class TestStageDependencies:
+    def test_reduce_waits_for_maps(self, mr_cluster):
+        w = Workload([mapreduce_job("A", 0.0, [10.0, 10.0], [5.0], job_id="mr")])
+        s = predict(mr_cluster, w)
+        reduce_rec = [r for r in s.task_records if r.stage == "reduce"][0]
+        assert reduce_rec.start_time == pytest.approx(10.0)
+        assert s.job_records[0].finish_time == pytest.approx(15.0)
+
+    def test_slowstart_launches_reduces_early(self, mr_cluster):
+        # Two maps finish at 10 and 20; slowstart 0.5 releases the
+        # reduce once half the maps are done.
+        job = mapreduce_job("A", 0.0, [10.0, 20.0], [5.0], slowstart=0.5, job_id="mr")
+        s = predict(mr_cluster, Workload([job]))
+        reduce_rec = [r for r in s.task_records if r.stage == "reduce"][0]
+        assert reduce_rec.start_time == pytest.approx(10.0)
+
+    def test_three_stage_chain(self, small_cluster):
+        stages = (
+            StageSpec("a", (TaskSpec("t-a", 5.0),)),
+            StageSpec("b", (TaskSpec("t-b", 5.0),), deps=("a",)),
+            StageSpec("c", (TaskSpec("t-c", 5.0),), deps=("b",)),
+        )
+        job = JobSpec("chain", "A", 0.0, stages)
+        s = predict(small_cluster, Workload([job]))
+        assert s.job_records[0].finish_time == pytest.approx(15.0)
+
+
+class TestFairSharing:
+    def test_equal_split_between_tenants(self):
+        cluster = ClusterSpec({"slots": 4})
+        w = Workload(
+            [
+                single_stage_job("A", 0.0, [10.0] * 4, job_id="a"),
+                single_stage_job("B", 0.0, [10.0] * 4, job_id="b"),
+            ]
+        )
+        s = predict(cluster, w)
+        # Each gets 2 slots -> both finish in two waves of 10s.
+        assert s.job_records[0].finish_time == pytest.approx(20.0)
+        assert s.job_records[1].finish_time == pytest.approx(20.0)
+
+    def test_weight_bias(self):
+        cluster = ClusterSpec({"slots": 4})
+        cfg = RMConfig(
+            {"A": TenantConfig(weight=3.0), "B": TenantConfig(weight=1.0)}
+        )
+        w = Workload(
+            [
+                single_stage_job("A", 0.0, [10.0] * 3, job_id="a"),
+                single_stage_job("B", 0.0, [10.0] * 3, job_id="b"),
+            ]
+        )
+        s = predict(cluster, w, cfg)
+        a_fin = s.job("a").finish_time
+        b_fin = s.job("b").finish_time
+        assert a_fin < b_fin  # A gets 3 slots, B gets 1
+
+    def test_max_share_leaves_capacity_idle(self):
+        cluster = ClusterSpec({"slots": 4})
+        cfg = RMConfig({"A": TenantConfig(max_share={"slots": 2})})
+        w = Workload([single_stage_job("A", 0.0, [10.0] * 4, job_id="a")])
+        s = predict(cluster, w, cfg)
+        assert s.job("a").finish_time == pytest.approx(20.0)
+
+    def test_idle_capacity_redistributed(self):
+        cluster = ClusterSpec({"slots": 4})
+        # B has nothing to run: A should use all four slots.
+        w = Workload([single_stage_job("A", 0.0, [10.0] * 4, job_id="a")])
+        cfg = RMConfig({"A": TenantConfig(weight=1.0), "B": TenantConfig(weight=9.0)})
+        s = predict(cluster, w, cfg)
+        assert s.job("a").finish_time == pytest.approx(10.0)
+
+
+class TestPreemption:
+    def _config(self, min_share=5, timeout=60.0):
+        return RMConfig(
+            {
+                "A": TenantConfig(weight=1.0),
+                "B": TenantConfig(
+                    weight=1.0,
+                    min_share={"slots": min_share},
+                    min_share_preemption_timeout=timeout,
+                ),
+            }
+        )
+
+    def _workload(self):
+        return Workload(
+            [
+                single_stage_job("A", 0.0, [500.0] * 10, job_id="a"),
+                single_stage_job("B", 5.0, [100.0] * 5, job_id="b"),
+            ]
+        )
+
+    def test_kill_after_timeout(self):
+        cluster = ClusterSpec({"slots": 10})
+        s = SchedulePredictor(cluster).predict(self._workload(), self._config())
+        killed = [r for r in s.task_records if r.preempted]
+        assert len(killed) == 5
+        assert all(r.tenant == "A" for r in killed)
+        assert all(r.finish_time == pytest.approx(65.0) for r in killed)
+
+    def test_killed_tasks_restart_from_scratch(self):
+        cluster = ClusterSpec({"slots": 10})
+        s = SchedulePredictor(cluster).predict(self._workload(), self._config())
+        retries = [r for r in s.task_records if r.attempt == 1 and r.tenant == "A"]
+        assert len(retries) == 5
+        # B's tasks run 65..165; A's retries start at 165 with full 500s.
+        for r in retries:
+            assert r.start_time == pytest.approx(165.0)
+            assert r.finish_time == pytest.approx(665.0)
+
+    def test_no_preemption_without_timeout(self):
+        cluster = ClusterSpec({"slots": 10})
+        cfg = RMConfig({"A": TenantConfig(), "B": TenantConfig(min_share={"slots": 5})})
+        s = SchedulePredictor(cluster).predict(self._workload(), cfg)
+        assert not any(r.preempted for r in s.task_records)
+
+    def test_fair_level_preemption(self):
+        cluster = ClusterSpec({"slots": 10})
+        cfg = RMConfig(
+            {
+                "A": TenantConfig(),
+                "B": TenantConfig(fair_share_preemption_timeout=100.0),
+            }
+        )
+        s = SchedulePredictor(cluster).predict(self._workload(), cfg)
+        killed = [r for r in s.task_records if r.preempted]
+        # Fair share of B is 5; it preempts at ~105.
+        assert len(killed) == 5
+        assert killed[0].finish_time == pytest.approx(105.0)
+
+    def test_effective_utilization_below_raw(self):
+        cluster = ClusterSpec({"slots": 10})
+        s = SchedulePredictor(cluster).predict(self._workload(), self._config())
+        assert s.utilization(include_preempted=False) < s.utilization()
+
+
+class TestPolicies:
+    def test_fifo_starves_latecomer(self):
+        cluster = ClusterSpec({"slots": 4})
+        w = Workload(
+            [
+                single_stage_job("A", 0.0, [50.0] * 4, job_id="a"),
+                single_stage_job("B", 1.0, [10.0] * 2, job_id="b"),
+            ]
+        )
+        s = predict(cluster, w, policy=FifoPolicy())
+        assert s.job("b").finish_time == pytest.approx(60.0)
+
+
+class TestRecordConsistency:
+    def test_every_task_recorded_once_per_attempt(self, mr_cluster, mr_workload):
+        s = predict(mr_cluster, mr_workload)
+        keys = [(r.task_id, r.attempt) for r in s.task_records]
+        assert len(keys) == len(set(keys))
+        assert len(s.task_records) == mr_workload.num_tasks
+
+    def test_ordering_invariants(self, mr_cluster, mr_workload):
+        s = predict(mr_cluster, mr_workload)
+        for r in s.task_records:
+            assert r.submit_time <= r.start_time <= r.finish_time
+
+    def test_determinism(self, mr_cluster, mr_workload, two_tenant_config):
+        s1 = SchedulePredictor(mr_cluster).predict(mr_workload, two_tenant_config)
+        s2 = SchedulePredictor(mr_cluster).predict(mr_workload, two_tenant_config)
+        assert [
+            (r.task_id, r.start_time, r.finish_time) for r in s1.task_records
+        ] == [(r.task_id, r.start_time, r.finish_time) for r in s2.task_records]
+
+    def test_oversized_task_rejected(self, small_cluster):
+        job = JobSpec(
+            "big",
+            "A",
+            0.0,
+            (StageSpec("s", (TaskSpec("t", 1.0, containers=99),)),),
+        )
+        with pytest.raises(ValueError, match="demands"):
+            predict(small_cluster, Workload([job]))
+
+    def test_unknown_pool_rejected(self, small_cluster):
+        job = JobSpec(
+            "gpu",
+            "A",
+            0.0,
+            (StageSpec("s", (TaskSpec("t", 1.0, pool="gpu"),)),),
+        )
+        with pytest.raises(ValueError, match="pool"):
+            predict(small_cluster, Workload([job]))

@@ -1,0 +1,123 @@
+"""Unit and property tests for the proxy problem (SP2) machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.proxy import descent_direction, proxy_value, rho_star
+
+
+class TestProxyValue:
+    def test_weighted_sum_at_rho_zero(self):
+        f = np.array([2.0, 3.0])
+        r = np.array([10.0, 10.0])
+        c = np.array([1.0, 1.0])
+        assert proxy_value(f, r, c, 0.0) == pytest.approx(5.0 - 0.0)
+
+    def test_continuity_at_boundary(self):
+        r = np.array([5.0])
+        c = np.array([1.0])
+        below = proxy_value(np.array([5.0 - 1e-9]), r, c, 0.7)
+        above = proxy_value(np.array([5.0 + 1e-9]), r, c, 0.7)
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_infinite_threshold_finite_value(self):
+        f = np.array([3.0])
+        r = np.array([math.inf])
+        assert math.isfinite(proxy_value(f, r, np.array([1.0]), 0.5))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        f=st.lists(st.floats(-5, 5), min_size=2, max_size=4),
+        idx=st.integers(0, 3),
+        delta=st.floats(0.01, 2.0),
+        rho=st.floats(-0.99, 0.99),
+    )
+    def test_theorem1_monotonicity(self, f, idx, delta, rho):
+        """The proxy objective is strictly increasing in every f_i.
+
+        This is the crux of Theorem 1: monotonicity implies every
+        minimizer of (SP2) is weakly Pareto-optimal for (SP1).
+        """
+        f = np.asarray(f)
+        idx = idx % len(f)
+        r = np.full(len(f), 1.0)
+        c = np.full(len(f), 0.5)
+        g = f.copy()
+        g[idx] += delta
+        assert proxy_value(f, r, c, rho) < proxy_value(g, r, c, rho) + 1e-12
+
+
+class TestRhoStar:
+    def test_zero_when_nothing_violated(self):
+        assert rho_star(np.eye(2), np.ones(2), np.array([False, False])) == 0.0
+
+    def test_negative_for_single_violation(self):
+        """One violated objective: rho goes negative to amplify it."""
+        rho = rho_star(np.eye(2), np.array([0.5, 0.5]), np.array([True, False]))
+        assert rho < 0.0
+
+    def test_violated_alignment_never_negative(self):
+        rng = np.random.default_rng(0)
+        for seed in range(20):
+            jac = np.random.default_rng(seed).normal(size=(3, 4))
+            c = np.abs(np.random.default_rng(seed + 1).normal(size=3)) + 0.1
+            violated = np.array([True, True, False])
+            rho = rho_star(jac, c, violated)
+            d = descent_direction(jac, c, rho, violated)
+            alignments = jac[violated] @ d
+            # The constraint of (RHO): no violated QS increases, unless
+            # geometry makes it impossible (rho falls back to 0 then).
+            if rho != 0.0:
+                assert np.min(alignments) >= -1e-9
+
+    def test_rho_maximizes_worst_alignment(self):
+        rng = np.random.default_rng(7)
+        jac = rng.normal(size=(3, 4))
+        c = np.array([0.4, 0.4, 0.2])
+        violated = np.array([True, False, True])
+        rho = rho_star(jac, c, violated)
+        d_star = descent_direction(jac, c, rho, violated)
+        best = np.min(jac[violated] @ d_star)
+        for alt_rho in np.linspace(-1.0, 0.99, 41):
+            d = descent_direction(jac, c, alt_rho, violated)
+            align = np.min(jac[violated] @ d)
+            if align >= -1e-9:  # feasible alternative
+                assert best >= align - 1e-6
+
+    def test_zero_gradients_give_zero(self):
+        assert rho_star(np.zeros((2, 3)), np.ones(2), np.array([True, False])) == 0.0
+
+    def test_below_one(self):
+        rng = np.random.default_rng(3)
+        for seed in range(10):
+            jac = np.random.default_rng(seed).normal(size=(4, 5))
+            rho = rho_star(jac, np.ones(4), np.array([True, True, False, False]))
+            assert rho < 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rho_star(np.eye(2), np.ones(3), np.array([True, False]))
+
+
+class TestDescentDirection:
+    def test_no_violation_is_weighted_gradient(self):
+        jac = np.array([[1.0, 0.0], [0.0, 2.0]])
+        c = np.array([1.0, 1.0])
+        d = descent_direction(jac, c, rho=0.5, violated=np.array([False, False]))
+        np.testing.assert_allclose(d, [1.0, 2.0])
+
+    def test_negative_rho_amplifies_violated(self):
+        jac = np.eye(2)
+        c = np.array([1.0, 1.0])
+        d = descent_direction(jac, c, rho=-1.0, violated=np.array([True, False]))
+        np.testing.assert_allclose(d, [2.0, 1.0])
+
+    def test_positive_rho_dampens_violated(self):
+        jac = np.eye(2)
+        c = np.array([1.0, 1.0])
+        d = descent_direction(jac, c, rho=0.5, violated=np.array([True, False]))
+        np.testing.assert_allclose(d, [0.5, 1.0])

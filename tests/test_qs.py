@@ -1,0 +1,125 @@
+"""Unit tests for QS metrics (Section 5.1)."""
+
+import pytest
+
+from repro.slo.qs import (
+    AverageResponseTime,
+    DeadlineViolationFraction,
+    FairnessDeviation,
+    NegativeThroughput,
+    NegativeUtilization,
+)
+from repro.workload.trace import JobRecord, TaskRecord, Trace
+
+
+@pytest.fixture
+def trace():
+    """Hand-built schedule with known QS values.
+
+    Tenant A: two jobs, responses 10 and 30 (AJR 20); one deadline miss
+    at slack 0.  Tenant B: one job, response 8, meets deadline.
+    Capacity: 2 slots over horizon 40.
+    """
+    tasks = [
+        TaskRecord("a0", "a0/t0", "A", "slots", "s", 0.0, 0.0, 10.0),
+        TaskRecord("a1", "a1/t0", "A", "slots", "s", 0.0, 5.0, 25.0, preempted=True),
+        TaskRecord("a1", "a1/t0", "A", "slots", "s", 0.0, 25.0, 30.0, attempt=1),
+        TaskRecord("b0", "b0/t0", "B", "slots", "s", 2.0, 2.0, 10.0),
+    ]
+    jobs = [
+        JobRecord("a0", "A", 0.0, 10.0, deadline=12.0, num_tasks=1),
+        JobRecord("a1", "A", 0.0, 30.0, deadline=20.0, num_tasks=1),
+        JobRecord("b0", "B", 2.0, 10.0, deadline=15.0, num_tasks=1),
+    ]
+    return Trace(tasks, jobs, capacity={"slots": 2}, horizon=40.0)
+
+
+class TestAverageResponseTime:
+    def test_value(self, trace):
+        assert AverageResponseTime("A").evaluate(trace) == pytest.approx(20.0)
+        assert AverageResponseTime("B").evaluate(trace) == pytest.approx(8.0)
+
+    def test_all_tenants(self, trace):
+        assert AverageResponseTime(None).evaluate(trace) == pytest.approx(16.0)
+
+    def test_empty_interval(self, trace):
+        assert AverageResponseTime("A").evaluate(trace, (35.0, 40.0)) == 0.0
+
+    def test_custom_empty_value(self, trace):
+        metric = AverageResponseTime("A", empty_value=99.0)
+        assert metric.evaluate(trace, (35.0, 40.0)) == 99.0
+
+    def test_name(self):
+        assert AverageResponseTime("A").name == "ajr(A)"
+
+
+class TestDeadlineViolationFraction:
+    def test_no_slack(self, trace):
+        # a1 misses (30 > 20); a0 meets (10 <= 12).
+        assert DeadlineViolationFraction("A", 0.0).evaluate(trace) == pytest.approx(0.5)
+
+    def test_slack_tolerates(self, trace):
+        # slack 0.5: a1 violates only if 30 > 20 + 0.5*30 = 35 -> no.
+        assert DeadlineViolationFraction("A", 0.5).evaluate(trace) == 0.0
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineViolationFraction("A", -0.1)
+
+    def test_jobs_without_deadline_ignored(self):
+        jobs = [JobRecord("x", "A", 0.0, 5.0, deadline=None, num_tasks=1)]
+        tr = Trace([], jobs, capacity={"slots": 1}, horizon=10.0)
+        assert DeadlineViolationFraction("A").evaluate(tr) == 0.0
+
+
+class TestNegativeUtilization:
+    def test_full_cluster(self, trace):
+        # Work: 10 + 20 + 5 + 8 = 43 container-seconds over 2*40.
+        assert NegativeUtilization().evaluate(trace) == pytest.approx(-43.0 / 80.0)
+
+    def test_per_tenant(self, trace):
+        assert NegativeUtilization("B").evaluate(trace) == pytest.approx(-8.0 / 80.0)
+
+    def test_effective_excludes_preempted(self, trace):
+        raw = NegativeUtilization("A").evaluate(trace)
+        eff = NegativeUtilization("A", effective=True).evaluate(trace)
+        assert eff > raw  # less usage counted -> closer to zero
+
+    def test_interval_clipping(self, trace):
+        # Only overlap with [0, 10): a0 contributes 10, a1 5, b0 8.
+        value = NegativeUtilization().evaluate(trace, (0.0, 10.0))
+        assert value == pytest.approx(-(10.0 + 5.0 + 8.0) / 20.0)
+
+    def test_no_capacity(self):
+        tr = Trace([], [], horizon=10.0)
+        assert NegativeUtilization().evaluate(tr) == 0.0
+
+
+class TestNegativeThroughput:
+    def test_counts_completions(self, trace):
+        assert NegativeThroughput("A").evaluate(trace) == -2.0
+        assert NegativeThroughput(None).evaluate(trace) == -3.0
+
+    def test_interval(self, trace):
+        assert NegativeThroughput("A").evaluate(trace, (0.0, 15.0)) == -1.0
+
+
+class TestFairnessDeviation:
+    def test_zero_when_share_matches(self, trace):
+        # A uses 35/80 = 0.4375 of the cluster.
+        m = FairnessDeviation("A", desired_share=35.0 / 80.0)
+        assert m.evaluate(trace) == pytest.approx(0.0, abs=1e-9)
+
+    def test_deviation_positive(self, trace):
+        m = FairnessDeviation("A", desired_share=0.9)
+        assert m.evaluate(trace) == pytest.approx(0.9 - 35.0 / 80.0)
+
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            FairnessDeviation("A", desired_share=1.5)
+
+    def test_minimizing_reduces_deviation(self, trace):
+        """Lower QS = closer to the desired share (the sign-typo fix)."""
+        close = FairnessDeviation("A", desired_share=0.45).evaluate(trace)
+        far = FairnessDeviation("A", desired_share=0.95).evaluate(trace)
+        assert close < far

@@ -1,0 +1,95 @@
+"""Unit and property tests for scalarizations and MGDA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scalarization import (
+    conic_scalarize,
+    mgda_direction,
+    min_norm_weights,
+    weighted_sum,
+)
+
+
+class TestWeightedSum:
+    def test_value(self):
+        assert weighted_sum([1.0, 2.0], [3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_sum([1.0], [1.0, 2.0])
+
+    def test_paper_counterexample(self):
+        """Equal-weight sum picks (0,7) although it violates r=(6,6)."""
+        c = [0.5, 0.5]
+        assert weighted_sum(c, [0.0, 7.0]) < weighted_sum(c, [5.0, 5.0])
+
+
+class TestConicScalarization:
+    def test_reduces_to_weighted_sum_at_alpha_zero(self):
+        f = [1.0, -2.0]
+        assert conic_scalarize([1.0, 1.0], f, 0.0) == pytest.approx(
+            weighted_sum([1.0, 1.0], f)
+        )
+
+    def test_alpha_penalizes_imbalance(self):
+        # Same weighted sum (6), but the skewed point has a larger l1
+        # magnitude, which the conic term penalizes.
+        balanced = conic_scalarize([1.0, 1.0], [3.0, 3.0], alpha=0.5)
+        skewed = conic_scalarize([1.0, 1.0], [-1.0, 7.0], alpha=0.5)
+        assert balanced < skewed
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            conic_scalarize([1.0], [1.0], alpha=-0.1)
+
+
+class TestMinNormWeights:
+    def test_single_objective(self):
+        assert min_norm_weights(np.array([[1.0, 2.0]])) == pytest.approx([1.0])
+
+    def test_orthogonal_equal_norm(self):
+        c = min_norm_weights(np.eye(2))
+        np.testing.assert_allclose(c, [0.5, 0.5], atol=1e-6)
+
+    def test_opposing_gradients_min_norm_zero(self):
+        jac = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        c = min_norm_weights(jac)
+        d = jac.T @ c
+        assert np.linalg.norm(d) < 1e-4
+
+    def test_identical_gradients(self):
+        jac = np.array([[2.0, 0.0], [2.0, 0.0]])
+        c = min_norm_weights(jac)
+        assert np.sum(c) == pytest.approx(1.0)
+        d = jac.T @ c
+        np.testing.assert_allclose(d, [2.0, 0.0], atol=1e-6)
+
+    def test_simplex_constraints(self):
+        rng = np.random.default_rng(0)
+        jac = rng.normal(size=(4, 6))
+        c = min_norm_weights(jac)
+        assert np.all(c >= -1e-12)
+        assert np.sum(c) == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    k=st.integers(2, 5),
+    n=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_mgda_direction_is_common_descent(k, n, seed):
+    """g_i . d >= ||d||^2 - eps for every objective gradient g_i.
+
+    This is the defining property of the min-norm element: if d != 0,
+    stepping along -d decreases every objective to first order.
+    """
+    rng = np.random.default_rng(seed)
+    jac = rng.normal(size=(k, n))
+    d = mgda_direction(jac)
+    d_norm_sq = float(d @ d)
+    for g in jac:
+        assert float(g @ d) >= d_norm_sq - 1e-4 * max(d_norm_sq, 1.0)

@@ -1,0 +1,112 @@
+"""Tests for SWIM-style scaling and Facebook/Cloudera-like synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.workload.model import Workload, mapreduce_job
+from repro.workload.swim import (
+    ClouderaLikeModel,
+    FacebookLikeModel,
+    scale_trace,
+    scale_workload,
+    synthesize_swim_workload,
+)
+
+
+@pytest.fixture
+def source():
+    return Workload(
+        [
+            mapreduce_job("A", 0.0, [10.0] * 10, [20.0] * 4, job_id="j0", deadline=300.0),
+            mapreduce_job("A", 100.0, [10.0] * 6, [20.0] * 2, job_id="j1"),
+        ],
+        horizon=200.0,
+    )
+
+
+class TestScaleWorkload:
+    def test_time_compression(self, source):
+        scaled = scale_workload(source, time_scale=0.5)
+        assert scaled[1].submit_time == pytest.approx(50.0)
+        assert scaled.horizon == pytest.approx(100.0)
+
+    def test_size_scaling_shrinks_task_counts(self, source):
+        scaled = scale_workload(source, size_scale=0.5)
+        assert scaled[0].stage("map").num_tasks == 5
+        assert scaled[0].stage("reduce").num_tasks == 2
+
+    def test_size_scaling_never_drops_to_zero(self, source):
+        scaled = scale_workload(source, size_scale=0.01)
+        for job in scaled:
+            for stage in job.stages:
+                assert stage.num_tasks >= 1
+
+    def test_duration_scaling(self, source):
+        scaled = scale_workload(source, duration_scale=2.0)
+        assert scaled[0].stage("map").tasks[0].duration == pytest.approx(20.0)
+
+    def test_deadline_scales_with_time(self, source):
+        scaled = scale_workload(source, time_scale=0.5)
+        job = scaled[0]
+        assert job.deadline == pytest.approx(150.0)
+
+    def test_invalid_scales_rejected(self, source):
+        with pytest.raises(ValueError):
+            scale_workload(source, time_scale=0.0)
+        with pytest.raises(ValueError):
+            scale_workload(source, size_scale=-1.0)
+
+    def test_identity_scaling_preserves(self, source):
+        scaled = scale_workload(source)
+        assert scaled.num_tasks == source.num_tasks
+        assert scaled.horizon == source.horizon
+
+
+class TestScaleTrace:
+    def test_roundtrip_through_trace(self, source):
+        from repro.rm.cluster import ClusterSpec
+        from repro.rm.config import RMConfig, TenantConfig
+        from repro.sim.predictor import SchedulePredictor
+
+        cluster = ClusterSpec({"map": 8, "reduce": 4})
+        trace = SchedulePredictor(cluster).predict(
+            source, RMConfig({"A": TenantConfig()})
+        )
+        replay = scale_trace(trace, size_scale=0.5)
+        assert len(replay) == 2
+        assert replay[0].stage("map").num_tasks == 5
+
+
+class TestSwimModels:
+    def test_facebook_heavy_tail(self, rng):
+        """Most jobs tiny, a thin tail is huge (the SWIM signature)."""
+        model = FacebookLikeModel().build()
+        counts = [
+            model.sample_job(rng, f"j{i}", 0.0).stage("map").num_tasks
+            for i in range(400)
+        ]
+        counts = np.array(counts)
+        median = np.median(counts)
+        p99 = np.percentile(counts, 99)
+        assert median <= 6
+        assert p99 / max(median, 1) > 5.0
+
+    def test_cloudera_has_deadlines(self, rng):
+        model = ClouderaLikeModel().build()
+        job = model.sample_job(rng, "j0", 0.0)
+        assert job.deadline is not None
+
+    def test_facebook_no_deadlines(self, rng):
+        model = FacebookLikeModel().build()
+        assert model.sample_job(rng, "j0", 0.0).deadline is None
+
+    def test_synthesize_two_tenants(self):
+        w = synthesize_swim_workload(seed=0, horizon=3600.0)
+        assert w.tenants() == {"besteffort", "deadline"}
+        assert len(w) > 20
+
+    def test_synthesize_custom_names(self):
+        w = synthesize_swim_workload(
+            seed=0, horizon=3600.0, facebook_tenant="fb", cloudera_tenant="cdh"
+        )
+        assert w.tenants() == {"fb", "cdh"}

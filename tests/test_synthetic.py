@@ -1,0 +1,145 @@
+"""Tests for the Company-ABC and two-tenant synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.rm.config import RMConfig
+from repro.workload.model import MAP_POOL, REDUCE_POOL
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    COMPANY_ABC_TENANTS,
+    DEADLINE_TENANT,
+    company_abc_cluster,
+    company_abc_model,
+    company_abc_workload,
+    expert_config,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+
+
+class TestTable1Characteristics:
+    """The six tenants match Table 1's qualitative descriptions."""
+
+    def test_six_tenants(self):
+        assert [t.name for t in COMPANY_ABC_TENANTS] == [
+            "BI",
+            "DEV",
+            "APP",
+            "STR",
+            "MV",
+            "ETL",
+        ]
+        model = company_abc_model()
+        assert model.tenants == sorted(t.name for t in COMPANY_ABC_TENANTS)
+
+    def test_deadline_driven_tenants(self):
+        model = company_abc_model()
+        for name in ("APP", "MV", "ETL"):
+            assert model.tenant_model(name).deadline_driven, name
+        for name in ("BI", "DEV", "STR"):
+            assert not model.tenant_model(name).deadline_driven, name
+
+    def test_str_is_map_only_and_long_running(self):
+        str_model = company_abc_model().tenant_model("STR")
+        assert [s.pool for s in str_model.stages] == [MAP_POOL]
+        assert str_model.stages[0].task_duration.median >= 100.0
+
+    def test_mv_has_long_reduces(self):
+        mv = company_abc_model().tenant_model("MV")
+        reduce_stage = [s for s in mv.stages if s.pool == REDUCE_POOL][0]
+        assert reduce_stage.task_duration.median >= 300.0
+
+    def test_app_jobs_small_and_frequent(self):
+        app = company_abc_model().tenant_model("APP")
+        map_stage = app.stages[0]
+        assert map_stage.task_count.median <= 4
+        assert app.arrival.rate > company_abc_model().tenant_model("MV").arrival.rate
+
+    def test_dev_is_high_variance_mixture(self):
+        dev = company_abc_model().tenant_model("DEV")
+        bi = company_abc_model().tenant_model("BI")
+        assert dev.stages[0].task_duration.sigma > bi.stages[0].task_duration.sigma
+
+    def test_etl_weekend_drop(self):
+        etl = company_abc_model().tenant_model("ETL")
+        weekday = etl.rate_pattern.factor(0.0)  # Monday burst window
+        weekend = etl.rate_pattern.factor(5 * 86400.0)  # Saturday, same phase
+        assert weekend < weekday
+
+    def test_scale_parameter(self):
+        base = company_abc_model(1.0).tenant_model("BI").arrival.rate
+        double = company_abc_model(2.0).tenant_model("BI").arrival.rate
+        assert double == pytest.approx(2 * base)
+        with pytest.raises(ValueError):
+            company_abc_model(0.0)
+
+
+class TestWorkloadGeneration:
+    def test_generates_all_tenants(self):
+        w = company_abc_workload(seed=0, horizon=4 * 3600.0)
+        assert w.tenants() == {"BI", "DEV", "APP", "STR", "MV", "ETL"}
+
+    def test_fits_cluster(self):
+        w = company_abc_workload(seed=1, horizon=3600.0)
+        cluster = company_abc_cluster()
+        for job in w:
+            for _, task in job.tasks():
+                assert task.containers <= cluster.capacity(task.pool)
+
+
+class TestExpertConfig:
+    def test_covers_all_tenants(self):
+        cfg = expert_config()
+        assert set(cfg.tenant_names()) == {"BI", "DEV", "APP", "STR", "MV", "ETL"}
+
+    def test_production_tenants_favored(self):
+        cfg = expert_config()
+        assert cfg.tenant("ETL").weight > cfg.tenant("DEV").weight
+        assert cfg.tenant("ETL").min_for(MAP_POOL) > 0
+        assert cfg.tenant("BI").min_for(MAP_POOL) == 0
+
+    def test_mins_feasible(self):
+        cfg = expert_config()
+        cluster = company_abc_cluster()
+        for pool in (MAP_POOL, REDUCE_POOL):
+            total_min = sum(
+                cfg.tenant(t).min_for(pool) for t in cfg.tenant_names()
+            )
+            assert total_min <= cluster.capacity(pool)
+
+
+class TestTwoTenantScenario:
+    def test_tenants(self):
+        model = two_tenant_model()
+        assert set(model.tenants) == {DEADLINE_TENANT, BEST_EFFORT_TENANT}
+        assert model.tenant_model(DEADLINE_TENANT).deadline_driven
+        assert not model.tenant_model(BEST_EFFORT_TENANT).deadline_driven
+
+    def test_best_effort_reduces_are_longer(self):
+        """Figure 8's key asymmetry: best-effort reduces run long."""
+        model = two_tenant_model()
+        be = [s for s in model.tenant_model(BEST_EFFORT_TENANT).stages if s.pool == REDUCE_POOL][0]
+        dl = [s for s in model.tenant_model(DEADLINE_TENANT).stages if s.pool == REDUCE_POOL][0]
+        assert be.task_duration.median > dl.task_duration.median
+
+    def test_reduce_pool_contended(self):
+        """Offered reduce load lands near (but not over) saturation."""
+        model = two_tenant_model()
+        w = model.generate(0, 4 * 3600.0)
+        cluster = two_tenant_cluster()
+        reduce_work = sum(
+            t.duration
+            for j in w
+            for s in j.stages
+            for t in s.tasks
+            if t.pool == REDUCE_POOL
+        )
+        load = reduce_work / (cluster.capacity(REDUCE_POOL) * 4 * 3600.0)
+        assert 0.5 < load < 1.1
+
+    def test_expert_config_valid(self):
+        cfg = two_tenant_expert_config()
+        assert isinstance(cfg, RMConfig)
+        assert cfg.tenant(DEADLINE_TENANT).weight > cfg.tenant(BEST_EFFORT_TENANT).weight

@@ -1,0 +1,213 @@
+"""Unit tests for traces (task schedules) and their serialization."""
+
+import pytest
+
+from repro.workload.trace import JobRecord, TaskRecord, Trace
+
+
+def task(
+    job="j0",
+    tid="t0",
+    tenant="A",
+    pool="slots",
+    stage="s",
+    submit=0.0,
+    start=1.0,
+    finish=5.0,
+    preempted=False,
+    failed=False,
+    attempt=0,
+    containers=1,
+):
+    return TaskRecord(
+        job_id=job,
+        task_id=tid,
+        tenant=tenant,
+        pool=pool,
+        stage=stage,
+        submit_time=submit,
+        start_time=start,
+        finish_time=finish,
+        containers=containers,
+        preempted=preempted,
+        failed=failed,
+        attempt=attempt,
+    )
+
+
+def job(jid="j0", tenant="A", submit=0.0, finish=10.0, deadline=None, n=1):
+    return JobRecord(
+        job_id=jid,
+        tenant=tenant,
+        submit_time=submit,
+        finish_time=finish,
+        deadline=deadline,
+        num_tasks=n,
+        stage_deps=(("s", ()),),
+    )
+
+
+class TestTaskRecord:
+    def test_ordering_validation(self):
+        with pytest.raises(ValueError, match="submit <= start <= finish"):
+            task(start=0.5, submit=1.0)
+
+    def test_derived_quantities(self):
+        t = task(submit=0.0, start=2.0, finish=7.0, containers=3)
+        assert t.service_time == pytest.approx(5.0)
+        assert t.wait_time == pytest.approx(2.0)
+        assert t.work == pytest.approx(15.0)
+        assert t.completed
+
+    def test_preempted_not_completed(self):
+        assert not task(preempted=True).completed
+
+
+class TestJobRecord:
+    def test_response_time(self):
+        assert job(submit=5.0, finish=25.0).response_time == pytest.approx(20.0)
+
+    def test_deadline_slack(self):
+        # finish 110, deadline 100, response 60: slack 0.25 tolerates
+        # 100 + 0.25*60 = 115, so no violation; slack 0 violates.
+        j = job(submit=50.0, finish=110.0, deadline=100.0)
+        assert j.missed_deadline(slack=0.0)
+        assert not j.missed_deadline(slack=0.25)
+
+    def test_no_deadline_never_missed(self):
+        assert not job(deadline=None).missed_deadline()
+
+    def test_finish_before_submit_rejected(self):
+        with pytest.raises(ValueError):
+            job(submit=10.0, finish=5.0)
+
+
+class TestTraceQueries:
+    @pytest.fixture
+    def trace(self):
+        tasks = [
+            task(job="j0", tid="t0", start=0.0, finish=10.0),
+            task(job="j0", tid="t1", start=0.0, finish=4.0, preempted=True),
+            task(job="j0", tid="t1", start=4.0, finish=9.0, attempt=1),
+            task(job="j1", tid="u0", tenant="B", start=2.0, finish=8.0),
+        ]
+        jobs = [
+            job(jid="j0", finish=10.0),
+            job(jid="j1", tenant="B", submit=0.0, finish=8.0, deadline=9.0),
+        ]
+        return Trace(tasks, jobs, capacity={"slots": 2}, horizon=10.0)
+
+    def test_tenants_pools(self, trace):
+        assert trace.tenants() == {"A", "B"}
+        assert trace.pools() == {"slots"}
+
+    def test_container_seconds_excludes_preempted(self, trace):
+        full = trace.container_seconds("A")
+        effective = trace.container_seconds("A", include_preempted=False)
+        assert full == pytest.approx(10.0 + 4.0 + 5.0)
+        assert effective == pytest.approx(10.0 + 5.0)
+
+    def test_utilization(self, trace):
+        # 19 + 6 container-seconds over 2 slots * 10 s.
+        assert trace.utilization() == pytest.approx(25.0 / 20.0)
+
+    def test_preemption_fraction(self, trace):
+        assert trace.preemption_fraction("A") == pytest.approx(1.0 / 3.0)
+        assert trace.preemption_fraction("B") == 0.0
+
+    def test_completed_jobs_interval(self, trace):
+        assert len(trace.completed_jobs("A", (0.0, 9.0))) == 0
+        assert len(trace.completed_jobs("A", (0.0, 10.0))) == 1
+
+    def test_response_and_wait_times(self, trace):
+        assert trace.response_times("B") == [pytest.approx(8.0)]
+        # Only first attempts count for wait times.
+        assert len(trace.wait_times("A")) == 2
+
+    def test_job_lookup(self, trace):
+        assert trace.job("j1").tenant == "B"
+        with pytest.raises(KeyError):
+            trace.job("ghost")
+
+    def test_utilization_requires_capacity(self):
+        t = Trace([], [], horizon=1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            t.utilization()
+
+
+class TestTraceWindowAndMerge:
+    def test_window_reanchors(self):
+        tasks = [task(job="j0", submit=100.0, start=101.0, finish=109.0)]
+        jobs = [job(jid="j0", submit=100.0, finish=109.0, deadline=120.0)]
+        tr = Trace(tasks, jobs, capacity={"slots": 1}, horizon=200.0)
+        win = tr.window(100.0, 150.0)
+        assert win.job_records[0].submit_time == pytest.approx(0.0)
+        assert win.job_records[0].deadline == pytest.approx(20.0)
+        assert win.task_records[0].start_time == pytest.approx(1.0)
+        assert win.horizon == pytest.approx(50.0)
+
+    def test_merge(self):
+        t1 = Trace([task()], [job()], capacity={"slots": 1}, horizon=10.0)
+        t2 = Trace(
+            [task(job="j1", tid="x", tenant="B")],
+            [job(jid="j1", tenant="B")],
+            capacity={"slots": 1},
+            horizon=20.0,
+        )
+        merged = Trace.merge([t1, t2])
+        assert len(merged.task_records) == 2
+        assert merged.horizon == 20.0
+
+
+class TestTraceSerialization:
+    def test_jsonl_roundtrip(self):
+        tasks = [
+            task(job="j0", tid="t0", preempted=True),
+            task(job="j0", tid="t0", attempt=1, start=5.0, finish=9.0),
+        ]
+        jobs = [job(jid="j0", deadline=42.0)]
+        tr = Trace(tasks, jobs, capacity={"slots": 4}, horizon=50.0)
+        restored = Trace.from_jsonl(tr.to_jsonl())
+        assert restored.capacity == {"slots": 4}
+        assert restored.horizon == pytest.approx(50.0)
+        assert len(restored.task_records) == 2
+        assert restored.task_records[0].preempted
+        assert restored.job_records[0].deadline == pytest.approx(42.0)
+        assert restored.job_records[0].stage_deps == (("s", ()),)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            Trace.from_jsonl('{"kind": "mystery"}')
+
+
+class TestTraceToWorkload:
+    def test_reconstruction_uses_completed_attempts(self):
+        tasks = [
+            task(job="j0", tid="t0", start=0.0, finish=3.0, preempted=True),
+            task(job="j0", tid="t0", attempt=1, start=3.0, finish=11.0),
+        ]
+        jobs = [job(jid="j0", finish=11.0)]
+        tr = Trace(tasks, jobs, capacity={"slots": 1}, horizon=11.0)
+        w = tr.to_workload()
+        assert len(w) == 1
+        only_task = w[0].stages[0].tasks[0]
+        assert only_task.duration == pytest.approx(8.0)
+
+    def test_stage_deps_restored(self):
+        tasks = [
+            task(job="j0", tid="m0", stage="map", start=0.0, finish=4.0),
+            task(job="j0", tid="r0", stage="reduce", start=4.0, finish=9.0),
+        ]
+        jobs = [
+            JobRecord(
+                job_id="j0",
+                tenant="A",
+                submit_time=0.0,
+                finish_time=9.0,
+                num_tasks=2,
+                stage_deps=(("map", ()), ("reduce", ("map",))),
+            )
+        ]
+        tr = Trace(tasks, jobs, capacity={"slots": 2}, horizon=9.0)
+        w = tr.to_workload()
+        assert w[0].stage("reduce").deps == ("map",)

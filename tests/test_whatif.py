@@ -1,0 +1,128 @@
+"""Unit tests for the What-if Model and provisioning advisor."""
+
+import numpy as np
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace, RMConfig, TenantConfig
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.whatif.model import WhatIfModel
+from repro.whatif.provisioning import ProvisioningAdvisor
+from repro.workload.model import Workload, single_stage_job
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec({"slots": 4})
+
+
+@pytest.fixture
+def slos():
+    return SLOSet(
+        [
+            deadline_slo("A", max_violation_fraction=0.1, slack=0.0),
+            response_time_slo("B"),
+        ]
+    )
+
+
+@pytest.fixture
+def workloads():
+    w1 = Workload(
+        [
+            single_stage_job("A", 0.0, [10.0] * 2, job_id="a0", deadline=30.0),
+            single_stage_job("B", 0.0, [20.0] * 2, job_id="b0"),
+        ]
+    )
+    w2 = Workload(
+        [
+            single_stage_job("A", 0.0, [12.0] * 2, job_id="a1", deadline=30.0),
+            single_stage_job("B", 5.0, [18.0] * 2, job_id="b1"),
+        ]
+    )
+    return [w1, w2]
+
+
+@pytest.fixture
+def config():
+    return RMConfig({"A": TenantConfig(), "B": TenantConfig()})
+
+
+class TestWhatIfModel:
+    def test_evaluate_averages_replicas(self, cluster, slos, workloads, config):
+        model = WhatIfModel(cluster, slos, workloads)
+        f = model.evaluate(config)
+        single = WhatIfModel(cluster, slos, [workloads[0]]).evaluate(config)
+        other = WhatIfModel(cluster, slos, [workloads[1]]).evaluate(config)
+        np.testing.assert_allclose(f, (single + other) / 2.0)
+
+    def test_caching(self, cluster, slos, workloads, config):
+        model = WhatIfModel(cluster, slos, workloads)
+        f1 = model.evaluate(config)
+        f2 = model.evaluate(config)
+        np.testing.assert_array_equal(f1, f2)
+        assert model.evaluations == 1  # second call was a cache hit
+
+    def test_cache_distinguishes_configs(self, cluster, slos, workloads, config):
+        model = WhatIfModel(cluster, slos, workloads)
+        model.evaluate(config)
+        other = RMConfig({"A": TenantConfig(weight=5.0), "B": TenantConfig()})
+        model.evaluate(other)
+        assert model.evaluations == 2
+
+    def test_evaluator_decodes_vectors(self, cluster, slos, workloads, config):
+        model = WhatIfModel(cluster, slos, workloads)
+        space = ConfigSpace(cluster, ["A", "B"])
+        evaluate = model.evaluator(space)
+        f = evaluate(space.encode(config))
+        assert f.shape == (2,)
+
+    def test_needs_workloads(self, cluster, slos):
+        with pytest.raises(ValueError):
+            WhatIfModel(cluster, slos, [])
+
+    def test_predict_schedules(self, cluster, slos, workloads, config):
+        model = WhatIfModel(cluster, slos, workloads)
+        schedules = model.predict_schedules(config)
+        assert len(schedules) == 2
+
+
+class TestProvisioningAdvisor:
+    def _advisor(self, cluster, slos, config):
+        return ProvisioningAdvisor(cluster, slos, config)
+
+    def test_bigger_cluster_never_worse_ajr(self, cluster, slos, workloads, config):
+        advisor = self._advisor(cluster, slos, config)
+        small = advisor.estimate(workloads[0], 0.5)
+        big = advisor.estimate(workloads[0], 2.0)
+        # AJR (index 1) on a bigger cluster is <= on the smaller one.
+        assert big.qs[1] <= small.qs[1] + 1e-9
+
+    def test_sweep_sorted(self, cluster, slos, workloads, config):
+        advisor = self._advisor(cluster, slos, config)
+        sweep = advisor.sweep(workloads[0], [1.0, 0.25, 0.5])
+        assert [e.fraction for e in sweep] == [0.25, 0.5, 1.0]
+
+    def test_minimum_cluster_feasible(self, cluster, slos, workloads, config):
+        advisor = self._advisor(cluster, slos, config)
+        best = advisor.minimum_cluster(workloads[0], [0.25, 0.5, 1.0, 2.0])
+        assert best is not None
+        assert best.feasible
+
+    def test_minimum_cluster_none_when_impossible(self, cluster, workloads, config):
+        impossible = SLOSet([response_time_slo("B", threshold=0.001)])
+        advisor = ProvisioningAdvisor(cluster, impossible, config)
+        assert advisor.minimum_cluster(workloads[0], [0.5, 1.0]) is None
+
+    def test_invalid_fraction(self, cluster, slos, workloads, config):
+        with pytest.raises(ValueError):
+            self._advisor(cluster, slos, config).estimate(workloads[0], 0.0)
+
+    def test_estimation_errors(self, cluster, slos, config):
+        advisor = self._advisor(cluster, slos, config)
+        errors = advisor.estimation_errors(
+            np.array([1.1, 90.0]), np.array([1.0, 100.0])
+        )
+        assert errors[0] == pytest.approx(0.1)
+        assert errors[1] == pytest.approx(-0.1)

@@ -1,0 +1,179 @@
+"""Unit tests for the workload data model."""
+
+import math
+
+import pytest
+
+from repro.workload.model import (
+    DEFAULT_POOL,
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    Workload,
+    mapreduce_job,
+    single_stage_job,
+)
+
+
+def make_stage(name="s", n=2, duration=5.0, deps=(), ready_fraction=1.0, pool=DEFAULT_POOL):
+    tasks = tuple(
+        TaskSpec(task_id=f"{name}{i}", duration=duration, pool=pool) for i in range(n)
+    )
+    return StageSpec(name=name, tasks=tasks, deps=deps, ready_fraction=ready_fraction)
+
+
+class TestTaskSpec:
+    def test_valid(self):
+        t = TaskSpec("t0", 5.0)
+        assert t.pool == DEFAULT_POOL
+        assert t.containers == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            TaskSpec("t0", -1.0)
+
+    def test_zero_containers_rejected(self):
+        with pytest.raises(ValueError, match="containers"):
+            TaskSpec("t0", 1.0, containers=0)
+
+
+class TestStageSpec:
+    def test_total_work(self):
+        s = make_stage(n=3, duration=4.0)
+        assert s.total_work == pytest.approx(12.0)
+        assert s.num_tasks == 3
+
+    def test_ready_fraction_bounds(self):
+        with pytest.raises(ValueError, match="ready_fraction"):
+            make_stage(ready_fraction=0.0)
+        with pytest.raises(ValueError, match="ready_fraction"):
+            make_stage(ready_fraction=1.5)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="depends on itself"):
+            make_stage(name="x", deps=("x",))
+
+
+class TestJobSpec:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate stage names"):
+            JobSpec("j", "A", 0.0, (make_stage("s"), make_stage("s")))
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            JobSpec("j", "A", 0.0, (make_stage("s", deps=("ghost",)),))
+
+    def test_cycle_rejected(self):
+        a = make_stage("a", deps=("b",))
+        b = make_stage("b", deps=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            JobSpec("j", "A", 0.0, (a, b))
+
+    def test_critical_path_chain(self):
+        a = make_stage("a", n=2, duration=10.0)
+        b = make_stage("b", n=1, duration=7.0, deps=("a",))
+        job = JobSpec("j", "A", 0.0, (a, b))
+        assert job.critical_path() == pytest.approx(17.0)
+
+    def test_critical_path_diamond(self):
+        a = make_stage("a", n=1, duration=5.0)
+        b = make_stage("b", n=1, duration=10.0, deps=("a",))
+        c = make_stage("c", n=1, duration=2.0, deps=("a",))
+        d = make_stage("d", n=1, duration=1.0, deps=("b", "c"))
+        job = JobSpec("j", "A", 0.0, (a, b, c, d))
+        assert job.critical_path() == pytest.approx(16.0)
+
+    def test_with_submit_time_shifts_deadline(self):
+        job = single_stage_job("A", 10.0, [5.0], deadline=100.0)
+        moved = job.with_submit_time(50.0)
+        assert moved.submit_time == 50.0
+        assert moved.deadline == pytest.approx(140.0)
+
+    def test_num_tasks_and_work(self):
+        job = mapreduce_job("A", 0.0, [3.0, 4.0], [5.0])
+        assert job.num_tasks == 3
+        assert job.total_work == pytest.approx(12.0)
+
+    def test_pools(self):
+        job = mapreduce_job("A", 0.0, [1.0], [1.0])
+        assert job.pools == {"map", "reduce"}
+
+    def test_stage_lookup(self):
+        job = mapreduce_job("A", 0.0, [1.0], [1.0])
+        assert job.stage("map").num_tasks == 1
+        with pytest.raises(KeyError):
+            job.stage("ghost")
+
+
+class TestBuilders:
+    def test_map_only_job_has_single_stage(self):
+        job = mapreduce_job("A", 0.0, [1.0, 2.0], [])
+        assert len(job.stages) == 1
+        assert job.stages[0].name == "map"
+
+    def test_slowstart_recorded(self):
+        job = mapreduce_job("A", 0.0, [1.0], [1.0], slowstart=0.6)
+        assert job.stage("reduce").ready_fraction == pytest.approx(0.6)
+
+    def test_single_stage_job_deadline(self):
+        job = single_stage_job("A", 1.0, [2.0], deadline=50.0)
+        assert job.deadline == 50.0
+
+
+class TestWorkload:
+    def test_sorted_by_submit(self):
+        w = Workload(
+            [
+                single_stage_job("A", 10.0, [1.0], job_id="late"),
+                single_stage_job("A", 0.0, [1.0], job_id="early"),
+            ]
+        )
+        assert [j.job_id for j in w] == ["early", "late"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            Workload(
+                [
+                    single_stage_job("A", 0.0, [1.0], job_id="x"),
+                    single_stage_job("B", 1.0, [1.0], job_id="x"),
+                ]
+            )
+
+    def test_window_reanchors(self):
+        w = Workload(
+            [
+                single_stage_job("A", 100.0, [1.0], job_id="in", deadline=160.0),
+                single_stage_job("A", 300.0, [1.0], job_id="out"),
+            ],
+            horizon=400.0,
+        )
+        win = w.window(100.0, 200.0)
+        assert [j.job_id for j in win] == ["in"]
+        assert win[0].submit_time == 0.0
+        assert win[0].deadline == pytest.approx(60.0)
+        assert win.horizon == pytest.approx(100.0)
+
+    def test_window_bad_bounds(self):
+        w = Workload([], horizon=10.0)
+        with pytest.raises(ValueError):
+            w.window(5.0, 1.0)
+
+    def test_tenants_pools_totals(self, mr_workload):
+        assert mr_workload.tenants() == {"A", "B"}
+        assert mr_workload.pools() == {"map", "reduce"}
+        assert mr_workload.num_tasks == 11
+
+    def test_filter_and_merge(self):
+        a = single_stage_job("A", 0.0, [1.0], job_id="a")
+        b = single_stage_job("B", 0.0, [1.0], job_id="b")
+        w = Workload([a, b])
+        only_a = w.filter(lambda j: j.tenant == "A")
+        assert [j.job_id for j in only_a] == ["a"]
+        merged = only_a.merged_with(Workload([b]))
+        assert len(merged) == 2
+
+    def test_jobs_of(self):
+        a = single_stage_job("A", 0.0, [1.0], job_id="a")
+        b = single_stage_job("B", 0.0, [1.0], job_id="b")
+        w = Workload([a, b])
+        assert [j.job_id for j in w.jobs_of("B")] == ["b"]
