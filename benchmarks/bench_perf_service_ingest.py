@@ -1,0 +1,121 @@
+"""Perf benchmark: serving-layer ingest throughput and retune latency.
+
+Not a paper figure — an operational benchmark for the online serving
+layer (`repro.service`).  Three measurements:
+
+1. **Raw window ingest** — events/sec folded into a bare
+   :class:`~repro.service.ingest.RollingWindow` (the O(1) incremental
+   statistics path, no tuning).
+2. **Service ingest** — events/sec through
+   :meth:`~repro.service.daemon.TempoService.process` with the retune
+   cadence effectively disabled (event dispatch + clock + guards).
+3. **Retune latency** — wall seconds per applied tune during a
+   flash-crowd replay (window-trace assembly + what-if + PALD).
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_service_ingest.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import report
+from repro.service.daemon import ServiceConfig, TempoService
+from repro.service.events import JobCompleted, JobSubmitted, TaskCompleted
+from repro.service.ingest import RollingWindow, stats_gap
+from repro.service.replay import ScenarioReplayer, build_service, make_scenario
+from repro.sim.simulator import ClusterSimulator
+
+
+def telemetry_events(horizon: float = 7200.0, scale: float = 2.0, seed: int = 0):
+    """A realistic event stream: simulate a workload, emit its telemetry."""
+    scenario = make_scenario("steady", scale=scale, horizon=horizon)
+    workload = scenario.model.generate(seed, horizon)
+    sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=seed)
+    trace = sim.run(workload, scenario.initial_config, seed=seed)
+    events = []
+    for job in workload:
+        events.append(
+            JobSubmitted(job.submit_time, tenant=job.tenant, job_id=job.job_id)
+        )
+    for rec in trace.task_records:
+        events.append(TaskCompleted(rec.finish_time, record=rec))
+    for jrec in trace.job_records:
+        events.append(JobCompleted(jrec.finish_time, record=jrec))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def bench_window_ingest(events, window: float = 1800.0) -> tuple[float, float]:
+    """(events/sec, final stats gap) for the bare rolling window."""
+    rolling = RollingWindow(window)
+    start = time.perf_counter()
+    for event in events:
+        rolling.ingest(event)
+    elapsed = time.perf_counter() - start
+    return len(events) / elapsed, stats_gap(rolling)
+
+
+def bench_service_ingest(events) -> float:
+    """Events/sec through TempoService.process with retuning disabled."""
+    scenario = make_scenario("steady")
+    service = build_service(
+        scenario,
+        ServiceConfig(window=1800.0, retune_interval=1e12),
+        seed=0,
+    )
+    start = time.perf_counter()
+    for event in events:
+        service.process(event)
+    elapsed = time.perf_counter() - start
+    assert isinstance(service, TempoService)
+    return len(events) / elapsed
+
+
+def bench_retune_latency(horizon: float = 3 * 3600.0) -> tuple[int, float, float, float]:
+    """(retunes, mean, p50, max) retune latency over a flash-crowd replay."""
+    scenario = make_scenario("flash-crowd", horizon=horizon)
+    service = build_service(
+        scenario, ServiceConfig(drift_threshold=0.0), seed=0
+    )
+    summary = ScenarioReplayer(
+        scenario, service, seed=0, verify_stats=False
+    ).run()
+    latencies = [d.latency for d in summary.decisions if d.retuned]
+    if not latencies:
+        return 0, float("nan"), float("nan"), float("nan")
+    return (
+        len(latencies),
+        float(np.mean(latencies)),
+        float(np.median(latencies)),
+        float(np.max(latencies)),
+    )
+
+
+def main() -> None:
+    """Run the three measurements and archive the table."""
+    events = telemetry_events()
+    window_eps, gap = bench_window_ingest(events)
+    service_eps = bench_service_ingest(events)
+    retunes, mean_lat, p50_lat, max_lat = bench_retune_latency()
+    rows = [
+        ["window ingest (events/s)", f"{window_eps:,.0f}"],
+        ["service ingest (events/s)", f"{service_eps:,.0f}"],
+        ["incremental-vs-batch gap", f"{gap:.3g}"],
+        ["retunes measured", retunes],
+        ["retune latency mean (ms)", f"{mean_lat * 1e3:.1f}"],
+        ["retune latency p50 (ms)", f"{p50_lat * 1e3:.1f}"],
+        ["retune latency max (ms)", f"{max_lat * 1e3:.1f}"],
+    ]
+    report(
+        "perf_service_ingest",
+        f"Serving-layer performance ({len(events):,} telemetry events)",
+        ["metric", "value"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,9 @@ Public API highlights:
 * :mod:`repro.whatif` — the What-if Model and provisioning estimator.
 * :mod:`repro.core` — PALD, scalarization baselines, and the Tempo
   control loop (:class:`~repro.core.controller.TempoController`).
+* :mod:`repro.service` — the online serving layer: a streaming daemon
+  (:class:`~repro.service.daemon.TempoService`) with incremental
+  rolling-window ingestion, background retuning, and scenario replay.
 """
 
 __version__ = "1.0.0"
@@ -29,4 +32,5 @@ __all__ = [
     "whatif",
     "core",
     "stats",
+    "service",
 ]

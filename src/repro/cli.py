@@ -16,6 +16,17 @@ small operational CLI:
 ``python -m repro report``
     Per-tenant statistics of an archived trace file.
 
+``python -m repro replay``
+    Drive a serving-layer scenario (flash crowd, diurnal wave, tenant
+    churn, failure storm, steady) through the streaming
+    :class:`~repro.service.daemon.TempoService` with the deterministic
+    synchronous transport, verifying the incremental window statistics
+    against a batch recompute as it goes.
+
+``python -m repro serve``
+    Same scenarios through daemon mode: telemetry is published to the
+    bounded event bus and consumed by the service's background thread.
+
 SLO spec file format — a JSON array of QS-template dictionaries::
 
     [
@@ -38,6 +49,14 @@ import numpy as np
 from repro.core.controller import TempoController, windows_from_model
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
+from repro.service.daemon import ServiceConfig
+from repro.service.replay import (
+    SCENARIOS as SERVICE_SCENARIOS,
+    ReplaySummary,
+    ScenarioReplayer,
+    build_service,
+    make_scenario,
+)
 from repro.sim.noise import NoiseModel
 from repro.sim.predictor import SchedulePredictor
 from repro.sim.simulator import ClusterSimulator
@@ -195,6 +214,118 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _print_replay_summary(summary: ReplaySummary, out) -> None:
+    print(
+        f"events={summary.events} (submitted={summary.jobs_submitted}, "
+        f"completed={summary.jobs_completed}, tasks={summary.tasks}) "
+        f"wall={summary.wall_seconds:.1f}s "
+        f"ingest={summary.events_per_second:,.0f} events/s",
+        file=out,
+    )
+    stable = sum(1 for d in summary.decisions if d.reason == "stable")
+    sparse = sum(1 for d in summary.decisions if d.reason == "sparse")
+    print(
+        f"retunes={summary.retunes} skipped={summary.skips} "
+        f"(stable={stable}, sparse={sparse}) reverted={summary.reverts}",
+        file=out,
+    )
+    if summary.dropped:
+        print(f"WARNING: bus shed {summary.dropped} events", file=out)
+    latencies = [d.latency for d in summary.decisions if d.retuned]
+    if latencies:
+        print(
+            f"retune latency: mean={np.mean(latencies)*1e3:.0f}ms "
+            f"max={np.max(latencies)*1e3:.0f}ms",
+            file=out,
+        )
+    print(
+        f"incremental-vs-batch stats gap: {summary.max_stats_gap:.3g}",
+        file=out,
+    )
+    print("\nfinal configuration:", file=out)
+    print(summary.final_config.describe(), file=out)
+
+
+def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
+    if args.horizon is not None and args.horizon <= 0:
+        raise SystemExit(f"--horizon must be positive, got {args.horizon}")
+    if args.window <= 0:
+        raise SystemExit(f"--window must be positive, got {args.window}")
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be positive, got {args.interval}")
+    if args.drift < 0:
+        raise SystemExit(f"--drift must be non-negative, got {args.drift}")
+    scenario = make_scenario(
+        args.scenario,
+        scale=args.scale,
+        horizon=args.horizon * 3600.0 if args.horizon is not None else None,
+    )
+    service = build_service(
+        scenario,
+        ServiceConfig(
+            window=args.window * 60.0,
+            retune_interval=args.interval * 60.0,
+            drift_threshold=args.drift,
+        ),
+        seed=args.seed,
+    )
+    replayer = ScenarioReplayer(
+        scenario,
+        service,
+        speedup=args.speedup,
+        seed=args.seed,
+        transport=transport,
+    )
+    print(
+        f"scenario={scenario.name} ({scenario.description}) "
+        f"horizon={scenario.horizon:.0f}s transport={transport} "
+        f"speedup={'max' if args.speedup <= 0 else f'{args.speedup:g}x'}",
+        file=out,
+    )
+    summary = replayer.run()
+    _print_replay_summary(summary, out)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace, out) -> int:
+    """``repro replay``: deterministic scenario replay through the service."""
+    return _run_scenario(args, out, transport="direct")
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """``repro serve``: scenario replay through daemon mode (bus + thread)."""
+    return _run_scenario(args, out, transport="bus")
+
+
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """Shared flags of the ``serve`` and ``replay`` subcommands."""
+    parser.add_argument(
+        "--scenario", choices=sorted(SERVICE_SCENARIOS), default="steady"
+    )
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        default=0.0,
+        help="simulated seconds per wall second (<= 0: as fast as possible)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="hours to replay"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="arrival-rate scale"
+    )
+    parser.add_argument(
+        "--window", type=float, default=30.0, help="stats window, minutes"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=15.0, help="retune cadence, minutes"
+    )
+    parser.add_argument(
+        "--drift", type=float, default=0.02, help="stability-guard threshold"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for shell-completion tools)."""
     parser = argparse.ArgumentParser(
@@ -230,6 +361,18 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("trace", help="JSON-lines trace file")
     rep.add_argument("--slos", help="JSON file of QS templates to evaluate")
     rep.set_defaults(func=cmd_report)
+
+    replay = sub.add_parser(
+        "replay", help="replay a scenario through the streaming service"
+    )
+    _add_scenario_options(replay)
+    replay.set_defaults(func=cmd_replay)
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming daemon (event bus + background thread)"
+    )
+    _add_scenario_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -41,6 +41,7 @@ from repro.slo.objectives import SLOSet
 from repro.whatif.model import WhatIfModel
 from repro.workload.generator import StatisticalWorkloadModel, fit_workload_model
 from repro.workload.model import Workload
+from repro.workload.trace import Trace
 
 
 @dataclass
@@ -194,6 +195,20 @@ class TempoController:
         trace = self.production.run(
             window, self.config, seed=self.seed + 31 * index + 1
         )
+        return self.tune_from_trace(index, trace, window=window)
+
+    def tune_from_trace(
+        self, index: int, trace: Trace, window: Workload | None = None
+    ) -> ControlIteration:
+        """Steps (2)-(8) from an externally observed task schedule.
+
+        This is the entry point of the online serving layer
+        (:mod:`repro.service`): a live RM's telemetry, assembled into a
+        window :class:`~repro.workload.trace.Trace`, replaces the Step (1)
+        production simulation.  ``window`` optionally supplies the
+        submitted workload as a fallback when the trace is too sparse to
+        replay or fit.
+        """
         observed = self.slos.evaluate(trace)
         observed_raw = self.slos.evaluate_raw(trace)
 
@@ -267,22 +282,23 @@ class TempoController:
     def _build_whatif(
         self,
         trace: TaskSchedule,
-        window: Workload,
+        window: Workload | None,
         thresholds: np.ndarray,
         index: int,
     ) -> WhatIfModel:
         workloads: list[Workload]
+        horizon = window.horizon if window is not None else trace.horizon
         if self.whatif_mode == "fit":
             try:
                 model = fit_workload_model(trace)
                 workloads = model.replicas(
-                    self.seed + 977 * index, window.horizon, self.replicas
+                    self.seed + 977 * index, horizon, self.replicas
                 )
             except ValueError:
                 # Sparse window: fall back to replaying the observations.
                 workloads = [trace.to_workload()]
         else:
             workloads = [trace.to_workload()]
-        if not any(len(w) for w in workloads):
+        if not any(len(w) for w in workloads) and window is not None:
             workloads = [window]
         return WhatIfModel(self.cluster, self.slos, workloads, self.policy)

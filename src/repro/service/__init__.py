@@ -1,0 +1,75 @@
+"""Online serving layer: the streaming Tempo daemon.
+
+The batch reproduction runs one-shot control loops over materialized
+workloads; this subpackage turns it into an operable online system, as
+the paper's deployment story requires (a long-running tuner beside a
+live Resource Manager):
+
+* :mod:`repro.service.events` — typed telemetry events and a bounded
+  thread-safe event bus;
+* :mod:`repro.service.ingest` — O(1)-per-event rolling-window workload
+  statistics with a batch-recompute verification path;
+* :mod:`repro.service.daemon` — :class:`TempoService`, the cadence loop
+  with stability/sparsity guards and atomic config snapshot/rollback;
+* :mod:`repro.service.replay` — a scenario catalog (flash crowd,
+  diurnal wave, tenant churn, failure storm) and the replay driver that
+  feeds scenarios through the service at a speedup factor.
+"""
+
+from repro.service.events import (
+    EventBus,
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    NodeLost,
+    ServiceEvent,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import (
+    RollingWindow,
+    TenantWindowStats,
+    stats_gap,
+    window_drift,
+)
+from repro.service.daemon import (
+    ConfigSnapshot,
+    RetuneDecision,
+    ServiceConfig,
+    TempoService,
+)
+from repro.service.replay import (
+    SCENARIOS,
+    ReplaySummary,
+    Scenario,
+    ScenarioReplayer,
+    build_service,
+    make_scenario,
+)
+
+__all__ = [
+    "ServiceEvent",
+    "JobSubmitted",
+    "TaskCompleted",
+    "JobCompleted",
+    "NodeLost",
+    "TenantJoined",
+    "TenantLeft",
+    "Heartbeat",
+    "EventBus",
+    "RollingWindow",
+    "TenantWindowStats",
+    "stats_gap",
+    "window_drift",
+    "ServiceConfig",
+    "RetuneDecision",
+    "ConfigSnapshot",
+    "TempoService",
+    "Scenario",
+    "SCENARIOS",
+    "make_scenario",
+    "build_service",
+    "ScenarioReplayer",
+    "ReplaySummary",
+]

@@ -1,0 +1,353 @@
+"""The streaming Tempo daemon: background retuning beside a live RM.
+
+:class:`TempoService` turns the batch :class:`~repro.core.controller.
+TempoController` into an always-on component in the spirit of autonomic
+database daemons (H2O) and stability-aware online tuners (SAM):
+
+* telemetry events flow in (directly via :meth:`TempoService.process`,
+  or asynchronously through a bounded :class:`~repro.service.events.
+  EventBus` drained by a background thread);
+* a :class:`~repro.service.ingest.RollingWindow` keeps per-tenant
+  workload statistics current at O(1) per event;
+* on a configurable cadence the daemon attempts a retune — guarded by a
+  **stability check** (skip when the window statistics have not
+  materially drifted since the last applied tune) and a **sparsity
+  check** (skip when the window holds too few jobs to carry signal);
+* every applied configuration is recorded as an atomic
+  :class:`ConfigSnapshot` so operators can :meth:`~TempoService.rollback`
+  past the controller's own revert guard.
+
+The daemon's clock is *simulated time carried by the events*, never the
+wall clock — a serving run is exactly reproducible from its event
+stream.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.controller import ControlIteration, TempoController
+from repro.rm.config import RMConfig
+from repro.service.events import (
+    EventBus,
+    Heartbeat,
+    NodeLost,
+    ServiceEvent,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import RollingWindow, TenantWindowStats, window_drift
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of :class:`TempoService`.
+
+    Attributes:
+        window: Rolling statistics window length in seconds (the paper's
+            observation interval ``L``).
+        retune_interval: Seconds of simulated time between retune
+            attempts (the control cadence).
+        drift_threshold: Minimum :func:`~repro.service.ingest.
+            window_drift` versus the last *applied* tune's snapshot for
+            a retune to proceed; below it the guard reports "stable".
+        min_window_jobs: Minimum completed jobs in the window for a
+            retune to proceed; below it the guard reports "sparse".
+        history: Number of applied-configuration snapshots retained for
+            rollback.
+        queue_capacity: Bound of the daemon's event bus.
+    """
+
+    window: float = 1800.0
+    retune_interval: float = 900.0
+    drift_threshold: float = 0.02
+    min_window_jobs: int = 5
+    history: int = 16
+    queue_capacity: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.retune_interval <= 0:
+            raise ValueError(
+                f"retune_interval must be positive, got {self.retune_interval}"
+            )
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
+        if self.min_window_jobs < 0:
+            raise ValueError("min_window_jobs must be non-negative")
+        if self.history < 2:
+            raise ValueError("history must be >= 2 (incumbent + predecessor)")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class RetuneDecision:
+    """Outcome of one cadence tick of the daemon.
+
+    Attributes:
+        time: Simulated time of the attempt.
+        index: Control-iteration index (shared with the controller).
+        retuned: Whether a tune actually ran.
+        reason: ``"initial"``, ``"drift"``, or ``"forced"`` when retuned;
+            ``"stable"`` or ``"sparse"`` when skipped.
+        drift: The stability signal measured at the attempt.
+        latency: Wall-clock seconds the tune took (0.0 when skipped).
+        iteration: The controller's record when retuned, else ``None``.
+    """
+
+    time: float
+    index: int
+    retuned: bool
+    reason: str
+    drift: float
+    latency: float = 0.0
+    iteration: ControlIteration | None = None
+
+
+@dataclass(frozen=True)
+class ConfigSnapshot:
+    """Atomic record of an applied RM configuration (rollback unit)."""
+
+    index: int
+    time: float
+    config: RMConfig
+
+
+class TempoService:
+    """Long-running serving loop around a :class:`TempoController`.
+
+    Synchronous use (deterministic; what the replay driver and tests do)::
+
+        service = TempoService(controller)
+        for event in telemetry:
+            service.process(event)
+
+    Daemon use (asynchronous; a producer publishes to the bus)::
+
+        service.start()
+        service.submit(event)   # from any thread
+        ...
+        service.stop()          # drains the queue, then joins
+
+    Args:
+        controller: The tuned control loop; its ``config`` is the live
+            RM configuration the service manages.
+        config: Operational knobs (cadence, window, guards).
+        bus: Optional externally owned event bus.
+    """
+
+    def __init__(
+        self,
+        controller: TempoController,
+        config: ServiceConfig | None = None,
+        bus: EventBus | None = None,
+    ):
+        self.controller = controller
+        self.config = config or ServiceConfig()
+        self.window = RollingWindow(self.config.window)
+        self.bus = bus or EventBus(self.config.queue_capacity)
+        self.decisions: list[RetuneDecision] = []
+        self.active_tenants: set[str] = set()
+        self.nodes_lost = 0
+        self._history: deque[ConfigSnapshot] = deque(maxlen=self.config.history)
+        self._history.append(ConfigSnapshot(-1, 0.0, controller.config))
+        self._last_attempt: float | None = None
+        self._last_snapshot: dict[str, TenantWindowStats] | None = None
+        self._index = 0
+        self._force = False
+        self._events = 0
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def __repr__(self) -> str:
+        return (
+            f"TempoService(events={self._events}, retunes={self.retunes}, "
+            f"skips={self.skips}, now={self.window.now:.0f}s)"
+        )
+
+    # -- telemetry ingestion ------------------------------------------------
+
+    def process(self, event: ServiceEvent) -> RetuneDecision | None:
+        """Ingest one event, advance the clock, retune if the cadence hit.
+
+        Returns the :class:`RetuneDecision` when this event triggered a
+        cadence tick, else ``None``.
+        """
+        with self._lock:
+            if isinstance(event, (Heartbeat, TenantJoined, TenantLeft, NodeLost)):
+                if isinstance(event, TenantJoined):
+                    self.active_tenants.add(event.tenant)
+                elif isinstance(event, TenantLeft):
+                    self.active_tenants.discard(event.tenant)
+                    self.window.drop_tenant(event.tenant)
+                    if self._last_snapshot is not None:
+                        self._last_snapshot.pop(event.tenant, None)
+                    self._force = True
+                elif isinstance(event, NodeLost):
+                    self.nodes_lost += event.containers
+                    self._force = True
+                # Control events do not pass through ingest, so the
+                # clock/eviction advance happens here.
+                self.window.advance(event.time)
+            else:
+                self.window.ingest(event)  # advances the window itself
+            self._events += 1
+            if self._last_attempt is None:
+                # Anchor the cadence at the first event's timestamp.
+                self._last_attempt = event.time
+                return None
+            if event.time - self._last_attempt >= self.config.retune_interval:
+                return self.retune(event.time)
+            return None
+
+    def retune(self, now: float, force: bool = False) -> RetuneDecision:
+        """One guarded retune attempt at simulated time ``now``.
+
+        The guards run in order: sparsity first (no signal, nothing to
+        tune from), then stability (material drift since the snapshot of
+        the last *applied* tune).  ``force=True`` — or a pending forced
+        signal from node loss / tenant churn — bypasses the stability
+        guard but not the sparsity guard.
+        """
+        with self._lock:
+            self._last_attempt = now
+            snapshot = self.window.snapshot()
+            jobs = sum(s.jobs for s in snapshot.values())
+            force = force or self._force
+            # An empty window is always "sparse": even with
+            # min_window_jobs=0 there is no telemetry to tune from, and
+            # an empty trace would read as perfect SLO compliance.
+            if jobs == 0 or jobs < self.config.min_window_jobs:
+                decision = RetuneDecision(now, self._index, False, "sparse", 0.0)
+                self.decisions.append(decision)
+                return decision
+            if self._last_snapshot is None:
+                reason, drift = "initial", math.inf
+            elif force:
+                reason, drift = "forced", math.inf
+            else:
+                drift = window_drift(self._last_snapshot, snapshot)
+                if drift < self.config.drift_threshold:
+                    decision = RetuneDecision(now, self._index, False, "stable", drift)
+                    self.decisions.append(decision)
+                    return decision
+                reason = "drift"
+            trace = self.window.trace(capacity=self.controller.cluster.as_dict())
+            started = _time.perf_counter()
+            iteration = self.controller.tune_from_trace(self._index, trace)
+            latency = _time.perf_counter() - started
+            self._history.append(
+                ConfigSnapshot(self._index, now, self.controller.config)
+            )
+            self._last_snapshot = snapshot
+            self._force = False
+            decision = RetuneDecision(
+                now, self._index, True, reason, drift, latency, iteration
+            )
+            self._index += 1
+            self.decisions.append(decision)
+            return decision
+
+    def rollback(self) -> RMConfig | None:
+        """Atomically restore the previously applied configuration.
+
+        Pops the newest snapshot and reinstates its predecessor in the
+        controller (config and encoded vector together, so the next tune
+        starts from the restored point).  Returns the restored config,
+        or ``None`` when no predecessor is available.
+        """
+        with self._lock:
+            if len(self._history) < 2:
+                return None
+            self._history.pop()
+            snap = self._history[-1]
+            self.controller.config = snap.config
+            self.controller.x = self.controller.space.encode(snap.config)
+            return snap.config
+
+    # -- daemon mode --------------------------------------------------------
+
+    def submit(self, event: ServiceEvent) -> bool:
+        """Publish an event to the service's bus (False when shed)."""
+        return self.bus.publish(event)
+
+    def start(self) -> None:
+        """Start the background thread draining the event bus."""
+        if self._thread is not None:
+            raise RuntimeError("service already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="tempo-service", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Drain remaining queued events, then stop the background thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def quiesce(self, poll: float = 0.002) -> None:
+        """Block until the bus is empty and in-flight processing finished.
+
+        Only meaningful in daemon mode where every event flows through
+        the bus: completion is detected as ``events_processed`` catching
+        up with ``bus.published``.  Producers use this as a barrier so
+        anything derived from the live config (e.g. the replayer's next
+        production chunk) sees all prior telemetry applied.  Raises
+        ``RuntimeError`` when no drain thread is running — waiting would
+        hang forever.
+        """
+        if self._thread is None:
+            raise RuntimeError("cannot quiesce: service not running")
+        while len(self.bus) or self._events < self.bus.published:
+            _time.sleep(poll)
+
+    def _drain_loop(self) -> None:
+        while True:
+            event = self.bus.poll(timeout=0.05)
+            if event is not None:
+                self.process(event)
+            elif self._stop.is_set() and not len(self.bus):
+                return
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the background drain thread is alive."""
+        return self._thread is not None
+
+    @property
+    def events_processed(self) -> int:
+        """Events handled by :meth:`process` (telemetry and control)."""
+        return self._events
+
+    @property
+    def retunes(self) -> int:
+        """Cadence ticks that applied a tune."""
+        return sum(1 for d in self.decisions if d.retuned)
+
+    @property
+    def skips(self) -> int:
+        """Cadence ticks skipped by the sparsity or stability guard."""
+        return sum(1 for d in self.decisions if not d.retuned)
+
+    @property
+    def rm_config(self) -> RMConfig:
+        """The currently applied RM configuration."""
+        return self.controller.config
+
+    @property
+    def config_history(self) -> tuple[ConfigSnapshot, ...]:
+        """Retained applied-configuration snapshots, oldest first."""
+        return tuple(self._history)

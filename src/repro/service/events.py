@@ -1,0 +1,174 @@
+"""Typed telemetry events for the online serving layer.
+
+The paper positions Tempo as a long-running component sitting beside a
+live Resource Manager, continuously ingesting job-completion telemetry
+(Section 4, Step 1).  This module defines the event vocabulary of that
+telemetry stream — job lifecycle, task completions, cluster membership,
+and tenant churn — plus a bounded, thread-safe in-memory queue
+(:class:`EventBus`) connecting a producer (a real RM, or the scenario
+replayer of :mod:`repro.service.replay`) to the consuming daemon.
+
+All event times are simulated seconds from the experiment epoch, like
+every other timestamp in the repo; the daemon's cadence is driven by
+these event times, never by the wall clock, which keeps serving runs
+fully deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.workload.trace import JobRecord, TaskRecord
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Base telemetry event; ``time`` is simulated seconds from epoch."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.time) or self.time < 0:
+            raise ValueError(f"event time must be a non-negative number, got {self.time}")
+
+
+@dataclass(frozen=True)
+class JobSubmitted(ServiceEvent):
+    """A tenant submitted a job (arrival telemetry for rate estimation)."""
+
+    tenant: str
+    job_id: str
+    deadline: float | None = None
+
+
+@dataclass(frozen=True)
+class TaskCompleted(ServiceEvent):
+    """A task attempt left the cluster — completed, preempted, or failed.
+
+    Carries the full :class:`~repro.workload.trace.TaskRecord` in
+    absolute (epoch-relative) time, exactly what an RM's task-finished
+    callback exposes.
+    """
+
+    record: TaskRecord
+
+
+@dataclass(frozen=True)
+class JobCompleted(ServiceEvent):
+    """A job finished; carries its absolute-time completion record."""
+
+    record: JobRecord
+
+
+@dataclass(frozen=True)
+class NodeLost(ServiceEvent):
+    """The cluster lost ``containers`` containers of ``pool``.
+
+    The daemon treats node loss as a forced-drift signal: capacity
+    changes invalidate the stability guard's "nothing has changed"
+    conclusion regardless of workload statistics.
+    """
+
+    pool: str
+    containers: int = 1
+
+
+@dataclass(frozen=True)
+class TenantJoined(ServiceEvent):
+    """A new tenant (RM queue) was provisioned."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class TenantLeft(ServiceEvent):
+    """A tenant was decommissioned; its window state should be dropped."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class Heartbeat(ServiceEvent):
+    """A pure clock-advance tick with no payload.
+
+    Producers emit heartbeats so the daemon's retune cadence keeps
+    firing through quiet periods with no job telemetry.
+    """
+
+
+class EventBus:
+    """Bounded, thread-safe, in-memory FIFO event queue.
+
+    When full, :meth:`publish` drops the *new* event and counts it
+    (back-pressure by shedding, never by blocking the producer — an RM
+    callback must not stall on the tuner).  The consumer side supports
+    both non-blocking polls and blocking polls with a timeout, which is
+    what the daemon's background thread uses.
+    """
+
+    def __init__(self, maxlen: int = 100_000):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._maxlen = int(maxlen)
+        self._queue: deque[ServiceEvent] = deque()
+        self._cond = threading.Condition()
+        self._published = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventBus(queued={len(self)}, published={self._published}, "
+            f"dropped={self._dropped})"
+        )
+
+    @property
+    def maxlen(self) -> int:
+        """Capacity bound of the queue."""
+        return self._maxlen
+
+    @property
+    def published(self) -> int:
+        """Events accepted so far."""
+        return self._published
+
+    @property
+    def dropped(self) -> int:
+        """Events shed because the queue was full."""
+        return self._dropped
+
+    def publish(self, event: ServiceEvent) -> bool:
+        """Enqueue ``event``; returns False (and counts a drop) when full."""
+        with self._cond:
+            if len(self._queue) >= self._maxlen:
+                self._dropped += 1
+                return False
+            self._queue.append(event)
+            self._published += 1
+            self._cond.notify()
+            return True
+
+    def poll(self, timeout: float | None = None) -> ServiceEvent | None:
+        """Pop the earliest event; block up to ``timeout`` seconds if empty.
+
+        ``timeout=None`` means non-blocking.  Returns ``None`` when no
+        event arrived in time.
+        """
+        with self._cond:
+            if not self._queue and timeout:
+                self._cond.wait(timeout)
+            if not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def drain(self, limit: int | None = None) -> list[ServiceEvent]:
+        """Pop up to ``limit`` queued events (all of them when ``None``)."""
+        with self._cond:
+            n = len(self._queue) if limit is None else min(limit, len(self._queue))
+            return [self._queue.popleft() for _ in range(n)]

@@ -1,0 +1,460 @@
+"""Incremental rolling-window maintenance of per-tenant workload statistics.
+
+The batch control loop recomputes workload statistics from a fully
+materialized window trace on every iteration.  A serving daemon cannot
+afford that: telemetry arrives one event at a time and windows overlap
+almost entirely between consecutive retunes.  :class:`RollingWindow`
+maintains the statistics the Workload Generator needs — Poisson arrival
+rates and lognormal task-duration parameters (Section 7.1), plus
+response-time and preemption summaries — in **O(1) amortized per
+event**: running sums are updated when an event is folded in and
+subtracted when its entry slides out of the window.
+
+``batch_recompute`` rebuilds the same statistics from the retained raw
+records in O(events); it exists so tests (and the replay driver's
+``--verify`` path) can assert that the incremental bookkeeping never
+drifts from a from-scratch recompute.
+
+``window_drift`` condenses two snapshots into a scalar change measure —
+the stability signal the daemon's retune guard uses to skip tuning when
+the workload has not materially moved (the stability idea SAM argues
+for in online tuners).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.service.events import (
+    JobCompleted,
+    JobSubmitted,
+    ServiceEvent,
+    TaskCompleted,
+)
+from repro.stats.distributions import LognormalModel, PoissonProcessModel
+from repro.workload.trace import JobRecord, TaskRecord, Trace
+
+
+@dataclass(frozen=True)
+class TenantWindowStats:
+    """O(1)-derived summary of one tenant's rolling window.
+
+    Attributes:
+        tenant: Tenant (queue) name.
+        jobs: Jobs completed inside the window.
+        tasks: Task attempts observed inside the window.
+        submitted: Jobs submitted inside the window.
+        arrival_rate: Submissions per second over the window length.
+        mean_response: Mean response time of the window's completed jobs.
+        log_duration_mean: Mean of ``log(service_time)`` over completed
+            attempts — the lognormal ``mu`` (Section 7.1).
+        log_duration_std: Std of ``log(service_time)`` — the lognormal
+            ``sigma``.
+        preempted_fraction: Fraction of attempts that were preempted.
+        failed_fraction: Fraction of attempts that failed.
+    """
+
+    tenant: str
+    jobs: int
+    tasks: int
+    submitted: int
+    arrival_rate: float
+    mean_response: float
+    log_duration_mean: float
+    log_duration_std: float
+    preempted_fraction: float
+    failed_fraction: float
+
+    def duration_model(self) -> LognormalModel:
+        """Lognormal task-duration model implied by the window."""
+        return LognormalModel(
+            mu=self.log_duration_mean, sigma=self.log_duration_std, minimum=0.01
+        )
+
+    def arrival_model(self) -> PoissonProcessModel:
+        """Poisson arrival-process model implied by the window."""
+        return PoissonProcessModel(rate=self.arrival_rate)
+
+
+class _KahanSum:
+    """Compensated running sum supporting subtraction (eviction).
+
+    Plain ``+=``/``-=`` drifts linearly with the event count (a multi-hour
+    replay accumulates ~1e-6 absolute error on large response-time sums);
+    Kahan compensation keeps the running value within a few ulps of the
+    exact sum of the currently retained entries, which is what lets
+    ``snapshot()`` match an ``fsum``-exact batch recompute within 1e-9.
+    """
+
+    __slots__ = ("value", "_comp")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._comp = 0.0
+
+    def add(self, x: float) -> None:
+        y = x - self._comp
+        t = self.value + y
+        self._comp = (t - self.value) - y
+        self.value = t
+
+    def subtract(self, x: float) -> None:
+        self.add(-x)
+
+
+class _TenantAccumulator:
+    """Per-tenant deques of window entries plus their running sums."""
+
+    __slots__ = (
+        "tasks",
+        "jobs",
+        "submits",
+        "n_dur",
+        "s_log",
+        "s2_log",
+        "n_pre",
+        "n_fail",
+        "s_resp",
+    )
+
+    def __init__(self) -> None:
+        # Entries are (event_time, payload); event time orders eviction.
+        self.tasks: deque[tuple[float, TaskRecord, float | None]] = deque()
+        self.jobs: deque[tuple[float, JobRecord]] = deque()
+        self.submits: deque[float] = deque()
+        self.n_dur = 0
+        self.s_log = _KahanSum()
+        self.s2_log = _KahanSum()
+        self.n_pre = 0
+        self.n_fail = 0
+        self.s_resp = _KahanSum()
+
+    def add_task(self, time: float, record: TaskRecord) -> None:
+        log_dur: float | None = None
+        if record.completed and record.service_time > 0:
+            log_dur = math.log(record.service_time)
+            self.n_dur += 1
+            self.s_log.add(log_dur)
+            self.s2_log.add(log_dur * log_dur)
+        if record.preempted:
+            self.n_pre += 1
+        if record.failed:
+            self.n_fail += 1
+        self.tasks.append((time, record, log_dur))
+
+    def add_job(self, time: float, record: JobRecord) -> None:
+        self.s_resp.add(record.response_time)
+        self.jobs.append((time, record))
+
+    def evict(self, cutoff: float) -> None:
+        while self.tasks and self.tasks[0][0] < cutoff:
+            _, record, log_dur = self.tasks.popleft()
+            if log_dur is not None:
+                self.n_dur -= 1
+                self.s_log.subtract(log_dur)
+                self.s2_log.subtract(log_dur * log_dur)
+            if record.preempted:
+                self.n_pre -= 1
+            if record.failed:
+                self.n_fail -= 1
+        while self.jobs and self.jobs[0][0] < cutoff:
+            _, record = self.jobs.popleft()
+            self.s_resp.subtract(record.response_time)
+        while self.submits and self.submits[0] < cutoff:
+            self.submits.popleft()
+
+
+def _stats_from_sums(
+    tenant: str,
+    window: float,
+    *,
+    n_jobs: int,
+    n_tasks: int,
+    n_submits: int,
+    n_dur: int,
+    s_log: float,
+    s2_log: float,
+    n_pre: int,
+    n_fail: int,
+    s_resp: float,
+) -> TenantWindowStats:
+    """Shared sums-to-stats formula (identical for incremental and batch)."""
+    mu = s_log / n_dur if n_dur else 0.0
+    var = s2_log / n_dur - mu * mu if n_dur else 0.0
+    # Cancellation guard: E[x^2] - E[x]^2 below the fp resolution of the
+    # squared sums is indistinguishable from zero, and sqrt would blow
+    # the residual up to ~1e-7; clamp it (identically on both the
+    # incremental and the batch path) before taking the root.
+    if n_dur and var < 1e-12 * max(s2_log / n_dur, 1.0):
+        var = 0.0
+    return TenantWindowStats(
+        tenant=tenant,
+        jobs=n_jobs,
+        tasks=n_tasks,
+        submitted=n_submits,
+        arrival_rate=n_submits / window,
+        mean_response=s_resp / n_jobs if n_jobs else 0.0,
+        log_duration_mean=mu,
+        log_duration_std=math.sqrt(max(var, 0.0)),
+        preempted_fraction=n_pre / n_tasks if n_tasks else 0.0,
+        failed_fraction=n_fail / n_tasks if n_tasks else 0.0,
+    )
+
+
+class RollingWindow:
+    """Per-tenant workload statistics over the trailing ``window`` seconds.
+
+    ``ingest`` folds one telemetry event in with O(1) amortized work;
+    entries are evicted lazily as the clock (the maximum event time seen)
+    moves past ``entry_time + window``.  Events are expected roughly in
+    time order; bounded disorder (e.g. the tail of one replay chunk
+    interleaving with the head of the next) only delays eviction of the
+    out-of-order entries, and never desynchronizes the running sums from
+    the retained records — the equivalence ``snapshot() ==
+    batch_recompute()`` holds unconditionally.
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._now = 0.0
+        self._tenants: dict[str, _TenantAccumulator] = {}
+        self._events = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RollingWindow(window={self.window:.0f}s, now={self._now:.0f}s, "
+            f"tenants={sorted(self._tenants)}, events={self._events})"
+        )
+
+    @property
+    def now(self) -> float:
+        """Latest event/advance time seen."""
+        return self._now
+
+    @property
+    def events_ingested(self) -> int:
+        """Total telemetry events folded in since construction."""
+        return self._events
+
+    @property
+    def tasks_retained(self) -> int:
+        """Task entries currently inside the window."""
+        return sum(len(acc.tasks) for acc in self._tenants.values())
+
+    @property
+    def jobs_retained(self) -> int:
+        """Job entries currently inside the window."""
+        return sum(len(acc.jobs) for acc in self._tenants.values())
+
+    def tenants(self) -> list[str]:
+        """Tenants with window state, sorted."""
+        return sorted(self._tenants)
+
+    def _acc(self, tenant: str) -> _TenantAccumulator:
+        acc = self._tenants.get(tenant)
+        if acc is None:
+            acc = self._tenants[tenant] = _TenantAccumulator()
+        return acc
+
+    def ingest(self, event: ServiceEvent) -> None:
+        """Fold one telemetry event into the window (O(1) amortized)."""
+        if isinstance(event, JobSubmitted):
+            self._acc(event.tenant).submits.append(event.time)
+        elif isinstance(event, TaskCompleted):
+            self._acc(event.record.tenant).add_task(event.time, event.record)
+        elif isinstance(event, JobCompleted):
+            self._acc(event.record.tenant).add_job(event.time, event.record)
+        else:
+            raise TypeError(
+                f"RollingWindow cannot ingest {type(event).__name__}; "
+                "control events are handled by TempoService"
+            )
+        self._events += 1
+        self.advance(event.time)
+
+    def advance(self, now: float) -> None:
+        """Move the clock forward (monotonically) and evict expired entries.
+
+        Tenants whose every entry has expired are forgotten entirely, so
+        a long-running daemon's per-event cost stays proportional to the
+        *currently active* tenants, not every tenant ever seen.
+        """
+        self._now = max(self._now, now)
+        cutoff = self._now - self.window
+        idle: list[str] = []
+        for name, acc in self._tenants.items():
+            acc.evict(cutoff)
+            if not (acc.tasks or acc.jobs or acc.submits):
+                idle.append(name)
+        for name in idle:
+            del self._tenants[name]
+
+    def drop_tenant(self, tenant: str) -> None:
+        """Forget a departed tenant's window state entirely."""
+        self._tenants.pop(tenant, None)
+
+    def snapshot(self) -> dict[str, TenantWindowStats]:
+        """Per-tenant stats from the running sums — O(tenants), no scan."""
+        return {
+            name: _stats_from_sums(
+                name,
+                self.window,
+                n_jobs=len(acc.jobs),
+                n_tasks=len(acc.tasks),
+                n_submits=len(acc.submits),
+                n_dur=acc.n_dur,
+                s_log=acc.s_log.value,
+                s2_log=acc.s2_log.value,
+                n_pre=acc.n_pre,
+                n_fail=acc.n_fail,
+                s_resp=acc.s_resp.value,
+            )
+            for name, acc in self._tenants.items()
+        }
+
+    def batch_recompute(self) -> dict[str, TenantWindowStats]:
+        """Recompute stats from the retained raw records — O(events).
+
+        Verification-only path: a fresh scan over the deques that must
+        agree with :meth:`snapshot` to floating-point accumulation error
+        (~1e-12), proving the incremental add/subtract bookkeeping exact.
+        """
+        out: dict[str, TenantWindowStats] = {}
+        for name, acc in self._tenants.items():
+            log_durs = [
+                math.log(record.service_time)
+                for _, record, _ in acc.tasks
+                if record.completed and record.service_time > 0
+            ]
+            n_dur = len(log_durs)
+            s_log = math.fsum(log_durs)
+            s2_log = math.fsum(d * d for d in log_durs)
+            n_pre = sum(1 for _, record, _ in acc.tasks if record.preempted)
+            n_fail = sum(1 for _, record, _ in acc.tasks if record.failed)
+            s_resp = math.fsum(record.response_time for _, record in acc.jobs)
+            out[name] = _stats_from_sums(
+                name,
+                self.window,
+                n_jobs=len(acc.jobs),
+                n_tasks=len(acc.tasks),
+                n_submits=len(acc.submits),
+                n_dur=n_dur,
+                s_log=s_log,
+                s2_log=s2_log,
+                n_pre=n_pre,
+                n_fail=n_fail,
+                s_resp=s_resp,
+            )
+        return out
+
+    def trace(self, capacity: Mapping[str, int] | None = None) -> Trace:
+        """The window's retained records as a Trace re-anchored to t=0.
+
+        This is what the daemon hands to
+        :meth:`~repro.core.controller.TempoController.tune_from_trace`.
+        Jobs *submitted before the window opening* are dropped — the QS
+        job set ``J_i`` is defined over jobs submitted and completed
+        within the interval (Section 5.1), and clamping their submission
+        instant instead would silently truncate exactly the long
+        response times the tuner must react to.  Their task records are
+        kept (clamped to the window start), since task telemetry still
+        informs utilization and preemption within the interval.
+        """
+        start = max(0.0, self._now - self.window)
+        horizon = max(self._now - start, 1e-9)
+        tasks: list[TaskRecord] = []
+        jobs: list[JobRecord] = []
+        for acc in self._tenants.values():
+            for _, record, _ in acc.tasks:
+                finish = max(record.finish_time - start, 0.0)
+                begin = min(max(record.start_time - start, 0.0), finish)
+                submit = min(max(record.submit_time - start, 0.0), begin)
+                tasks.append(
+                    replace(
+                        record,
+                        submit_time=submit,
+                        start_time=begin,
+                        finish_time=finish,
+                    )
+                )
+            for _, record in acc.jobs:
+                if record.submit_time < start:
+                    continue
+                deadline = (
+                    None if record.deadline is None else record.deadline - start
+                )
+                jobs.append(
+                    replace(
+                        record,
+                        submit_time=record.submit_time - start,
+                        finish_time=max(record.finish_time - start, 0.0),
+                        deadline=deadline,
+                    )
+                )
+        return Trace(tasks, jobs, capacity=capacity, horizon=horizon)
+
+
+def stats_gap(window: "RollingWindow") -> float:
+    """Largest deviation between incremental and batch-recomputed stats.
+
+    Scans every tenant and every numeric field of
+    :class:`TenantWindowStats`; a healthy window reports a gap at
+    floating-point accumulation level (< 1e-9 by a wide margin).
+    """
+    incremental = window.snapshot()
+    batch = window.batch_recompute()
+    if set(incremental) != set(batch):
+        return math.inf
+    gap = 0.0
+    fields = (
+        "jobs",
+        "tasks",
+        "submitted",
+        "arrival_rate",
+        "mean_response",
+        "log_duration_mean",
+        "log_duration_std",
+        "preempted_fraction",
+        "failed_fraction",
+    )
+    for name, inc in incremental.items():
+        ref = batch[name]
+        for field_name in fields:
+            gap = max(gap, abs(getattr(inc, field_name) - getattr(ref, field_name)))
+    return gap
+
+
+def window_drift(
+    previous: Mapping[str, TenantWindowStats],
+    current: Mapping[str, TenantWindowStats],
+) -> float:
+    """Scalar drift between two window snapshots (stability signal).
+
+    The maximum, over tenants, of the symmetric relative change in
+    arrival rate and the absolute change in the lognormal duration
+    parameters (``mu``/``sigma`` live on a log scale, so an absolute
+    delta of 0.1 already means ~10% duration change).  A tenant
+    appearing or disappearing is infinite drift — churn always warrants
+    a retune.  Tenants with no jobs on either side are ignored.
+    """
+    worst = 0.0
+    for name in set(previous) | set(current):
+        a, b = previous.get(name), current.get(name)
+        if a is None or b is None:
+            present = a if b is None else b
+            if present.submitted == 0 and present.jobs == 0:
+                continue
+            return math.inf
+        denom = (abs(a.arrival_rate) + abs(b.arrival_rate)) / 2.0 + 1e-12
+        worst = max(
+            worst,
+            abs(b.arrival_rate - a.arrival_rate) / denom,
+            abs(b.log_duration_mean - a.log_duration_mean),
+            abs(b.log_duration_std - a.log_duration_std),
+        )
+    return worst

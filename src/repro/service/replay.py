@@ -1,0 +1,510 @@
+"""Scenario replay: drive archived or synthetic load through the daemon.
+
+The serving layer is only as good as the situations it has been driven
+through.  This module provides a catalog of *scenarios* — named,
+seedable stress situations layered on :mod:`repro.workload.patterns` —
+and a :class:`ScenarioReplayer` that feeds a scenario's telemetry
+through a :class:`~repro.service.daemon.TempoService` end-to-end at a
+configurable speedup factor:
+
+* ``steady`` — the two-tenant EC2 mix at stationary load;
+* ``flash-crowd`` — a sudden multi-x arrival surge on the best-effort
+  tenant (a viral dashboard, a incident-response query storm);
+* ``diurnal-wave`` — strong day/night modulation on both tenants
+  (Section 2.4's temporal patterns, compressed);
+* ``tenant-churn`` — a batch tenant joins mid-run and leaves again,
+  emitting :class:`~repro.service.events.TenantJoined`/``TenantLeft``;
+* ``failure-storm`` — harsh cluster noise plus periodic
+  :class:`~repro.service.events.NodeLost` bursts.
+
+The replayer is the "production side" of the serving loop: per chunk of
+simulated time it executes the scenario workload on the noisy
+:class:`~repro.sim.simulator.ClusterSimulator` under the *currently
+applied* configuration, converts the resulting schedule into telemetry
+events, and delivers them to the service (synchronously, or through the
+event bus in daemon mode).  With ``speedup <= 0`` the replay runs as
+fast as possible; with ``speedup = k`` one wall-clock second carries
+``k`` simulated seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.controller import TempoController
+from repro.rm.cluster import ClusterSpec
+from repro.rm.config import ConfigSpace, RMConfig
+from repro.sim.noise import NoiseModel
+from repro.sim.simulator import ClusterSimulator
+from repro.slo.objectives import SLOSet
+from repro.slo.templates import deadline_slo, response_time_slo
+from repro.service.daemon import RetuneDecision, ServiceConfig, TempoService
+from repro.service.events import (
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    NodeLost,
+    ServiceEvent,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import stats_gap
+from repro.stats.distributions import LognormalModel, PoissonProcessModel
+from repro.workload.generator import (
+    StageModel,
+    StatisticalWorkloadModel,
+    TenantWorkloadModel,
+)
+from repro.workload.model import MAP_POOL, REDUCE_POOL, Workload
+from repro.workload.patterns import DiurnalPattern, SpikePattern
+from repro.workload.synthetic import (
+    BEST_EFFORT_TENANT,
+    DEADLINE_TENANT,
+    two_tenant_cluster,
+    two_tenant_expert_config,
+    two_tenant_model,
+)
+from repro.workload.trace import shift_job, shift_task
+
+#: Tenant name used by the churn scenario's transient batch tenant.
+CHURN_TENANT = "batch"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seedable situation the serving layer can be driven through.
+
+    Attributes:
+        name: Catalog key (e.g. ``"flash-crowd"``).
+        description: One-line human summary.
+        cluster: The production cluster.
+        model: Workload model generating the scenario's jobs.
+        slos: SLOs the service tunes against.
+        initial_config: Starting RM configuration.
+        horizon: Default replay length in simulated seconds.
+        noise: Production-side noise profile.
+        churn: ``(time, tenant, joined)`` control events to emit.
+        node_loss: ``(time, pool, containers)`` loss events to emit.
+    """
+
+    name: str
+    description: str
+    cluster: ClusterSpec
+    model: StatisticalWorkloadModel
+    slos: SLOSet
+    initial_config: RMConfig
+    horizon: float
+    noise: NoiseModel
+    churn: tuple[tuple[float, str, bool], ...] = ()
+    node_loss: tuple[tuple[float, str, int], ...] = ()
+
+
+def _two_tenant_slos() -> SLOSet:
+    return SLOSet(
+        [
+            deadline_slo(DEADLINE_TENANT, max_violation_fraction=0.05, slack=0.25),
+            response_time_slo(BEST_EFFORT_TENANT),
+        ]
+    )
+
+
+def steady_scenario(scale: float = 1.0, horizon: float | None = None) -> Scenario:
+    """Stationary two-tenant load (the baseline serving situation)."""
+    horizon = horizon if horizon is not None else 4 * 3600.0
+    return Scenario(
+        name="steady",
+        description="stationary two-tenant EC2 mix",
+        cluster=two_tenant_cluster(),
+        model=two_tenant_model(scale),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.production(),
+    )
+
+
+def flash_crowd_scenario(scale: float = 1.5, horizon: float | None = None) -> Scenario:
+    """Sudden arrival surge: the best-effort tenant spikes to 5x mid-run."""
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    base = two_tenant_model(scale)
+    best_effort = replace(
+        base.tenant_model(BEST_EFFORT_TENANT),
+        rate_pattern=SpikePattern(
+            start=0.4 * horizon, duration=0.15 * horizon, level=5.0
+        ),
+    )
+    return Scenario(
+        name="flash-crowd",
+        description="5x best-effort arrival surge over 15% of the run",
+        cluster=two_tenant_cluster(),
+        model=StatisticalWorkloadModel(
+            [base.tenant_model(DEADLINE_TENANT), best_effort]
+        ),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.production(),
+    )
+
+
+def diurnal_wave_scenario(scale: float = 1.5, horizon: float | None = None) -> Scenario:
+    """Strong day/night wave on both tenants (compressed diurnal cycle)."""
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    base = two_tenant_model(scale)
+    deadline = replace(
+        base.tenant_model(DEADLINE_TENANT),
+        rate_pattern=DiurnalPattern(base=0.2, amplitude=1.8, peak_hour=2.0),
+    )
+    best_effort = replace(
+        base.tenant_model(BEST_EFFORT_TENANT),
+        rate_pattern=DiurnalPattern(base=0.2, amplitude=1.8, peak_hour=5.0),
+    )
+    return Scenario(
+        name="diurnal-wave",
+        description="offset day/night waves on both tenants",
+        cluster=two_tenant_cluster(),
+        model=StatisticalWorkloadModel([deadline, best_effort]),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.production(),
+    )
+
+
+def tenant_churn_scenario(scale: float = 1.5, horizon: float | None = None) -> Scenario:
+    """A transient batch tenant joins at 30% and leaves at 70% of the run."""
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    join, leave = 0.3 * horizon, 0.7 * horizon
+    base = two_tenant_model(scale)
+    churn_tenant = TenantWorkloadModel(
+        tenant=CHURN_TENANT,
+        arrival=PoissonProcessModel(rate=20 * scale / 3600.0),
+        stages=(
+            StageModel(
+                "map",
+                MAP_POOL,
+                LognormalModel(mu=math.log(12), sigma=0.7, minimum=1),
+                LognormalModel(mu=math.log(40), sigma=0.9, minimum=1),
+            ),
+        ),
+        rate_pattern=SpikePattern(
+            start=join, duration=leave - join, level=1.0, base=0.0
+        ),
+        tags=("transient", "batch"),
+    )
+    return Scenario(
+        name="tenant-churn",
+        description="map-heavy batch tenant joins mid-run and leaves again",
+        cluster=two_tenant_cluster(),
+        model=StatisticalWorkloadModel(
+            [
+                base.tenant_model(DEADLINE_TENANT),
+                base.tenant_model(BEST_EFFORT_TENANT),
+                churn_tenant,
+            ]
+        ),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.production(),
+        churn=((join, CHURN_TENANT, True), (leave, CHURN_TENANT, False)),
+    )
+
+
+def failure_storm_scenario(scale: float = 1.5, horizon: float | None = None) -> Scenario:
+    """Harsh noise plus a periodic wave of node-loss telemetry."""
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    losses = tuple(
+        (t, MAP_POOL if i % 2 == 0 else REDUCE_POOL, 2 + (i % 3))
+        for i, t in enumerate(
+            float(s) for s in range(1800, int(horizon), 2700)
+        )
+    )
+    return Scenario(
+        name="failure-storm",
+        description="harsh failures/kills/restarts with node-loss bursts",
+        cluster=two_tenant_cluster(),
+        model=two_tenant_model(scale),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.harsh(),
+        node_loss=losses,
+    )
+
+
+#: Scenario catalog: name -> factory(scale, horizon).
+SCENARIOS: dict[str, Callable[..., Scenario]] = {
+    "steady": steady_scenario,
+    "flash-crowd": flash_crowd_scenario,
+    "diurnal-wave": diurnal_wave_scenario,
+    "tenant-churn": tenant_churn_scenario,
+    "failure-storm": failure_storm_scenario,
+}
+
+
+def make_scenario(
+    name: str, scale: float | None = None, horizon: float | None = None
+) -> Scenario:
+    """Instantiate a catalog scenario by name (KeyError if unknown)."""
+    factory = SCENARIOS[name]
+    if scale is None:
+        return factory(horizon=horizon)
+    return factory(scale, horizon=horizon)
+
+
+def build_service(
+    scenario: Scenario,
+    config: ServiceConfig | None = None,
+    seed: int = 0,
+    **controller_kwargs,
+) -> TempoService:
+    """A TempoService wired for ``scenario`` (controller + config space)."""
+    space = ConfigSpace(scenario.cluster, sorted(scenario.model.tenants))
+    controller = TempoController(
+        scenario.cluster,
+        scenario.slos,
+        space,
+        scenario.initial_config,
+        noise=scenario.noise,
+        seed=seed,
+        **controller_kwargs,
+    )
+    return TempoService(controller, config)
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """Aggregate result of one replay run.
+
+    Attributes:
+        scenario: Scenario name.
+        horizon: Simulated seconds replayed.
+        events: Telemetry events delivered (excluding heartbeats).
+        jobs_submitted: Submission events among them.
+        jobs_completed: Completion events among them.
+        tasks: Task-completion events among them.
+        retunes: Cadence ticks that applied a tune.
+        skips: Cadence ticks skipped by a guard.
+        reverts: Applied tunes the controller's guard rolled back.
+        dropped: Events shed by the bounded bus (bus transport only).
+        wall_seconds: Wall-clock duration of the replay.
+        events_per_second: Telemetry throughput (events / wall_seconds).
+        max_stats_gap: Largest incremental-vs-batch stats deviation seen.
+        decisions: Every retune decision, in order.
+        final_config: The configuration left applied.
+    """
+
+    scenario: str
+    horizon: float
+    events: int
+    jobs_submitted: int
+    jobs_completed: int
+    tasks: int
+    retunes: int
+    skips: int
+    reverts: int
+    dropped: int
+    wall_seconds: float
+    events_per_second: float
+    max_stats_gap: float
+    decisions: tuple[RetuneDecision, ...]
+    final_config: RMConfig
+
+
+class ScenarioReplayer:
+    """Feeds a scenario's telemetry through a service end-to-end.
+
+    Args:
+        scenario: The situation to replay.
+        service: Optionally a pre-built service (default: one wired via
+            :func:`build_service` with ``seed``).
+        speedup: Simulated seconds per wall-clock second; ``<= 0`` means
+            as fast as possible (pacing applied at chunk granularity).
+        seed: Seed for workload generation and production simulation.
+        transport: ``"direct"`` calls ``service.process`` synchronously
+            (deterministic; enables per-chunk verification);
+            ``"bus"`` publishes to the service's event bus and runs the
+            daemon's background thread.
+        verify_stats: Track the incremental-vs-batch stats gap
+            (per chunk when direct, once at the end when bus).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        service: TempoService | None = None,
+        *,
+        speedup: float = 0.0,
+        seed: int = 0,
+        transport: str = "direct",
+        verify_stats: bool = True,
+    ):
+        if transport not in ("direct", "bus"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.scenario = scenario
+        self.service = service or build_service(scenario, seed=seed)
+        self.speedup = speedup
+        self.seed = seed
+        self.transport = transport
+        self.verify_stats = verify_stats
+        self.sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=seed)
+
+    def run(self, horizon: float | None = None) -> ReplaySummary:
+        """Replay ``horizon`` simulated seconds (scenario default if None)."""
+        horizon = horizon if horizon is not None else self.scenario.horizon
+        service = self.service
+        workload = self.scenario.model.generate(self.seed, horizon)
+        chunk = service.config.retune_interval
+        if self.transport == "bus":
+            service.start()
+        wall_start = _time.perf_counter()
+        counts = {"events": 0, "submitted": 0, "completed": 0, "tasks": 0}
+        max_gap = 0.0
+        t0, index = 0.0, 0
+        while t0 < horizon:
+            t1 = min(t0 + chunk, horizon)
+            events = self._chunk_events(workload, t0, t1, index)
+            events.append(Heartbeat(t1))
+            self._pace(wall_start, t1)
+            for event in events:
+                if self.transport == "direct":
+                    service.process(event)
+                elif not service.submit(event):
+                    continue  # shed by the bounded bus; counted as dropped
+                self._count(event, counts)
+            if self.transport == "bus":
+                # Barrier: let the daemon drain this chunk before the
+                # next one is simulated, so production always runs under
+                # the currently applied (possibly just retuned) config.
+                service.quiesce()
+            if (
+                self.verify_stats
+                and self.transport == "direct"
+                and service.window.events_ingested
+            ):
+                max_gap = max(max_gap, stats_gap(service.window))
+            t0, index = t1, index + 1
+        if self.transport == "bus":
+            service.stop()
+            if self.verify_stats and service.window.events_ingested:
+                max_gap = max(max_gap, stats_gap(service.window))
+        wall = _time.perf_counter() - wall_start
+        reverts = sum(
+            1
+            for d in service.decisions
+            if d.iteration is not None and d.iteration.reverted
+        )
+        return ReplaySummary(
+            scenario=self.scenario.name,
+            horizon=horizon,
+            events=counts["events"],
+            jobs_submitted=counts["submitted"],
+            jobs_completed=counts["completed"],
+            tasks=counts["tasks"],
+            retunes=service.retunes,
+            skips=service.skips,
+            reverts=reverts,
+            dropped=service.bus.dropped,
+            wall_seconds=wall,
+            events_per_second=counts["events"] / wall if wall > 0 else math.inf,
+            max_stats_gap=max_gap,
+            decisions=tuple(service.decisions),
+            final_config=service.rm_config,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _pace(self, wall_start: float, sim_time: float) -> None:
+        if self.speedup <= 0:
+            return
+        target = sim_time / self.speedup
+        delay = target - (_time.perf_counter() - wall_start)
+        if delay > 0:
+            _time.sleep(delay)
+
+    @staticmethod
+    def _count(event: ServiceEvent, counts: dict[str, int]) -> None:
+        if isinstance(event, Heartbeat):
+            return
+        counts["events"] += 1
+        if isinstance(event, JobSubmitted):
+            counts["submitted"] += 1
+        elif isinstance(event, JobCompleted):
+            counts["completed"] += 1
+        elif isinstance(event, TaskCompleted):
+            counts["tasks"] += 1
+
+    def _chunk_events(
+        self, workload: Workload, t0: float, t1: float, index: int
+    ) -> list[ServiceEvent]:
+        """Simulate ``[t0, t1)`` under the live config; emit its telemetry.
+
+        Jobs submitted in the chunk run to completion in the chunk's
+        simulation (the drain phase), so completion events may carry
+        timestamps past ``t1`` — the rolling window tolerates that
+        bounded disorder.
+        """
+        window = workload.window(t0, t1)
+        # Known approximation: each chunk simulates from an empty
+        # cluster, so backlog does not compound across chunk boundaries
+        # (a continuous simulation with live config swaps is a ROADMAP
+        # follow-up).  Telemetry is correspondingly milder than a real
+        # sustained overload would produce.
+        events: list[tuple[tuple, ServiceEvent]] = []
+        for job in window:
+            events.append(
+                (
+                    (t0 + job.submit_time, 0, job.job_id),
+                    JobSubmitted(
+                        t0 + job.submit_time,
+                        tenant=job.tenant,
+                        job_id=job.job_id,
+                        deadline=None
+                        if job.deadline is None
+                        else t0 + job.deadline,
+                    ),
+                )
+            )
+        if len(window):
+            trace = self.sim.run(
+                window,
+                self.service.controller.config,
+                seed=self.seed + 7919 * index,
+            )
+            for rec in trace.task_records:
+                shifted = shift_task(rec, t0)
+                events.append(
+                    (
+                        (shifted.finish_time, 1, shifted.task_id, shifted.attempt),
+                        TaskCompleted(shifted.finish_time, record=shifted),
+                    )
+                )
+            for jrec in trace.job_records:
+                shifted_job = shift_job(jrec, t0)
+                events.append(
+                    (
+                        (shifted_job.finish_time, 2, shifted_job.job_id),
+                        JobCompleted(shifted_job.finish_time, record=shifted_job),
+                    )
+                )
+        for when, tenant, joined in self.scenario.churn:
+            if t0 <= when < t1:
+                cls = TenantJoined if joined else TenantLeft
+                events.append(((when, 3, tenant), cls(when, tenant=tenant)))
+        for when, pool, containers in self.scenario.node_loss:
+            if t0 <= when < t1:
+                events.append(
+                    (
+                        (when, 4, pool),
+                        NodeLost(when, pool=pool, containers=containers),
+                    )
+                )
+        events.sort(key=lambda pair: pair[0])
+        return [event for _, event in events]
+
+

@@ -21,6 +21,7 @@ from repro.workload.patterns import (
     DiurnalPattern,
     FlatPattern,
     RatePattern,
+    SpikePattern,
     WeeklyPattern,
 )
 from repro.workload.generator import (
@@ -70,6 +71,7 @@ __all__ = [
     "RatePattern",
     "FlatPattern",
     "DiurnalPattern",
+    "SpikePattern",
     "WeeklyPattern",
     "StageModel",
     "TenantWorkloadModel",

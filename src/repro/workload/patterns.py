@@ -112,6 +112,34 @@ class BurstPattern(RatePattern):
 
 
 @dataclass(frozen=True)
+class SpikePattern(RatePattern):
+    """One-shot level shift: ``level`` inside ``[start, start + duration)``,
+    ``base`` everywhere else.
+
+    Two scenario families of the serving layer are built on it: flash
+    crowds (``base=1``, ``level >> 1`` — a sudden surge of arrivals) and
+    bounded tenant lifetimes for churn scenarios (``base=0``, ``level=1``
+    — the tenant only submits while "joined").
+    """
+
+    start: float
+    duration: float
+    level: float = 5.0
+    base: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.level < 0 or self.base < 0:
+            raise ValueError("spike level and base must be non-negative")
+
+    def factor(self, t: float) -> float:
+        if self.start <= t < self.start + self.duration:
+            return self.level
+        return self.base
+
+
+@dataclass(frozen=True)
 class _ProductPattern(RatePattern):
     left: RatePattern
     right: RatePattern

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from collections import defaultdict
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.workload.model import (
@@ -289,9 +289,9 @@ class Trace:
             j.job_id for j in self._jobs if start <= j.submit_time < end
         }
         tasks = [
-            _shift_task(t, -start) for t in self._tasks if t.job_id in keep
+            shift_task(t, -start) for t in self._tasks if t.job_id in keep
         ]
-        jobs = [_shift_job(j, -start) for j in self._jobs if j.job_id in keep]
+        jobs = [shift_job(j, -start) for j in self._jobs if j.job_id in keep]
         return Trace(tasks, jobs, capacity=self.capacity, horizon=end - start)
 
     # -- replay ---------------------------------------------------------------
@@ -318,6 +318,10 @@ class Trace:
             for t in tasks_by_job.get(jrec.job_id, {}).values():
                 by_stage[t.stage].append(t)
             deps = dict(jrec.stage_deps)
+            # Deps are filtered to stages actually present: a windowed
+            # trace may retain a stage whose upstream slid out of the
+            # observation interval (same rule the generator applies when
+            # an optional stage samples empty).
             stages = tuple(
                 StageSpec(
                     name=stage,
@@ -330,7 +334,7 @@ class Trace:
                         )
                         for t in sorted(recs, key=lambda r: r.task_id)
                     ),
-                    deps=tuple(deps.get(stage, ())),
+                    deps=tuple(d for d in deps.get(stage, ()) if d in by_stage),
                 )
                 for stage, recs in sorted(by_stage.items())
             )
@@ -415,32 +419,21 @@ class Trace:
         return cls(tasks, jobs, capacity=capacity, horizon=horizon)
 
 
-def _shift_task(t: TaskRecord, delta: float) -> TaskRecord:
-    return TaskRecord(
-        job_id=t.job_id,
-        task_id=t.task_id,
-        tenant=t.tenant,
-        pool=t.pool,
-        stage=t.stage,
+def shift_task(t: TaskRecord, delta: float) -> TaskRecord:
+    """Copy of a task record with every timestamp shifted by ``delta``."""
+    return replace(
+        t,
         submit_time=t.submit_time + delta,
         start_time=t.start_time + delta,
         finish_time=t.finish_time + delta,
-        containers=t.containers,
-        preempted=t.preempted,
-        failed=t.failed,
-        attempt=t.attempt,
     )
 
 
-def _shift_job(j: JobRecord, delta: float) -> JobRecord:
-    deadline = None if j.deadline is None else j.deadline + delta
-    return JobRecord(
-        job_id=j.job_id,
-        tenant=j.tenant,
+def shift_job(j: JobRecord, delta: float) -> JobRecord:
+    """Copy of a job record with every timestamp shifted by ``delta``."""
+    return replace(
+        j,
         submit_time=j.submit_time + delta,
         finish_time=j.finish_time + delta,
-        deadline=deadline,
-        num_tasks=j.num_tasks,
-        tags=j.tags,
-        stage_deps=j.stage_deps,
+        deadline=None if j.deadline is None else j.deadline + delta,
     )
