@@ -1,7 +1,7 @@
 """Perf benchmark: serving-layer ingest throughput and retune latency.
 
 Not a paper figure — an operational benchmark for the online serving
-layer (`repro.service`).  Three measurements:
+layer (`repro.service`).  Five measurements:
 
 1. **Raw window ingest** — events/sec folded into a bare
    :class:`~repro.service.ingest.RollingWindow` (the O(1) incremental
@@ -9,14 +9,22 @@ layer (`repro.service`).  Three measurements:
 2. **Service ingest** — events/sec through
    :meth:`~repro.service.daemon.TempoService.process` with the retune
    cadence effectively disabled (event dispatch + clock + guards).
-3. **Retune latency** — wall seconds per applied tune during a
+3. **Durable service ingest** — the same with a write-ahead journal and
+   periodic snapshots attached (the cost of durability).
+4. **Retune latency** — wall seconds per applied tune during a
    flash-crowd replay (window-trace assembly + what-if + PALD).
+5. **Backlog compounding** — an overloaded steady replay in the legacy
+   per-interval mode (every retune interval simulated from an empty
+   cluster) versus the continuous mode (one simulation, config swaps
+   mid-run, backlog carried across intervals): peak job backlog and
+   mean response time.
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_service_ingest.py
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 import numpy as np
@@ -26,6 +34,7 @@ from repro.service.daemon import ServiceConfig, TempoService
 from repro.service.events import JobCompleted, JobSubmitted, TaskCompleted
 from repro.service.ingest import RollingWindow, stats_gap
 from repro.service.replay import ScenarioReplayer, build_service, make_scenario
+from repro.service.snapshot import ServiceState
 from repro.sim.simulator import ClusterSimulator
 
 
@@ -58,20 +67,48 @@ def bench_window_ingest(events, window: float = 1800.0) -> tuple[float, float]:
     return len(events) / elapsed, stats_gap(rolling)
 
 
-def bench_service_ingest(events) -> float:
-    """Events/sec through TempoService.process with retuning disabled."""
+def bench_service_ingest(events, durable: bool = False) -> float:
+    """Events/sec through TempoService.process with retuning disabled.
+
+    ``durable=True`` attaches a state directory, so every event pays the
+    write-ahead journal append and the periodic snapshot cadence.
+    """
     scenario = make_scenario("steady")
-    service = build_service(
-        scenario,
-        ServiceConfig(window=1800.0, retune_interval=1e12),
-        seed=0,
-    )
-    start = time.perf_counter()
-    for event in events:
-        service.process(event)
-    elapsed = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as tmp:
+        state = ServiceState(tmp) if durable else None
+        service = build_service(
+            scenario,
+            ServiceConfig(window=1800.0, retune_interval=1e12),
+            seed=0,
+            state=state,
+        )
+        start = time.perf_counter()
+        for event in events:
+            service.process(event)
+        elapsed = time.perf_counter() - start
+        if state is not None:
+            state.close()
     assert isinstance(service, TempoService)
     return len(events) / elapsed
+
+
+def bench_backlog_compounding(
+    horizon: float = 3600.0, scale: float = 3.0
+) -> dict[str, tuple[int, float]]:
+    """Peak backlog and mean response: per-interval vs continuous replay."""
+    out: dict[str, tuple[int, float]] = {}
+    for label, continuous in (("per-interval", False), ("continuous", True)):
+        scenario = make_scenario("steady", scale=scale, horizon=horizon)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=5,
+        )
+        summary = ScenarioReplayer(
+            scenario, service, seed=5, continuous=continuous, verify_stats=False
+        ).run()
+        out[label] = (summary.peak_backlog, summary.mean_response)
+    return out
 
 
 def bench_retune_latency(horizon: float = 3 * 3600.0) -> tuple[int, float, float, float]:
@@ -99,15 +136,29 @@ def main() -> None:
     events = telemetry_events()
     window_eps, gap = bench_window_ingest(events)
     service_eps = bench_service_ingest(events)
+    durable_eps = bench_service_ingest(events, durable=True)
     retunes, mean_lat, p50_lat, max_lat = bench_retune_latency()
+    backlog = bench_backlog_compounding()
     rows = [
         ["window ingest (events/s)", f"{window_eps:,.0f}"],
         ["service ingest (events/s)", f"{service_eps:,.0f}"],
+        ["durable ingest (events/s)", f"{durable_eps:,.0f}"],
+        ["durability overhead", f"{service_eps / durable_eps:.2f}x"],
         ["incremental-vs-batch gap", f"{gap:.3g}"],
         ["retunes measured", retunes],
         ["retune latency mean (ms)", f"{mean_lat * 1e3:.1f}"],
         ["retune latency p50 (ms)", f"{p50_lat * 1e3:.1f}"],
         ["retune latency max (ms)", f"{max_lat * 1e3:.1f}"],
+        [
+            "overload peak backlog (jobs)",
+            f"per-interval={backlog['per-interval'][0]}, "
+            f"continuous={backlog['continuous'][0]}",
+        ],
+        [
+            "overload mean response (s)",
+            f"per-interval={backlog['per-interval'][1]:.0f}, "
+            f"continuous={backlog['continuous'][1]:.0f}",
+        ],
     ]
     report(
         "perf_service_ingest",

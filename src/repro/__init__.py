@@ -19,7 +19,12 @@ Public API highlights:
   control loop (:class:`~repro.core.controller.TempoController`).
 * :mod:`repro.service` — the online serving layer: a streaming daemon
   (:class:`~repro.service.daemon.TempoService`) with incremental
-  rolling-window ingestion, background retuning, and scenario replay.
+  rolling-window ingestion, background retuning, durable state (event
+  journal + snapshot/resume), and continuous scenario replay.
+
+See ``docs/ARCHITECTURE.md`` for the module map and serve-loop data
+flow, and ``docs/OPERATIONS.md`` for running the daemon and its
+crash-recovery semantics.
 """
 
 __version__ = "1.0.0"

@@ -26,6 +26,14 @@ small operational CLI:
 ``python -m repro serve``
     Same scenarios through daemon mode: telemetry is published to the
     bounded event bus and consumed by the service's background thread.
+    With ``--state-dir`` the daemon is durable: every event is
+    journaled write-ahead and snapshots are written periodically.
+
+``python -m repro resume``
+    Rebuild a killed daemon from its ``--state-dir`` (newest snapshot +
+    journal tail), then continue its scenario replay from the last
+    completed retune interval.  See ``docs/OPERATIONS.md`` for the
+    crash-recovery semantics.
 
 SLO spec file format — a JSON array of QS-template dictionaries::
 
@@ -49,14 +57,17 @@ import numpy as np
 from repro.core.controller import TempoController, windows_from_model
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
-from repro.service.daemon import ServiceConfig
+from repro.service.daemon import ServiceConfig, TempoService
+from repro.service.journal import last_heartbeat
 from repro.service.replay import (
     SCENARIOS as SERVICE_SCENARIOS,
     ReplaySummary,
     ScenarioReplayer,
+    build_controller,
     build_service,
     make_scenario,
 )
+from repro.service.snapshot import ServiceState
 from repro.sim.noise import NoiseModel
 from repro.sim.predictor import SchedulePredictor
 from repro.sim.simulator import ClusterSimulator
@@ -231,6 +242,11 @@ def _print_replay_summary(summary: ReplaySummary, out) -> None:
     )
     if summary.dropped:
         print(f"WARNING: bus shed {summary.dropped} events", file=out)
+    print(
+        f"peak backlog={summary.peak_backlog} jobs, "
+        f"mean response={summary.mean_response:.1f}s",
+        file=out,
+    )
     latencies = [d.latency for d in summary.decisions if d.retuned]
     if latencies:
         print(
@@ -255,11 +271,38 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         raise SystemExit(f"--interval must be positive, got {args.interval}")
     if args.drift < 0:
         raise SystemExit(f"--drift must be non-negative, got {args.drift}")
+    if args.revert_windows < 1:
+        raise SystemExit(
+            f"--revert-windows must be >= 1, got {args.revert_windows}"
+        )
     scenario = make_scenario(
         args.scenario,
         scale=args.scale,
         horizon=args.horizon * 3600.0 if args.horizon is not None else None,
     )
+    state = None
+    if args.state_dir:
+        state = ServiceState(args.state_dir)
+        if state.journal.last_seq:
+            raise SystemExit(
+                f"{args.state_dir} already holds serving state; "
+                "use `repro resume` to continue it"
+            )
+        state.write_meta(
+            {
+                "scenario": args.scenario,
+                "scale": args.scale,
+                "horizon": scenario.horizon,
+                "seed": args.seed,
+                "window": args.window * 60.0,
+                "interval": args.interval * 60.0,
+                "drift": args.drift,
+                "speedup": args.speedup,
+                "transport": transport,
+                "revert_windows": args.revert_windows,
+                "continuous": not args.chunked,
+            }
+        )
     service = build_service(
         scenario,
         ServiceConfig(
@@ -268,6 +311,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
             drift_threshold=args.drift,
         ),
         seed=args.seed,
+        state=state,
+        revert_windows=args.revert_windows,
     )
     replayer = ScenarioReplayer(
         scenario,
@@ -275,11 +320,13 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         speedup=args.speedup,
         seed=args.seed,
         transport=transport,
+        continuous=not args.chunked,
     )
     print(
         f"scenario={scenario.name} ({scenario.description}) "
         f"horizon={scenario.horizon:.0f}s transport={transport} "
-        f"speedup={'max' if args.speedup <= 0 else f'{args.speedup:g}x'}",
+        f"speedup={'max' if args.speedup <= 0 else f'{args.speedup:g}x'}"
+        + (f" state-dir={args.state_dir}" if args.state_dir else ""),
         file=out,
     )
     summary = replayer.run()
@@ -295,6 +342,73 @@ def cmd_replay(args: argparse.Namespace, out) -> int:
 def cmd_serve(args: argparse.Namespace, out) -> int:
     """``repro serve``: scenario replay through daemon mode (bus + thread)."""
     return _run_scenario(args, out, transport="bus")
+
+
+def cmd_resume(args: argparse.Namespace, out) -> int:
+    """``repro resume``: rebuild a killed daemon; continue its replay.
+
+    Recovery sequence: load ``meta.json``, truncate journal and
+    snapshots back to the last completed retune interval (heartbeat),
+    rebuild the daemon from the newest snapshot plus the journal tail,
+    and re-drive the scenario from that boundary with the same seed.
+    """
+    # Check for the descriptor before constructing ServiceState, which
+    # would mkdir a valid-looking empty state tree at a typo'd path.
+    if not (Path(args.state_dir) / "meta.json").exists():
+        raise SystemExit(
+            f"{args.state_dir} has no meta.json — "
+            "was it created by `repro serve/replay --state-dir`?"
+        )
+    state = ServiceState(args.state_dir)
+    meta = state.read_meta()
+    # A heartbeat at the horizon is only journaled once the run — final
+    # drain included — delivered completely, so truncating to the last
+    # heartbeat is always safe: a crash mid-drain rewinds to the last
+    # full interval and re-simulates from there.
+    boundary = last_heartbeat(state.journal)
+    seq, start = boundary if boundary is not None else (0, 0.0)
+    dropped = state.truncate_after(seq)
+    scenario = make_scenario(
+        meta["scenario"], scale=meta["scale"], horizon=meta["horizon"]
+    )
+    config = ServiceConfig(
+        window=meta["window"],
+        retune_interval=meta["interval"],
+        drift_threshold=meta["drift"],
+    )
+    controller = build_controller(
+        scenario, seed=meta["seed"], revert_windows=meta.get("revert_windows", 1)
+    )
+    service = TempoService.resume(controller, state, config)
+    print(
+        f"resumed from {args.state_dir}: events={service.events_processed} "
+        f"retunes={service.retunes} configs={len(service.config_history)} "
+        f"t={start:.0f}s"
+        + (f" (dropped {dropped} partial-interval records)" if dropped else ""),
+        file=out,
+    )
+    horizon = scenario.horizon
+    if start >= horizon:
+        print("replay already complete; nothing to continue", file=out)
+        print("\nfinal configuration:", file=out)
+        print(service.rm_config.describe(), file=out)
+        return 0
+    replayer = ScenarioReplayer(
+        scenario,
+        service,
+        speedup=args.speedup if args.speedup is not None else meta["speedup"],
+        seed=meta["seed"],
+        transport=meta["transport"],
+        continuous=meta.get("continuous", True),
+    )
+    print(
+        f"continuing scenario={scenario.name} from t={start:.0f}s to "
+        f"horizon={horizon:.0f}s transport={meta['transport']}",
+        file=out,
+    )
+    summary = replayer.run(horizon, start=start)
+    _print_replay_summary(summary, out)
+    return 0
 
 
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
@@ -322,6 +436,21 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--drift", type=float, default=0.02, help="stability-guard threshold"
+    )
+    parser.add_argument(
+        "--revert-windows",
+        type=int,
+        default=3,
+        help="windows averaged for the revert-guard comparison",
+    )
+    parser.add_argument(
+        "--state-dir",
+        help="persist journal + snapshots here (enables `repro resume`)",
+    )
+    parser.add_argument(
+        "--chunked",
+        action="store_true",
+        help="legacy per-interval simulation (no cross-interval backlog)",
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -373,6 +502,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_options(serve)
     serve.set_defaults(func=cmd_serve)
+
+    resume = sub.add_parser(
+        "resume", help="rebuild a killed daemon from its state dir and continue"
+    )
+    resume.add_argument(
+        "--state-dir", required=True, help="state dir of the killed run"
+    )
+    resume.add_argument(
+        "--speedup",
+        type=float,
+        default=None,
+        help="override the original run's pacing",
+    )
+    resume.set_defaults(func=cmd_resume)
 
     return parser
 

@@ -15,7 +15,10 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.baselines` — random search, NSGA-II-lite,
   weighted-sum descent baselines;
 * :mod:`repro.core.controller` — the eight-step Tempo control loop with
-  trust region and revert guard (Section 4).
+  trust region and revert guard (Section 4); the guard compares
+  multi-window-averaged observed QS vectors to stay calm under noisy
+  telemetry, and :meth:`~repro.core.controller.TempoController.
+  tune_from_trace` is the serving layer's entry point.
 """
 
 from repro.core.pareto import ParetoArchive, dominates, pareto_front, weakly_dominates

@@ -24,6 +24,7 @@ improving on the incumbent rather than merely not regressing.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -109,6 +110,12 @@ class TempoController:
             dominate the previous one (the paper's letter); ``"off"``
             disables the guard.
         revert_tol: Relative tolerance for the revert comparison.
+        revert_windows: Number of recent observation windows averaged
+            into the QS vectors the revert guard compares (SAM-style
+            smoothing).  With noisy telemetry a single window makes the
+            guard fire on most applied tunes; averaging ``k > 1``
+            windows trades reaction speed for far less revert churn.
+            ``1`` reproduces the single-window guard.
         ratchet: Ratchet best-effort thresholds to the best observed QS.
         heartbeat: Production simulator heartbeat seconds.
         store_traces: Keep each iteration's full trace on the record
@@ -132,6 +139,7 @@ class TempoController:
         loess_frac: float = 0.6,
         revert_mode: str = "regression",
         revert_tol: float = 0.05,
+        revert_windows: int = 1,
         ratchet: bool = True,
         heartbeat: float = 5.0,
         seed: int = 0,
@@ -150,6 +158,7 @@ class TempoController:
         self.replicas = max(1, replicas)
         self.revert_mode = revert_mode
         self.revert_tol = revert_tol
+        self.revert_windows = max(1, int(revert_windows))
         self.ratchet = ratchet
         self.seed = seed
         self.store_traces = store_traces
@@ -161,6 +170,9 @@ class TempoController:
         self.x = space.encode(initial_config)
         self._prev: tuple[RMConfig, np.ndarray, np.ndarray] | None = None
         self._ratchet_values: np.ndarray | None = None
+        # Trailing observed-QS vectors feeding the revert guard's
+        # multi-window average (len <= revert_windows).
+        self._observed_recent: deque[np.ndarray] = deque(maxlen=self.revert_windows)
 
         # One persistent PALD: its sample buffer accumulates QS
         # observations across control iterations (the workload is
@@ -198,7 +210,11 @@ class TempoController:
         return self.tune_from_trace(index, trace, window=window)
 
     def tune_from_trace(
-        self, index: int, trace: Trace, window: Workload | None = None
+        self,
+        index: int,
+        trace: Trace,
+        window: Workload | None = None,
+        cluster: ClusterSpec | None = None,
     ) -> ControlIteration:
         """Steps (2)-(8) from an externally observed task schedule.
 
@@ -207,21 +223,43 @@ class TempoController:
         window :class:`~repro.workload.trace.Trace`, replaces the Step (1)
         production simulation.  ``window`` optionally supplies the
         submitted workload as a fallback when the trace is too sparse to
-        replay or fit.
+        replay or fit.  ``cluster`` overrides the what-if cluster for
+        this iteration — the serving daemon passes the capacity that
+        remains after observed node loss, so candidate configurations
+        are evaluated on the cluster that actually exists.
         """
         observed = self.slos.evaluate(trace)
         observed_raw = self.slos.evaluate_raw(trace)
 
         # Revert guard: roll back a regressing configuration before
-        # optimizing further (Section 4's robustness mechanism).
-        reverted = self._maybe_revert(observed)
+        # optimizing further (Section 4's robustness mechanism).  The
+        # guard compares averages over the trailing `revert_windows`
+        # observations, not single noisy windows.
+        evicted = (
+            self._observed_recent[0]
+            if len(self._observed_recent) == self._observed_recent.maxlen
+            else None
+        )
+        self._observed_recent.append(observed)
+        smoothed = self.smoothed_observation()
+        reverted = self._maybe_revert(smoothed)
+        if reverted:
+            # The window was measured under the configuration the guard
+            # just rejected; keeping it would poison the average for the
+            # next `revert_windows` comparisons and trigger a revert
+            # storm against the restored incumbent.  Only that window is
+            # dropped: the observation its append evicted comes back, so
+            # the guard keeps averaging the configured k windows.
+            self._observed_recent.pop()
+            if evicted is not None:
+                self._observed_recent.appendleft(evicted)
 
         # Ratchet best-effort thresholds to the best observed QS so far.
         thresholds = self._current_thresholds(observed)
         self._pald.set_thresholds(thresholds)
 
         # Steps (2)-(7): workload generation + what-if + PALD.
-        whatif = self._build_whatif(trace, window, thresholds, index)
+        whatif = self._build_whatif(trace, window, thresholds, index, cluster)
         self._pald.evaluator = whatif.evaluator(self.space)
         step = self._pald.step(self.x, f_x=whatif.evaluate(self.config))
 
@@ -241,10 +279,23 @@ class TempoController:
         # revert the incumbent keeps its original observation as the
         # baseline for the next guard comparison.
         if not reverted:
-            self._prev = (self.config, observed, self.x.copy())
+            self._prev = (self.config, smoothed, self.x.copy())
         self.x = step.x
         self.config = self.space.decode(step.x)
         return record
+
+    def smoothed_observation(self) -> np.ndarray:
+        """Mean observed QS vector over the trailing revert windows.
+
+        This is the vector the revert guard compares (and the baseline
+        it stores when a configuration is applied).  With
+        ``revert_windows=1`` it is simply the latest observation.
+        """
+        if not self._observed_recent:
+            raise ValueError("no observations recorded yet")
+        if len(self._observed_recent) == 1:
+            return self._observed_recent[0].copy()
+        return np.mean(np.vstack(list(self._observed_recent)), axis=0)
 
     # -- internals -------------------------------------------------------------
 
@@ -285,6 +336,7 @@ class TempoController:
         window: Workload | None,
         thresholds: np.ndarray,
         index: int,
+        cluster: ClusterSpec | None = None,
     ) -> WhatIfModel:
         workloads: list[Workload]
         horizon = window.horizon if window is not None else trace.horizon
@@ -301,4 +353,9 @@ class TempoController:
             workloads = [trace.to_workload()]
         if not any(len(w) for w in workloads) and window is not None:
             workloads = [window]
-        return WhatIfModel(self.cluster, self.slos, workloads, self.policy)
+        return WhatIfModel(
+            cluster if cluster is not None else self.cluster,
+            self.slos,
+            workloads,
+            self.policy,
+        )

@@ -62,6 +62,26 @@ class ClusterSpec:
         """Iterate ``(pool, capacity)`` pairs in name order."""
         return iter(self.pools)
 
+    def shrunk(
+        self, losses: Mapping[str, int], name: str | None = None
+    ) -> "ClusterSpec":
+        """A cluster with ``losses[pool]`` containers removed per pool.
+
+        Models live capacity loss (failed nodes): the online serving
+        layer feeds observed :class:`~repro.service.events.NodeLost`
+        telemetry through this so the what-if model predicts schedules
+        on the capacity that actually remains.  Unknown pools are
+        ignored and every pool keeps at least one container.
+        """
+        pools = {
+            p: max(1, c - int(losses.get(p, 0))) for p, c in self.pools
+        }
+        for pool, lost in losses.items():
+            if lost < 0:
+                raise ValueError(f"losses[{pool!r}] must be >= 0, got {lost}")
+        label = name if name is not None else self.name
+        return ClusterSpec(pools, name=label)
+
     def scaled(self, fraction: float, name: str | None = None) -> "ClusterSpec":
         """A cluster with every pool scaled by ``fraction`` (at least 1).
 

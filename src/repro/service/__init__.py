@@ -11,9 +11,16 @@ live Resource Manager):
   statistics with a batch-recompute verification path;
 * :mod:`repro.service.daemon` — :class:`TempoService`, the cadence loop
   with stability/sparsity guards and atomic config snapshot/rollback;
+* :mod:`repro.service.journal` — the append-only, CRC-framed,
+  segment-rotated write-ahead journal of every event, decision, applied
+  configuration, and rollback;
+* :mod:`repro.service.snapshot` — periodic full-state snapshots over
+  the journal and the :class:`ServiceState` facade owning a state
+  directory, enabling :meth:`TempoService.resume` crash recovery;
 * :mod:`repro.service.replay` — a scenario catalog (flash crowd,
   diurnal wave, tenant churn, failure storm) and the replay driver that
-  feeds scenarios through the service at a speedup factor.
+  feeds scenarios through the service — continuously by default, so
+  backlog compounds across retune intervals — at a speedup factor.
 """
 
 from repro.service.events import (
@@ -39,11 +46,20 @@ from repro.service.daemon import (
     ServiceConfig,
     TempoService,
 )
+from repro.service.journal import (
+    EventJournal,
+    JournalError,
+    JournalRecord,
+    decode_event,
+    encode_event,
+)
+from repro.service.snapshot import ServiceState, SnapshotStore
 from repro.service.replay import (
     SCENARIOS,
     ReplaySummary,
     Scenario,
     ScenarioReplayer,
+    build_controller,
     build_service,
     make_scenario,
 )
@@ -66,9 +82,17 @@ __all__ = [
     "RetuneDecision",
     "ConfigSnapshot",
     "TempoService",
+    "EventJournal",
+    "JournalError",
+    "JournalRecord",
+    "encode_event",
+    "decode_event",
+    "ServiceState",
+    "SnapshotStore",
     "Scenario",
     "SCENARIOS",
     "make_scenario",
+    "build_controller",
     "build_service",
     "ScenarioReplayer",
     "ReplaySummary",

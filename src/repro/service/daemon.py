@@ -13,9 +13,26 @@ database daemons (H2O) and stability-aware online tuners (SAM):
   **stability check** (skip when the window statistics have not
   materially drifted since the last applied tune) and a **sparsity
   check** (skip when the window holds too few jobs to carry signal);
+* a retune hands the window's trace to
+  :meth:`~repro.core.controller.TempoController.tune_from_trace`, whose
+  own revert guard compares the multi-window-averaged observed QS
+  vector against the previously applied configuration's baseline and
+  rolls back regressions before optimizing further;
+* observed :class:`~repro.service.events.NodeLost` telemetry shrinks
+  the what-if cluster, so candidate configurations are evaluated on the
+  capacity that actually remains — not just used as a forced-retune
+  signal;
 * every applied configuration is recorded as an atomic
   :class:`ConfigSnapshot` so operators can :meth:`~TempoService.rollback`
-  past the controller's own revert guard.
+  past that guard.
+
+When constructed with a :class:`~repro.service.snapshot.ServiceState`,
+the daemon is **durable**: every event, decision, applied configuration,
+and rollback is journaled write-ahead, full-state snapshots are written
+periodically, and :meth:`TempoService.resume` rebuilds a killed daemon
+from its state directory — replaying the journal tail over the newest
+snapshot — with window statistics again verifiable against a batch
+recompute and the config history intact.
 
 The daemon's clock is *simulated time carried by the events*, never the
 wall clock — a serving run is exactly reproducible from its event
@@ -25,12 +42,14 @@ stream.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time as _time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.core.controller import ControlIteration, TempoController
+from repro.rm.cluster import ClusterSpec
 from repro.rm.config import RMConfig
 from repro.service.events import (
     EventBus,
@@ -41,6 +60,19 @@ from repro.service.events import (
     TenantLeft,
 )
 from repro.service.ingest import RollingWindow, TenantWindowStats, window_drift
+from repro.service.journal import JournalError, JournalRecord, decode_event, encode_event
+from repro.service.snapshot import (
+    ServiceState,
+    config_from_dict,
+    config_to_dict,
+    controller_state_dict,
+    inf_from_null,
+    inf_to_null,
+    restore_controller_state,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.whatif.model import capacity_floor
 
 
 @dataclass(frozen=True)
@@ -59,6 +91,12 @@ class ServiceConfig:
             retune to proceed; below it the guard reports "sparse".
         history: Number of applied-configuration snapshots retained for
             rollback.
+        decision_history: Retune decisions retained in memory (and in
+            state snapshots — every snapshot re-serializes the retained
+            deque, so the bound is what keeps snapshot size and write
+            time flat over a daemon's lifetime).  The default keeps
+            ~six weeks of decisions at a 15-minute cadence; the
+            ``retunes``/``skips`` counters only see the retained window.
         queue_capacity: Bound of the daemon's event bus.
     """
 
@@ -67,6 +105,7 @@ class ServiceConfig:
     drift_threshold: float = 0.02
     min_window_jobs: int = 5
     history: int = 16
+    decision_history: int = 4096
     queue_capacity: int = 100_000
 
     def __post_init__(self) -> None:
@@ -82,6 +121,8 @@ class ServiceConfig:
             raise ValueError("min_window_jobs must be non-negative")
         if self.history < 2:
             raise ValueError("history must be >= 2 (incumbent + predecessor)")
+        if self.decision_history < 1:
+            raise ValueError("decision_history must be >= 1")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
 
@@ -140,6 +181,9 @@ class TempoService:
             RM configuration the service manages.
         config: Operational knobs (cadence, window, guards).
         bus: Optional externally owned event bus.
+        state: Optional durable home (journal + snapshots).  When given,
+            every event is journaled *before* it is processed and the
+            service can later be rebuilt with :meth:`resume`.
     """
 
     def __init__(
@@ -147,14 +191,19 @@ class TempoService:
         controller: TempoController,
         config: ServiceConfig | None = None,
         bus: EventBus | None = None,
+        state: ServiceState | None = None,
     ):
         self.controller = controller
         self.config = config or ServiceConfig()
         self.window = RollingWindow(self.config.window)
         self.bus = bus or EventBus(self.config.queue_capacity)
-        self.decisions: list[RetuneDecision] = []
+        self.state = state
+        self.decisions: deque[RetuneDecision] = deque(
+            maxlen=self.config.decision_history
+        )
         self.active_tenants: set[str] = set()
         self.nodes_lost = 0
+        self.lost_capacity: dict[str, int] = {}
         self._history: deque[ConfigSnapshot] = deque(maxlen=self.config.history)
         self._history.append(ConfigSnapshot(-1, 0.0, controller.config))
         self._last_attempt: float | None = None
@@ -162,9 +211,12 @@ class TempoService:
         self._index = 0
         self._force = False
         self._events = 0
+        self._bus_consumed = 0  # bus-delivered events fully processed
+        self._replaying = False
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        self._drain_error: BaseException | None = None
 
     def __repr__(self) -> str:
         return (
@@ -177,10 +229,15 @@ class TempoService:
     def process(self, event: ServiceEvent) -> RetuneDecision | None:
         """Ingest one event, advance the clock, retune if the cadence hit.
 
+        With durable state attached, the event is journaled *before* it
+        mutates anything (write-ahead), so a crash between the append
+        and the in-memory update is recovered by replaying the record.
         Returns the :class:`RetuneDecision` when this event triggered a
         cadence tick, else ``None``.
         """
         with self._lock:
+            if self.state is not None and not self._replaying:
+                self.state.record_event(encode_event(event))
             if isinstance(event, (Heartbeat, TenantJoined, TenantLeft, NodeLost)):
                 if isinstance(event, TenantJoined):
                     self.active_tenants.add(event.tenant)
@@ -192,6 +249,9 @@ class TempoService:
                     self._force = True
                 elif isinstance(event, NodeLost):
                     self.nodes_lost += event.containers
+                    self.lost_capacity[event.pool] = (
+                        self.lost_capacity.get(event.pool, 0) + event.containers
+                    )
                     self._force = True
                 # Control events do not pass through ingest, so the
                 # clock/eviction advance happens here.
@@ -199,13 +259,23 @@ class TempoService:
             else:
                 self.window.ingest(event)  # advances the window itself
             self._events += 1
+            decision: RetuneDecision | None = None
             if self._last_attempt is None:
                 # Anchor the cadence at the first event's timestamp.
                 self._last_attempt = event.time
-                return None
-            if event.time - self._last_attempt >= self.config.retune_interval:
-                return self.retune(event.time)
-            return None
+            elif (
+                not self._replaying
+                and event.time - self._last_attempt >= self.config.retune_interval
+            ):
+                # During journal replay the cadence stays quiet: retune
+                # outcomes are restored from the journal's decision and
+                # config records, never recomputed.
+                decision = self.retune(event.time)
+            if self.state is not None and not self._replaying:
+                force = decision is not None and decision.retuned
+                if self.state.snapshot_due(force=force):
+                    self.state.write_snapshot(self.state_dict())
+            return decision
 
     def retune(self, now: float, force: bool = False) -> RetuneDecision:
         """One guarded retune attempt at simulated time ``now``.
@@ -226,7 +296,7 @@ class TempoService:
             # an empty trace would read as perfect SLO compliance.
             if jobs == 0 or jobs < self.config.min_window_jobs:
                 decision = RetuneDecision(now, self._index, False, "sparse", 0.0)
-                self.decisions.append(decision)
+                self._record_decision(decision)
                 return decision
             if self._last_snapshot is None:
                 reason, drift = "initial", math.inf
@@ -236,12 +306,16 @@ class TempoService:
                 drift = window_drift(self._last_snapshot, snapshot)
                 if drift < self.config.drift_threshold:
                     decision = RetuneDecision(now, self._index, False, "stable", drift)
-                    self.decisions.append(decision)
+                    self._record_decision(decision)
                     return decision
                 reason = "drift"
-            trace = self.window.trace(capacity=self.controller.cluster.as_dict())
+            trace = self.window.trace()
+            cluster = self.effective_cluster(capacity_floor(trace.task_records))
+            trace.capacity = cluster.as_dict()
             started = _time.perf_counter()
-            iteration = self.controller.tune_from_trace(self._index, trace)
+            iteration = self.controller.tune_from_trace(
+                self._index, trace, cluster=cluster
+            )
             latency = _time.perf_counter() - started
             self._history.append(
                 ConfigSnapshot(self._index, now, self.controller.config)
@@ -252,7 +326,7 @@ class TempoService:
                 now, self._index, True, reason, drift, latency, iteration
             )
             self._index += 1
-            self.decisions.append(decision)
+            self._record_decision(decision)
             return decision
 
     def rollback(self) -> RMConfig | None:
@@ -261,16 +335,206 @@ class TempoService:
         Pops the newest snapshot and reinstates its predecessor in the
         controller (config and encoded vector together, so the next tune
         starts from the restored point).  Returns the restored config,
-        or ``None`` when no predecessor is available.
+        or ``None`` when no predecessor is available.  With durable
+        state attached the rollback is journaled, so a resumed daemon
+        reconstructs the same post-rollback history.
         """
         with self._lock:
-            if len(self._history) < 2:
-                return None
-            self._history.pop()
-            snap = self._history[-1]
-            self.controller.config = snap.config
-            self.controller.x = self.controller.space.encode(snap.config)
-            return snap.config
+            restored = self._rollback_locked()
+            if (
+                restored is not None
+                and self.state is not None
+                and not self._replaying
+            ):
+                self.state.record_rollback()
+            return restored
+
+    def _rollback_locked(self) -> RMConfig | None:
+        if len(self._history) < 2:
+            return None
+        self._history.pop()
+        snap = self._history[-1]
+        self.controller.config = snap.config
+        self.controller.x = self.controller.space.encode(snap.config)
+        return snap.config
+
+    def effective_cluster(self, floor: dict[str, int] | None = None) -> ClusterSpec:
+        """Cluster capacity remaining after observed node loss.
+
+        This is the cluster the what-if model predicts on.  ``floor``
+        (per-pool largest single-task demand, see
+        :func:`~repro.whatif.model.capacity_floor`) bounds the shrink so
+        every observed task stays placeable; every pool keeps at least
+        one container regardless.
+        """
+        cluster = self.controller.cluster
+        if not any(self.lost_capacity.values()):
+            return cluster
+        capacity = cluster.as_dict()
+        floor = floor or {}
+        losses: dict[str, int] = {}
+        for pool, lost in self.lost_capacity.items():
+            if pool not in capacity or lost <= 0:
+                continue
+            allowed = capacity[pool] - max(1, floor.get(pool, 1))
+            losses[pool] = min(lost, max(0, allowed))
+        return cluster.shrunk(losses)
+
+    def _record_decision(self, decision: RetuneDecision) -> None:
+        """Append a decision in memory and, when durable, to the journal.
+
+        An applied tune is journaled as ONE ``config`` record carrying
+        both the decision and the resulting controller state — a crash
+        can never land between "the tune happened" and "this is the
+        config it applied", which would resume into a state the live
+        daemon never had.  Skipped ticks are plain ``decision`` records.
+        """
+        self.decisions.append(decision)
+        if self.state is None or self._replaying:
+            return
+        if decision.retuned:
+            self.state.record_config(
+                {
+                    "decision": _decision_to_dict(decision),
+                    "controller": controller_state_dict(self.controller),
+                }
+            )
+        else:
+            self.state.record_decision(_decision_to_dict(decision))
+
+    # -- durability ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a resumed daemon needs, as one JSON-ready dict."""
+        with self._lock:
+            return {
+                "window": self.window.to_state(),
+                "active_tenants": sorted(self.active_tenants),
+                "nodes_lost": self.nodes_lost,
+                "lost_capacity": dict(self.lost_capacity),
+                "events": self._events,
+                "last_attempt": self._last_attempt,
+                "last_stats": None
+                if self._last_snapshot is None
+                else {
+                    name: stats_to_dict(stats)
+                    for name, stats in self._last_snapshot.items()
+                },
+                "index": self._index,
+                "force": self._force,
+                "history": [
+                    {
+                        "index": snap.index,
+                        "time": snap.time,
+                        "config": config_to_dict(snap.config),
+                    }
+                    for snap in self._history
+                ],
+                "decisions": [_decision_to_dict(d) for d in self.decisions],
+                "controller": controller_state_dict(self.controller),
+            }
+
+    def _restore_state(self, state: dict) -> None:
+        self.window = RollingWindow.from_state(state["window"])
+        self.active_tenants = set(state["active_tenants"])
+        self.nodes_lost = int(state["nodes_lost"])
+        self.lost_capacity = {
+            pool: int(n) for pool, n in state["lost_capacity"].items()
+        }
+        self._events = int(state["events"])
+        attempt = state["last_attempt"]
+        self._last_attempt = None if attempt is None else float(attempt)
+        last = state["last_stats"]
+        self._last_snapshot = (
+            None
+            if last is None
+            else {name: stats_from_dict(row) for name, row in last.items()}
+        )
+        self._index = int(state["index"])
+        self._force = bool(state["force"])
+        self._history = deque(
+            (
+                ConfigSnapshot(
+                    int(row["index"]),
+                    float(row["time"]),
+                    config_from_dict(row["config"]),
+                )
+                for row in state["history"]
+            ),
+            maxlen=self.config.history,
+        )
+        self.decisions = deque(
+            (_decision_from_dict(row) for row in state["decisions"]),
+            maxlen=self.config.decision_history,
+        )
+        restore_controller_state(self.controller, state["controller"])
+
+    def _apply_journal_record(self, record: JournalRecord) -> None:
+        """Re-apply one journal record during resume (cadence quiet)."""
+        if record.kind == "event":
+            self.process(decode_event(record.data))
+        elif record.kind == "decision":
+            # A skipped cadence tick (sparse/stable): only the cadence
+            # anchor and the decision log move.
+            decision = _decision_from_dict(record.data)
+            self.decisions.append(decision)
+            self._last_attempt = decision.time
+        elif record.kind == "config":
+            # An applied tune: decision + controller state, atomically.
+            decision = _decision_from_dict(record.data["decision"])
+            self.decisions.append(decision)
+            self._last_attempt = decision.time
+            self._index = decision.index + 1
+            self._force = False
+            restore_controller_state(self.controller, record.data["controller"])
+            self._history.append(
+                ConfigSnapshot(decision.index, decision.time, self.controller.config)
+            )
+            # The window state at this journal position is what the
+            # live daemon snapshotted when it applied the tune.
+            self._last_snapshot = self.window.snapshot()
+        elif record.kind == "rollback":
+            self._rollback_locked()
+        else:
+            raise JournalError(f"unknown journal record kind {record.kind!r}")
+
+    @classmethod
+    def resume(
+        cls,
+        controller: TempoController,
+        state: ServiceState | str | os.PathLike,
+        config: ServiceConfig | None = None,
+        bus: EventBus | None = None,
+    ) -> "TempoService":
+        """Rebuild a daemon from its state directory.
+
+        Loads the newest readable snapshot, then replays the journal
+        tail past it: telemetry events re-fold into the rolling window
+        (with the retune cadence quiet), while decision / config /
+        rollback records restore the outcomes the live daemon actually
+        produced — a tune is never recomputed on resume, so the restored
+        config history is exactly what was applied.
+
+        ``controller`` must be a freshly built controller for the same
+        cluster, SLOs, and config space the daemon was serving (the
+        scenario descriptor in ``meta.json`` is how the CLI rebuilds
+        one); its tuning state is overwritten from the persisted state.
+        """
+        if not isinstance(state, ServiceState):
+            state = ServiceState(state)
+        service = cls(controller, config, bus, state=state)
+        loaded = state.load_latest_snapshot()
+        after = 0
+        if loaded is not None:
+            after, snapshot = loaded
+            service._restore_state(snapshot)
+        service._replaying = True
+        try:
+            for record in state.journal.iter_records(after=after):
+                service._apply_journal_record(record)
+        finally:
+            service._replaying = False
+        return service
 
     # -- daemon mode --------------------------------------------------------
 
@@ -278,47 +542,91 @@ class TempoService:
         """Publish an event to the service's bus (False when shed)."""
         return self.bus.publish(event)
 
+    def submit_blocking(self, event: ServiceEvent, poll: float = 0.001) -> bool:
+        """Publish without shedding: block until the bus has room.
+
+        Ordinary telemetry is shed under overload (an RM callback must
+        never stall), but control markers whose loss would corrupt
+        recovery semantics — the replay driver's chunk heartbeats, which
+        ``repro resume`` uses as its journal truncation boundary — must
+        reach the daemon.  Raises ``RuntimeError`` if the drain thread
+        died or is not running (the bus would never empty).
+        """
+        while not self.bus.publish(event):
+            if self._thread is None:
+                raise RuntimeError("cannot submit_blocking: service not running")
+            self._check_drain_alive()
+            _time.sleep(poll)
+        return True
+
     def start(self) -> None:
         """Start the background thread draining the event bus."""
         if self._thread is not None:
             raise RuntimeError("service already running")
         self._stop.clear()
+        self._drain_error = None
         self._thread = threading.Thread(
             target=self._drain_loop, name="tempo-service", daemon=True
         )
         self._thread.start()
 
     def stop(self) -> None:
-        """Drain remaining queued events, then stop the background thread."""
+        """Drain remaining queued events, then stop the background thread.
+
+        Re-raises (wrapped) any error that killed the drain thread
+        mid-run — a daemon that died on, say, a full state-dir disk must
+        not look like a clean shutdown.
+        """
         if self._thread is None:
             return
         self._stop.set()
         self._thread.join()
         self._thread = None
+        if self._drain_error is not None:
+            error, self._drain_error = self._drain_error, None
+            raise RuntimeError("service drain thread died") from error
+
+    def _check_drain_alive(self) -> None:
+        if self._drain_error is not None or (
+            self._thread is not None and not self._thread.is_alive()
+        ):
+            raise RuntimeError("service drain thread died") from self._drain_error
 
     def quiesce(self, poll: float = 0.002) -> None:
         """Block until the bus is empty and in-flight processing finished.
 
         Only meaningful in daemon mode where every event flows through
-        the bus: completion is detected as ``events_processed`` catching
-        up with ``bus.published``.  Producers use this as a barrier so
-        anything derived from the live config (e.g. the replayer's next
-        production chunk) sees all prior telemetry applied.  Raises
-        ``RuntimeError`` when no drain thread is running — waiting would
-        hang forever.
+        the bus: completion is detected as the count of *fully processed*
+        bus deliveries catching up with ``bus.published`` (a dedicated
+        counter — ``events_processed`` also includes events restored
+        from a resumed journal, which the bus never saw).  Producers use
+        this as a barrier so anything derived from the live config
+        (e.g. the replayer's next production chunk) sees all prior
+        telemetry applied.  Raises ``RuntimeError`` when no drain thread
+        is running — waiting would hang forever — or when the drain
+        thread died of an unhandled error (e.g. the state dir's disk
+        filled mid-journal-append): a dead consumer can never catch up,
+        and the failure must surface instead of spinning silently.
         """
         if self._thread is None:
             raise RuntimeError("cannot quiesce: service not running")
-        while len(self.bus) or self._events < self.bus.published:
+        while len(self.bus) or self._bus_consumed < self.bus.published:
+            self._check_drain_alive()
             _time.sleep(poll)
 
     def _drain_loop(self) -> None:
-        while True:
-            event = self.bus.poll(timeout=0.05)
-            if event is not None:
-                self.process(event)
-            elif self._stop.is_set() and not len(self.bus):
-                return
+        try:
+            while True:
+                event = self.bus.poll(timeout=0.05)
+                if event is not None:
+                    self.process(event)
+                    self._bus_consumed += 1
+                elif self._stop.is_set() and not len(self.bus):
+                    return
+        except BaseException as exc:
+            # Stored, not re-raised: quiesce()/stop() surface it (with
+            # the original traceback chained) on the caller's thread.
+            self._drain_error = exc
 
     # -- introspection ------------------------------------------------------
 
@@ -351,3 +659,27 @@ class TempoService:
     def config_history(self) -> tuple[ConfigSnapshot, ...]:
         """Retained applied-configuration snapshots, oldest first."""
         return tuple(self._history)
+
+
+def _decision_to_dict(decision: RetuneDecision) -> dict:
+    """JSON-ready dict for a decision (infinite drift -> null)."""
+    return {
+        "time": decision.time,
+        "index": decision.index,
+        "retuned": decision.retuned,
+        "reason": decision.reason,
+        "drift": inf_to_null(decision.drift),
+        "latency": decision.latency,
+    }
+
+
+def _decision_from_dict(row: dict) -> RetuneDecision:
+    """Rebuild a decision record (without its in-memory iteration)."""
+    return RetuneDecision(
+        time=float(row["time"]),
+        index=int(row["index"]),
+        retuned=bool(row["retuned"]),
+        reason=str(row["reason"]),
+        drift=inf_from_null(row["drift"]),
+        latency=float(row["latency"]),
+    )

@@ -35,7 +35,15 @@ from repro.service.events import (
     TaskCompleted,
 )
 from repro.stats.distributions import LognormalModel, PoissonProcessModel
-from repro.workload.trace import JobRecord, TaskRecord, Trace
+from repro.workload.trace import (
+    JobRecord,
+    TaskRecord,
+    Trace,
+    job_record_from_dict,
+    job_record_to_dict,
+    task_record_from_dict,
+    task_record_to_dict,
+)
 
 
 @dataclass(frozen=True)
@@ -351,6 +359,51 @@ class RollingWindow:
                 s_resp=s_resp,
             )
         return out
+
+    def to_state(self) -> dict:
+        """JSON-ready dump of the retained raw entries (snapshot payload).
+
+        Only the raw records are persisted, never the running sums:
+        :meth:`from_state` refolds every retained entry through the same
+        accumulator arithmetic, so a restored window's incremental
+        statistics are again verifiable against ``batch_recompute`` —
+        there is no second, subtly different serialization of the sums
+        to drift out of agreement.
+        """
+        return {
+            "window": self.window,
+            "now": self._now,
+            "events": self._events,
+            "tenants": {
+                name: {
+                    "tasks": [
+                        [t, task_record_to_dict(rec)] for t, rec, _ in acc.tasks
+                    ],
+                    "jobs": [[t, job_record_to_dict(rec)] for t, rec in acc.jobs],
+                    "submits": list(acc.submits),
+                }
+                for name, acc in self._tenants.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "RollingWindow":
+        """Rebuild a window from :meth:`to_state` output.
+
+        Entries are refolded in retention order, so eviction order and
+        the running sums are reconstructed from first principles.
+        """
+        window = cls(state["window"])
+        for name, slot in state["tenants"].items():
+            acc = window._acc(name)
+            for t, row in slot["tasks"]:
+                acc.add_task(float(t), task_record_from_dict(row))
+            for t, row in slot["jobs"]:
+                acc.add_job(float(t), job_record_from_dict(row))
+            acc.submits.extend(float(t) for t in slot["submits"])
+        window._now = float(state["now"])
+        window._events = int(state["events"])
+        return window
 
     def trace(self, capacity: Mapping[str, int] | None = None) -> Trace:
         """The window's retained records as a Trace re-anchored to t=0.

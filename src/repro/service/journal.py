@@ -1,0 +1,385 @@
+"""Append-only event journal: the durable write-ahead log of the daemon.
+
+A long-running tuner beside a live Resource Manager must survive its own
+restarts with its learned state intact (the autonomic-component
+requirement H2O argues for).  :class:`EventJournal` is the first half of
+that story: every telemetry event, retune decision, applied
+configuration, and rollback is appended — *before* it mutates in-memory
+state — as one CRC-framed JSON line to a segment file under
+``<state-dir>/journal/``.  Segments rotate after a configurable record
+count so recovery never has to scan one unbounded file and old segments
+can be archived or deleted once a snapshot covers them.
+
+Record framing is ``"%08x %s" % (crc32(body), body)`` with a canonical
+(sorted-key, no-whitespace) JSON body.  On read, a corrupt *final* line
+of the *final* segment is treated as a torn write — the record the
+process was appending when it died — and silently dropped; corruption
+anywhere else raises :class:`JournalError`, because data already
+acknowledged must never silently disappear.
+
+Every record carries a monotonically increasing sequence number, which
+is what snapshots reference: resume loads the newest snapshot and
+replays only the journal tail with ``seq`` past it (see
+:mod:`repro.service.snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.service.events import (
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    NodeLost,
+    ServiceEvent,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.workload.trace import (
+    job_record_from_dict,
+    job_record_to_dict,
+    task_record_from_dict,
+    task_record_to_dict,
+)
+
+#: Journal file name pattern: segment-<first seq in file, 10 digits>.jsonl
+_SEGMENT_GLOB = "segment-*.jsonl"
+
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        JobSubmitted,
+        TaskCompleted,
+        JobCompleted,
+        NodeLost,
+        TenantJoined,
+        TenantLeft,
+        Heartbeat,
+    )
+}
+
+
+class JournalError(RuntimeError):
+    """Raised when a journal segment is corrupt beyond a torn tail."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal entry.
+
+    Attributes:
+        seq: Monotonic sequence number (1-based, dense).
+        kind: ``"event"``, ``"decision"``, ``"config"``, or
+            ``"rollback"``.
+        data: The record payload (shape depends on ``kind``).
+    """
+
+    seq: int
+    kind: str
+    data: dict
+
+
+def encode_event(event: ServiceEvent) -> dict:
+    """JSON-ready dict for any telemetry event (inverse of decode)."""
+    cls = type(event).__name__
+    if cls not in _EVENT_TYPES:
+        raise TypeError(f"cannot journal unknown event type {cls}")
+    if isinstance(event, TaskCompleted):
+        return {"type": cls, "time": event.time, "record": task_record_to_dict(event.record)}
+    if isinstance(event, JobCompleted):
+        return {"type": cls, "time": event.time, "record": job_record_to_dict(event.record)}
+    if isinstance(event, JobSubmitted):
+        return {
+            "type": cls,
+            "time": event.time,
+            "tenant": event.tenant,
+            "job_id": event.job_id,
+            "deadline": event.deadline,
+        }
+    if isinstance(event, NodeLost):
+        return {
+            "type": cls,
+            "time": event.time,
+            "pool": event.pool,
+            "containers": event.containers,
+        }
+    if isinstance(event, (TenantJoined, TenantLeft)):
+        return {"type": cls, "time": event.time, "tenant": event.tenant}
+    return {"type": cls, "time": event.time}  # Heartbeat
+
+
+def decode_event(data: Mapping) -> ServiceEvent:
+    """Rebuild a telemetry event from :func:`encode_event` output."""
+    row = dict(data)
+    cls = _EVENT_TYPES.get(row.pop("type", None))
+    if cls is None:
+        raise JournalError(f"unknown event type in journal: {data!r}")
+    if cls is TaskCompleted:
+        return TaskCompleted(row["time"], record=task_record_from_dict(row["record"]))
+    if cls is JobCompleted:
+        return JobCompleted(row["time"], record=job_record_from_dict(row["record"]))
+    return cls(**row)
+
+
+def frame_line(body: str) -> str:
+    """CRC-frame one canonical JSON body as a journal/snapshot line."""
+    return f"{zlib.crc32(body.encode('utf-8')):08x} {body}"
+
+
+def unframe_line(line: str) -> str:
+    """Validate and strip the CRC frame; raises ``ValueError`` if bad."""
+    crc_hex, sep, body = line.partition(" ")
+    if not sep or len(crc_hex) != 8:
+        raise ValueError("malformed frame")
+    if int(crc_hex, 16) != zlib.crc32(body.encode("utf-8")):
+        raise ValueError("crc mismatch")
+    return body
+
+
+def canonical_json(payload: dict) -> str:
+    """Canonical (sorted-key, compact) JSON used under the CRC frame."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def last_heartbeat(journal: "EventJournal") -> tuple[int, float] | None:
+    """Seq and time of the newest journaled heartbeat (chunk boundary).
+
+    The replay driver ends every delivered chunk with a heartbeat, so
+    this is the last point at which the journal is known to hold a
+    chunk's telemetry completely.  ``repro resume`` truncates the
+    journal here before re-driving the scenario — the partial chunk a
+    crash interrupted is re-simulated rather than half-replayed twice.
+    Segments are scanned newest-first and the scan stops at the first
+    segment containing a heartbeat, so the cost is bounded by the tail,
+    not the journal's lifetime.
+    """
+    journal.close()
+    segments = journal.segments()
+    for i, path in enumerate(reversed(segments)):
+        found = None
+        for record in journal._read_segment(path, final=(i == 0)):
+            if record.kind == "event" and record.data.get("type") == "Heartbeat":
+                found = (record.seq, float(record.data["time"]))
+        if found is not None:
+            return found
+    return None
+
+
+class EventJournal:
+    """Append-only, CRC-checked, segment-rotated JSONL journal.
+
+    Args:
+        root: Directory holding the segment files (created if missing).
+        segment_records: Records per segment before rotating to a new
+            file.
+        fsync: Force every append to stable storage (crash-safe against
+            power loss, much slower).  Off by default: the write-ahead
+            contract against *process* death only needs the OS page
+            cache, and a torn tail is recovered either way.
+
+    Opening an existing directory scans the last segment to find the
+    next sequence number, so appends continue densely across restarts.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, *, segment_records: int = 4096, fsync: bool = False
+    ):
+        if segment_records < 1:
+            raise ValueError(f"segment_records must be >= 1, got {segment_records}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_records = int(segment_records)
+        self.fsync = fsync
+        self._fh = None
+        self._open_records = 0  # records in the currently open segment
+        self._next_seq = 1
+        self._repair_tail()
+        for path in reversed(self.segments()):
+            last = 0
+            for record in self._read_segment(path, final=False):
+                last = record.seq
+            if last:
+                self._next_seq = last + 1
+                break
+
+    def _repair_tail(self) -> None:
+        """Drop a torn final line (the write a crash interrupted) on open.
+
+        After repair every retained line of every segment is valid, so
+        later appends never land behind a half-written record.
+        """
+        segments = self.segments()
+        if not segments:
+            return
+        path = segments[-1]
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            path.unlink()
+            return
+        try:
+            payload = json.loads(unframe_line(lines[-1]))
+            JournalRecord(int(payload["seq"]), str(payload["kind"]), payload["data"])
+            return  # clean tail; nothing to repair
+        except (ValueError, KeyError, TypeError):
+            lines.pop()  # exactly one torn line; deeper damage raises on read
+        if lines:
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+            os.replace(tmp, path)
+        else:
+            path.unlink()
+
+    # -- write side ---------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record will get."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest appended record (0 if none)."""
+        return self._next_seq - 1
+
+    def append(self, kind: str, data: dict) -> int:
+        """Append one record; returns its sequence number."""
+        seq = self._next_seq
+        body = canonical_json({"seq": seq, "kind": kind, "data": data})
+        fh = self._writer(seq)
+        fh.write(frame_line(body) + "\n")
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        self._next_seq = seq + 1
+        self._open_records += 1
+        return seq
+
+    def close(self) -> None:
+        """Close the open segment file handle (appends may follow)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _writer(self, seq: int):
+        if self._fh is not None and self._open_records >= self.segment_records:
+            self.close()
+        if self._fh is None:
+            segments = self.segments()
+            lines = self._count_lines(segments[-1]) if segments else 0
+            if segments and lines < self.segment_records:
+                path = segments[-1]
+                self._open_records = lines
+            else:
+                path = self.root / f"segment-{seq:010d}.jsonl"
+                self._open_records = 0
+            self._fh = path.open("a", encoding="utf-8")
+        return self._fh
+
+    @staticmethod
+    def _count_lines(path: Path) -> int:
+        with path.open("rb") as fh:
+            return sum(1 for _ in fh)
+
+    # -- read side ----------------------------------------------------------
+
+    def segments(self) -> list[Path]:
+        """Segment files in sequence order."""
+        return sorted(self.root.glob(_SEGMENT_GLOB))
+
+    @staticmethod
+    def _first_seq_of(path: Path) -> int:
+        return int(path.stem.split("-")[1])
+
+    def _read_segment(self, path: Path, *, final: bool) -> Iterator[JournalRecord]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(unframe_line(line))
+                record = JournalRecord(
+                    int(payload["seq"]), str(payload["kind"]), payload["data"]
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                if final and i == len(lines) - 1:
+                    return  # torn tail: the write the crash interrupted
+                raise JournalError(
+                    f"corrupt journal record in {path.name} line {i + 1}: {exc}"
+                ) from exc
+            yield record
+
+    def iter_records(self, after: int = 0) -> Iterator[JournalRecord]:
+        """Yield records with ``seq > after`` across all segments, in order.
+
+        Segments whose entire range falls at or below ``after`` are not
+        parsed at all, so snapshot-tail recovery cost is proportional to
+        the tail, not the journal's lifetime.
+        """
+        self.close()  # flush ordering: never read a buffered write stale
+        segments = self.segments()
+        for i, path in enumerate(segments):
+            nxt = self._first_seq_of(segments[i + 1]) if i + 1 < len(segments) else None
+            if nxt is not None and nxt - 1 <= after:
+                continue
+            for record in self._read_segment(path, final=(i == len(segments) - 1)):
+                if record.seq <= after:
+                    continue
+                yield record
+
+    # -- truncation ---------------------------------------------------------
+
+    def truncate_after(self, seq: int) -> int:
+        """Drop every record with sequence number beyond ``seq``.
+
+        Used by ``repro resume`` to cut the journal back to the last
+        chunk boundary before re-driving a scenario, so the re-simulated
+        partial chunk does not duplicate its already-journaled prefix.
+        Returns the number of records removed.
+        """
+        self.close()
+        removed = 0
+        for path in reversed(self.segments()):
+            if self._first_seq_of(path) > seq:
+                removed += self._count_lines(path)
+                path.unlink()
+                continue
+            kept, trimmed = [], 0
+            for record in self._read_segment(path, final=True):
+                if record.seq <= seq:
+                    kept.append(record)
+                else:
+                    trimmed += 1
+            removed += trimmed
+            if trimmed:
+                text = "".join(
+                    frame_line(
+                        canonical_json(
+                            {"seq": r.seq, "kind": r.kind, "data": r.data}
+                        )
+                    )
+                    + "\n"
+                    for r in kept
+                )
+                if kept:
+                    tmp = path.with_suffix(".tmp")
+                    tmp.write_text(text, encoding="utf-8")
+                    os.replace(tmp, path)
+                else:
+                    path.unlink()
+            break
+        self._next_seq = min(self._next_seq, seq + 1)
+        self._open_records = 0
+        return removed

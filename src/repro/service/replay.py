@@ -17,14 +17,20 @@ configurable speedup factor:
 * ``failure-storm`` — harsh cluster noise plus periodic
   :class:`~repro.service.events.NodeLost` bursts.
 
-The replayer is the "production side" of the serving loop: per chunk of
-simulated time it executes the scenario workload on the noisy
-:class:`~repro.sim.simulator.ClusterSimulator` under the *currently
-applied* configuration, converts the resulting schedule into telemetry
-events, and delivers them to the service (synchronously, or through the
-event bus in daemon mode).  With ``speedup <= 0`` the replay runs as
-fast as possible; with ``speedup = k`` one wall-clock second carries
-``k`` simulated seconds.
+The replayer is the "production side" of the serving loop.  By default
+it drives **one continuous execution**: a single
+:class:`~repro.sim.simulator.SimulationSession` spans the whole run,
+the applied configuration is swapped into the live simulation at every
+retune interval, observed node loss shrinks the simulated capacity, and
+— crucially — backlog carries across retune intervals, so a sustained
+overload compounds exactly as it would on a real cluster.  The legacy
+``continuous=False`` mode instead simulates each retune-interval chunk
+from an empty cluster (no cross-chunk backlog); it is retained as the
+comparison baseline for the backlog-compounding benchmark.  Telemetry
+is delivered to the service synchronously, or through the event bus in
+daemon mode.  With ``speedup <= 0`` the replay runs as fast as
+possible; with ``speedup = k`` one wall-clock second carries ``k``
+simulated seconds.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from repro.core.controller import TempoController
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
 from repro.sim.noise import NoiseModel
-from repro.sim.simulator import ClusterSimulator
+from repro.sim.simulator import ClusterSimulator, SimulationSession
 from repro.slo.objectives import SLOSet
 from repro.slo.templates import deadline_slo, response_time_slo
 from repro.service.daemon import RetuneDecision, ServiceConfig, TempoService
@@ -72,6 +78,13 @@ from repro.workload.trace import shift_job, shift_task
 
 #: Tenant name used by the churn scenario's transient batch tenant.
 CHURN_TENANT = "batch"
+
+
+def _node_loss_event(
+    when: float, pool: str, containers: int
+) -> tuple[tuple, NodeLost]:
+    """One keyed NodeLost event (key scheme shared by both chunk builders)."""
+    return (when, 4, pool), NodeLost(when, pool=pool, containers=containers)
 
 
 @dataclass(frozen=True)
@@ -257,15 +270,17 @@ def make_scenario(
     return factory(scale, horizon=horizon)
 
 
-def build_service(
-    scenario: Scenario,
-    config: ServiceConfig | None = None,
-    seed: int = 0,
-    **controller_kwargs,
-) -> TempoService:
-    """A TempoService wired for ``scenario`` (controller + config space)."""
+def build_controller(
+    scenario: Scenario, seed: int = 0, **controller_kwargs
+) -> TempoController:
+    """A fresh controller wired for ``scenario`` (cluster + SLOs + space).
+
+    This is also what ``repro resume`` rebuilds before handing the
+    controller to :meth:`~repro.service.daemon.TempoService.resume`,
+    which then overwrites its tuning state from the persisted one.
+    """
     space = ConfigSpace(scenario.cluster, sorted(scenario.model.tenants))
-    controller = TempoController(
+    return TempoController(
         scenario.cluster,
         scenario.slos,
         space,
@@ -274,7 +289,22 @@ def build_service(
         seed=seed,
         **controller_kwargs,
     )
-    return TempoService(controller, config)
+
+
+def build_service(
+    scenario: Scenario,
+    config: ServiceConfig | None = None,
+    seed: int = 0,
+    state=None,
+    **controller_kwargs,
+) -> TempoService:
+    """A TempoService wired for ``scenario`` (controller + config space).
+
+    ``state`` optionally attaches a durable
+    :class:`~repro.service.snapshot.ServiceState` home.
+    """
+    controller = build_controller(scenario, seed=seed, **controller_kwargs)
+    return TempoService(controller, config, state=state)
 
 
 @dataclass(frozen=True)
@@ -283,24 +313,32 @@ class ReplaySummary:
 
     Attributes:
         scenario: Scenario name.
-        horizon: Simulated seconds replayed.
+        horizon: Simulated end time of the replay.
+        start: Simulated time the replay began at (resumed runs only).
         events: Telemetry events delivered (excluding heartbeats).
         jobs_submitted: Submission events among them.
         jobs_completed: Completion events among them.
         tasks: Task-completion events among them.
-        retunes: Cadence ticks that applied a tune.
-        skips: Cadence ticks skipped by a guard.
-        reverts: Applied tunes the controller's guard rolled back.
+        retunes: Cadence ticks that applied a tune (this run only — a
+            resumed daemon's pre-crash decisions are not re-counted).
+        skips: Cadence ticks skipped by a guard (this run only).
+        reverts: Applied tunes the controller's guard rolled back
+            (this run only).
         dropped: Events shed by the bounded bus (bus transport only).
         wall_seconds: Wall-clock duration of the replay.
         events_per_second: Telemetry throughput (events / wall_seconds).
         max_stats_gap: Largest incremental-vs-batch stats deviation seen.
-        decisions: Every retune decision, in order.
+        peak_backlog: Largest (submitted - completed) job count seen in
+            delivery order — the signal that backlog compounds across
+            retune intervals in continuous mode.
+        mean_response: Mean response time of the delivered completions.
+        decisions: Every retune decision of this run, in order.
         final_config: The configuration left applied.
     """
 
     scenario: str
     horizon: float
+    start: float
     events: int
     jobs_submitted: int
     jobs_completed: int
@@ -312,6 +350,8 @@ class ReplaySummary:
     wall_seconds: float
     events_per_second: float
     max_stats_gap: float
+    peak_backlog: int
+    mean_response: float
     decisions: tuple[RetuneDecision, ...]
     final_config: RMConfig
 
@@ -332,6 +372,10 @@ class ScenarioReplayer:
             daemon's background thread.
         verify_stats: Track the incremental-vs-batch stats gap
             (per chunk when direct, once at the end when bus).
+        continuous: Drive one continuous simulation (config swaps
+            mid-run, backlog carries across retune intervals).  When
+            False, every retune interval is simulated from an empty
+            cluster — the legacy mode kept as a comparison baseline.
     """
 
     def __init__(
@@ -343,6 +387,7 @@ class ScenarioReplayer:
         seed: int = 0,
         transport: str = "direct",
         verify_stats: bool = True,
+        continuous: bool = True,
     ):
         if transport not in ("direct", "bus"):
             raise ValueError(f"unknown transport {transport!r}")
@@ -352,31 +397,87 @@ class ScenarioReplayer:
         self.seed = seed
         self.transport = transport
         self.verify_stats = verify_stats
+        self.continuous = continuous
         self.sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=seed)
 
-    def run(self, horizon: float | None = None) -> ReplaySummary:
-        """Replay ``horizon`` simulated seconds (scenario default if None)."""
+    def run(
+        self, horizon: float | None = None, start: float = 0.0
+    ) -> ReplaySummary:
+        """Replay from ``start`` to ``horizon`` simulated seconds.
+
+        ``horizon`` defaults to the scenario's.  A non-zero ``start`` is
+        the resume path: the same seed regenerates the same scenario
+        workload, jobs submitted before ``start`` are skipped (their
+        telemetry is already in the resumed daemon's journal), and the
+        production simulation restarts at the boundary.
+        """
         horizon = horizon if horizon is not None else self.scenario.horizon
+        if not 0.0 <= start < horizon:
+            raise ValueError(f"start must be in [0, horizon), got {start}")
         service = self.service
         workload = self.scenario.model.generate(self.seed, horizon)
+        if start > 0.0:
+            # Session-local clock: 0 is `start`; event times shift back.
+            workload = workload.window(start, horizon)
+        span = horizon - start
         chunk = service.config.retune_interval
+        session: SimulationSession | None = None
+        arrivals: list = []
+        if self.continuous:
+            session = self.sim.session(
+                workload, service.controller.config, seed=self.seed
+            )
+            arrivals = sorted(workload, key=lambda j: (j.submit_time, j.job_id))
+            # Capacity lost before the resume boundary stays lost: the
+            # resumed service's what-if cluster is shrunken (journal
+            # replay restored it), so the production session must start
+            # equally shrunken — without re-emitting the NodeLost events.
+            for when, pool, containers in self.scenario.node_loss:
+                if when < start:
+                    session.lose_capacity(pool, containers)
         if self.transport == "bus":
             service.start()
+        # Decisions made before this run (a resumed daemon restores its
+        # whole history) are excluded, so every summary field covers the
+        # same scope: what *this* replay drove.  Decision times are
+        # strictly increasing, so the cut survives the bounded decision
+        # deque evicting old entries mid-run (a length-based slice
+        # would not).
+        prior_time = service.decisions[-1].time if service.decisions else -math.inf
         wall_start = _time.perf_counter()
-        counts = {"events": 0, "submitted": 0, "completed": 0, "tasks": 0}
+        counts = {
+            "events": 0,
+            "submitted": 0,
+            "completed": 0,
+            "tasks": 0,
+            "backlog_peak": 0,
+            "response_sum": 0.0,
+        }
         max_gap = 0.0
-        t0, index = 0.0, 0
-        while t0 < horizon:
-            t1 = min(t0 + chunk, horizon)
-            events = self._chunk_events(workload, t0, t1, index)
-            events.append(Heartbeat(t1))
-            self._pace(wall_start, t1)
-            for event in events:
-                if self.transport == "direct":
-                    service.process(event)
-                elif not service.submit(event):
-                    continue  # shed by the bounded bus; counted as dropped
-                self._count(event, counts)
+        # The chunk index seeds the legacy mode's per-chunk simulations;
+        # a resumed run continues the original seed sequence rather than
+        # restarting it at the boundary.
+        s0, index = 0.0, int(round(start / chunk))
+        arrival_cursor = 0
+        while s0 < span:
+            s1 = min(s0 + chunk, span)
+            if self.continuous:
+                events, arrival_cursor = self._continuous_chunk(
+                    session, arrivals, arrival_cursor, s0, s1, start
+                )
+                # The final interval's heartbeat is withheld until its
+                # drain finishes (below): a journaled heartbeat at the
+                # horizon must mean "this run's telemetry is complete",
+                # so that a crash during the drain resumes by
+                # re-simulating the final interval, not by mistaking the
+                # run for finished with its backlog completions missing.
+                if s1 < span:
+                    events.append(Heartbeat(start + s1))
+            else:
+                events = self._chunk_events(workload, s0, s1, index, start)
+                events.append(Heartbeat(start + s1))
+            self._pace(wall_start, s1)
+            self._deliver(events, counts)
             if self.transport == "bus":
                 # Barrier: let the daemon drain this chunk before the
                 # next one is simulated, so production always runs under
@@ -388,36 +489,71 @@ class ScenarioReplayer:
                 and service.window.events_ingested
             ):
                 max_gap = max(max_gap, stats_gap(service.window))
-            t0, index = t1, index + 1
+            s0, index = s1, index + 1
+        if self.continuous and session is not None:
+            # Backlog still queued or running at the horizon completes
+            # in a final drain; its telemetry (timestamped past the
+            # horizon) is exactly the compounded-backlog signal.  The
+            # closing heartbeat — the only one at the horizon — marks
+            # the whole run, drain included, as journaled.
+            drain_events = (
+                self._drain_events(session, start) if not session.idle else []
+            )
+            drain_events.append(Heartbeat(horizon))
+            self._deliver(drain_events, counts)
+            if self.transport == "bus":
+                service.quiesce()
         if self.transport == "bus":
             service.stop()
             if self.verify_stats and service.window.events_ingested:
                 max_gap = max(max_gap, stats_gap(service.window))
         wall = _time.perf_counter() - wall_start
+        decisions = [d for d in service.decisions if d.time > prior_time]
         reverts = sum(
             1
-            for d in service.decisions
+            for d in decisions
             if d.iteration is not None and d.iteration.reverted
         )
+        retunes = sum(1 for d in decisions if d.retuned)
         return ReplaySummary(
             scenario=self.scenario.name,
             horizon=horizon,
+            start=start,
             events=counts["events"],
             jobs_submitted=counts["submitted"],
             jobs_completed=counts["completed"],
             tasks=counts["tasks"],
-            retunes=service.retunes,
-            skips=service.skips,
+            retunes=retunes,
+            skips=len(decisions) - retunes,
             reverts=reverts,
             dropped=service.bus.dropped,
             wall_seconds=wall,
             events_per_second=counts["events"] / wall if wall > 0 else math.inf,
             max_stats_gap=max_gap,
-            decisions=tuple(service.decisions),
+            peak_backlog=int(counts["backlog_peak"]),
+            mean_response=(
+                counts["response_sum"] / counts["completed"]
+                if counts["completed"]
+                else 0.0
+            ),
+            decisions=tuple(decisions),
             final_config=service.rm_config,
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _deliver(self, events: list[ServiceEvent], counts: dict) -> None:
+        for event in events:
+            if self.transport == "direct":
+                self.service.process(event)
+            elif isinstance(event, Heartbeat):
+                # Chunk heartbeats are `repro resume`'s truncation
+                # boundary; shedding one would mark a fully-journaled
+                # interval as incomplete, so they bypass the lossy path.
+                self.service.submit_blocking(event)
+            elif not self.service.submit(event):
+                continue  # shed by the bounded bus; counted as dropped
+            self._count(event, counts)
 
     def _pace(self, wall_start: float, sim_time: float) -> None:
         if self.speedup <= 0:
@@ -428,45 +564,144 @@ class ScenarioReplayer:
             _time.sleep(delay)
 
     @staticmethod
-    def _count(event: ServiceEvent, counts: dict[str, int]) -> None:
+    def _count(event: ServiceEvent, counts: dict) -> None:
         if isinstance(event, Heartbeat):
             return
         counts["events"] += 1
         if isinstance(event, JobSubmitted):
             counts["submitted"] += 1
+            counts["backlog_peak"] = max(
+                counts["backlog_peak"], counts["submitted"] - counts["completed"]
+            )
         elif isinstance(event, JobCompleted):
             counts["completed"] += 1
+            counts["response_sum"] += event.record.response_time
         elif isinstance(event, TaskCompleted):
             counts["tasks"] += 1
 
-    def _chunk_events(
-        self, workload: Workload, t0: float, t1: float, index: int
-    ) -> list[ServiceEvent]:
-        """Simulate ``[t0, t1)`` under the live config; emit its telemetry.
+    def _continuous_chunk(
+        self,
+        session: SimulationSession,
+        arrivals: list,
+        cursor: int,
+        s0: float,
+        s1: float,
+        offset: float,
+    ) -> tuple[list[ServiceEvent], int]:
+        """Advance the continuous session through ``[s0, s1)``.
 
-        Jobs submitted in the chunk run to completion in the chunk's
-        simulation (the drain phase), so completion events may carry
-        timestamps past ``t1`` — the rolling window tolerates that
-        bounded disorder.
+        Scheduled node loss shrinks the session's capacity at the chunk
+        boundary (loss timing inside a chunk is approximated to its
+        start), and the currently applied configuration is swapped in
+        before advancing — the mid-run config swap that makes one
+        session span the whole replay.  Times are session-local;
+        ``offset`` shifts them back to scenario-absolute.
         """
-        window = workload.window(t0, t1)
-        # Known approximation: each chunk simulates from an empty
-        # cluster, so backlog does not compound across chunk boundaries
-        # (a continuous simulation with live config swaps is a ROADMAP
-        # follow-up).  Telemetry is correspondingly milder than a real
-        # sustained overload would produce.
         events: list[tuple[tuple, ServiceEvent]] = []
-        for job in window:
+        for when, pool, containers in self._losses_in(offset + s0, offset + s1):
+            # Telemetry reports what the cluster actually lost — the
+            # session clamps removal (a pool keeps >= 1 container), and
+            # overstating the loss would make the service's what-if
+            # cluster diverge from the simulated truth.
+            removed = session.lose_capacity(pool, containers)
+            if removed:
+                events.append(_node_loss_event(when, pool, removed))
+        session.set_config(self.service.controller.config)
+        tasks, jobs = session.advance_to(s1)
+        while cursor < len(arrivals) and arrivals[cursor].submit_time < s1:
+            job = arrivals[cursor]
+            when = offset + job.submit_time
             events.append(
                 (
-                    (t0 + job.submit_time, 0, job.job_id),
+                    (when, 0, job.job_id),
                     JobSubmitted(
-                        t0 + job.submit_time,
+                        when,
                         tenant=job.tenant,
                         job_id=job.job_id,
                         deadline=None
                         if job.deadline is None
-                        else t0 + job.deadline,
+                        else offset + job.deadline,
+                    ),
+                )
+            )
+            cursor += 1
+        self._append_record_events(events, tasks, jobs, offset)
+        self._append_churn_events(events, offset + s0, offset + s1)
+        events.sort(key=lambda pair: pair[0])
+        return [event for _, event in events], cursor
+
+    def _losses_in(self, lo: float, hi: float) -> list[tuple[float, str, int]]:
+        """Scheduled node losses with absolute time in ``[lo, hi)``."""
+        return [
+            (when, pool, containers)
+            for when, pool, containers in self.scenario.node_loss
+            if lo <= when < hi
+        ]
+
+    def _append_churn_events(self, events: list, lo: float, hi: float) -> None:
+        """Keyed tenant-churn events with absolute time in ``[lo, hi)``."""
+        for when, tenant, joined in self.scenario.churn:
+            if lo <= when < hi:
+                cls = TenantJoined if joined else TenantLeft
+                events.append(((when, 3, tenant), cls(when, tenant=tenant)))
+
+    def _drain_events(
+        self, session: SimulationSession, offset: float
+    ) -> list[ServiceEvent]:
+        """Completion telemetry of the backlog left at the horizon."""
+        tasks, jobs = session.drain()
+        events: list[tuple[tuple, ServiceEvent]] = []
+        self._append_record_events(events, tasks, jobs, offset)
+        events.sort(key=lambda pair: pair[0])
+        return [event for _, event in events]
+
+    @staticmethod
+    def _append_record_events(
+        events: list, tasks: list, jobs: list, offset: float
+    ) -> None:
+        for rec in tasks:
+            shifted = shift_task(rec, offset) if offset else rec
+            events.append(
+                (
+                    (shifted.finish_time, 1, shifted.task_id, shifted.attempt),
+                    TaskCompleted(shifted.finish_time, record=shifted),
+                )
+            )
+        for jrec in jobs:
+            shifted_job = shift_job(jrec, offset) if offset else jrec
+            events.append(
+                (
+                    (shifted_job.finish_time, 2, shifted_job.job_id),
+                    JobCompleted(shifted_job.finish_time, record=shifted_job),
+                )
+            )
+
+    def _chunk_events(
+        self, workload: Workload, s0: float, s1: float, index: int, offset: float
+    ) -> list[ServiceEvent]:
+        """Simulate ``[s0, s1)`` in isolation; emit its telemetry.
+
+        The legacy per-chunk mode: each retune interval is simulated
+        from an empty cluster and drained to completion, so completion
+        events may carry timestamps past ``s1`` (the rolling window
+        tolerates that bounded disorder) but backlog never compounds
+        across chunk boundaries — telemetry is correspondingly milder
+        than a real sustained overload would produce.
+        """
+        window = workload.window(s0, s1)
+        events: list[tuple[tuple, ServiceEvent]] = []
+        for job in window:
+            when = offset + s0 + job.submit_time
+            events.append(
+                (
+                    (when, 0, job.job_id),
+                    JobSubmitted(
+                        when,
+                        tenant=job.tenant,
+                        job_id=job.job_id,
+                        deadline=None
+                        if job.deadline is None
+                        else offset + s0 + job.deadline,
                     ),
                 )
             )
@@ -476,34 +711,12 @@ class ScenarioReplayer:
                 self.service.controller.config,
                 seed=self.seed + 7919 * index,
             )
-            for rec in trace.task_records:
-                shifted = shift_task(rec, t0)
-                events.append(
-                    (
-                        (shifted.finish_time, 1, shifted.task_id, shifted.attempt),
-                        TaskCompleted(shifted.finish_time, record=shifted),
-                    )
-                )
-            for jrec in trace.job_records:
-                shifted_job = shift_job(jrec, t0)
-                events.append(
-                    (
-                        (shifted_job.finish_time, 2, shifted_job.job_id),
-                        JobCompleted(shifted_job.finish_time, record=shifted_job),
-                    )
-                )
-        for when, tenant, joined in self.scenario.churn:
-            if t0 <= when < t1:
-                cls = TenantJoined if joined else TenantLeft
-                events.append(((when, 3, tenant), cls(when, tenant=tenant)))
-        for when, pool, containers in self.scenario.node_loss:
-            if t0 <= when < t1:
-                events.append(
-                    (
-                        (when, 4, pool),
-                        NodeLost(when, pool=pool, containers=containers),
-                    )
-                )
+            self._append_record_events(
+                events, list(trace.task_records), list(trace.job_records), offset + s0
+            )
+        self._append_churn_events(events, offset + s0, offset + s1)
+        for when, pool, containers in self._losses_in(offset + s0, offset + s1):
+            events.append(_node_loss_event(when, pool, containers))
         events.sort(key=lambda pair: pair[0])
         return [event for _, event in events]
 

@@ -1,0 +1,358 @@
+"""Durable serving state: periodic snapshots over the event journal.
+
+The journal (:mod:`repro.service.journal`) alone is enough to rebuild a
+daemon — replay everything from the first event — but recovery time then
+grows with the daemon's lifetime.  Snapshots bound it: every so often
+the full serving state (retained rolling-window entries, applied-config
+history, controller tuning state, decisions, counters) is written as one
+CRC-framed, atomically renamed JSON file under
+``<state-dir>/snapshots/``, tagged with the journal sequence number it
+covers.  Resume then loads the newest readable snapshot and replays only
+the journal tail past it (:meth:`~repro.service.daemon.TempoService.resume`).
+
+:class:`ServiceState` is the facade the daemon talks to — one object
+owning the state directory: the journal, the snapshot store, the
+snapshot cadence, and the ``meta.json`` scenario descriptor that lets
+``repro resume`` rebuild the surrounding service without re-specifying
+flags.
+
+What is *not* persisted: the PALD optimizer's cross-iteration QS sample
+buffer (a resumed tuner re-accumulates gradient samples over its next
+few retunes) and the production-side simulator state of a replay (the
+scenario re-seeds from the resumed chunk boundary).  Both degrade
+gracefully and are documented in ``docs/OPERATIONS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.rm.config import RMConfig, TenantConfig
+from repro.service.ingest import TenantWindowStats
+from repro.service.journal import (
+    EventJournal,
+    canonical_json,
+    frame_line,
+    unframe_line,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import TempoController
+
+_SNAPSHOT_GLOB = "snapshot-*.json"
+
+
+# -- RM configuration codec ---------------------------------------------------
+
+
+def config_to_dict(config: RMConfig) -> dict:
+    """JSON-ready dict for an RM configuration (inf timeouts -> null)."""
+    out: dict = {}
+    for name in config.tenant_names():
+        t = config.tenant(name)
+        out[name] = {
+            "weight": t.weight,
+            "min_share": dict(t.min_share),
+            "max_share": dict(t.max_share),
+            "min_timeout": inf_to_null(t.min_share_preemption_timeout),
+            "fair_timeout": inf_to_null(t.fair_share_preemption_timeout),
+        }
+    return out
+
+
+def config_from_dict(data: Mapping) -> RMConfig:
+    """Rebuild an :class:`RMConfig` from :func:`config_to_dict` output."""
+    tenants = {
+        name: TenantConfig(
+            weight=float(slot["weight"]),
+            min_share={k: int(v) for k, v in slot["min_share"].items()},
+            max_share={k: int(v) for k, v in slot["max_share"].items()},
+            min_share_preemption_timeout=inf_from_null(slot["min_timeout"]),
+            fair_share_preemption_timeout=inf_from_null(slot["fair_timeout"]),
+        )
+        for name, slot in data.items()
+    }
+    return RMConfig(tenants)
+
+
+def inf_to_null(value: float) -> float | None:
+    """Scalar codec for semantically-absent infinities (timeouts, drift).
+
+    ``inf`` means "disabled"/"no finite measurement" in those fields, so
+    null is the honest wire form.  Sign-lossy by design — for signed
+    float arrays use :func:`_floats_out`/:func:`_floats_in` instead.
+    """
+    return None if math.isinf(value) else float(value)
+
+
+def inf_from_null(value: float | None) -> float:
+    """Inverse of :func:`inf_to_null`."""
+    return math.inf if value is None else float(value)
+
+
+# -- window-statistics codec --------------------------------------------------
+
+
+def stats_to_dict(stats: TenantWindowStats) -> dict:
+    """JSON-ready dict for one tenant's window statistics."""
+    return asdict(stats)
+
+
+def stats_from_dict(data: Mapping) -> TenantWindowStats:
+    """Rebuild :class:`TenantWindowStats` from its dict form."""
+    return TenantWindowStats(**dict(data))
+
+
+# -- controller tuning-state codec --------------------------------------------
+
+
+def controller_state_dict(controller: "TempoController") -> dict:
+    """The controller state a resumed daemon needs for guard continuity.
+
+    Captures the applied configuration and its encoded vector, the
+    revert guard's baseline (``_prev``), the trailing observed-QS
+    vectors feeding the multi-window average, and the ratcheted
+    best-effort thresholds.  The PALD sample buffer is deliberately NOT
+    captured (see the module docstring).
+    """
+    prev = None
+    if controller._prev is not None:
+        prev_config, prev_observed, prev_x = controller._prev
+        prev = {
+            "config": config_to_dict(prev_config),
+            "observed": _floats_out(prev_observed),
+            "x": [float(v) for v in prev_x],
+        }
+    ratchet = controller._ratchet_values
+    return {
+        "config": config_to_dict(controller.config),
+        "x": [float(v) for v in controller.x],
+        "prev": prev,
+        "observed_recent": [
+            _floats_out(obs) for obs in controller._observed_recent
+        ],
+        "ratchet": None if ratchet is None else _floats_out(ratchet),
+    }
+
+
+def restore_controller_state(controller: "TempoController", state: Mapping) -> None:
+    """Apply :func:`controller_state_dict` output to a fresh controller."""
+    controller.config = config_from_dict(state["config"])
+    controller.x = np.asarray(state["x"], dtype=float)
+    prev = state.get("prev")
+    if prev is None:
+        controller._prev = None
+    else:
+        controller._prev = (
+            config_from_dict(prev["config"]),
+            np.asarray(_floats_in(prev["observed"]), dtype=float),
+            np.asarray(prev["x"], dtype=float),
+        )
+    controller._observed_recent.clear()
+    for obs in state.get("observed_recent", ()):
+        controller._observed_recent.append(
+            np.asarray(_floats_in(obs), dtype=float)
+        )
+    ratchet = state.get("ratchet")
+    controller._ratchet_values = (
+        None if ratchet is None else np.asarray(_floats_in(ratchet), dtype=float)
+    )
+
+
+def _floats_out(values) -> list:
+    """Floats -> JSON list with infinities made round-trippable."""
+    return [
+        {"inf": 1 if v > 0 else -1} if math.isinf(v) else float(v) for v in values
+    ]
+
+
+def _floats_in(values) -> list[float]:
+    return [
+        math.inf * v["inf"] if isinstance(v, dict) else float(v) for v in values
+    ]
+
+
+# -- snapshot store -----------------------------------------------------------
+
+
+class SnapshotStore:
+    """CRC-framed, atomically written snapshot files with pruning.
+
+    Files are named ``snapshot-<seq>.json`` where ``seq`` is the journal
+    sequence number the state includes.  Writes go to a temp file first
+    and are renamed into place, so a crash mid-snapshot leaves at worst
+    a stale temp file, never a half snapshot under a valid name.
+    ``load_latest`` walks newest-first and skips unreadable files, so a
+    corrupt snapshot costs recovery time (a longer journal tail), never
+    correctness.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+
+    def paths(self) -> list[Path]:
+        """Snapshot files in sequence order."""
+        return sorted(self.root.glob(_SNAPSHOT_GLOB))
+
+    @staticmethod
+    def _seq_of(path: Path) -> int:
+        return int(path.stem.split("-")[1])
+
+    def write(self, seq: int, state: dict) -> Path:
+        """Persist one snapshot covering journal records up to ``seq``."""
+        body = canonical_json({"seq": seq, "state": state})
+        path = self.root / f"snapshot-{seq:010d}.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(frame_line(body) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        for old in self.paths()[: -self.keep]:
+            old.unlink()
+        return path
+
+    def load_latest(self, max_seq: int | None = None) -> tuple[int, dict] | None:
+        """Newest readable snapshot as ``(seq, state)``, or ``None``.
+
+        ``max_seq`` skips snapshots past a journal truncation point.
+        """
+        for path in reversed(self.paths()):
+            if max_seq is not None and self._seq_of(path) > max_seq:
+                continue
+            try:
+                payload = json.loads(unframe_line(path.read_text(encoding="utf-8").strip()))
+                return int(payload["seq"]), payload["state"]
+            except (ValueError, KeyError, TypeError):
+                continue  # unreadable snapshot: fall back to an older one
+        return None
+
+    def truncate_after(self, seq: int) -> int:
+        """Delete snapshots covering journal records beyond ``seq``."""
+        removed = 0
+        for path in self.paths():
+            if self._seq_of(path) > seq:
+                path.unlink()
+                removed += 1
+        return removed
+
+
+class ServiceState:
+    """The daemon's durable home: journal + snapshots + meta descriptor.
+
+    Layout under ``root``::
+
+        meta.json                    scenario/service descriptor (resume)
+        journal/segment-*.jsonl      CRC-framed write-ahead records
+        snapshots/snapshot-*.json    periodic full-state snapshots
+
+    Args:
+        root: State directory (created if missing).
+        segment_records: Journal records per segment before rotation.
+        snapshot_every: Journal records between periodic snapshots (a
+            snapshot is also taken after every applied tune, the
+            state-change that matters most).
+        keep_snapshots: Snapshot files retained after pruning.
+        fsync: Force journal appends to stable storage.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        segment_records: int = 4096,
+        snapshot_every: int = 5000,
+        keep_snapshots: int = 3,
+        fsync: bool = False,
+    ):
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.journal = EventJournal(
+            self.root / "journal", segment_records=segment_records, fsync=fsync
+        )
+        self.snapshots = SnapshotStore(self.root / "snapshots", keep=keep_snapshots)
+        self.snapshot_every = int(snapshot_every)
+        self._last_snapshot_seq = 0
+        latest = self.snapshots.load_latest()
+        if latest is not None:
+            self._last_snapshot_seq = latest[0]
+
+    # -- meta descriptor ----------------------------------------------------
+
+    @property
+    def meta_path(self) -> Path:
+        """Location of the scenario/service descriptor."""
+        return self.root / "meta.json"
+
+    def write_meta(self, meta: dict) -> None:
+        """Persist the descriptor ``repro resume`` rebuilds from."""
+        tmp = self.meta_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.meta_path)
+
+    def read_meta(self) -> dict | None:
+        """The descriptor, or ``None`` when this dir has none yet."""
+        if not self.meta_path.exists():
+            return None
+        return json.loads(self.meta_path.read_text())
+
+    # -- write-ahead records -------------------------------------------------
+
+    def record_event(self, data: dict) -> int:
+        """Journal one telemetry event (write-ahead of processing)."""
+        return self.journal.append("event", data)
+
+    def record_decision(self, data: dict) -> int:
+        """Journal one skipped cadence tick (sparse/stable outcome)."""
+        return self.journal.append("decision", data)
+
+    def record_config(self, data: dict) -> int:
+        """Journal one applied tune: its decision and the controller
+        state it produced, as a single atomic record."""
+        return self.journal.append("config", data)
+
+    def record_rollback(self) -> int:
+        """Journal an operator rollback."""
+        return self.journal.append("rollback", {})
+
+    # -- snapshot cadence ----------------------------------------------------
+
+    def snapshot_due(self, *, force: bool = False) -> bool:
+        """Whether the periodic snapshot cadence has elapsed."""
+        if force:
+            return True
+        return self.journal.last_seq - self._last_snapshot_seq >= self.snapshot_every
+
+    def write_snapshot(self, state: dict) -> Path:
+        """Snapshot ``state`` as covering everything journaled so far."""
+        seq = self.journal.last_seq
+        path = self.snapshots.write(seq, state)
+        self._last_snapshot_seq = seq
+        return path
+
+    def load_latest_snapshot(self) -> tuple[int, dict] | None:
+        """Newest readable snapshot not past the journal's end."""
+        return self.snapshots.load_latest(max_seq=self.journal.last_seq)
+
+    # -- truncation ----------------------------------------------------------
+
+    def truncate_after(self, seq: int) -> int:
+        """Cut journal and snapshots back to ``seq`` (chunk-boundary rewind)."""
+        removed = self.journal.truncate_after(seq)
+        self.snapshots.truncate_after(seq)
+        self._last_snapshot_seq = min(self._last_snapshot_seq, seq)
+        return removed
+
+    def close(self) -> None:
+        """Close the underlying journal file handle."""
+        self.journal.close()

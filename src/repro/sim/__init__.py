@@ -9,14 +9,18 @@ Two engines produce the same artifact (a :class:`TaskSchedule`):
 * :class:`~repro.sim.simulator.ClusterSimulator` — a heartbeat-granularity
   simulator with injected noise (task failures, user kills, node
   restarts, stragglers) standing in for the production cluster that the
-  paper validates against (Section 8.1).
+  paper validates against (Section 8.1).  Its stepwise
+  :class:`~repro.sim.simulator.SimulationSession` mode advances the
+  same run in caller-controlled slices with mid-run configuration
+  swaps and live capacity loss — the continuous-replay substrate of
+  the serving layer.
 """
 
 from repro.sim.events import EventQueue
 from repro.sim.schedule import TaskSchedule
 from repro.sim.noise import NoiseModel
 from repro.sim.predictor import SchedulePredictor
-from repro.sim.simulator import ClusterSimulator
+from repro.sim.simulator import ClusterSimulator, SimulationSession
 
 __all__ = [
     "EventQueue",
@@ -24,4 +28,5 @@ __all__ = [
     "NoiseModel",
     "SchedulePredictor",
     "ClusterSimulator",
+    "SimulationSession",
 ]

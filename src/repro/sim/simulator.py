@@ -81,7 +81,26 @@ class ClusterSimulator:
         incomplete at that point are dropped from the job records, like
         jobs that never finished within an observation window.
         """
-        state = _SimulatorRun(
+        return self.session(workload, config, seed=seed, max_time=max_time).execute()
+
+    def session(
+        self,
+        workload: Workload,
+        config: RMConfig,
+        *,
+        seed: int | None = None,
+        max_time: float | None = None,
+    ) -> "SimulationSession":
+        """Open a stepwise simulation of ``workload`` starting at t=0.
+
+        Unlike :meth:`run`, the returned :class:`SimulationSession` is
+        advanced in slices by the caller (``advance_to``/``drain``) and
+        supports swapping the RM configuration and shrinking capacity
+        *mid-run* — the continuous-replay mode of the serving layer,
+        where backlog carries across retune intervals instead of every
+        interval starting from an empty cluster.
+        """
+        return SimulationSession(
             self.cluster,
             self.policy,
             self.noise,
@@ -91,11 +110,27 @@ class ClusterSimulator:
             np.random.default_rng(self.seed if seed is None else seed),
             max_time,
         )
-        return state.execute()
 
 
-class _SimulatorRun:
-    """All mutable state of one simulation run."""
+class SimulationSession:
+    """One (possibly stepwise) simulation run and all its mutable state.
+
+    :meth:`execute` runs the whole workload to completion — that is what
+    :meth:`ClusterSimulator.run` does.  The session API advances the
+    same heartbeat loop in caller-controlled slices instead:
+
+    * :meth:`advance_to` runs every heartbeat strictly before a target
+      time and returns the task/job records observed since the last
+      call — pending and running work *carries over* to the next slice;
+    * :meth:`set_config` swaps the live RM configuration between
+      heartbeats (the next allocation pass sees the new shares, limits,
+      and preemption timeouts);
+    * :meth:`lose_capacity` permanently removes containers from a pool
+      (observed node loss), evicting freshly started tasks that no
+      longer fit exactly like a node-restart capacity dip does;
+    * :meth:`drain` runs until all admitted work completes (bounded by
+      ``max_time``).
+    """
 
     def __init__(
         self,
@@ -129,28 +164,29 @@ class _SimulatorRun:
         self.clocks: dict[tuple[str, str], StarvationClock] = {}
         self.capacity_penalty: dict[str, int] = {p: 0 for p in cluster.pool_names}
         self.penalty_until: float = -math.inf
+        self.capacity_lost: dict[str, int] = {p: 0 for p in cluster.pool_names}
         self.task_records: list[TaskRecord] = []
         self.job_records: list[JobRecord] = []
         self.killed_jobs: set[str] = set()
+        self.now = 0.0
         self._arrivals: list[JobSpec] = sorted(
             workload, key=lambda j: (j.submit_time, j.job_id), reverse=True
         )
         self._ready_time: dict[tuple[str, str], float] = {}
         self._outstanding = 0  # tasks not yet completed across live jobs
+        self._task_cursor = 0
+        self._job_cursor = 0
 
     # -- main loop ---------------------------------------------------------
 
     def execute(self) -> TaskSchedule:
-        now = 0.0
-        while now <= self.max_time:
-            self._admit_arrivals(now)
-            self._advance_running(now)
-            self._apply_noise(now)
-            self._schedule(now)
-            if not self._arrivals and self._outstanding == 0:
+        """Run the whole workload to completion (the one-shot mode)."""
+        while self.now <= self.max_time:
+            self._heartbeat(self.now)
+            if self.idle:
                 break
-            now += self.dt
-        horizon = max(now, self.workload.horizon)
+            self.now += self.dt
+        horizon = max(self.now, self.workload.horizon)
         return TaskSchedule(
             self.task_records,
             self.job_records,
@@ -158,6 +194,80 @@ class _SimulatorRun:
             config=self.config,
             horizon=horizon,
         )
+
+    def _heartbeat(self, now: float) -> None:
+        self._admit_arrivals(now)
+        self._advance_running(now)
+        self._apply_noise(now)
+        self._schedule(now)
+
+    # -- session API ----------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No arrivals pending and no admitted task left incomplete."""
+        return not self._arrivals and self._outstanding == 0
+
+    def advance_to(
+        self, until: float
+    ) -> tuple[list[TaskRecord], list[JobRecord]]:
+        """Run every heartbeat with time strictly below ``until``.
+
+        Returns the task and job records produced since the previous
+        ``advance_to``/``drain`` call.  Incomplete jobs stay queued or
+        running in the session — the backlog the next slice inherits.
+        """
+        while self.now < until:
+            self._heartbeat(self.now)
+            self.now += self.dt
+        return self._new_records()
+
+    def drain(
+        self, max_time: float | None = None
+    ) -> tuple[list[TaskRecord], list[JobRecord]]:
+        """Run until all admitted work completes (bounded by ``max_time``)."""
+        limit = self.max_time if max_time is None else max_time
+        while self.now <= limit:
+            self._heartbeat(self.now)
+            if self.idle:
+                break
+            self.now += self.dt
+        return self._new_records()
+
+    def set_config(self, config: RMConfig) -> None:
+        """Swap the live RM configuration; takes effect next heartbeat."""
+        self.config = config
+
+    def lose_capacity(self, pool: str, containers: int) -> int:
+        """Permanently remove ``containers`` from ``pool`` (node loss).
+
+        Every pool retains at least one container (a cluster that loses
+        its last container would strand its queued tasks forever).
+        Tasks that no longer fit are evicted newest-first and requeued,
+        exactly like a transient node-restart dip.  Returns the
+        containers actually removed after clamping; unknown pools are
+        ignored (a real RM may report losses for pools the tuner does
+        not manage).
+        """
+        if containers < 0:
+            raise ValueError(f"containers must be >= 0, got {containers}")
+        pool_state = self.pools.get(pool)
+        if pool_state is None:
+            return 0
+        already = self.capacity_lost[pool]
+        allowed = max(0, min(containers, pool_state.capacity - 1 - already))
+        if allowed == 0:
+            return 0
+        self.capacity_lost[pool] = already + allowed
+        self._evict_overflow(pool_state, self._effective_capacity(pool), self.now)
+        return allowed
+
+    def _new_records(self) -> tuple[list[TaskRecord], list[JobRecord]]:
+        tasks = self.task_records[self._task_cursor :]
+        jobs = self.job_records[self._job_cursor :]
+        self._task_cursor = len(self.task_records)
+        self._job_cursor = len(self.job_records)
+        return tasks, jobs
 
     # -- phases ----------------------------------------------------------------
 
@@ -265,19 +375,24 @@ class _SimulatorRun:
             if lost <= 0:
                 continue
             self.capacity_penalty[pool] = lost
-            effective = pool_state.capacity - lost
-            overflow = pool_state.total_running_containers() - effective
-            if overflow <= 0:
-                continue
-            victims = sorted(
-                pool_state.all_running(), key=lambda r: r.start_time, reverse=True
-            )
-            freed = 0
-            for run in victims:
-                if freed >= overflow:
-                    break
-                self._fail(pool_state, run, now, requeue=True)
-                freed += run.containers
+            self._evict_overflow(pool_state, self._effective_capacity(pool), now)
+
+    def _evict_overflow(
+        self, pool_state: PoolState, effective: int, now: float
+    ) -> None:
+        """Kill newest-started tasks until the pool fits its capacity."""
+        overflow = pool_state.total_running_containers() - effective
+        if overflow <= 0:
+            return
+        victims = sorted(
+            pool_state.all_running(), key=lambda r: r.start_time, reverse=True
+        )
+        freed = 0
+        for run in victims:
+            if freed >= overflow:
+                break
+            self._fail(pool_state, run, now, requeue=True)
+            freed += run.containers
 
     def _fail(
         self, pool_state: PoolState, run: RunningTask, now: float, *, requeue: bool
@@ -314,7 +429,12 @@ class _SimulatorRun:
     # -- scheduling ---------------------------------------------------------------
 
     def _effective_capacity(self, pool: str) -> int:
-        return max(0, self.pools[pool].capacity - self.capacity_penalty[pool])
+        return max(
+            0,
+            self.pools[pool].capacity
+            - self.capacity_penalty[pool]
+            - self.capacity_lost[pool],
+        )
 
     def _schedule(self, now: float) -> None:
         for pool, pool_state in self.pools.items():

@@ -8,11 +8,12 @@ provisioning module applies the same machinery across cluster sizes
 (Section 8.2.4).
 """
 
-from repro.whatif.model import WhatIfModel
+from repro.whatif.model import WhatIfModel, capacity_floor
 from repro.whatif.provisioning import ProvisioningAdvisor, ProvisioningEstimate
 
 __all__ = [
     "WhatIfModel",
+    "capacity_floor",
     "ProvisioningAdvisor",
     "ProvisioningEstimate",
 ]

@@ -112,6 +112,32 @@ class JobRecord:
         return self.finish_time > self.deadline + slack * self.response_time
 
 
+def task_record_to_dict(record: TaskRecord) -> dict:
+    """JSON-ready dict for a task record (inverse of :func:`task_record_from_dict`)."""
+    return asdict(record)
+
+
+def task_record_from_dict(row: Mapping) -> TaskRecord:
+    """Rebuild a :class:`TaskRecord` from its dict form."""
+    return TaskRecord(**dict(row))
+
+
+def job_record_to_dict(record: JobRecord) -> dict:
+    """JSON-ready dict for a job record (tuples become lists)."""
+    row = asdict(record)
+    row["tags"] = list(record.tags)
+    row["stage_deps"] = [[s, list(d)] for s, d in record.stage_deps]
+    return row
+
+
+def job_record_from_dict(row: Mapping) -> JobRecord:
+    """Rebuild a :class:`JobRecord` from its dict form."""
+    row = dict(row)
+    row["tags"] = tuple(row.get("tags", ()))
+    row["stage_deps"] = tuple((s, tuple(d)) for s, d in row.get("stage_deps", ()))
+    return JobRecord(**row)
+
+
 class Trace:
     """An observed task schedule: task attempts plus job completions.
 
@@ -366,13 +392,11 @@ class Trace:
             )
         ]
         for j in self._jobs:
-            row = asdict(j)
+            row = job_record_to_dict(j)
             row["kind"] = "job"
-            row["tags"] = list(j.tags)
-            row["stage_deps"] = [[s, list(d)] for s, d in j.stage_deps]
             lines.append(json.dumps(row))
         for t in self._tasks:
-            row = asdict(t)
+            row = task_record_to_dict(t)
             row["kind"] = "task"
             lines.append(json.dumps(row))
         return "\n".join(lines) + "\n"
@@ -393,13 +417,9 @@ class Trace:
                 capacity = {str(k): int(v) for k, v in row["capacity"].items()}
                 horizon = float(row["horizon"])
             elif kind == "job":
-                row["tags"] = tuple(row.get("tags", ()))
-                row["stage_deps"] = tuple(
-                    (s, tuple(d)) for s, d in row.get("stage_deps", ())
-                )
-                jobs.append(JobRecord(**row))
+                jobs.append(job_record_from_dict(row))
             elif kind == "task":
-                tasks.append(TaskRecord(**row))
+                tasks.append(task_record_from_dict(row))
             else:
                 raise ValueError(f"unknown record kind {kind!r}")
         return cls(tasks, jobs, capacity=capacity, horizon=horizon)

@@ -1,0 +1,667 @@
+"""Tests for the durable serving state: journal, snapshots, resume."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.service.daemon import ServiceConfig, TempoService
+from repro.service.events import (
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    NodeLost,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import RollingWindow, stats_gap
+from repro.service.journal import (
+    EventJournal,
+    JournalError,
+    decode_event,
+    encode_event,
+    last_heartbeat,
+)
+from repro.service.replay import build_controller, build_service, make_scenario
+from repro.service.snapshot import (
+    ServiceState,
+    SnapshotStore,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.workload.trace import JobRecord, TaskRecord
+
+
+def _task(job_id, task_id, tenant, finish, duration, **kwargs):
+    start = finish - duration
+    return TaskRecord(
+        job_id=job_id,
+        task_id=task_id,
+        tenant=tenant,
+        pool="map",
+        stage="map",
+        submit_time=max(start - 1.0, 0.0),
+        start_time=start,
+        finish_time=finish,
+        **kwargs,
+    )
+
+
+def _events(seed=0, count=400, tenants=("deadline", "besteffort")):
+    """Deterministic telemetry stream (same shape as the service tests)."""
+    rng = np.random.default_rng(seed)
+    events, t = [], 0.0
+    for i in range(count):
+        t += float(rng.exponential(20.0))
+        tenant = tenants[i % len(tenants)]
+        job_id = f"{tenant}-{i}"
+        events.append(JobSubmitted(t, tenant=tenant, job_id=job_id))
+        duration = float(rng.lognormal(3.0 + 0.5 * (i % 3), 0.8))
+        finish = t + duration
+        events.append(
+            TaskCompleted(
+                finish,
+                record=_task(
+                    job_id,
+                    f"{job_id}/t0",
+                    tenant,
+                    finish,
+                    duration,
+                    preempted=(i % 17 == 0),
+                    failed=(i % 23 == 0),
+                ),
+            )
+        )
+        events.append(
+            JobCompleted(
+                finish,
+                record=JobRecord(
+                    job_id=job_id, tenant=tenant, submit_time=t, finish_time=finish
+                ),
+            )
+        )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def _build(state=None, seed=0, **controller_kwargs):
+    scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+    return build_service(
+        scenario,
+        ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3),
+        seed=seed,
+        state=state,
+        **controller_kwargs,
+    )
+
+
+def _service_config():
+    return ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3)
+
+
+ALL_EVENT_SHAPES = [
+    JobSubmitted(1.0, tenant="A", job_id="a0", deadline=9.5),
+    JobSubmitted(1.5, tenant="A", job_id="a1"),
+    TaskCompleted(
+        2.0,
+        record=_task("a0", "a0/t0", "A", 2.0, 1.0, preempted=True, attempt=1),
+    ),
+    JobCompleted(
+        2.5,
+        record=JobRecord(
+            job_id="a0",
+            tenant="A",
+            submit_time=1.0,
+            finish_time=2.5,
+            deadline=9.5,
+            num_tasks=2,
+            tags=("etl", "batch"),
+            stage_deps=(("map", ()), ("reduce", ("map",))),
+        ),
+    ),
+    NodeLost(3.0, pool="map", containers=2),
+    TenantJoined(4.0, tenant="B"),
+    TenantLeft(5.0, tenant="B"),
+    Heartbeat(6.0),
+]
+
+
+class TestEventCodec:
+    def test_roundtrip_every_event_type(self):
+        for event in ALL_EVENT_SHAPES:
+            assert decode_event(encode_event(event)) == event
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(JournalError):
+            decode_event({"type": "Mystery", "time": 0.0})
+
+
+class TestEventJournal:
+    def test_append_iter_roundtrip_with_rotation(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=3)
+        for event in ALL_EVENT_SHAPES:
+            journal.append("event", encode_event(event))
+        journal.close()
+        assert len(journal.segments()) == 3  # 8 records / 3 per segment
+        records = list(EventJournal(tmp_path).iter_records())
+        assert [r.seq for r in records] == list(range(1, 9))
+        assert [decode_event(r.data) for r in records] == ALL_EVENT_SHAPES
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=4)
+        journal.append("event", encode_event(Heartbeat(1.0)))
+        journal.close()
+        reopened = EventJournal(tmp_path, segment_records=4)
+        assert reopened.append("event", encode_event(Heartbeat(2.0))) == 2
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=100)
+        for i in range(5):
+            journal.append("event", encode_event(Heartbeat(float(i))))
+        journal.close()
+        segment = journal.segments()[-1]
+        with segment.open("a") as fh:
+            fh.write('deadbeef {"seq": 6, "kin')  # the interrupted append
+        reopened = EventJournal(tmp_path)
+        assert reopened.last_seq == 5
+        assert len(list(reopened.iter_records())) == 5
+
+    def test_mid_segment_corruption_raises(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=100)
+        for i in range(5):
+            journal.append("event", encode_event(Heartbeat(float(i))))
+        journal.close()
+        segment = journal.segments()[-1]
+        lines = segment.read_text().splitlines()
+        lines[1] = lines[1][:-3] + "xyz"  # flip bytes inside an early record
+        segment.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(JournalError):
+            list(EventJournal(tmp_path).iter_records())
+
+    def test_iter_after_skips_whole_segments(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=2)
+        for i in range(7):
+            journal.append("event", encode_event(Heartbeat(float(i))))
+        journal.close()
+        assert [r.seq for r in journal.iter_records(after=5)] == [6, 7]
+
+    def test_truncate_after_rewrites_and_reopens(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=3)
+        for i in range(8):
+            journal.append("event", encode_event(Heartbeat(float(i))))
+        journal.close()
+        removed = journal.truncate_after(4)
+        assert removed == 4
+        assert journal.last_seq == 4
+        assert journal.append("event", encode_event(Heartbeat(99.0))) == 5
+        seqs = [r.seq for r in EventJournal(tmp_path).iter_records()]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_last_heartbeat_finds_chunk_boundary(self, tmp_path):
+        journal = EventJournal(tmp_path)
+        journal.append("event", encode_event(JobSubmitted(1.0, tenant="A", job_id="a")))
+        hb_seq = journal.append("event", encode_event(Heartbeat(300.0)))
+        journal.append("event", encode_event(JobSubmitted(301.0, tenant="A", job_id="b")))
+        journal.close()
+        assert last_heartbeat(journal) == (hb_seq, 300.0)
+
+    def test_last_heartbeat_none_when_absent(self, tmp_path):
+        journal = EventJournal(tmp_path)
+        assert last_heartbeat(journal) is None
+
+
+class TestSnapshotStore:
+    def test_write_load_prune(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in (10, 20, 30):
+            store.write(seq, {"value": seq})
+        assert len(store.paths()) == 2  # pruned to keep=2
+        assert store.load_latest() == (30, {"value": 30})
+        assert store.load_latest(max_seq=25) == (20, {"value": 20})
+
+    def test_corrupt_snapshot_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=3)
+        store.write(10, {"value": 10})
+        newest = store.write(20, {"value": 20})
+        newest.write_text("garbage not a snapshot\n")
+        assert store.load_latest() == (10, {"value": 10})
+
+    def test_truncate_after_drops_newer(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=5)
+        for seq in (10, 20, 30):
+            store.write(seq, {"value": seq})
+        assert store.truncate_after(15) == 2
+        assert store.load_latest() == (10, {"value": 10})
+
+
+class TestConfigCodec:
+    def test_roundtrip_preserves_infinite_timeouts(self):
+        scenario = make_scenario("steady", scale=1.0, horizon=600.0)
+        config = scenario.initial_config
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.describe() == config.describe()
+        for name in config.tenant_names():
+            a, b = config.tenant(name), restored.tenant(name)
+            assert math.isinf(a.min_share_preemption_timeout) == math.isinf(
+                b.min_share_preemption_timeout
+            )
+
+
+class TestWindowState:
+    def test_state_roundtrip_matches_batch_recompute(self):
+        window = RollingWindow(600.0)
+        for event in _events(seed=11):
+            if isinstance(event, (JobSubmitted, TaskCompleted, JobCompleted)):
+                window.ingest(event)
+        restored = RollingWindow.from_state(window.to_state())
+        assert restored.now == window.now
+        assert restored.events_ingested == window.events_ingested
+        assert stats_gap(restored) < 1e-9
+        a, b = window.snapshot(), restored.snapshot()
+        assert set(a) == set(b)
+        for name in a:
+            for field in (
+                "jobs",
+                "tasks",
+                "submitted",
+                "arrival_rate",
+                "mean_response",
+                "log_duration_mean",
+                "log_duration_std",
+                "preempted_fraction",
+                "failed_fraction",
+            ):
+                assert abs(getattr(a[name], field) - getattr(b[name], field)) < 1e-9
+
+    def test_state_is_json_serializable(self):
+        window = RollingWindow(300.0)
+        for event in _events(seed=12, count=40):
+            if isinstance(event, (JobSubmitted, TaskCompleted, JobCompleted)):
+                window.ingest(event)
+        text = json.dumps(window.to_state())
+        restored = RollingWindow.from_state(json.loads(text))
+        assert stats_gap(restored) < 1e-9
+
+
+def _assert_equivalent(live: TempoService, resumed: TempoService) -> None:
+    """Full serving-state equivalence between a live and a resumed daemon."""
+    assert resumed.events_processed == live.events_processed
+    assert stats_gap(resumed.window) < 1e-9
+    a, b = live.window.snapshot(), resumed.window.snapshot()
+    assert set(a) == set(b)
+    for name in a:
+        for field in (
+            "jobs",
+            "tasks",
+            "submitted",
+            "arrival_rate",
+            "mean_response",
+            "log_duration_mean",
+            "log_duration_std",
+        ):
+            assert abs(getattr(a[name], field) - getattr(b[name], field)) < 1e-9
+    assert [(d.time, d.retuned, d.reason) for d in live.decisions] == [
+        (d.time, d.retuned, d.reason) for d in resumed.decisions
+    ]
+    assert [(h.index, h.config.describe()) for h in live.config_history] == [
+        (h.index, h.config.describe()) for h in resumed.config_history
+    ]
+    assert live.rm_config.describe() == resumed.rm_config.describe()
+    np.testing.assert_allclose(live.controller.x, resumed.controller.x)
+    assert live.active_tenants == resumed.active_tenants
+    assert live.lost_capacity == resumed.lost_capacity
+
+
+class TestResume:
+    def test_resume_reconstructs_full_state(self, tmp_path):
+        """The acceptance property: kill, resume, identical window stats."""
+        state = ServiceState(tmp_path, segment_records=64, snapshot_every=300)
+        live = _build(state=state)
+        events = _events(seed=1)
+        mid = events[len(events) // 2].time
+        events.append(NodeLost(mid, pool="map", containers=3))
+        events.append(TenantJoined(mid + 1.0, tenant="newbie"))
+        events.sort(key=lambda e: e.time)
+        for event in events:
+            live.process(event)
+        state.close()
+        assert live.retunes >= 2
+        assert len(state.journal.segments()) > 1  # rotation actually happened
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        _assert_equivalent(live, resumed)
+
+    def test_resume_after_torn_segment_write(self, tmp_path):
+        """Kill mid-journal-append: the torn record is dropped, not fatal."""
+        state = ServiceState(tmp_path, segment_records=64, snapshot_every=300)
+        live = _build(state=state)
+        events = _events(seed=2)
+        for event in events[:-1]:
+            live.process(event)
+        state.close()
+        segment = state.journal.segments()[-1]
+        with segment.open("a") as fh:
+            fh.write('0badc0de {"seq": 1234, "kind": "ev')  # interrupted append
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        # The torn record never counted: the resumed daemon holds
+        # exactly the acknowledged prefix, self-consistent to 1e-9.
+        assert resumed.events_processed == len(events) - 1
+        assert stats_gap(resumed.window) < 1e-9
+
+    def test_resume_without_snapshots_replays_whole_journal(self, tmp_path):
+        state = ServiceState(tmp_path, snapshot_every=10**9)
+        live = _build(state=state)
+        for event in _events(seed=3, count=150):
+            live.process(event)
+        state.close()
+        # Lose every snapshot: recovery must fall back to the journal.
+        for path in state.snapshots.paths():
+            path.unlink()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        _assert_equivalent(live, resumed)
+
+    def test_resumed_daemon_continues_identically(self, tmp_path):
+        """Processing the remaining stream after resume matches the live run."""
+        state = ServiceState(tmp_path, segment_records=64, snapshot_every=200)
+        live = _build(state=state)
+        events = _events(seed=4)
+        cut = len(events) // 2
+        for event in events[:cut]:
+            live.process(event)
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        resumed.state = None  # compare pure in-memory continuation
+        live.state = None
+        for event in events[cut:]:
+            live.process(event)
+            resumed.process(event)
+        assert live.retunes == resumed.retunes
+        assert [(d.time, d.retuned, d.reason) for d in live.decisions] == [
+            (d.time, d.retuned, d.reason) for d in resumed.decisions
+        ]
+        assert stats_gap(resumed.window) < 1e-9
+
+    def test_quiesce_waits_for_bus_events_after_resume(self, tmp_path):
+        """The drain barrier must count bus deliveries, not total events.
+
+        A resumed daemon's ``events_processed`` already includes the
+        journal-restored history, so comparing it against the fresh
+        bus's published count would make quiesce return while the last
+        delivery is still mid-retune.
+        """
+        state = ServiceState(tmp_path)
+        live = _build(state=state)
+        for event in _events(seed=6, count=120):
+            live.process(event)
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        prior = resumed.events_processed
+        extra = _events(seed=7, count=60)
+        resumed.start()
+        try:
+            for event in extra:
+                assert resumed.submit(event)
+            resumed.quiesce()
+            assert resumed.events_processed == prior + len(extra)
+            assert resumed._bus_consumed == resumed.bus.published
+        finally:
+            resumed.stop()
+
+    def test_applied_tune_is_one_atomic_journal_record(self, tmp_path):
+        """A retune's decision and config are never split across records.
+
+        If they were two appends, a crash between them would resume
+        into a state the live daemon never had (tune logged as applied,
+        old config still in force).
+        """
+        state = ServiceState(tmp_path, snapshot_every=10**9)
+        live = _build(state=state)
+        for event in _events(seed=8, count=200):
+            live.process(event)
+        state.close()
+        assert live.retunes >= 1
+        kinds = {"decision": 0, "config": 0}
+        for record in state.journal.iter_records():
+            if record.kind == "decision":
+                assert record.data["retuned"] is False
+                kinds["decision"] += 1
+            elif record.kind == "config":
+                assert record.data["decision"]["retuned"] is True
+                assert "controller" in record.data
+                kinds["config"] += 1
+        assert kinds["config"] == live.retunes
+        assert kinds["decision"] == live.skips
+
+    def test_rollback_is_journaled(self, tmp_path):
+        state = ServiceState(tmp_path, snapshot_every=10**9)
+        live = _build(state=state)
+        for event in _events(seed=5):
+            live.process(event)
+        assert live.retunes >= 2
+        rolled_back_to = live.rollback()
+        assert rolled_back_to is not None
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        assert resumed.rm_config.describe() == live.rm_config.describe()
+        assert len(resumed.config_history) == len(live.config_history)
+
+
+class TestServiceState:
+    def test_meta_roundtrip(self, tmp_path):
+        state = ServiceState(tmp_path)
+        assert state.read_meta() is None
+        state.write_meta({"scenario": "steady", "seed": 7})
+        assert state.read_meta() == {"scenario": "steady", "seed": 7}
+
+    def test_truncate_drops_journal_and_snapshots(self, tmp_path):
+        state = ServiceState(tmp_path, snapshot_every=10**9)
+        for i in range(6):
+            state.record_event(encode_event(Heartbeat(float(i))))
+        state.write_snapshot({"at": 6})
+        state.record_event(encode_event(Heartbeat(6.0)))
+        state.truncate_after(3)
+        assert state.journal.last_seq == 3
+        assert state.load_latest_snapshot() is None  # snapshot was past seq 3
+
+
+class TestCliResume:
+    def test_serve_state_dir_then_resume(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        state_dir = str(tmp_path / "state")
+        out = io.StringIO()
+        code = main(
+            [
+                "serve",
+                "--scenario",
+                "steady",
+                "--horizon",
+                "0.3",
+                "--seed",
+                "1",
+                "--state-dir",
+                state_dir,
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "state-dir" in out.getvalue()
+        out = io.StringIO()
+        code = main(["resume", "--state-dir", state_dir], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "resumed from" in text
+        assert "final configuration" in text
+
+    def test_resume_continues_interrupted_run(self, tmp_path):
+        """Emulate a crash by journaling only a prefix, then CLI-resume."""
+        import io
+
+        from repro.cli import main
+        from repro.service.replay import ScenarioReplayer
+
+        state_dir = tmp_path / "state"
+        state = ServiceState(state_dir)
+        scenario = make_scenario("steady", scale=1.0, horizon=1800.0)
+        config = ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3)
+        state.write_meta(
+            {
+                "scenario": "steady",
+                "scale": 1.0,
+                "horizon": 1800.0,
+                "seed": 1,
+                "window": 600.0,
+                "interval": 300.0,
+                "drift": 0.02,
+                "speedup": 0.0,
+                "transport": "direct",
+                "revert_windows": 1,
+                "continuous": True,
+            }
+        )
+        service = build_service(scenario, config, seed=1, state=state)
+        ScenarioReplayer(scenario, service, seed=1).run(900.0)  # dies at 900s
+        state.close()
+        out = io.StringIO()
+        code = main(["resume", "--state-dir", str(state_dir)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "continuing scenario=steady from t=900s" in text
+        assert "final configuration" in text
+
+    def test_drain_crash_resimulates_final_interval(self, tmp_path):
+        """A crash during the final drain re-simulates the last interval.
+
+        The horizon heartbeat is only journaled after the drain, so a
+        mid-drain kill leaves the boundary at the previous interval and
+        resume regenerates the final interval *and* its backlog drain —
+        no completion telemetry is silently lost.
+        """
+        import io
+
+        from repro.cli import main
+        from repro.service.replay import ScenarioReplayer
+
+        state_dir = tmp_path / "state"
+        state = ServiceState(state_dir)
+        state.write_meta(
+            {
+                "scenario": "steady",
+                "scale": 3.0,
+                "horizon": 1350.0,
+                "seed": 5,
+                "window": 900.0,
+                "interval": 450.0,
+                "drift": 0.02,
+                "speedup": 0.0,
+                "transport": "direct",
+                "revert_windows": 1,
+                "continuous": True,
+            }
+        )
+        scenario = make_scenario("steady", scale=3.0, horizon=1350.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=5,
+            state=state,
+        )
+        ScenarioReplayer(scenario, service, seed=5, verify_stats=False).run()
+        state.close()
+        # The closing heartbeat at the horizon is journaled only after
+        # the drain delivered completely.
+        boundary = last_heartbeat(state.journal)
+        assert boundary is not None and boundary[1] == 1350.0
+        # Emulate dying mid-drain: drop the closing heartbeat and the
+        # drain tail.  The newest surviving heartbeat is now the last
+        # *full* interval's, before the horizon.
+        state.truncate_after(boundary[0] - 3)
+        rewound = last_heartbeat(state.journal)
+        assert rewound is not None and rewound[1] < 1350.0
+        out = io.StringIO()
+        code = main(["resume", "--state-dir", str(state_dir)], out=out)
+        assert code == 0
+        assert f"continuing scenario=steady from t={rewound[1]:.0f}s" in out.getvalue()
+        # The re-driven run journaled the final interval and its drain.
+        assert last_heartbeat(EventJournal(state_dir / "journal"))[1] == 1350.0
+
+    def test_resumed_run_summary_covers_only_new_decisions(self, tmp_path):
+        from repro.service.replay import ScenarioReplayer
+
+        state_dir = tmp_path / "state"
+        state = ServiceState(state_dir)
+        scenario = make_scenario("steady", scale=1.0, horizon=1800.0)
+        config = ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3)
+        service = build_service(scenario, config, seed=1, state=state)
+        first = ScenarioReplayer(scenario, service, seed=1).run(900.0)
+        state.close()
+        assert first.retunes >= 1
+        resumed = TempoService.resume(
+            build_controller(scenario), state_dir, config
+        )
+        second = ScenarioReplayer(scenario, resumed, seed=1).run(1800.0, start=900.0)
+        assert all(d.time >= 900.0 for d in second.decisions)
+        assert second.retunes == sum(1 for d in second.decisions if d.retuned)
+        # The daemon's full history still covers both run segments.
+        assert resumed.retunes >= first.retunes + second.retunes
+
+    def test_serve_refuses_dirty_state_dir(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        state_dir = str(tmp_path / "state")
+        state = ServiceState(state_dir)
+        state.record_event(encode_event(Heartbeat(1.0)))
+        state.close()
+        with pytest.raises(SystemExit, match="resume"):
+            main(
+                ["serve", "--scenario", "steady", "--state-dir", state_dir],
+                out=io.StringIO(),
+            )
+
+    def test_resume_requires_meta(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="meta.json"):
+            main(["resume", "--state-dir", str(tmp_path)], out=io.StringIO())
+
+    def test_resume_does_not_create_state_dir_on_typo(self, tmp_path):
+        """A typo'd --state-dir must not leave a valid-looking state tree."""
+        import io
+
+        from repro.cli import main
+
+        missing = tmp_path / "staet"
+        with pytest.raises(SystemExit, match="meta.json"):
+            main(["resume", "--state-dir", str(missing)], out=io.StringIO())
+        assert not missing.exists()

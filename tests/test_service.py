@@ -312,6 +312,49 @@ class TestTempoService:
         assert service.retunes == 0
         assert all(d.reason == "sparse" for d in service.decisions)
 
+    def test_quiesce_surfaces_dead_drain_thread(self):
+        """A drain thread killed by an error must not make quiesce spin."""
+        service = self._service()
+
+        def boom(event):
+            raise OSError("disk full")
+
+        service.process = boom  # instance attribute shadows the method
+        service.start()
+        service.submit(Heartbeat(1.0))
+        with pytest.raises(RuntimeError, match="drain thread died"):
+            service.quiesce()
+        with pytest.raises(RuntimeError, match="drain thread died"):
+            service.stop()
+        assert not service.running  # cleanly stoppable after the error
+
+    def test_submit_blocking_waits_for_room(self):
+        """Control markers are never shed; they wait for the bus to drain."""
+        import threading
+        import time
+
+        service = self._service(queue_capacity=1)
+        assert service.submit(Heartbeat(1.0))  # bus now full
+        assert not service.submit(Heartbeat(2.0))  # ordinary path sheds
+        done: list[bool] = []
+        publisher = threading.Thread(
+            target=lambda: done.append(service.submit_blocking(Heartbeat(3.0)))
+        )
+        service.start()
+        try:
+            publisher.start()
+            publisher.join(5.0)
+            assert done == [True]
+        finally:
+            service.stop()
+        assert service.events_processed == 2  # the shed heartbeat is gone
+
+    def test_submit_blocking_requires_running_daemon(self):
+        service = self._service(queue_capacity=1)
+        assert service.submit(Heartbeat(1.0))
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit_blocking(Heartbeat(2.0))
+
     def test_quiesce_requires_running_daemon(self):
         service = self._service()
         with pytest.raises(RuntimeError, match="not running"):
@@ -404,6 +447,253 @@ class TestReplay:
         scenario = make_scenario("steady", scale=1.0, horizon=600.0)
         with pytest.raises(ValueError, match="transport"):
             ScenarioReplayer(scenario, transport="carrier-pigeon")
+
+
+class TestContinuousReplay:
+    def _overloaded(self, continuous, seed=5):
+        scenario = make_scenario("steady", scale=3.0, horizon=3600.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=seed,
+        )
+        return ScenarioReplayer(
+            scenario, service, seed=seed, continuous=continuous, verify_stats=False
+        ).run()
+
+    def test_backlog_compounds_across_retune_intervals(self):
+        """The tentpole property: one continuous execution carries backlog.
+
+        The legacy mode simulates each retune interval from an empty
+        cluster, so under sustained overload its telemetry stays mild;
+        the continuous session inherits every interval's unfinished
+        work, so queueing compounds and response times stretch.
+        """
+        chunked = self._overloaded(continuous=False)
+        continuous = self._overloaded(continuous=True)
+        assert continuous.peak_backlog > 2 * chunked.peak_backlog
+        assert continuous.mean_response > 2 * chunked.mean_response
+
+    def test_continuous_replay_deterministic(self):
+        a = self._overloaded(continuous=True)
+        b = self._overloaded(continuous=True)
+        assert a.events == b.events
+        assert a.peak_backlog == b.peak_backlog
+        assert a.final_config.describe() == b.final_config.describe()
+
+    def test_run_rejects_bad_start(self):
+        scenario = make_scenario("steady", scale=1.0, horizon=1200.0)
+        with pytest.raises(ValueError, match="start"):
+            ScenarioReplayer(scenario, seed=0).run(1200.0, start=1200.0)
+
+    def test_resumed_run_reapplies_pre_boundary_node_loss(self):
+        """Capacity lost before the resume boundary stays lost."""
+        scenario = make_scenario("failure-storm", scale=1.0, horizon=3600.0)
+        assert any(when < 2700.0 for when, _, _ in scenario.node_loss)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=0,
+        )
+        replayer = ScenarioReplayer(scenario, service, seed=0, verify_stats=False)
+        captured = {}
+        original = replayer.sim.session
+
+        def capture(*args, **kwargs):
+            captured["session"] = original(*args, **kwargs)
+            return captured["session"]
+
+        replayer.sim.session = capture
+        replayer.run(3600.0, start=2700.0)
+        assert sum(captured["session"].capacity_lost.values()) > 0
+
+    def test_resumed_chunked_run_continues_seed_sequence(self):
+        """Legacy mode: chunk seeds continue from the boundary index."""
+        scenario = make_scenario("steady", scale=1.0, horizon=1800.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=7,
+        )
+        replayer = ScenarioReplayer(
+            scenario, service, seed=7, continuous=False, verify_stats=False
+        )
+        seeds = []
+        original = replayer.sim.run
+
+        def record(workload, config, *, seed=None, **kwargs):
+            seeds.append(seed)
+            return original(workload, config, seed=seed, **kwargs)
+
+        replayer.sim.run = record
+        replayer.run(1800.0, start=900.0)  # chunks at indices 2 and 3
+        assert seeds == [7 + 7919 * 2, 7 + 7919 * 3]
+
+
+class TestNodeLossCapacity:
+    def test_node_loss_shrinks_whatif_cluster(self):
+        """NodeLost reduces the capacity candidates are evaluated on."""
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3),
+            seed=0,
+        )
+        full = service.effective_cluster().as_dict()
+        service.process(NodeLost(10.0, pool="map", containers=4))
+        shrunk = service.effective_cluster().as_dict()
+        assert shrunk["map"] == full["map"] - 4
+        assert shrunk["reduce"] == full["reduce"]
+
+    def test_loss_clamped_to_leave_capacity(self):
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        service = build_service(scenario, seed=0)
+        service.process(NodeLost(10.0, pool="map", containers=10_000))
+        assert service.effective_cluster().as_dict()["map"] == 1
+        # Unknown pools are ignored rather than crashing the daemon.
+        service.process(NodeLost(11.0, pool="gpu", containers=3))
+        assert "gpu" not in service.effective_cluster().as_dict()
+
+    def test_continuous_node_loss_telemetry_is_clamped(self):
+        """Emitted NodeLost matches what the session actually removed."""
+        from dataclasses import replace as dc_replace
+
+        scenario = dc_replace(
+            make_scenario("steady", scale=1.0, horizon=900.0),
+            node_loss=((10.0, "map", 10_000),),
+        )
+        service = build_service(
+            scenario,
+            ServiceConfig(window=600.0, retune_interval=450.0, min_window_jobs=3),
+            seed=0,
+        )
+        ScenarioReplayer(scenario, service, seed=0, verify_stats=False).run()
+        # The 16-container map pool keeps one container, so only 15
+        # were removable — and only 15 may be reported.
+        assert service.nodes_lost == 15
+        assert service.lost_capacity == {"map": 15}
+
+    def test_retune_still_works_after_loss(self):
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3),
+            seed=0,
+        )
+        events = _synthetic_events(seed=21, count=300, tenants=("deadline", "besteffort"))
+        events.append(NodeLost(events[100].time, pool="map", containers=6))
+        events.sort(key=lambda e: e.time)
+        for event in events:
+            service.process(event)
+        assert service.retunes >= 1
+        retuned = [d for d in service.decisions if d.retuned]
+        assert retuned[-1].iteration is not None
+
+
+class TestRevertWindowAveraging:
+    @staticmethod
+    def _noisy_window(rng, level, horizon=900.0):
+        """A window whose QS oscillates around a stationary ``level``."""
+        from repro.workload.trace import Trace
+
+        tasks, jobs = [], []
+        t, i = 10.0, 0
+        while t < horizon - 200:
+            for tenant in ("deadline", "besteffort"):
+                duration = float(rng.lognormal(np.log(40), 0.3))
+                response = max(5.0, float(rng.normal(level, 0.35 * level)))
+                job_id = f"{tenant}-{i}"
+                tasks.append(
+                    TaskRecord(
+                        job_id, f"{job_id}/t", tenant, "map", "map",
+                        t, t + 1, t + 1 + duration,
+                    )
+                )
+                jobs.append(
+                    JobRecord(
+                        job_id, tenant, t, min(t + response, horizon),
+                        deadline=t + 10 * level if tenant == "deadline" else None,
+                    )
+                )
+                i += 1
+            t += float(rng.exponential(30.0))
+        return Trace(tasks, jobs, capacity={"map": 16, "reduce": 12}, horizon=horizon)
+
+    def _reverts(self, k, seed=1, windows=20):
+        from repro.service.replay import build_controller
+
+        rng = np.random.default_rng(seed)
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        controller = build_controller(scenario, seed=seed, revert_windows=k)
+        count = 0
+        for i in range(windows):
+            record = controller.tune_from_trace(i, self._noisy_window(rng, 120.0))
+            count += record.reverted
+        return count
+
+    def test_averaging_reduces_revert_churn(self):
+        """ROADMAP item: k>1 windows averaged -> far fewer noise reverts."""
+        single = self._reverts(1)
+        averaged = self._reverts(3)
+        assert single >= 8, "test premise: single-window guard churns"
+        assert averaged <= single // 2
+
+    def test_failure_storm_averaging_never_increases_churn(self):
+        """Regression: smoothing must not re-revert the restored incumbent.
+
+        An observation made under a rejected configuration is dropped
+        from the average; before that fix, k>1 triggered revert storms
+        on the failure-storm replay (more reverts than k=1).
+        """
+        results = {}
+        for k in (1, 3):
+            scenario = make_scenario("failure-storm", scale=1.5, horizon=5400.0)
+            service = build_service(
+                scenario,
+                ServiceConfig(
+                    window=900.0,
+                    retune_interval=450.0,
+                    min_window_jobs=3,
+                    drift_threshold=0.0,
+                ),
+                seed=0,
+                revert_windows=k,
+            )
+            results[k] = ScenarioReplayer(
+                scenario, service, seed=0, verify_stats=False
+            ).run()
+        assert results[3].reverts <= results[1].reverts
+        assert results[3].retunes >= 1
+
+    def test_revert_restores_evicted_observation(self):
+        """Dropping a rejected config's window must not also lose the
+        observation its append evicted from the full deque."""
+        from repro.service.replay import build_controller
+
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        controller = build_controller(scenario, seed=0, revert_windows=2)
+        kept = [np.array([1.0, 10.0]), np.array([2.0, 20.0])]
+        controller._observed_recent.extend(kept)
+        controller._maybe_revert = lambda smoothed: True  # force the guard
+        rng = np.random.default_rng(3)
+        record = controller.tune_from_trace(0, self._noisy_window(rng, 120.0))
+        assert record.reverted
+        assert len(controller._observed_recent) == 2
+        np.testing.assert_allclose(controller._observed_recent[0], kept[0])
+        np.testing.assert_allclose(controller._observed_recent[1], kept[1])
+
+    def test_smoothed_observation_mean(self):
+        from repro.service.replay import build_controller
+
+        scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+        controller = build_controller(scenario, seed=0, revert_windows=3)
+        with pytest.raises(ValueError):
+            controller.smoothed_observation()
+        controller._observed_recent.append(np.array([1.0, 2.0]))
+        controller._observed_recent.append(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(
+            controller.smoothed_observation(), np.array([2.0, 3.0])
+        )
 
 
 class TestControllerFromTrace:

@@ -181,3 +181,68 @@ class TestMapReduce:
         maps = [r for r in truth.task_records if r.stage == "map"]
         reduces = [r for r in truth.task_records if r.stage == "reduce"]
         assert max(m.finish_time for m in maps) <= min(r.start_time for r in reduces) + 1e-6
+
+
+class TestSimulationSession:
+    def test_sliced_advance_matches_one_shot_run(self, cluster, config, workload):
+        """advance_to in slices reproduces run() exactly under quiet noise."""
+        sim = ClusterSimulator(cluster, heartbeat=5.0)
+        reference = sim.run(workload, config, seed=0)
+        session = sim.session(workload, config, seed=0)
+        tasks, jobs = [], []
+        for until in (20.0, 40.0, 90.0):
+            t, j = session.advance_to(until)
+            tasks.extend(t)
+            jobs.extend(j)
+        t, j = session.drain()
+        tasks.extend(t)
+        jobs.extend(j)
+        assert sorted(tasks, key=lambda r: (r.task_id, r.attempt)) == sorted(
+            reference.task_records, key=lambda r: (r.task_id, r.attempt)
+        )
+        assert sorted(jobs, key=lambda r: r.job_id) == sorted(
+            reference.job_records, key=lambda r: r.job_id
+        )
+
+    def test_backlog_carries_between_slices(self, cluster, config, workload):
+        """Work not finished in one slice completes in a later one."""
+        session = ClusterSimulator(cluster, heartbeat=5.0).session(workload, config)
+        tasks_early, _ = session.advance_to(10.0)
+        assert not session.idle
+        tasks_late, jobs_late = session.drain()
+        assert len(tasks_early) < len(tasks_early) + len(tasks_late)
+        assert {j.job_id for j in jobs_late} == {"a", "b"}
+
+    def test_set_config_swaps_live(self, cluster, config, workload):
+        session = ClusterSimulator(cluster, heartbeat=5.0).session(workload, config)
+        session.advance_to(10.0)
+        tightened = RMConfig(
+            {"A": TenantConfig(max_share={"slots": 1}), "B": TenantConfig()}
+        )
+        session.set_config(tightened)
+        assert session.config is tightened
+        session.drain()
+        assert session.idle
+
+    def test_lose_capacity_evicts_and_clamps(self, cluster, config):
+        jobs = [single_stage_job("A", 0.0, [50.0] * 4, job_id="long")]
+        session = ClusterSimulator(cluster, heartbeat=5.0).session(
+            Workload(jobs, horizon=60.0), config
+        )
+        session.advance_to(10.0)  # all four tasks running
+        removed = session.lose_capacity("slots", 2)
+        assert removed == 2
+        evicted, _ = session.advance_to(15.0)
+        assert sum(1 for r in evicted if r.failed) >= 1  # overflow was killed
+        # Clamped: a pool never drops below one container.
+        assert session.lose_capacity("slots", 100) == 1
+        assert session.lose_capacity("slots", 5) == 0
+        # Unknown pools are ignored.
+        assert session.lose_capacity("gpu", 3) == 0
+        session.drain()
+        assert session.idle  # requeued work finishes on the single container
+
+    def test_lose_capacity_rejects_negative(self, cluster, config, workload):
+        session = ClusterSimulator(cluster).session(workload, config)
+        with pytest.raises(ValueError):
+            session.lose_capacity("slots", -1)
