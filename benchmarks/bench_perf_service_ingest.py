@@ -1,41 +1,58 @@
 """Perf benchmark: serving-layer ingest throughput and retune latency.
 
 Not a paper figure — an operational benchmark for the online serving
-layer (`repro.service`).  Five measurements:
+layer (`repro.service`).  Measurements:
 
 1. **Raw window ingest** — events/sec folded into a bare
-   :class:`~repro.service.ingest.RollingWindow` (the O(1) incremental
-   statistics path, no tuning).
+   :class:`~repro.service.ingest.RollingWindow`, per event and batched
+   (the O(1) incremental statistics path, no tuning).
 2. **Service ingest** — events/sec through
-   :meth:`~repro.service.daemon.TempoService.process` with the retune
-   cadence effectively disabled (event dispatch + clock + guards).
+   :meth:`~repro.service.daemon.TempoService.process` (per event) and
+   :meth:`~repro.service.daemon.TempoService.ingest_batch` (batched)
+   with the retune cadence effectively disabled.
 3. **Durable service ingest** — the same with a write-ahead journal and
-   periodic snapshots attached (the cost of durability).
-4. **Retune latency** — wall seconds per applied tune during a
+   periodic snapshots attached, across three durability paths:
+   per-record appends, group-committed batches, and the async writer.
+4. **Many-tenant scaling** — per-event window ingest cost at 5 vs 500
+   active tenants (the heap-driven eviction keeps it near flat; the old
+   per-event sweep over every tenant made it ~linear).
+5. **Retune latency** — wall seconds per applied tune during a
    flash-crowd replay (window-trace assembly + what-if + PALD).
-5. **Backlog compounding** — an overloaded steady replay in the legacy
-   per-interval mode (every retune interval simulated from an empty
-   cluster) versus the continuous mode (one simulation, config swaps
-   mid-run, backlog carried across intervals): peak job backlog and
+6. **Backlog compounding** — an overloaded steady replay in the legacy
+   per-interval mode versus the continuous mode: peak job backlog and
    mean response time.
 
+Alongside the human-readable table the benchmark archives a
+machine-readable ``benchmarks/results/perf_service_ingest.json`` so the
+perf trajectory is trackable across PRs.
+
 Run:  PYTHONPATH=src python benchmarks/bench_perf_service_ingest.py
+CI smoke (small event count + regression ceilings):
+      PYTHONPATH=src python benchmarks/bench_perf_service_ingest.py --smoke
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import tempfile
 import time
 
 import numpy as np
 
-from _harness import report
+from _harness import RESULTS_DIR, report
 from repro.service.daemon import ServiceConfig, TempoService
 from repro.service.events import JobCompleted, JobSubmitted, TaskCompleted
 from repro.service.ingest import RollingWindow, stats_gap
 from repro.service.replay import ScenarioReplayer, build_service, make_scenario
 from repro.service.snapshot import ServiceState
 from repro.sim.simulator import ClusterSimulator
+from repro.workload.trace import JobRecord, TaskRecord
+
+#: Events per ingest_batch call in the batched measurements — the order
+#: of magnitude a replay chunk or a backlogged bus drain delivers.
+BATCH = 256
 
 
 def telemetry_events(horizon: float = 7200.0, scale: float = 2.0, seed: int = 0):
@@ -57,25 +74,88 @@ def telemetry_events(horizon: float = 7200.0, scale: float = 2.0, seed: int = 0)
     return events
 
 
-def bench_window_ingest(events, window: float = 1800.0) -> tuple[float, float]:
+def synthetic_events(tenants: int, count: int, window: float = 600.0, seed: int = 0):
+    """A uniform synthetic stream spread across ``tenants`` tenants.
+
+    Event times span several window lengths so eviction is continuously
+    active — the regime where per-event cost used to grow with the
+    tenant count.
+    """
+    rng = np.random.default_rng(seed)
+    span = 4.0 * window
+    times = np.sort(rng.uniform(0.0, span, size=count))
+    events = []
+    for i, t in enumerate(times):
+        t = float(t)
+        tenant = f"tenant-{i % tenants:03d}"
+        job_id = f"{tenant}/j{i}"
+        duration = float(rng.lognormal(3.0, 0.6))
+        start = max(t - duration, 0.0)
+        events.append(
+            TaskCompleted(
+                t,
+                record=TaskRecord(
+                    job_id=job_id,
+                    task_id=f"{job_id}/t0",
+                    tenant=tenant,
+                    pool="map",
+                    stage="map",
+                    submit_time=max(start - 1.0, 0.0),
+                    start_time=start,
+                    finish_time=t,
+                ),
+            )
+        )
+        events.append(
+            JobCompleted(
+                t,
+                record=JobRecord(
+                    job_id=job_id,
+                    tenant=tenant,
+                    submit_time=max(t - duration - 1.0, 0.0),
+                    finish_time=t,
+                ),
+            )
+        )
+    return events
+
+
+def bench_window_ingest(
+    events, window: float = 1800.0, batched: bool = False
+) -> tuple[float, float]:
     """(events/sec, final stats gap) for the bare rolling window."""
     rolling = RollingWindow(window)
     start = time.perf_counter()
-    for event in events:
-        rolling.ingest(event)
+    if batched:
+        for i in range(0, len(events), BATCH):
+            rolling.ingest_many(events[i : i + BATCH])
+    else:
+        for event in events:
+            rolling.ingest(event)
     elapsed = time.perf_counter() - start
     return len(events) / elapsed, stats_gap(rolling)
 
 
-def bench_service_ingest(events, durable: bool = False) -> float:
-    """Events/sec through TempoService.process with retuning disabled.
+def bench_service_ingest(
+    events,
+    durable: bool = False,
+    batch: int = 0,
+    async_journal: bool = False,
+) -> float:
+    """Events/sec through the service with retuning disabled.
 
-    ``durable=True`` attaches a state directory, so every event pays the
-    write-ahead journal append and the periodic snapshot cadence.
+    ``durable=True`` attaches a state directory, so ingest pays the
+    write-ahead journal and the periodic snapshot cadence.  ``batch``
+    routes events through :meth:`TempoService.ingest_batch` in chunks of
+    that size (group-committed journal appends); ``0`` uses the
+    per-event :meth:`TempoService.process` path.  ``async_journal``
+    moves journal writes to the background group-commit thread.
     """
     scenario = make_scenario("steady")
     with tempfile.TemporaryDirectory() as tmp:
-        state = ServiceState(tmp) if durable else None
+        state = (
+            ServiceState(tmp, async_journal=async_journal) if durable else None
+        )
         service = build_service(
             scenario,
             ServiceConfig(window=1800.0, retune_interval=1e12),
@@ -83,13 +163,36 @@ def bench_service_ingest(events, durable: bool = False) -> float:
             state=state,
         )
         start = time.perf_counter()
-        for event in events:
-            service.process(event)
+        if batch:
+            for i in range(0, len(events), batch):
+                service.ingest_batch(events[i : i + batch])
+        else:
+            for event in events:
+                service.process(event)
+        if state is not None:
+            state.journal.flush()  # async path: include the write time
         elapsed = time.perf_counter() - start
         if state is not None:
             state.close()
     assert isinstance(service, TempoService)
     return len(events) / elapsed
+
+
+def bench_many_tenants(
+    count: int = 40_000, tenant_counts: tuple[int, ...] = (5, 500)
+) -> dict[int, float]:
+    """Per-event window ingest throughput at increasing tenant counts."""
+    out: dict[int, float] = {}
+    for tenants in tenant_counts:
+        events = synthetic_events(tenants, count // 2)
+        rolling = RollingWindow(600.0)
+        start = time.perf_counter()
+        for event in events:
+            rolling.ingest(event)
+        elapsed = time.perf_counter() - start
+        assert stats_gap(rolling) < 1e-9
+        out[tenants] = len(events) / elapsed
+    return out
 
 
 def bench_backlog_compounding(
@@ -131,20 +234,109 @@ def bench_retune_latency(horizon: float = 3 * 3600.0) -> tuple[int, float, float
     )
 
 
-def main() -> None:
-    """Run the three measurements and archive the table."""
+def smoke() -> int:
+    """CI regression gate: small event count, generous ceilings.
+
+    Asserts the two properties this benchmark exists to protect: the
+    group-committed durable path stays within a generous overhead
+    ceiling of the non-durable path, and per-event ingest cost stays
+    near flat from few to many tenants.  Returns a process exit code.
+    """
+    events = telemetry_events(horizon=2400.0)
+    # Best-of-3: shared CI runners jitter by 2x+; the gates protect
+    # against algorithmic regressions, which survive a best-of.
+    service_eps = max(
+        bench_service_ingest(events, batch=BATCH) for _ in range(3)
+    )
+    durable_eps = max(
+        bench_service_ingest(events, durable=True, batch=BATCH)
+        for _ in range(3)
+    )
+    overhead = service_eps / durable_eps
+    flatness = min(
+        (lambda eps: eps[5] / eps[500])(bench_many_tenants(count=20_000))
+        for _ in range(2)
+    )
+    tenant_eps = bench_many_tenants(count=20_000)
+    print(
+        f"smoke: {len(events):,} events, batched ingest {service_eps:,.0f}/s, "
+        f"durable batched {durable_eps:,.0f}/s (overhead {overhead:.2f}x), "
+        f"tenant-scaling 5->500 slowdown {flatness:.2f}x"
+    )
+    failures = []
+    # Generous ceilings: measured ~3x and ~1.3x on a noisy container;
+    # the gates only catch a reintroduced per-record flush or
+    # per-tenant eviction sweep (10x-class regressions), not jitter.
+    if overhead > 5.0:
+        failures.append(f"durable batched overhead {overhead:.2f}x > 5.0x ceiling")
+    if flatness > 3.0:
+        failures.append(f"5->500 tenant slowdown {flatness:.2f}x > 3.0x ceiling")
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    """Run the measurements; archive the table and the JSON trajectory."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small event count + regression ceilings (CI gate); "
+        "does not overwrite the archived results",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+
     events = telemetry_events()
+
+    def best(fn, trials=2):
+        # Shared/virtualized runners jitter by 2x run-to-run; archive
+        # the best of a few trials so the trajectory tracks the code,
+        # not the neighbor's workload.
+        return max(fn() for _ in range(trials))
+
     window_eps, gap = bench_window_ingest(events)
-    service_eps = bench_service_ingest(events)
-    durable_eps = bench_service_ingest(events, durable=True)
+    window_eps = best(lambda: bench_window_ingest(events)[0])
+    window_batched_eps, gap_batched = bench_window_ingest(events, batched=True)
+    window_batched_eps = best(lambda: bench_window_ingest(events, batched=True)[0])
+    service_eps = best(lambda: bench_service_ingest(events))
+    service_batched_eps = best(lambda: bench_service_ingest(events, batch=BATCH))
+    durable_eps = best(lambda: bench_service_ingest(events, durable=True))
+    durable_batched_eps = best(
+        lambda: bench_service_ingest(events, durable=True, batch=BATCH)
+    )
+    durable_async_eps = best(
+        lambda: bench_service_ingest(
+            events, durable=True, batch=BATCH, async_journal=True
+        )
+    )
+    tenant_eps = bench_many_tenants()
     retunes, mean_lat, p50_lat, max_lat = bench_retune_latency()
     backlog = bench_backlog_compounding()
     rows = [
         ["window ingest (events/s)", f"{window_eps:,.0f}"],
+        ["window ingest_many (events/s)", f"{window_batched_eps:,.0f}"],
         ["service ingest (events/s)", f"{service_eps:,.0f}"],
-        ["durable ingest (events/s)", f"{durable_eps:,.0f}"],
-        ["durability overhead", f"{service_eps / durable_eps:.2f}x"],
-        ["incremental-vs-batch gap", f"{gap:.3g}"],
+        ["service ingest batched (events/s)", f"{service_batched_eps:,.0f}"],
+        ["durable ingest per-record (events/s)", f"{durable_eps:,.0f}"],
+        ["durable ingest batched (events/s)", f"{durable_batched_eps:,.0f}"],
+        ["durable ingest async (events/s)", f"{durable_async_eps:,.0f}"],
+        [
+            "durable batched vs per-record",
+            f"{durable_batched_eps / durable_eps:.2f}x",
+        ],
+        [
+            "durability overhead (batched)",
+            f"{service_batched_eps / durable_batched_eps:.2f}x",
+        ],
+        ["incremental-vs-batch gap", f"{max(gap, gap_batched):.3g}"],
+        [
+            "many-tenant ingest 5 -> 500 (events/s)",
+            f"{tenant_eps[5]:,.0f} -> {tenant_eps[500]:,.0f} "
+            f"({tenant_eps[5] / tenant_eps[500]:.2f}x slowdown)",
+        ],
         ["retunes measured", retunes],
         ["retune latency mean (ms)", f"{mean_lat * 1e3:.1f}"],
         ["retune latency p50 (ms)", f"{p50_lat * 1e3:.1f}"],
@@ -166,7 +358,37 @@ def main() -> None:
         ["metric", "value"],
         rows,
     )
+    machine = {
+        "events": len(events),
+        "batch_size": BATCH,
+        "window_ingest_eps": window_eps,
+        "window_ingest_many_eps": window_batched_eps,
+        "service_ingest_eps": service_eps,
+        "service_ingest_batched_eps": service_batched_eps,
+        "durable_ingest_eps": durable_eps,
+        "durable_ingest_batched_eps": durable_batched_eps,
+        "durable_ingest_async_eps": durable_async_eps,
+        "durable_batched_speedup_vs_per_record": durable_batched_eps / durable_eps,
+        "durability_overhead_batched": service_batched_eps / durable_batched_eps,
+        "stats_gap": max(gap, gap_batched),
+        "many_tenant_eps": {str(k): v for k, v in tenant_eps.items()},
+        "retunes": retunes,
+        "retune_latency_mean_s": mean_lat,
+        "retune_latency_p50_s": p50_lat,
+        "retune_latency_max_s": max_lat,
+        "overload_peak_backlog": {
+            label: backlog[label][0] for label in backlog
+        },
+        "overload_mean_response_s": {
+            label: backlog[label][1] for label in backlog
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "perf_service_ingest.json").write_text(
+        json.dumps(machine, indent=2, sort_keys=True) + "\n"
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

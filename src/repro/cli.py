@@ -35,6 +35,11 @@ small operational CLI:
     completed retune interval.  See ``docs/OPERATIONS.md`` for the
     crash-recovery semantics.
 
+``python -m repro compact``
+    Offline journal compaction: delete segments whose entire seq range
+    is covered by the oldest retained snapshot (the daemon also does
+    this automatically after every snapshot unless disabled).
+
 SLO spec file format — a JSON array of QS-template dictionaries::
 
     [
@@ -280,9 +285,17 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         scale=args.scale,
         horizon=args.horizon * 3600.0 if args.horizon is not None else None,
     )
+    if args.keep_segments < 1:
+        raise SystemExit(
+            f"--keep-segments must be >= 1, got {args.keep_segments}"
+        )
     state = None
     if args.state_dir:
-        state = ServiceState(args.state_dir)
+        state = ServiceState(
+            args.state_dir,
+            async_journal=args.async_journal,
+            keep_segments=args.keep_segments,
+        )
         if state.journal.last_seq:
             raise SystemExit(
                 f"{args.state_dir} already holds serving state; "
@@ -301,6 +314,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "transport": transport,
                 "revert_windows": args.revert_windows,
                 "continuous": not args.chunked,
+                "async_journal": args.async_journal,
+                "keep_segments": args.keep_segments,
             }
         )
     service = build_service(
@@ -359,8 +374,12 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
             f"{args.state_dir} has no meta.json — "
             "was it created by `repro serve/replay --state-dir`?"
         )
-    state = ServiceState(args.state_dir)
-    meta = state.read_meta()
+    meta = json.loads((Path(args.state_dir) / "meta.json").read_text())
+    state = ServiceState(
+        args.state_dir,
+        async_journal=meta.get("async_journal", False),
+        keep_segments=meta.get("keep_segments", 2),
+    )
     # A heartbeat at the horizon is only journaled once the run — final
     # drain included — delivered completely, so truncating to the last
     # heartbeat is always safe: a crash mid-drain rewinds to the last
@@ -411,6 +430,41 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_compact(args: argparse.Namespace, out) -> int:
+    """``repro compact``: drop journal segments a snapshot fully covers.
+
+    Offline companion of the daemon's auto-compaction (useful after
+    lowering ``--keep-segments``, or on state dirs written with
+    auto-compaction disabled).  Only whole segments whose entire seq
+    range is covered by the *oldest retained* snapshot are deleted, so
+    every resume path — including falling back past a corrupt newer
+    snapshot — keeps its journal tail.
+    """
+    if args.keep_segments < 1:
+        raise SystemExit(
+            f"--keep-segments must be >= 1, got {args.keep_segments}"
+        )
+    root = Path(args.state_dir)
+    # Guard before constructing ServiceState, which would mkdir a
+    # valid-looking empty state tree at a typo'd path.
+    if not (root / "journal").is_dir():
+        raise SystemExit(
+            f"{args.state_dir} has no journal/ — "
+            "was it created by `repro serve/replay --state-dir`?"
+        )
+    state = ServiceState(args.state_dir, keep_segments=args.keep_segments)
+    before = len(state.journal.segments())
+    removed = state.compact()
+    state.close()
+    print(
+        f"compacted {args.state_dir}: removed {removed} of {before} "
+        f"segments ({before - removed} retained, "
+        f"keep-segments={args.keep_segments})",
+        file=out,
+    )
+    return 0
+
+
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     """Shared flags of the ``serve`` and ``replay`` subcommands."""
     parser.add_argument(
@@ -451,6 +505,18 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         "--chunked",
         action="store_true",
         help="legacy per-interval simulation (no cross-interval backlog)",
+    )
+    parser.add_argument(
+        "--async-journal",
+        action="store_true",
+        help="journal through a background group-commit thread "
+        "(faster; records still queued at a crash are lost)",
+    )
+    parser.add_argument(
+        "--keep-segments",
+        type=int,
+        default=2,
+        help="journal segments compaction always retains (safety margin)",
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -516,6 +582,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the original run's pacing",
     )
     resume.set_defaults(func=cmd_resume)
+
+    compact = sub.add_parser(
+        "compact", help="drop journal segments a retained snapshot covers"
+    )
+    compact.add_argument(
+        "--state-dir", required=True, help="state dir to compact"
+    )
+    compact.add_argument(
+        "--keep-segments",
+        type=int,
+        default=2,
+        help="journal segments compaction always retains (safety margin)",
+    )
+    compact.set_defaults(func=cmd_compact)
 
     return parser
 

@@ -82,6 +82,27 @@ class ClusterSpec:
         label = name if name is not None else self.name
         return ClusterSpec(pools, name=label)
 
+    def grown(
+        self, gains: Mapping[str, int], name: str | None = None
+    ) -> "ClusterSpec":
+        """A cluster with ``gains[pool]`` containers added per pool.
+
+        The symmetric partner of :meth:`shrunk`, for callers modeling
+        capacity coming back (e.g. what-if analyses of node repair).
+        Note the serving daemon itself restores observed
+        :class:`~repro.service.events.NodeRecovered` capacity by
+        shrinking the provisioned spec by the *net* remaining loss —
+        recovery clamped to the loss actually observed — rather than
+        growing a shrunken spec, so a recovered cluster can never
+        exceed its provisioned size.  Unknown pools are ignored.
+        """
+        for pool, gained in gains.items():
+            if gained < 0:
+                raise ValueError(f"gains[{pool!r}] must be >= 0, got {gained}")
+        pools = {p: c + int(gains.get(p, 0)) for p, c in self.pools}
+        label = name if name is not None else self.name
+        return ClusterSpec(pools, name=label)
+
     def scaled(self, fraction: float, name: str | None = None) -> "ClusterSpec":
         """A cluster with every pool scaled by ``fraction`` (at least 1).
 

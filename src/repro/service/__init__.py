@@ -29,6 +29,7 @@ from repro.service.events import (
     JobCompleted,
     JobSubmitted,
     NodeLost,
+    NodeRecovered,
     ServiceEvent,
     TaskCompleted,
     TenantJoined,
@@ -70,6 +71,7 @@ __all__ = [
     "TaskCompleted",
     "JobCompleted",
     "NodeLost",
+    "NodeRecovered",
     "TenantJoined",
     "TenantLeft",
     "Heartbeat",

@@ -5,8 +5,11 @@ TempoController` into an always-on component in the spirit of autonomic
 database daemons (H2O) and stability-aware online tuners (SAM):
 
 * telemetry events flow in (directly via :meth:`TempoService.process`,
-  or asynchronously through a bounded :class:`~repro.service.events.
-  EventBus` drained by a background thread);
+  in journal-group-committed chunks via
+  :meth:`TempoService.ingest_batch` — the replay driver's and the bus
+  drain thread's fast path — or asynchronously through a bounded
+  :class:`~repro.service.events.EventBus` drained in batches by a
+  background thread);
 * a :class:`~repro.service.ingest.RollingWindow` keeps per-tenant
   workload statistics current at O(1) per event;
 * on a configurable cadence the daemon attempts a retune — guarded by a
@@ -19,9 +22,10 @@ database daemons (H2O) and stability-aware online tuners (SAM):
   vector against the previously applied configuration's baseline and
   rolls back regressions before optimizing further;
 * observed :class:`~repro.service.events.NodeLost` telemetry shrinks
-  the what-if cluster, so candidate configurations are evaluated on the
-  capacity that actually remains — not just used as a forced-retune
-  signal;
+  the what-if cluster — and :class:`~repro.service.events.NodeRecovered`
+  grows it back (clamped to the loss actually observed) — so candidate
+  configurations are evaluated on the capacity that actually remains,
+  not just used as a forced-retune signal;
 * every applied configuration is recorded as an atomic
   :class:`ConfigSnapshot` so operators can :meth:`~TempoService.rollback`
   past that guard.
@@ -55,6 +59,7 @@ from repro.service.events import (
     EventBus,
     Heartbeat,
     NodeLost,
+    NodeRecovered,
     ServiceEvent,
     TenantJoined,
     TenantLeft,
@@ -73,6 +78,15 @@ from repro.service.snapshot import (
     stats_to_dict,
 )
 from repro.whatif.model import capacity_floor
+
+#: Control events handled by the daemon itself (never folded into the
+#: rolling window).
+_CONTROL_EVENTS = (Heartbeat, TenantJoined, TenantLeft, NodeLost, NodeRecovered)
+
+#: Maximum events pulled off the bus per drain-loop iteration; one
+#: :meth:`TempoService.ingest_batch` call journals and folds the whole
+#: batch, so a backlogged bus is drained at group-commit speed.
+_DRAIN_BATCH = 512
 
 
 @dataclass(frozen=True)
@@ -203,6 +217,7 @@ class TempoService:
         )
         self.active_tenants: set[str] = set()
         self.nodes_lost = 0
+        self.nodes_recovered = 0
         self.lost_capacity: dict[str, int] = {}
         self._history: deque[ConfigSnapshot] = deque(maxlen=self.config.history)
         self._history.append(ConfigSnapshot(-1, 0.0, controller.config))
@@ -238,21 +253,8 @@ class TempoService:
         with self._lock:
             if self.state is not None and not self._replaying:
                 self.state.record_event(encode_event(event))
-            if isinstance(event, (Heartbeat, TenantJoined, TenantLeft, NodeLost)):
-                if isinstance(event, TenantJoined):
-                    self.active_tenants.add(event.tenant)
-                elif isinstance(event, TenantLeft):
-                    self.active_tenants.discard(event.tenant)
-                    self.window.drop_tenant(event.tenant)
-                    if self._last_snapshot is not None:
-                        self._last_snapshot.pop(event.tenant, None)
-                    self._force = True
-                elif isinstance(event, NodeLost):
-                    self.nodes_lost += event.containers
-                    self.lost_capacity[event.pool] = (
-                        self.lost_capacity.get(event.pool, 0) + event.containers
-                    )
-                    self._force = True
+            if isinstance(event, _CONTROL_EVENTS):
+                self._apply_control(event)
                 # Control events do not pass through ingest, so the
                 # clock/eviction advance happens here.
                 self.window.advance(event.time)
@@ -277,6 +279,113 @@ class TempoService:
                     self.state.write_snapshot(self.state_dict())
             return decision
 
+    def _apply_control(self, event: ServiceEvent) -> None:
+        """Apply one control event's state change (no clock advance)."""
+        if isinstance(event, TenantJoined):
+            self.active_tenants.add(event.tenant)
+        elif isinstance(event, TenantLeft):
+            self.active_tenants.discard(event.tenant)
+            self.window.drop_tenant(event.tenant)
+            if self._last_snapshot is not None:
+                self._last_snapshot.pop(event.tenant, None)
+            self._force = True
+        elif isinstance(event, NodeLost):
+            self.nodes_lost += event.containers
+            self.lost_capacity[event.pool] = (
+                self.lost_capacity.get(event.pool, 0) + event.containers
+            )
+            self._force = True
+        elif isinstance(event, NodeRecovered):
+            # Recovery is clamped to the loss actually observed: a
+            # recovery report for capacity this daemon never saw lost
+            # must not grow the what-if cluster past its spec.
+            restored = min(event.containers, self.lost_capacity.get(event.pool, 0))
+            self.nodes_recovered += restored
+            if restored:
+                remaining = self.lost_capacity[event.pool] - restored
+                if remaining:
+                    self.lost_capacity[event.pool] = remaining
+                else:
+                    del self.lost_capacity[event.pool]
+                self._force = True  # capacity changed; stability is void
+
+    def _cadence_chunks(
+        self, events: list[ServiceEvent]
+    ) -> list[tuple[list[ServiceEvent], float | None]]:
+        """Split a batch at the cadence ticks it will trigger.
+
+        Pure pre-scan over event times (the cadence depends on nothing
+        else), so :meth:`ingest_batch` can journal each sub-batch
+        *before* folding it while keeping journal record order identical
+        to the per-event path: every tick's ``decision``/``config``
+        record lands right after the event that triggered it, never
+        after telemetry the live daemon had not yet seen.
+        """
+        chunks: list[tuple[list[ServiceEvent], float | None]] = []
+        anchor = self._last_attempt
+        current: list[ServiceEvent] = []
+        for event in events:
+            current.append(event)
+            if anchor is None:
+                anchor = event.time
+            elif event.time - anchor >= self.config.retune_interval:
+                anchor = event.time
+                chunks.append((current, event.time))
+                current = []
+        if current:
+            chunks.append((current, None))
+        return chunks
+
+    def ingest_batch(self, events) -> list[RetuneDecision]:
+        """Ingest a chunk of telemetry with group-committed durability.
+
+        The batch fast path: the chunk is journaled write-ahead with
+        one :meth:`~repro.service.snapshot.ServiceState.record_events`
+        group commit per cadence sub-batch (instead of one append per
+        record), telemetry folds through
+        :meth:`~repro.service.ingest.RollingWindow.ingest_many` with a
+        single eviction pass per sub-batch, and the snapshot cadence is
+        checked once at the end.  Control events flush pending telemetry
+        first, so their state changes (tenant drop, capacity loss and
+        recovery) land at exactly the stream position the per-event path
+        would apply them.  Returns the retune decisions of the cadence
+        ticks the batch crossed, in order; the outcomes are identical to
+        feeding the same events through :meth:`process` one at a time.
+        """
+        events = list(events)
+        decisions: list[RetuneDecision] = []
+        if not events:
+            return decisions
+        with self._lock:
+            retuned = False
+            pending: list[ServiceEvent] = []
+            for chunk, tick in self._cadence_chunks(events):
+                if self.state is not None and not self._replaying:
+                    self.state.record_events(chunk)
+                for event in chunk:
+                    if isinstance(event, _CONTROL_EVENTS):
+                        if pending:
+                            self.window.ingest_many(pending)
+                            pending.clear()
+                        self._apply_control(event)
+                        self.window.advance(event.time)
+                    else:
+                        pending.append(event)
+                    self._events += 1
+                if pending:
+                    self.window.ingest_many(pending)
+                    pending.clear()
+                if tick is not None and not self._replaying:
+                    decision = self.retune(tick)
+                    decisions.append(decision)
+                    retuned = retuned or decision.retuned
+            if self._last_attempt is None:
+                self._last_attempt = events[0].time
+            if self.state is not None and not self._replaying:
+                if self.state.snapshot_due(force=retuned):
+                    self.state.write_snapshot(self.state_dict())
+            return decisions
+
     def retune(self, now: float, force: bool = False) -> RetuneDecision:
         """One guarded retune attempt at simulated time ``now``.
 
@@ -288,6 +397,7 @@ class TempoService:
         """
         with self._lock:
             self._last_attempt = now
+            self.window.advance(now)  # eviction current at the attempt time
             snapshot = self.window.snapshot()
             jobs = sum(s.jobs for s in snapshot.values())
             force = force or self._force
@@ -411,6 +521,7 @@ class TempoService:
                 "window": self.window.to_state(),
                 "active_tenants": sorted(self.active_tenants),
                 "nodes_lost": self.nodes_lost,
+                "nodes_recovered": self.nodes_recovered,
                 "lost_capacity": dict(self.lost_capacity),
                 "events": self._events,
                 "last_attempt": self._last_attempt,
@@ -438,6 +549,7 @@ class TempoService:
         self.window = RollingWindow.from_state(state["window"])
         self.active_tenants = set(state["active_tenants"])
         self.nodes_lost = int(state["nodes_lost"])
+        self.nodes_recovered = int(state.get("nodes_recovered", 0))
         self.lost_capacity = {
             pool: int(n) for pool, n in state["lost_capacity"].items()
         }
@@ -528,6 +640,17 @@ class TempoService:
         if loaded is not None:
             after, snapshot = loaded
             service._restore_state(snapshot)
+        else:
+            # A compacted journal no longer starts at seq 1; without a
+            # readable snapshot covering the deleted prefix, resuming
+            # would silently rebuild from partial history.  Refuse.
+            segments = state.journal.segments()
+            if segments and state.journal._first_seq_of(segments[0]) > 1:
+                raise JournalError(
+                    "journal was compacted (first retained seq "
+                    f"{state.journal._first_seq_of(segments[0])}) but no "
+                    "readable snapshot covers the deleted prefix; cannot resume"
+                )
         service._replaying = True
         try:
             for record in state.journal.iter_records(after=after):
@@ -619,8 +742,17 @@ class TempoService:
             while True:
                 event = self.bus.poll(timeout=0.05)
                 if event is not None:
-                    self.process(event)
-                    self._bus_consumed += 1
+                    # Group commit: everything already queued behind the
+                    # first event is ingested as one batch, so a
+                    # backlogged bus drains at append_many speed instead
+                    # of paying the per-record journal tax.
+                    batch = [event]
+                    batch.extend(self.bus.drain(limit=_DRAIN_BATCH - 1))
+                    if len(batch) == 1:
+                        self.process(event)
+                    else:
+                        self.ingest_batch(batch)
+                    self._bus_consumed += len(batch)
                 elif self._stop.is_set() and not len(self.bus):
                     return
         except BaseException as exc:

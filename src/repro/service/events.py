@@ -77,6 +77,23 @@ class NodeLost(ServiceEvent):
 
 
 @dataclass(frozen=True)
+class NodeRecovered(ServiceEvent):
+    """``containers`` containers of ``pool`` came back (repaired node).
+
+    The symmetric partner of :class:`NodeLost` — ROADMAP's "lost
+    capacity never returns" gap.  The daemon clamps recovery to the
+    capacity it actually observed lost, so a recovery report for
+    capacity that was never (observed) lost cannot grow the what-if
+    cluster past its provisioned size.  A real recovery is a
+    forced-drift signal exactly like a loss: the capacity the tuner
+    optimizes against just changed.
+    """
+
+    pool: str
+    containers: int = 1
+
+
+@dataclass(frozen=True)
 class TenantJoined(ServiceEvent):
     """A new tenant (RM queue) was provisioned."""
 

@@ -23,10 +23,11 @@ for in online tuners).
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.service.events import (
     JobCompleted,
@@ -126,6 +127,7 @@ class _TenantAccumulator:
         "n_pre",
         "n_fail",
         "s_resp",
+        "scheduled",
     )
 
     def __init__(self) -> None:
@@ -139,6 +141,11 @@ class _TenantAccumulator:
         self.n_pre = 0
         self.n_fail = 0
         self.s_resp = _KahanSum()
+        # Key of this tenant's live entry in the window's expiry heap:
+        # always equal to the earliest retained entry time (inf when the
+        # tenant has no heap entry yet).  Heap entries with other keys
+        # are stale and skipped on pop.
+        self.scheduled = math.inf
 
     def add_task(self, time: float, record: TaskRecord) -> None:
         log_dur: float | None = None
@@ -173,6 +180,17 @@ class _TenantAccumulator:
             self.s_resp.subtract(record.response_time)
         while self.submits and self.submits[0] < cutoff:
             self.submits.popleft()
+
+    def earliest(self) -> float | None:
+        """Time of the earliest retained entry (None when empty)."""
+        earliest: float | None = None
+        if self.tasks:
+            earliest = self.tasks[0][0]
+        if self.jobs and (earliest is None or self.jobs[0][0] < earliest):
+            earliest = self.jobs[0][0]
+        if self.submits and (earliest is None or self.submits[0] < earliest):
+            earliest = self.submits[0]
+        return earliest
 
 
 def _stats_from_sums(
@@ -216,13 +234,21 @@ class RollingWindow:
     """Per-tenant workload statistics over the trailing ``window`` seconds.
 
     ``ingest`` folds one telemetry event in with O(1) amortized work;
-    entries are evicted lazily as the clock (the maximum event time seen)
-    moves past ``entry_time + window``.  Events are expected roughly in
-    time order; bounded disorder (e.g. the tail of one replay chunk
-    interleaving with the head of the next) only delays eviction of the
-    out-of-order entries, and never desynchronizes the running sums from
-    the retained records — the equivalence ``snapshot() ==
-    batch_recompute()`` holds unconditionally.
+    entries are evicted as the clock (the maximum event time seen) moves
+    past ``entry_time + window``.  Eviction is driven by a lazy min-heap
+    of per-tenant earliest-expiry keys, so an advance touches only the
+    tenants that actually hold expired entries — per-event cost is flat
+    in the number of active tenants (5 or 500 tenants cost the same),
+    where a naive sweep would scan every tenant on every event.
+    ``ingest_many`` amortizes further: a whole batch is folded with a
+    single clock advance at the end.
+
+    Events are expected roughly in time order; bounded disorder (e.g.
+    the tail of one replay chunk interleaving with the head of the next)
+    only delays eviction of the out-of-order entries, and never
+    desynchronizes the running sums from the retained records — the
+    equivalence ``snapshot() == batch_recompute()`` holds
+    unconditionally.
     """
 
     def __init__(self, window: float):
@@ -232,6 +258,8 @@ class RollingWindow:
         self._now = 0.0
         self._tenants: dict[str, _TenantAccumulator] = {}
         self._events = 0
+        #: Lazy eviction heap of (earliest entry time, tenant) keys.
+        self._expiry: list[tuple[float, str]] = []
 
     def __repr__(self) -> str:
         return (
@@ -269,38 +297,80 @@ class RollingWindow:
             acc = self._tenants[tenant] = _TenantAccumulator()
         return acc
 
-    def ingest(self, event: ServiceEvent) -> None:
-        """Fold one telemetry event into the window (O(1) amortized)."""
+    def _note_entry(self, name: str, acc: _TenantAccumulator, time: float) -> None:
+        """Keep the expiry heap keyed by each tenant's earliest entry."""
+        if time < acc.scheduled:
+            acc.scheduled = time
+            heapq.heappush(self._expiry, (time, name))
+
+    def _fold(self, event: ServiceEvent) -> None:
+        """Fold one telemetry event in without advancing the clock."""
         if isinstance(event, JobSubmitted):
-            self._acc(event.tenant).submits.append(event.time)
+            acc = self._acc(event.tenant)
+            acc.submits.append(event.time)
+            self._note_entry(event.tenant, acc, event.time)
         elif isinstance(event, TaskCompleted):
-            self._acc(event.record.tenant).add_task(event.time, event.record)
+            acc = self._acc(event.record.tenant)
+            acc.add_task(event.time, event.record)
+            self._note_entry(event.record.tenant, acc, event.time)
         elif isinstance(event, JobCompleted):
-            self._acc(event.record.tenant).add_job(event.time, event.record)
+            acc = self._acc(event.record.tenant)
+            acc.add_job(event.time, event.record)
+            self._note_entry(event.record.tenant, acc, event.time)
         else:
             raise TypeError(
                 f"RollingWindow cannot ingest {type(event).__name__}; "
                 "control events are handled by TempoService"
             )
         self._events += 1
+
+    def ingest(self, event: ServiceEvent) -> None:
+        """Fold one telemetry event into the window (O(1) amortized)."""
+        self._fold(event)
         self.advance(event.time)
+
+    def ingest_many(self, events: Iterable[ServiceEvent]) -> None:
+        """Fold a batch of telemetry events with one clock advance.
+
+        Equivalent to calling :meth:`ingest` per event — the retained
+        entry set after the batch is identical, because eviction depends
+        only on the final cutoff — but the eviction pass runs once at
+        the batch's maximum event time instead of per event.
+        """
+        latest = self._now
+        for event in events:
+            self._fold(event)
+            if event.time > latest:
+                latest = event.time
+        self.advance(latest)
 
     def advance(self, now: float) -> None:
         """Move the clock forward (monotonically) and evict expired entries.
 
-        Tenants whose every entry has expired are forgotten entirely, so
-        a long-running daemon's per-event cost stays proportional to the
+        Amortized O(1) per ingested event: the expiry heap is keyed by
+        each tenant's earliest retained entry, so only tenants that
+        actually hold expired entries are touched — tenants whose window
+        is quiet cost nothing, however many there are.  Tenants whose
+        every entry has expired are forgotten entirely, so a
+        long-running daemon's footprint stays proportional to the
         *currently active* tenants, not every tenant ever seen.
         """
-        self._now = max(self._now, now)
+        if now > self._now:
+            self._now = now
         cutoff = self._now - self.window
-        idle: list[str] = []
-        for name, acc in self._tenants.items():
+        heap = self._expiry
+        while heap and heap[0][0] < cutoff:
+            key, name = heapq.heappop(heap)
+            acc = self._tenants.get(name)
+            if acc is None or key != acc.scheduled:
+                continue  # stale: tenant dropped, or superseded by a smaller key
             acc.evict(cutoff)
-            if not (acc.tasks or acc.jobs or acc.submits):
-                idle.append(name)
-        for name in idle:
-            del self._tenants[name]
+            nxt = acc.earliest()
+            if nxt is None:
+                del self._tenants[name]
+            else:
+                acc.scheduled = nxt
+                heapq.heappush(heap, (nxt, name))
 
     def drop_tenant(self, tenant: str) -> None:
         """Forget a departed tenant's window state entirely."""
@@ -401,6 +471,9 @@ class RollingWindow:
             for t, row in slot["jobs"]:
                 acc.add_job(float(t), job_record_from_dict(row))
             acc.submits.extend(float(t) for t in slot["submits"])
+            earliest = acc.earliest()
+            if earliest is not None:
+                window._note_entry(name, acc, earliest)
         window._now = float(state["now"])
         window._events = int(state["events"])
         return window

@@ -15,7 +15,9 @@ configurable speedup factor:
 * ``tenant-churn`` — a batch tenant joins mid-run and leaves again,
   emitting :class:`~repro.service.events.TenantJoined`/``TenantLeft``;
 * ``failure-storm`` — harsh cluster noise plus periodic
-  :class:`~repro.service.events.NodeLost` bursts.
+  :class:`~repro.service.events.NodeLost` bursts;
+* ``failure-recovery`` — node-loss bursts whose capacity is repaired
+  (:class:`~repro.service.events.NodeRecovered`) ~20 minutes later.
 
 The replayer is the "production side" of the serving loop.  By default
 it drives **one continuous execution**: a single
@@ -53,6 +55,7 @@ from repro.service.events import (
     JobCompleted,
     JobSubmitted,
     NodeLost,
+    NodeRecovered,
     ServiceEvent,
     TaskCompleted,
     TenantJoined,
@@ -87,6 +90,13 @@ def _node_loss_event(
     return (when, 4, pool), NodeLost(when, pool=pool, containers=containers)
 
 
+def _node_recovery_event(
+    when: float, pool: str, containers: int
+) -> tuple[tuple, NodeRecovered]:
+    """One keyed NodeRecovered event (sorts after a same-instant loss)."""
+    return (when, 5, pool), NodeRecovered(when, pool=pool, containers=containers)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A named, seedable situation the serving layer can be driven through.
@@ -102,6 +112,8 @@ class Scenario:
         noise: Production-side noise profile.
         churn: ``(time, tenant, joined)`` control events to emit.
         node_loss: ``(time, pool, containers)`` loss events to emit.
+        node_recovery: ``(time, pool, containers)`` recovery events to
+            emit (repaired nodes returning capacity lost earlier).
     """
 
     name: str
@@ -114,6 +126,7 @@ class Scenario:
     noise: NoiseModel
     churn: tuple[tuple[float, str, bool], ...] = ()
     node_loss: tuple[tuple[float, str, int], ...] = ()
+    node_recovery: tuple[tuple[float, str, int], ...] = ()
 
 
 def _two_tenant_slos() -> SLOSet:
@@ -250,6 +263,41 @@ def failure_storm_scenario(scale: float = 1.5, horizon: float | None = None) -> 
     )
 
 
+def failure_recovery_scenario(
+    scale: float = 1.5, horizon: float | None = None
+) -> Scenario:
+    """Node-loss bursts whose capacity is repaired a while later.
+
+    Exercises the full loss/recovery cycle: each burst removes
+    containers mid-run and a staggered repair returns them ~20 minutes
+    later, so the tuner must first adapt to the shrunken cluster and
+    then notice the capacity coming back (both transitions are
+    forced-drift signals).
+    """
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    losses = tuple(
+        (t, MAP_POOL if i % 2 == 0 else REDUCE_POOL, 2 + (i % 3))
+        for i, t in enumerate(
+            float(s) for s in range(1800, int(horizon) - 2400, 3600)
+        )
+    )
+    recoveries = tuple(
+        (when + 1200.0, pool, containers) for when, pool, containers in losses
+    )
+    return Scenario(
+        name="failure-recovery",
+        description="node-loss bursts repaired ~20 minutes later",
+        cluster=two_tenant_cluster(),
+        model=two_tenant_model(scale),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.harsh(),
+        node_loss=losses,
+        node_recovery=recoveries,
+    )
+
+
 #: Scenario catalog: name -> factory(scale, horizon).
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "steady": steady_scenario,
@@ -257,6 +305,7 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "diurnal-wave": diurnal_wave_scenario,
     "tenant-churn": tenant_churn_scenario,
     "failure-storm": failure_storm_scenario,
+    "failure-recovery": failure_recovery_scenario,
 }
 
 
@@ -428,12 +477,25 @@ class ScenarioReplayer:
                 workload, service.controller.config, seed=self.seed
             )
             arrivals = sorted(workload, key=lambda j: (j.submit_time, j.job_id))
-            # Capacity lost before the resume boundary stays lost: the
-            # resumed service's what-if cluster is shrunken (journal
-            # replay restored it), so the production session must start
-            # equally shrunken — without re-emitting the NodeLost events.
-            for when, pool, containers in self.scenario.node_loss:
-                if when < start:
+            # Capacity changes before the resume boundary stay applied:
+            # the resumed service's what-if cluster already reflects
+            # them (journal replay restored it), so the production
+            # session must start in the same shape — without re-emitting
+            # the NodeLost/NodeRecovered events.  Losses and recoveries
+            # are replayed in time order so interleaved cycles net out.
+            changes = sorted(
+                [(when, 0, pool, n) for when, pool, n in self.scenario.node_loss]
+                + [
+                    (when, 1, pool, n)
+                    for when, pool, n in self.scenario.node_recovery
+                ]
+            )
+            for when, recovered, pool, containers in changes:
+                if when >= start:
+                    break
+                if recovered:
+                    session.restore_capacity(pool, containers)
+                else:
                     session.lose_capacity(pool, containers)
         if self.transport == "bus":
             service.start()
@@ -543,10 +605,16 @@ class ScenarioReplayer:
     # -- internals ----------------------------------------------------------
 
     def _deliver(self, events: list[ServiceEvent], counts: dict) -> None:
+        if self.transport == "direct":
+            # The batch fast path: the whole chunk is journaled with one
+            # group commit per cadence sub-batch and folded with one
+            # eviction pass — same decisions as per-event delivery.
+            self.service.ingest_batch(events)
+            for event in events:
+                self._count(event, counts)
+            return
         for event in events:
-            if self.transport == "direct":
-                self.service.process(event)
-            elif isinstance(event, Heartbeat):
+            if isinstance(event, Heartbeat):
                 # Chunk heartbeats are `repro resume`'s truncation
                 # boundary; shedding one would mark a fully-journaled
                 # interval as incomplete, so they bypass the lossy path.
@@ -606,6 +674,12 @@ class ScenarioReplayer:
             removed = session.lose_capacity(pool, containers)
             if removed:
                 events.append(_node_loss_event(when, pool, removed))
+        for when, pool, containers in self._recoveries_in(offset + s0, offset + s1):
+            # Same truthfulness rule in reverse: telemetry reports what
+            # actually came back (clamped to the capacity still lost).
+            restored = session.restore_capacity(pool, containers)
+            if restored:
+                events.append(_node_recovery_event(when, pool, restored))
         session.set_config(self.service.controller.config)
         tasks, jobs = session.advance_to(s1)
         while cursor < len(arrivals) and arrivals[cursor].submit_time < s1:
@@ -635,6 +709,14 @@ class ScenarioReplayer:
         return [
             (when, pool, containers)
             for when, pool, containers in self.scenario.node_loss
+            if lo <= when < hi
+        ]
+
+    def _recoveries_in(self, lo: float, hi: float) -> list[tuple[float, str, int]]:
+        """Scheduled node recoveries with absolute time in ``[lo, hi)``."""
+        return [
+            (when, pool, containers)
+            for when, pool, containers in self.scenario.node_recovery
             if lo <= when < hi
         ]
 
@@ -717,6 +799,8 @@ class ScenarioReplayer:
         self._append_churn_events(events, offset + s0, offset + s1)
         for when, pool, containers in self._losses_in(offset + s0, offset + s1):
             events.append(_node_loss_event(when, pool, containers))
+        for when, pool, containers in self._recoveries_in(offset + s0, offset + s1):
+            events.append(_node_recovery_event(when, pool, containers))
         events.sort(key=lambda pair: pair[0])
         return [event for _, event in events]
 

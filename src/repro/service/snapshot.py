@@ -40,6 +40,7 @@ from repro.service.journal import (
     EventJournal,
     canonical_json,
     frame_line,
+    last_heartbeat,
     unframe_line,
 )
 
@@ -262,6 +263,17 @@ class ServiceState:
             state-change that matters most).
         keep_snapshots: Snapshot files retained after pruning.
         fsync: Force journal appends to stable storage.
+        async_journal: Journal appends through a bounded background
+            group-commit thread instead of blocking on the write (see
+            :class:`~repro.service.journal.EventJournal`); records still
+            queued at a crash are lost — they form the torn batch tail
+            repair recovers past.
+        keep_segments: Journal segments always retained by
+            :meth:`compact` regardless of snapshot coverage (safety
+            margin).
+        auto_compact: Run :meth:`compact` after every snapshot write,
+            so a durable daemon's disk footprint stays bounded by the
+            snapshot retention window instead of its lifetime.
     """
 
     def __init__(
@@ -272,17 +284,35 @@ class ServiceState:
         snapshot_every: int = 5000,
         keep_snapshots: int = 3,
         fsync: bool = False,
+        async_journal: bool = False,
+        keep_segments: int = 2,
+        auto_compact: bool = True,
     ):
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if keep_segments < 1:
+            raise ValueError(f"keep_segments must be >= 1, got {keep_segments}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.journal = EventJournal(
-            self.root / "journal", segment_records=segment_records, fsync=fsync
+            self.root / "journal",
+            segment_records=segment_records,
+            fsync=fsync,
+            async_writer=async_journal,
         )
         self.snapshots = SnapshotStore(self.root / "snapshots", keep=keep_snapshots)
         self.snapshot_every = int(snapshot_every)
+        self.keep_segments = int(keep_segments)
+        self.auto_compact = bool(auto_compact)
         self._last_snapshot_seq = 0
+        # Newest heartbeat seq this process knows of: None = not yet
+        # determined (scan lazily), -1 = the journal holds none.  A
+        # journal that is empty at open provably holds none — skipping
+        # the lazy scan keeps the first auto-compaction O(1) for fresh
+        # state dirs.
+        self._last_heartbeat_seq: int | None = (
+            -1 if self.journal.last_seq == 0 else None
+        )
         latest = self.snapshots.load_latest()
         if latest is not None:
             self._last_snapshot_seq = latest[0]
@@ -310,7 +340,24 @@ class ServiceState:
 
     def record_event(self, data: dict) -> int:
         """Journal one telemetry event (write-ahead of processing)."""
-        return self.journal.append("event", data)
+        seq = self.journal.append("event", data)
+        if data.get("type") == "Heartbeat":
+            self._last_heartbeat_seq = seq
+        return seq
+
+    def record_events(self, events: list) -> list[int]:
+        """Group-commit a whole batch of telemetry events write-ahead.
+
+        Takes the event *objects* (not pre-encoded dicts): one
+        specialized encode pass, one buffered write, one flush — the
+        batch ingest pipeline's journal half.  Returns the assigned
+        sequence numbers in order.
+        """
+        seqs = self.journal.append_events(events)
+        for seq, event in zip(seqs, events):
+            if type(event).__name__ == "Heartbeat":
+                self._last_heartbeat_seq = seq
+        return seqs
 
     def record_decision(self, data: dict) -> int:
         """Journal one skipped cadence tick (sparse/stable outcome)."""
@@ -334,15 +381,63 @@ class ServiceState:
         return self.journal.last_seq - self._last_snapshot_seq >= self.snapshot_every
 
     def write_snapshot(self, state: dict) -> Path:
-        """Snapshot ``state`` as covering everything journaled so far."""
+        """Snapshot ``state`` as covering everything journaled so far.
+
+        With ``auto_compact`` enabled (the default) every snapshot write
+        also runs :meth:`compact`, so segments the retained snapshots
+        fully cover are reclaimed as the daemon runs.
+        """
         seq = self.journal.last_seq
         path = self.snapshots.write(seq, state)
         self._last_snapshot_seq = seq
+        if self.auto_compact:
+            self.compact()
         return path
 
     def load_latest_snapshot(self) -> tuple[int, dict] | None:
         """Newest readable snapshot not past the journal's end."""
         return self.snapshots.load_latest(max_seq=self.journal.last_seq)
+
+    # -- compaction ----------------------------------------------------------
+
+    def _heartbeat_seq(self) -> int | None:
+        """Newest journaled heartbeat seq (None when the journal has none).
+
+        Tracked incrementally as events are recorded; a cold process
+        (the ``repro compact`` CLI, or a daemon that has not yet
+        journaled a heartbeat) scans the journal tail once and caches
+        the answer.
+        """
+        if self._last_heartbeat_seq is None:
+            found = last_heartbeat(self.journal)
+            self._last_heartbeat_seq = -1 if found is None else found[0]
+        return None if self._last_heartbeat_seq == -1 else self._last_heartbeat_seq
+
+    def compact(self, keep_segments: int | None = None) -> int:
+        """Delete journal segments fully covered by a retained snapshot.
+
+        The compaction anchor is the **oldest retained** snapshot, not
+        the newest: every resume path — including falling back past a
+        corrupt newer snapshot, and the heartbeat-boundary rewind
+        ``repro resume`` performs before loading state — must still find
+        its journal tail intact.  Concretely, a segment is deleted only
+        when its entire seq range is at or below the oldest retained
+        snapshot's seq; if the journal holds heartbeats but even the
+        oldest snapshot lies *past* the newest heartbeat (resume would
+        rewind to before every snapshot and need the journal from the
+        start), nothing is compacted.  ``keep_segments`` newest segments
+        survive regardless (default: the constructor's margin).  Returns
+        the number of segments deleted.
+        """
+        keep = self.keep_segments if keep_segments is None else int(keep_segments)
+        paths = self.snapshots.paths()
+        if not paths:
+            return 0
+        anchor = self.snapshots._seq_of(paths[0])
+        heartbeat = self._heartbeat_seq()
+        if heartbeat is not None and anchor > heartbeat:
+            return 0
+        return self.journal.compact(anchor, keep_segments=keep)
 
     # -- truncation ----------------------------------------------------------
 
@@ -351,6 +446,8 @@ class ServiceState:
         removed = self.journal.truncate_after(seq)
         self.snapshots.truncate_after(seq)
         self._last_snapshot_seq = min(self._last_snapshot_seq, seq)
+        if self._last_heartbeat_seq is not None and self._last_heartbeat_seq > seq:
+            self._last_heartbeat_seq = None  # re-scan lazily past the cut
         return removed
 
     def close(self) -> None:

@@ -127,7 +127,9 @@ class SimulationSession:
       and preemption timeouts);
     * :meth:`lose_capacity` permanently removes containers from a pool
       (observed node loss), evicting freshly started tasks that no
-      longer fit exactly like a node-restart capacity dip does;
+      longer fit exactly like a node-restart capacity dip does —
+      :meth:`restore_capacity` is its inverse (node recovery), clamped
+      so a pool never exceeds its provisioned size;
     * :meth:`drain` runs until all admitted work completes (bounded by
       ``max_time``).
     """
@@ -261,6 +263,26 @@ class SimulationSession:
         self.capacity_lost[pool] = already + allowed
         self._evict_overflow(pool_state, self._effective_capacity(pool), self.now)
         return allowed
+
+    def restore_capacity(self, pool: str, containers: int) -> int:
+        """Return previously lost containers to ``pool`` (node recovery).
+
+        The symmetric partner of :meth:`lose_capacity`: restoration is
+        clamped to the capacity currently lost, so a pool can never grow
+        past its provisioned size.  The freed containers are picked up
+        by the next heartbeat's allocation pass — no eviction or
+        requeue is needed when capacity grows.  Returns the containers
+        actually restored; unknown pools are ignored.
+        """
+        if containers < 0:
+            raise ValueError(f"containers must be >= 0, got {containers}")
+        if pool not in self.pools:
+            return 0
+        restored = min(containers, self.capacity_lost[pool])
+        if restored == 0:
+            return 0
+        self.capacity_lost[pool] -= restored
+        return restored
 
     def _new_records(self) -> tuple[list[TaskRecord], list[JobRecord]]:
         tasks = self.task_records[self._task_cursor :]

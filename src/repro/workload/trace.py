@@ -113,8 +113,27 @@ class JobRecord:
 
 
 def task_record_to_dict(record: TaskRecord) -> dict:
-    """JSON-ready dict for a task record (inverse of :func:`task_record_from_dict`)."""
-    return asdict(record)
+    """JSON-ready dict for a task record (inverse of :func:`task_record_from_dict`).
+
+    Built field-by-field rather than via ``dataclasses.asdict``: the
+    record is flat, and ``asdict``'s recursive deepcopy costs ~20x on
+    the journal's encode hot path (every task completion the durable
+    daemon ingests passes through here).
+    """
+    return {
+        "job_id": record.job_id,
+        "task_id": record.task_id,
+        "tenant": record.tenant,
+        "pool": record.pool,
+        "stage": record.stage,
+        "submit_time": record.submit_time,
+        "start_time": record.start_time,
+        "finish_time": record.finish_time,
+        "containers": record.containers,
+        "preempted": record.preempted,
+        "failed": record.failed,
+        "attempt": record.attempt,
+    }
 
 
 def task_record_from_dict(row: Mapping) -> TaskRecord:
@@ -124,10 +143,16 @@ def task_record_from_dict(row: Mapping) -> TaskRecord:
 
 def job_record_to_dict(record: JobRecord) -> dict:
     """JSON-ready dict for a job record (tuples become lists)."""
-    row = asdict(record)
-    row["tags"] = list(record.tags)
-    row["stage_deps"] = [[s, list(d)] for s, d in record.stage_deps]
-    return row
+    return {
+        "job_id": record.job_id,
+        "tenant": record.tenant,
+        "submit_time": record.submit_time,
+        "finish_time": record.finish_time,
+        "deadline": record.deadline,
+        "num_tasks": record.num_tasks,
+        "tags": list(record.tags),
+        "stage_deps": [[s, list(d)] for s, d in record.stage_deps],
+    }
 
 
 def job_record_from_dict(row: Mapping) -> JobRecord:

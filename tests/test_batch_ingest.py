@@ -1,0 +1,771 @@
+"""Tests for the fast durable ingest path: group commit, batch ingest,
+heap-driven eviction, journal compaction, and node recovery."""
+
+import json
+import math
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.rm.cluster import ClusterSpec
+from repro.service.daemon import ServiceConfig, TempoService
+from repro.service.events import (
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    NodeLost,
+    NodeRecovered,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import RollingWindow, stats_gap
+from repro.service.journal import (
+    EventJournal,
+    JournalError,
+    canonical_json,
+    decode_event,
+    encode_event,
+    fast_event_body,
+    last_heartbeat,
+)
+from repro.service.replay import build_controller, build_service, make_scenario
+from repro.service.snapshot import ServiceState
+from repro.workload.trace import JobRecord, TaskRecord
+
+
+def _task(job_id, task_id, tenant, finish, duration, **kwargs):
+    start = finish - duration
+    return TaskRecord(
+        job_id=job_id,
+        task_id=task_id,
+        tenant=tenant,
+        pool="map",
+        stage="map",
+        submit_time=max(start - 1.0, 0.0),
+        start_time=start,
+        finish_time=finish,
+        **kwargs,
+    )
+
+
+def _events(seed=0, count=400, tenants=("deadline", "besteffort"), start=0.0):
+    """Deterministic telemetry stream (same shape as the service tests)."""
+    rng = np.random.default_rng(seed)
+    events, t = [], start
+    for i in range(count):
+        t += float(rng.exponential(20.0))
+        tenant = tenants[i % len(tenants)]
+        job_id = f"{tenant}-{i}"
+        events.append(JobSubmitted(t, tenant=tenant, job_id=job_id))
+        duration = float(rng.lognormal(3.0 + 0.5 * (i % 3), 0.8))
+        finish = t + duration
+        events.append(
+            TaskCompleted(
+                finish,
+                record=_task(
+                    job_id,
+                    f"{job_id}/t0",
+                    tenant,
+                    finish,
+                    duration,
+                    preempted=(i % 17 == 0),
+                    failed=(i % 23 == 0),
+                ),
+            )
+        )
+        events.append(
+            JobCompleted(
+                finish,
+                record=JobRecord(
+                    job_id=job_id, tenant=tenant, submit_time=t, finish_time=finish
+                ),
+            )
+        )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def _build(state=None, seed=0, **controller_kwargs):
+    scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
+    return build_service(
+        scenario,
+        ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3),
+        seed=seed,
+        state=state,
+        **controller_kwargs,
+    )
+
+
+def _service_config():
+    return ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3)
+
+
+ODD_EVENTS = [
+    JobSubmitted(1.0, tenant='te"nant', job_id="a\\b", deadline=math.inf),
+    JobSubmitted(2.0, tenant="unié", job_id="x"),
+    TenantJoined(3.0, tenant="café"),
+    NodeRecovered(4.0, pool="map", containers=2),
+    JobCompleted(
+        5.0,
+        record=JobRecord(
+            job_id="j",
+            tenant="t",
+            submit_time=1.0,
+            finish_time=5.0,
+            deadline=4.5,
+            num_tasks=3,
+            tags=("etl", "b"),
+            stage_deps=(("map", ()), ("reduce", ("map",))),
+        ),
+    ),
+    TaskCompleted(6.0, record=_task("j", "j/t0", "t", 6.0, 2.0, attempt=1)),
+    TenantLeft(7.0, tenant="t"),
+    NodeLost(8.0, pool="reduce"),
+    Heartbeat(9.0),
+]
+
+
+class TestFastEncoder:
+    def test_byte_parity_with_generic_encoder(self):
+        """The template encoder must match canonical_json byte-for-byte."""
+        for seq, event in enumerate(_events(seed=3, count=100) + ODD_EVENTS, 1):
+            fast = fast_event_body(seq, event)
+            ref = canonical_json(
+                {"seq": seq, "kind": "event", "data": encode_event(event)}
+            )
+            if fast is not None:
+                assert fast == ref
+            # Either way the record decodes back to the original event.
+            body = fast if fast is not None else ref
+            payload = json.loads(body)
+            assert decode_event(payload["data"]) == event
+
+    def test_int_valued_fields_keep_parity(self):
+        """Int times/fields must encode as ints, exactly like json.dumps
+        (a float event time equal to an int finish_time must not leak a
+        float repr into the record)."""
+        events = [
+            TaskCompleted(3.0, record=_task("j", "j/t0", "t", 3, 1)),
+            JobCompleted(
+                3.0,
+                record=JobRecord(
+                    job_id="j", tenant="t", submit_time=1, finish_time=3
+                ),
+            ),
+            Heartbeat(6),
+        ]
+        for seq, event in enumerate(events, 1):
+            fast = fast_event_body(seq, event)
+            ref = canonical_json(
+                {"seq": seq, "kind": "event", "data": encode_event(event)}
+            )
+            assert fast is None or fast == ref
+
+    def test_escape_needing_strings_fall_back(self):
+        assert fast_event_body(1, TenantJoined(1.0, tenant="unié")) is None
+        assert fast_event_body(1, TenantJoined(1.0, tenant='q"q')) is None
+        assert (
+            fast_event_body(1, JobSubmitted(1.0, tenant="a", job_id="x", deadline=math.inf))
+            is None
+        )
+
+    def test_append_events_matches_append_many_bytes(self, tmp_path):
+        events = _events(seed=4, count=50) + ODD_EVENTS
+        a = EventJournal(tmp_path / "a")
+        a.append_events(events)
+        a.close()
+        b = EventJournal(tmp_path / "b")
+        b.append_many(("event", encode_event(e)) for e in events)
+        b.close()
+        texts_a = [p.read_bytes() for p in a.segments()]
+        texts_b = [p.read_bytes() for p in b.segments()]
+        assert texts_a == texts_b
+
+
+class TestGroupCommit:
+    def test_append_many_roundtrip_with_rotation(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=3)
+        events = _events(seed=5, count=4)  # 12 records -> 4 segments
+        seqs = journal.append_many(("event", encode_event(e)) for e in events)
+        journal.close()
+        assert seqs == list(range(1, len(events) + 1))
+        assert len(journal.segments()) == len(events) // 3
+        records = list(EventJournal(tmp_path).iter_records())
+        assert [r.seq for r in records] == seqs
+        assert [decode_event(r.data) for r in records] == events
+
+    def test_one_fsync_per_batch(self, tmp_path, monkeypatch):
+        """Group commit pays at most one fsync per segment touched."""
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd)))
+        journal = EventJournal(tmp_path, segment_records=1000, fsync=True)
+        journal.append_events(_events(seed=6, count=10))  # 30 records
+        assert len(calls) == 1
+        calls.clear()
+        for event in _events(seed=6, count=5):  # 15 per-record appends
+            journal.append("event", encode_event(event))
+        assert len(calls) == 15
+        journal.close()
+
+    def test_torn_batch_repaired_as_single_torn_line(self, tmp_path):
+        """A batch interrupted mid-write leaves a prefix + one torn line."""
+        journal = EventJournal(tmp_path, segment_records=1000)
+        events = _events(seed=7, count=20)
+        journal.append_events(events)
+        journal.close()
+        segment = journal.segments()[-1]
+        raw = segment.read_bytes()
+        # Cut the file mid-way through the final record, as a crash
+        # between write() and the page cache landing would.
+        segment.write_bytes(raw[: len(raw) - 25])
+        reopened = EventJournal(tmp_path)
+        records = list(reopened.iter_records())
+        assert len(records) == len(events) - 1
+        assert reopened.last_seq == len(events) - 1
+        # Appends continue densely after the torn record's seq.
+        assert reopened.append("event", encode_event(Heartbeat(1e9))) == len(events)
+
+    def test_no_recount_on_reopen_after_interleaved_read(self, tmp_path, monkeypatch):
+        """The read-then-append pattern must not re-scan the segment.
+
+        ``iter_records`` closes the write handle; the next append used
+        to pay an O(segment) ``_count_lines`` scan on reopen.  The
+        cached tail count makes it O(1) — enforced by making the scan
+        explode.
+        """
+        journal = EventJournal(tmp_path, segment_records=100)
+        journal.append_events(_events(seed=8, count=10))
+        assert len(list(journal.iter_records())) == 30
+        monkeypatch.setattr(
+            EventJournal,
+            "_count_lines",
+            staticmethod(lambda path: pytest.fail("tail was re-counted")),
+        )
+        journal.append("event", encode_event(Heartbeat(1e9)))
+        assert len(list(journal.iter_records())) == 31
+        journal.append("event", encode_event(Heartbeat(2e9)))
+        journal.close()
+        assert EventJournal(tmp_path).last_seq == 32
+
+    def test_rotation_preserved_across_interleaved_reads(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=4)
+        for i in range(3):
+            journal.append_events([Heartbeat(float(i))])
+            list(journal.iter_records())
+        journal.append_events([Heartbeat(float(i)) for i in range(3, 9)])
+        journal.close()
+        assert len(journal.segments()) == 3  # 9 records / 4 per segment
+        assert [r.seq for r in journal.iter_records()] == list(range(1, 10))
+
+
+class TestAsyncWriter:
+    def test_records_identical_to_sync_path(self, tmp_path):
+        events = _events(seed=9, count=60)
+        sync = EventJournal(tmp_path / "sync", segment_records=32)
+        sync.append_events(events)
+        sync.close()
+        async_journal = EventJournal(
+            tmp_path / "async", segment_records=32, async_writer=True
+        )
+        async_journal.append_events(events)
+        async_journal.close()
+        assert [p.read_bytes() for p in sync.segments()] == [
+            p.read_bytes() for p in async_journal.segments()
+        ]
+
+    def test_read_drains_queue_first(self, tmp_path):
+        journal = EventJournal(tmp_path, async_writer=True)
+        events = _events(seed=10, count=30)
+        journal.append_events(events)
+        # iter_records must see every acknowledged record.
+        assert len(list(journal.iter_records())) == len(events)
+        journal.close()
+
+    def test_writer_failure_surfaces_on_next_append(self, tmp_path, monkeypatch):
+        journal = EventJournal(tmp_path, async_writer=True)
+        monkeypatch.setattr(
+            journal,
+            "_write_entries",
+            lambda entries: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        journal.append("event", encode_event(Heartbeat(1.0)))
+        with pytest.raises(JournalError, match="async journal writer failed"):
+            for _ in range(200):
+                journal.append("event", encode_event(Heartbeat(2.0)))
+                time.sleep(0.005)
+        monkeypatch.undo()
+        journal.close()
+
+    def test_oversized_batch_does_not_deadlock(self, tmp_path):
+        """A single batch larger than the queue bound must be split,
+        not wait forever for room that can never exist."""
+        journal = EventJournal(tmp_path, async_writer=True, queue_records=2)
+        journal.append_many(
+            ("event", encode_event(Heartbeat(float(i)))) for i in range(9)
+        )
+        journal.close()
+        assert len(list(journal.iter_records())) == 9
+
+    def test_backpressure_blocks_instead_of_dropping(self, tmp_path):
+        journal = EventJournal(tmp_path, async_writer=True, queue_records=8)
+        blocker = threading.Event()
+        real_write = journal._write_entries
+
+        def slow_write(entries):
+            blocker.wait(2.0)
+            real_write(entries)
+
+        journal._write_entries = slow_write
+        for i in range(30):  # far beyond the queue bound
+            journal.append("event", encode_event(Heartbeat(float(i))))
+            if i == 3:
+                blocker.set()
+        journal.close()
+        assert len(list(journal.iter_records())) == 30
+
+
+class TestHeapEviction:
+    def test_many_tenants_forgotten_lazily(self):
+        window = RollingWindow(100.0)
+        for i in range(50):
+            window.ingest(
+                JobSubmitted(i * 10.0, tenant=f"t{i:02d}", job_id=f"j{i}")
+            )
+        # now=490, cutoff=390: tenants with their only entry before the
+        # cutoff were already forgotten by the heap-driven eviction.
+        assert len(window.tenants()) == 11
+        window.advance(10_000.0)
+        assert window.tenants() == []
+        assert window.tasks_retained == 0
+
+    def test_out_of_order_entry_still_evicted(self):
+        """Bounded disorder delays eviction but never strands entries.
+
+        An out-of-order entry sits behind a newer deque head, so (like
+        the pre-heap implementation) it is evicted once the head
+        expires — the documented delayed-eviction semantics.  The heap
+        must deliver that wake-up even though the tenant's scheduled
+        key was pushed for the out-of-order time.
+        """
+        window = RollingWindow(100.0)
+        window.ingest(JobSubmitted(200.0, tenant="a", job_id="a1"))
+        # Out-of-order entry older than the tenant's scheduled key.
+        window.ingest(JobSubmitted(150.0, tenant="a", job_id="a0"))
+        assert window.snapshot()["a"].submitted == 2
+        window.advance(251.0)  # cutoff 151: the late entry is behind 200
+        assert window.snapshot()["a"].submitted == 2  # delayed, by design
+        window.advance(301.0)  # cutoff 201: both head and stragglers go
+        assert window.tenants() == []
+        assert stats_gap(window) < 1e-9
+
+    def test_ingest_many_equivalent_to_sequential(self):
+        events = _events(seed=11, count=300)
+        one = RollingWindow(600.0)
+        for event in events:
+            one.ingest(event)
+        many = RollingWindow(600.0)
+        for i in range(0, len(events), 64):
+            many.ingest_many(events[i : i + 64])
+        assert stats_gap(many) < 1e-9
+        assert one.tenants() == many.tenants()
+        assert one.tasks_retained == many.tasks_retained
+        assert one.jobs_retained == many.jobs_retained
+        a, b = one.snapshot(), many.snapshot()
+        for name in a:
+            for field in (
+                "jobs",
+                "tasks",
+                "submitted",
+                "arrival_rate",
+                "mean_response",
+                "log_duration_mean",
+                "log_duration_std",
+            ):
+                assert abs(getattr(a[name], field) - getattr(b[name], field)) < 1e-9
+
+    def test_state_roundtrip_keeps_eviction_live(self):
+        window = RollingWindow(600.0)
+        for event in _events(seed=12, count=100):
+            window.ingest(event)
+        restored = RollingWindow.from_state(window.to_state())
+        restored.advance(restored.now + 10_000.0)
+        assert restored.tenants() == []  # heap was rebuilt, eviction works
+
+    def test_control_events_rejected_by_ingest_many(self):
+        window = RollingWindow(60.0)
+        with pytest.raises(TypeError):
+            window.ingest_many([Heartbeat(1.0)])
+
+
+class TestIngestBatchParity:
+    def test_same_decisions_and_stats_as_process(self):
+        events = _events(seed=13, count=500)
+        mid = events[len(events) // 2].time
+        events.append(NodeLost(mid, pool="map", containers=2))
+        events.append(TenantJoined(mid + 1.0, tenant="newbie"))
+        events.append(TenantLeft(mid + 50.0, tenant="newbie"))
+        events.sort(key=lambda e: e.time)
+        one = _build(seed=1)
+        for event in events:
+            one.process(event)
+        batched = _build(seed=1)
+        for i in range(0, len(events), 97):
+            batched.ingest_batch(events[i : i + 97])
+        assert one.events_processed == batched.events_processed
+        assert one.retunes == batched.retunes
+        assert [(d.time, d.retuned, d.reason) for d in one.decisions] == [
+            (d.time, d.retuned, d.reason) for d in batched.decisions
+        ]
+        assert one.rm_config.describe() == batched.rm_config.describe()
+        assert one.active_tenants == batched.active_tenants
+        assert one.lost_capacity == batched.lost_capacity
+        assert stats_gap(batched.window) < 1e-9
+        a, b = one.window.snapshot(), batched.window.snapshot()
+        assert set(a) == set(b)
+        for name in a:
+            assert abs(a[name].arrival_rate - b[name].arrival_rate) < 1e-9
+            assert abs(a[name].mean_response - b[name].mean_response) < 1e-9
+
+    def test_same_journal_record_structure_as_process(self, tmp_path):
+        events = _events(seed=14, count=300)
+        state_a = ServiceState(tmp_path / "a", snapshot_every=10**9)
+        one = _build(state=state_a, seed=1)
+        for event in events:
+            one.process(event)
+        state_a.close()
+        state_b = ServiceState(tmp_path / "b", snapshot_every=10**9)
+        batched = _build(state=state_b, seed=1)
+        for i in range(0, len(events), 128):
+            batched.ingest_batch(events[i : i + 128])
+        state_b.close()
+        rec_a = [(r.seq, r.kind) for r in state_a.journal.iter_records()]
+        rec_b = [(r.seq, r.kind) for r in state_b.journal.iter_records()]
+        assert rec_a == rec_b
+        assert one.retunes == batched.retunes >= 1
+
+    def test_resume_from_batch_written_journal(self, tmp_path):
+        state = ServiceState(tmp_path, segment_records=64, snapshot_every=300)
+        live = _build(state=state)
+        events = _events(seed=15, count=400)
+        for i in range(0, len(events), 100):
+            live.ingest_batch(events[i : i + 100])
+        state.close()
+        assert live.retunes >= 2
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        assert resumed.events_processed == live.events_processed
+        assert stats_gap(resumed.window) < 1e-9
+        assert [(d.time, d.retuned, d.reason) for d in live.decisions] == [
+            (d.time, d.retuned, d.reason) for d in resumed.decisions
+        ]
+        assert live.rm_config.describe() == resumed.rm_config.describe()
+
+    def test_resume_from_async_written_journal(self, tmp_path):
+        state = ServiceState(tmp_path, snapshot_every=10**9, async_journal=True)
+        live = _build(state=state)
+        events = _events(seed=16, count=300)
+        for i in range(0, len(events), 64):
+            live.ingest_batch(events[i : i + 64])
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        assert resumed.events_processed == live.events_processed
+        assert stats_gap(resumed.window) < 1e-9
+
+    def test_empty_batch_is_a_noop(self):
+        service = _build()
+        assert service.ingest_batch([]) == []
+        assert service.events_processed == 0
+
+
+class TestCompaction:
+    def _fill(self, tmp_path, *, auto=False, count=400, segment_records=32):
+        state = ServiceState(
+            tmp_path,
+            segment_records=segment_records,
+            snapshot_every=10**9,
+            auto_compact=auto,
+        )
+        live = _build(state=state)
+        events = _events(seed=17, count=count)
+        # Heartbeats mark chunk boundaries, as the replay driver does.
+        hb = [Heartbeat(events[i].time) for i in range(50, len(events), 50)]
+        stream = sorted(events + hb, key=lambda e: e.time)
+        for i in range(0, len(stream), 64):
+            live.ingest_batch(stream[i : i + 64])
+        return state, live
+
+    def test_compact_deletes_only_covered_segments(self, tmp_path):
+        state, live = self._fill(tmp_path)
+        state.write_snapshot(live.state_dict())
+        snap_seq = state.journal.last_seq
+        # More records after the snapshot.
+        live.ingest_batch([Heartbeat(1e7), Heartbeat(1e7 + 1)])
+        before = state.journal.segments()
+        removed = state.compact(keep_segments=1)
+        assert removed > 0
+        remaining = state.journal.segments()
+        assert len(remaining) == len(before) - removed
+        # Every record the snapshot does NOT cover is still present.
+        seqs = [r.seq for r in state.journal.iter_records(after=snap_seq)]
+        assert seqs == list(range(snap_seq + 1, state.journal.last_seq + 1))
+        state.close()
+
+    def test_keep_segments_margin_honored(self, tmp_path):
+        state, live = self._fill(tmp_path)
+        state.write_snapshot(live.state_dict())
+        total = len(state.journal.segments())
+        margin = total - 2
+        removed = state.compact(keep_segments=margin)
+        assert len(state.journal.segments()) >= margin
+        assert removed <= 2
+        state.close()
+
+    def test_no_compaction_without_snapshot(self, tmp_path):
+        state = ServiceState(
+            tmp_path, segment_records=8, snapshot_every=10**9, auto_compact=False
+        )
+        for i in range(100):
+            state.record_event(encode_event(Heartbeat(float(i))))
+        assert len(state.journal.segments()) > 2
+        assert state.compact() == 0
+        assert len(state.journal.segments()) > 2
+        state.close()
+
+    def test_no_compaction_when_snapshots_past_last_heartbeat(self, tmp_path):
+        """Every retained snapshot lies past the heartbeat boundary a
+        resume would rewind to — compaction must refuse, because the
+        rewind would delete those snapshots and need the whole journal."""
+        state = ServiceState(
+            tmp_path, segment_records=4, snapshot_every=10**9, auto_compact=False
+        )
+        state.record_event(encode_event(Heartbeat(1.0)))  # boundary: seq 1
+        for i in range(30):
+            state.record_event(
+                encode_event(JobSubmitted(2.0 + i, tenant="a", job_id=f"j{i}"))
+            )
+        state.write_snapshot({"x": 1})  # seq 31 > heartbeat seq 1
+        assert state.compact(keep_segments=1) == 0
+        state.close()
+
+    def test_resume_falls_back_past_corrupt_snapshot_after_compaction(
+        self, tmp_path
+    ):
+        state, live = self._fill(tmp_path, count=600)
+        state.write_snapshot(live.state_dict())
+        live.ingest_batch([Heartbeat(9e6)])
+        state.write_snapshot(live.state_dict())
+        assert state.compact(keep_segments=1) > 0
+        # The newest snapshot rots; recovery must fall back to the
+        # older retained one, whose journal tail compaction preserved.
+        newest = state.snapshots.paths()[-1]
+        newest.write_text("garbage\n")
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        assert resumed.events_processed == live.events_processed
+        assert stats_gap(resumed.window) < 1e-9
+
+    def test_resume_refuses_compacted_journal_without_snapshot(self, tmp_path):
+        state, live = self._fill(tmp_path)
+        state.write_snapshot(live.state_dict())
+        live.ingest_batch([Heartbeat(9e6)])
+        assert state.compact(keep_segments=1) > 0
+        for path in state.snapshots.paths():
+            path.unlink()
+        state.close()
+        with pytest.raises(JournalError, match="compacted"):
+            TempoService.resume(
+                build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+                tmp_path,
+                _service_config(),
+            )
+
+    def test_auto_compaction_on_snapshot_write(self, tmp_path):
+        state, live = self._fill(tmp_path, auto=True)
+        before = len(state.journal.segments())
+        state.write_snapshot(live.state_dict())
+        live.ingest_batch([Heartbeat(8e6)])
+        state.write_snapshot(live.state_dict())  # auto-compacts
+        assert len(state.journal.segments()) < before
+        state.close()
+
+    def test_newest_segment_never_deleted(self, tmp_path):
+        journal = EventJournal(tmp_path, segment_records=4)
+        journal.append_events([Heartbeat(float(i)) for i in range(4)])
+        journal.close()
+        assert len(journal.segments()) == 1
+        assert journal.compact(10**9, keep_segments=1) == 0
+
+    def test_cli_compact(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        state, live = self._fill(tmp_path / "state")
+        state.write_snapshot(live.state_dict())
+        live.ingest_batch([Heartbeat(9e6)])
+        state.close()
+        out = io.StringIO()
+        code = main(
+            ["compact", "--state-dir", str(tmp_path / "state"), "--keep-segments", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert "removed" in out.getvalue()
+
+    def test_cli_compact_refuses_missing_dir(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        missing = tmp_path / "nope"
+        with pytest.raises(SystemExit, match="journal"):
+            main(["compact", "--state-dir", str(missing)], out=io.StringIO())
+        assert not missing.exists()
+
+    def test_durable_replay_compacts_and_resumes(self, tmp_path):
+        """End-to-end: replay with tight segments, compaction happens,
+        kill, resume continues from the boundary."""
+        import io
+
+        from repro.cli import main
+        from repro.service.replay import ScenarioReplayer
+
+        state_dir = tmp_path / "state"
+        state = ServiceState(
+            state_dir, segment_records=128, snapshot_every=500
+        )
+        scenario = make_scenario("steady", scale=1.0, horizon=1800.0)
+        config = ServiceConfig(window=600.0, retune_interval=300.0, min_window_jobs=3)
+        state.write_meta(
+            {
+                "scenario": "steady",
+                "scale": 1.0,
+                "horizon": 1800.0,
+                "seed": 1,
+                "window": 600.0,
+                "interval": 300.0,
+                "drift": 0.02,
+                "speedup": 0.0,
+                "transport": "direct",
+                "revert_windows": 1,
+                "continuous": True,
+            }
+        )
+        service = build_service(scenario, config, seed=1, state=state)
+        ScenarioReplayer(scenario, service, seed=1).run(900.0)  # dies at 900s
+        state.close()
+        first_seq = EventJournal._first_seq_of(state.journal.segments()[0])
+        assert first_seq > 1  # auto-compaction reclaimed the prefix
+        out = io.StringIO()
+        assert main(["resume", "--state-dir", str(state_dir)], out=out) == 0
+        assert "continuing scenario=steady from t=900s" in out.getvalue()
+
+
+class TestNodeRecovered:
+    def test_codec_roundtrip(self):
+        event = NodeRecovered(5.0, pool="map", containers=3)
+        assert decode_event(encode_event(event)) == event
+
+    def test_recovery_restores_effective_cluster(self):
+        service = _build()
+        base = service.controller.cluster.as_dict()
+        service.process(NodeLost(1.0, pool="map", containers=4))
+        shrunk = service.effective_cluster().as_dict()
+        assert shrunk["map"] == base["map"] - 4
+        service.process(NodeRecovered(2.0, pool="map", containers=3))
+        assert service.effective_cluster().as_dict()["map"] == base["map"] - 1
+        assert service.nodes_recovered == 3
+        service.process(NodeRecovered(3.0, pool="map", containers=5))
+        assert service.effective_cluster().as_dict() == base
+        assert service.lost_capacity == {}
+
+    def test_recovery_clamped_to_observed_loss(self):
+        service = _build()
+        base = service.controller.cluster.as_dict()
+        service.process(NodeRecovered(1.0, pool="map", containers=7))
+        assert service.effective_cluster().as_dict() == base
+        assert service.nodes_recovered == 0
+        assert not service._force  # nothing actually changed
+
+    def test_recovery_forces_retune(self):
+        service = _build()
+        service.process(NodeLost(1.0, pool="map", containers=2))
+        service._force = False  # clear the loss-forced flag
+        service.process(NodeRecovered(2.0, pool="map", containers=2))
+        assert service._force
+
+    def test_recovery_survives_resume(self, tmp_path):
+        state = ServiceState(tmp_path, snapshot_every=10**9)
+        live = _build(state=state)
+        for event in _events(seed=18, count=120):
+            live.process(event)
+        live.process(NodeLost(1e6, pool="map", containers=5))
+        live.process(NodeRecovered(1e6 + 1, pool="map", containers=2))
+        state.close()
+        resumed = TempoService.resume(
+            build_controller(make_scenario("steady", scale=1.0, horizon=3600.0)),
+            tmp_path,
+            _service_config(),
+        )
+        assert resumed.lost_capacity == live.lost_capacity == {"map": 3}
+        assert resumed.nodes_recovered == live.nodes_recovered == 2
+
+    def test_cluster_grown(self):
+        cluster = ClusterSpec({"map": 10, "reduce": 6})
+        grown = cluster.grown({"map": 2, "unknown": 5})
+        assert grown.as_dict() == {"map": 12, "reduce": 6}
+        with pytest.raises(ValueError):
+            cluster.grown({"map": -1})
+
+    def test_session_restore_capacity(self):
+        from repro.sim.simulator import ClusterSimulator
+        from repro.workload.model import Workload
+
+        scenario = make_scenario("steady", scale=1.0, horizon=600.0)
+        workload = scenario.model.generate(0, 600.0)
+        sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=0)
+        session = sim.session(workload, scenario.initial_config, seed=0)
+        lost = session.lose_capacity("map", 4)
+        assert lost == 4
+        assert session.restore_capacity("map", 2) == 2
+        assert session.capacity_lost["map"] == 2
+        # Clamped: only what is still lost can come back.
+        assert session.restore_capacity("map", 10) == 2
+        assert session.capacity_lost["map"] == 0
+        assert session.restore_capacity("unknown", 3) == 0
+        with pytest.raises(ValueError):
+            session.restore_capacity("map", -1)
+        assert isinstance(workload, Workload)
+
+    def test_failure_recovery_scenario_replays(self):
+        from repro.service.replay import ScenarioReplayer
+
+        scenario = make_scenario("failure-recovery", scale=1.0, horizon=5400.0)
+        assert scenario.node_loss and scenario.node_recovery
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=2,
+        )
+        summary = ScenarioReplayer(scenario, service, seed=2).run()
+        assert summary.max_stats_gap < 1e-9
+        # Losses happened and recoveries brought capacity back.
+        assert service.nodes_lost > 0
+        assert service.nodes_recovered > 0
+        assert service.nodes_recovered <= service.nodes_lost

@@ -12,6 +12,7 @@ from repro.service.events import (
     JobCompleted,
     JobSubmitted,
     NodeLost,
+    NodeRecovered,
     TaskCompleted,
     TenantJoined,
     TenantLeft,
@@ -122,6 +123,7 @@ ALL_EVENT_SHAPES = [
         ),
     ),
     NodeLost(3.0, pool="map", containers=2),
+    NodeRecovered(3.5, pool="map", containers=1),
     TenantJoined(4.0, tenant="B"),
     TenantLeft(5.0, tenant="B"),
     Heartbeat(6.0),
@@ -144,9 +146,9 @@ class TestEventJournal:
         for event in ALL_EVENT_SHAPES:
             journal.append("event", encode_event(event))
         journal.close()
-        assert len(journal.segments()) == 3  # 8 records / 3 per segment
+        assert len(journal.segments()) == 3  # 9 records / 3 per segment
         records = list(EventJournal(tmp_path).iter_records())
-        assert [r.seq for r in records] == list(range(1, 9))
+        assert [r.seq for r in records] == list(range(1, 10))
         assert [decode_event(r.data) for r in records] == ALL_EVENT_SHAPES
 
     def test_seq_continues_across_reopen(self, tmp_path):
