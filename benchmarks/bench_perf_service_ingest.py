@@ -16,15 +16,26 @@ layer (`repro.service`).  Measurements:
 4. **Many-tenant scaling** — per-event window ingest cost at 5 vs 500
    active tenants (the heap-driven eviction keeps it near flat; the old
    per-event sweep over every tenant made it ~linear).
-5. **Retune latency** — wall seconds per applied tune during a
+5. **Sharded ingest** — durable batched throughput through the
+   per-tenant sharded data plane on a 500-tenant stream: 1 shard (the
+   byte-identical baseline), 4 in-process shards (routing overhead
+   only), and 4 worker-process shards (journal encode + window fold on
+   every core).  The worker-shard speedup is a *parallelism*
+   measurement: it needs >= 4 cores to show its >= 2.5x design target,
+   and ``cpu_count`` is recorded next to the numbers so a single-core
+   CI box's ~0.4x (pure IPC overhead, nothing to overlap) is
+   interpretable.
+6. **Retune latency** — wall seconds per applied tune during a
    flash-crowd replay (window-trace assembly + what-if + PALD).
-6. **Backlog compounding** — an overloaded steady replay in the legacy
+7. **Backlog compounding** — an overloaded steady replay in the legacy
    per-interval mode versus the continuous mode: peak job backlog and
    mean response time.
 
 Alongside the human-readable table the benchmark archives a
-machine-readable ``benchmarks/results/perf_service_ingest.json`` so the
-perf trajectory is trackable across PRs.
+machine-readable ``benchmarks/results/perf_service_ingest.json``.  The
+file holds a ``runs`` list and every invocation — full runs *and*
+``--smoke`` — **appends** a timestamped record, so the perf trajectory
+across PRs (and across CI runs) is preserved instead of overwritten.
 
 Run:  PYTHONPATH=src python benchmarks/bench_perf_service_ingest.py
 CI smoke (small event count + regression ceilings):
@@ -35,9 +46,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
+from datetime import datetime, timezone
 
 import numpy as np
 
@@ -53,6 +66,33 @@ from repro.workload.trace import JobRecord, TaskRecord
 #: Events per ingest_batch call in the batched measurements — the order
 #: of magnitude a replay chunk or a backlogged bus drain delivers.
 BATCH = 256
+
+#: Machine-readable trajectory file (a ``runs`` list; append-only).
+RESULTS_JSON = RESULTS_DIR / "perf_service_ingest.json"
+
+
+def append_run(record: dict) -> None:
+    """Append one timestamped run record to the results trajectory.
+
+    Migrates the pre-trajectory format (one flat dict of metrics) by
+    wrapping it as the first run, so no history is lost.
+    """
+    history = {"runs": []}
+    if RESULTS_JSON.exists():
+        data = json.loads(RESULTS_JSON.read_text())
+        if "runs" in data:
+            history = data
+        else:  # legacy flat layout: keep it as the first (undated) run
+            history = {"runs": [{"mode": "full", "timestamp": None, **data}]}
+    history["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "cpu_count": os.cpu_count() or 1,
+            **record,
+        }
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 def telemetry_events(horizon: float = 7200.0, scale: float = 2.0, seed: int = 0):
@@ -178,6 +218,42 @@ def bench_service_ingest(
     return len(events) / elapsed
 
 
+def bench_sharded_ingest(
+    events,
+    shards: int,
+    workers: bool = False,
+    batch: int = BATCH,
+) -> float:
+    """Durable batched events/sec through the sharded data plane.
+
+    ``shards=1`` is the byte-identical single-pipeline baseline;
+    ``workers=True`` runs the shards as processes (journal encode and
+    window fold on every core — the parallel group-commit path).  The
+    timed region ends at a full data-plane barrier so queued worker
+    batches are included, not just acknowledged.
+    """
+    scenario = make_scenario("steady")
+    with tempfile.TemporaryDirectory() as tmp:
+        state = ServiceState(tmp, shards=shards)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=600.0, retune_interval=1e12),
+            seed=0,
+            state=state,
+            shards=shards,
+            shard_workers=workers,
+        )
+        start = time.perf_counter()
+        for i in range(0, len(events), batch):
+            service.ingest_batch(events[i : i + batch])
+        if shards > 1:
+            service._drain_shards(service.now)  # barrier: queues empty
+        elapsed = time.perf_counter() - start
+        service.close()
+        state.close()
+    return len(events) / elapsed
+
+
 def bench_many_tenants(
     count: int = 40_000, tenant_counts: tuple[int, ...] = (5, 500)
 ) -> dict[int, float]:
@@ -237,10 +313,13 @@ def bench_retune_latency(horizon: float = 3 * 3600.0) -> tuple[int, float, float
 def smoke() -> int:
     """CI regression gate: small event count, generous ceilings.
 
-    Asserts the two properties this benchmark exists to protect: the
+    Asserts the properties this benchmark exists to protect: the
     group-committed durable path stays within a generous overhead
-    ceiling of the non-durable path, and per-event ingest cost stays
-    near flat from few to many tenants.  Returns a process exit code.
+    ceiling of the non-durable path, per-event ingest cost stays near
+    flat from few to many tenants, and the sharded data plane neither
+    taxes the in-process path nor (given >= 4 cores) loses the
+    worker-shard parallel speedup.  Appends a timestamped ``smoke``
+    record to the results trajectory.  Returns a process exit code.
     """
     events = telemetry_events(horizon=2400.0)
     # Best-of-3: shared CI runners jitter by 2x+; the gates protect
@@ -257,11 +336,29 @@ def smoke() -> int:
         (lambda eps: eps[5] / eps[500])(bench_many_tenants(count=20_000))
         for _ in range(2)
     )
-    tenant_eps = bench_many_tenants(count=20_000)
+    sharded_events = synthetic_events(500, 16_000)
+    shard1_eps = max(
+        bench_sharded_ingest(sharded_events, 1) for _ in range(2)
+    )
+    inproc4_eps = max(
+        bench_sharded_ingest(sharded_events, 4) for _ in range(2)
+    )
+    workers4_eps = max(
+        bench_sharded_ingest(sharded_events, 4, workers=True) for _ in range(2)
+    )
+    worker_speedup = workers4_eps / shard1_eps
+    inproc_ratio = inproc4_eps / shard1_eps
+    cores = os.cpu_count() or 1
     print(
         f"smoke: {len(events):,} events, batched ingest {service_eps:,.0f}/s, "
         f"durable batched {durable_eps:,.0f}/s (overhead {overhead:.2f}x), "
         f"tenant-scaling 5->500 slowdown {flatness:.2f}x"
+    )
+    print(
+        f"smoke sharded (500 tenants, {len(sharded_events):,} events, "
+        f"{cores} cores): 1 shard {shard1_eps:,.0f}/s, 4 in-proc "
+        f"{inproc4_eps:,.0f}/s ({inproc_ratio:.2f}x), 4 workers "
+        f"{workers4_eps:,.0f}/s ({worker_speedup:.2f}x)"
     )
     failures = []
     # Generous ceilings: measured ~3x and ~1.3x on a noisy container;
@@ -271,8 +368,49 @@ def smoke() -> int:
         failures.append(f"durable batched overhead {overhead:.2f}x > 5.0x ceiling")
     if flatness > 3.0:
         failures.append(f"5->500 tenant slowdown {flatness:.2f}x > 3.0x ceiling")
+    # In-process sharding must stay near-free (routing only); a big gap
+    # means a per-event merge or a journal scan crept onto the hot path.
+    if inproc_ratio < 0.5:
+        failures.append(
+            f"4 in-process shards at {inproc_ratio:.2f}x of 1 shard "
+            "(< 0.5x floor)"
+        )
+    if cores >= 4:
+        # Parallel group commit: with real cores the worker shards must
+        # beat the single pipeline clearly (design target >= 2.5x; the
+        # gate leaves headroom for shared-runner jitter).
+        if worker_speedup < 1.8:
+            failures.append(
+                f"4 worker shards at {worker_speedup:.2f}x of 1 shard "
+                f"on {cores} cores (< 1.8x floor)"
+            )
+    elif worker_speedup < 0.25:
+        # Single-core runners cannot parallelize anything; the floor
+        # only catches pathological IPC regressions.
+        failures.append(
+            f"4 worker shards at {worker_speedup:.2f}x of 1 shard "
+            "(< 0.25x single-core floor)"
+        )
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}")
+    append_run(
+        {
+            "mode": "smoke",
+            "events": len(events),
+            "service_ingest_batched_eps": service_eps,
+            "durable_ingest_batched_eps": durable_eps,
+            "durability_overhead_batched": overhead,
+            "tenant_scaling_slowdown": flatness,
+            "sharded_500_tenants": {
+                "events": len(sharded_events),
+                "shards1_eps": shard1_eps,
+                "inproc4_eps": inproc4_eps,
+                "workers4_eps": workers4_eps,
+                "workers4_speedup": worker_speedup,
+            },
+            "failures": failures,
+        }
+    )
     return 1 if failures else 0
 
 
@@ -313,6 +451,13 @@ def main() -> int:
         )
     )
     tenant_eps = bench_many_tenants()
+    sharded_events = synthetic_events(500, 40_000)
+    shard1_eps = best(lambda: bench_sharded_ingest(sharded_events, 1))
+    inproc4_eps = best(lambda: bench_sharded_ingest(sharded_events, 4))
+    workers4_eps = best(
+        lambda: bench_sharded_ingest(sharded_events, 4, workers=True)
+    )
+    cores = os.cpu_count() or 1
     retunes, mean_lat, p50_lat, max_lat = bench_retune_latency()
     backlog = bench_backlog_compounding()
     rows = [
@@ -337,6 +482,19 @@ def main() -> int:
             f"{tenant_eps[5]:,.0f} -> {tenant_eps[500]:,.0f} "
             f"({tenant_eps[5] / tenant_eps[500]:.2f}x slowdown)",
         ],
+        [
+            "sharded durable 500t, 1 shard (events/s)",
+            f"{shard1_eps:,.0f}",
+        ],
+        [
+            "sharded durable 500t, 4 in-proc (events/s)",
+            f"{inproc4_eps:,.0f} ({inproc4_eps / shard1_eps:.2f}x)",
+        ],
+        [
+            "sharded durable 500t, 4 workers (events/s)",
+            f"{workers4_eps:,.0f} ({workers4_eps / shard1_eps:.2f}x on "
+            f"{cores} core(s); parallel speedup needs >= 4 cores)",
+        ],
         ["retunes measured", retunes],
         ["retune latency mean (ms)", f"{mean_lat * 1e3:.1f}"],
         ["retune latency p50 (ms)", f"{p50_lat * 1e3:.1f}"],
@@ -359,6 +517,7 @@ def main() -> int:
         rows,
     )
     machine = {
+        "mode": "full",
         "events": len(events),
         "batch_size": BATCH,
         "window_ingest_eps": window_eps,
@@ -372,6 +531,13 @@ def main() -> int:
         "durability_overhead_batched": service_batched_eps / durable_batched_eps,
         "stats_gap": max(gap, gap_batched),
         "many_tenant_eps": {str(k): v for k, v in tenant_eps.items()},
+        "sharded_500_tenants": {
+            "events": len(sharded_events),
+            "shards1_eps": shard1_eps,
+            "inproc4_eps": inproc4_eps,
+            "workers4_eps": workers4_eps,
+            "workers4_speedup": workers4_eps / shard1_eps,
+        },
         "retunes": retunes,
         "retune_latency_mean_s": mean_lat,
         "retune_latency_p50_s": p50_lat,
@@ -383,10 +549,7 @@ def main() -> int:
             label: backlog[label][1] for label in backlog
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "perf_service_ingest.json").write_text(
-        json.dumps(machine, indent=2, sort_keys=True) + "\n"
-    )
+    append_run(machine)
     return 0
 
 

@@ -18,10 +18,14 @@ small operational CLI:
 
 ``python -m repro replay``
     Drive a serving-layer scenario (flash crowd, diurnal wave, tenant
-    churn, failure storm, steady) through the streaming
+    churn, failure storm, flash-failure, steady) through the streaming
     :class:`~repro.service.daemon.TempoService` with the deterministic
     synchronous transport, verifying the incremental window statistics
-    against a batch recompute as it goes.
+    against a batch recompute as it goes.  ``--shards N`` routes
+    telemetry through the per-tenant sharded data plane
+    (``--shard-workers`` runs the shards as processes); ``--trace``
+    replays recorded telemetry from a JSONL file instead of simulating
+    (``--save-trace`` records one).
 
 ``python -m repro serve``
     Same scenarios through daemon mode: telemetry is published to the
@@ -63,14 +67,16 @@ from repro.core.controller import TempoController, windows_from_model
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
 from repro.service.daemon import ServiceConfig, TempoService
-from repro.service.journal import last_heartbeat
 from repro.service.replay import (
     SCENARIOS as SERVICE_SCENARIOS,
     ReplaySummary,
     ScenarioReplayer,
     build_controller,
     build_service,
+    dump_trace_events,
+    load_trace_events,
     make_scenario,
+    replay_trace,
 )
 from repro.service.snapshot import ServiceState
 from repro.sim.noise import NoiseModel
@@ -280,6 +286,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         raise SystemExit(
             f"--revert-windows must be >= 1, got {args.revert_windows}"
         )
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     scenario = make_scenario(
         args.scenario,
         scale=args.scale,
@@ -295,6 +303,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
             args.state_dir,
             async_journal=args.async_journal,
             keep_segments=args.keep_segments,
+            shards=args.shards,
         )
         if state.journal.last_seq:
             raise SystemExit(
@@ -316,6 +325,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "continuous": not args.chunked,
                 "async_journal": args.async_journal,
                 "keep_segments": args.keep_segments,
+                "shards": args.shards,
+                "shard_workers": args.shard_workers,
             }
         )
     service = build_service(
@@ -327,8 +338,11 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         ),
         seed=args.seed,
         state=state,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
         revert_windows=args.revert_windows,
     )
+    recorded: list | None = [] if getattr(args, "save_trace", None) else None
     replayer = ScenarioReplayer(
         scenario,
         service,
@@ -336,21 +350,94 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         seed=args.seed,
         transport=transport,
         continuous=not args.chunked,
+        record_to=recorded,
     )
     print(
         f"scenario={scenario.name} ({scenario.description}) "
         f"horizon={scenario.horizon:.0f}s transport={transport} "
+        f"shards={args.shards}{' (workers)' if args.shard_workers else ''} "
         f"speedup={'max' if args.speedup <= 0 else f'{args.speedup:g}x'}"
         + (f" state-dir={args.state_dir}" if args.state_dir else ""),
         file=out,
     )
-    summary = replayer.run()
+    try:
+        summary = replayer.run()
+    finally:
+        service.close()
+    _print_replay_summary(summary, out)
+    if recorded is not None:
+        count = dump_trace_events(recorded, args.save_trace)
+        print(f"trace saved to {args.save_trace} ({count} events)", file=out)
+    return 0
+
+
+def _run_trace(args: argparse.Namespace, out) -> int:
+    """``repro replay --trace``: recorded telemetry through the pipeline."""
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if not Path(args.trace).exists():
+        raise SystemExit(f"trace file {args.trace} does not exist")
+    events = load_trace_events(args.trace)
+    if not events:
+        raise SystemExit(f"trace file {args.trace} holds no events")
+    scenario = make_scenario(args.scenario, scale=args.scale)
+    state = None
+    if args.state_dir:
+        state = ServiceState(args.state_dir, shards=args.shards)
+        if state.journal.last_seq:
+            raise SystemExit(
+                f"{args.state_dir} already holds serving state; "
+                "use `repro resume` to continue it"
+            )
+        # The descriptor keeps `repro compact` shard-aware and lets
+        # `repro resume` refuse with a precise message (a trace run has
+        # no scenario to re-drive; re-deliver the trace file instead).
+        state.write_meta(
+            {
+                "scenario": args.scenario,
+                "transport": "trace",
+                "trace": str(Path(args.trace).resolve()),
+                "scale": args.scale,
+                "seed": args.seed,
+                "window": args.window * 60.0,
+                "interval": args.interval * 60.0,
+                "drift": args.drift,
+                "revert_windows": args.revert_windows,
+                "shards": args.shards,
+                "shard_workers": args.shard_workers,
+            }
+        )
+    service = build_service(
+        scenario,
+        ServiceConfig(
+            window=args.window * 60.0,
+            retune_interval=args.interval * 60.0,
+            drift_threshold=args.drift,
+        ),
+        seed=args.seed,
+        state=state,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        revert_windows=args.revert_windows,
+    )
+    print(
+        f"trace={args.trace} ({len(events)} events) "
+        f"scenario={scenario.name} shards={args.shards}"
+        f"{' (workers)' if args.shard_workers else ''}",
+        file=out,
+    )
+    try:
+        summary = replay_trace(service, events, speedup=args.speedup)
+    finally:
+        service.close()
     _print_replay_summary(summary, out)
     return 0
 
 
 def cmd_replay(args: argparse.Namespace, out) -> int:
     """``repro replay``: deterministic scenario replay through the service."""
+    if args.trace:
+        return _run_trace(args, out)
     return _run_scenario(args, out, transport="direct")
 
 
@@ -375,18 +462,32 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
             "was it created by `repro serve/replay --state-dir`?"
         )
     meta = json.loads((Path(args.state_dir) / "meta.json").read_text())
+    if meta.get("transport") == "trace":
+        raise SystemExit(
+            f"{args.state_dir} holds a trace-replay run; there is no "
+            "scenario to continue — re-drive it with "
+            f"`repro replay --trace {meta.get('trace', '<file>')}`"
+        )
+    shards = int(meta.get("shards", 1))
+    reshard_to = args.shards
+    if reshard_to is not None and reshard_to != shards and not args.reshard:
+        raise SystemExit(
+            f"{args.state_dir} is laid out for {shards} shard(s) but "
+            f"--shards {reshard_to} was requested; pass --reshard to "
+            "redistribute the data plane"
+        )
     state = ServiceState(
         args.state_dir,
         async_journal=meta.get("async_journal", False),
         keep_segments=meta.get("keep_segments", 2),
+        shards=shards,
     )
     # A heartbeat at the horizon is only journaled once the run — final
     # drain included — delivered completely, so truncating to the last
     # heartbeat is always safe: a crash mid-drain rewinds to the last
-    # full interval and re-simulates from there.
-    boundary = last_heartbeat(state.journal)
-    seq, start = boundary if boundary is not None else (0, 0.0)
-    dropped = state.truncate_after(seq)
+    # full interval and re-simulates from there.  Sharded state dirs
+    # rewind every journal to the newest *common* broadcast heartbeat.
+    start, dropped = state.rewind_to_heartbeat()
     scenario = make_scenario(
         meta["scenario"], scale=meta["scale"], horizon=meta["horizon"]
     )
@@ -402,15 +503,32 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
     print(
         f"resumed from {args.state_dir}: events={service.events_processed} "
         f"retunes={service.retunes} configs={len(service.config_history)} "
-        f"t={start:.0f}s"
+        f"shards={service.num_shards} t={start:.0f}s"
         + (f" (dropped {dropped} partial-interval records)" if dropped else ""),
         file=out,
     )
+    if reshard_to is not None and reshard_to != shards:
+        service.reshard(reshard_to)
+        meta["shards"] = reshard_to
+        state.write_meta(meta)
+        # Anchor the new layout at the resume boundary: a broadcast
+        # heartbeat gives every fresh shard journal the common chunk
+        # boundary a later crash-recovery rewind needs.  Without it, a
+        # resume arriving before the first post-reshard chunk completes
+        # would find heartbeat-less shard journals and rewind the whole
+        # history to zero.
+        from repro.service.events import Heartbeat
+
+        service.process(Heartbeat(start))
+        print(f"resharded data plane: {shards} -> {reshard_to} shard(s)", file=out)
+    if meta.get("shard_workers") and service.num_shards > 1:
+        service.promote_to_workers()
     horizon = scenario.horizon
     if start >= horizon:
         print("replay already complete; nothing to continue", file=out)
         print("\nfinal configuration:", file=out)
         print(service.rm_config.describe(), file=out)
+        service.close()
         return 0
     replayer = ScenarioReplayer(
         scenario,
@@ -425,7 +543,10 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         f"horizon={horizon:.0f}s transport={meta['transport']}",
         file=out,
     )
-    summary = replayer.run(horizon, start=start)
+    try:
+        summary = replayer.run(horizon, start=start)
+    finally:
+        service.close()
     _print_replay_summary(summary, out)
     return 0
 
@@ -452,7 +573,12 @@ def cmd_compact(args: argparse.Namespace, out) -> int:
             f"{args.state_dir} has no journal/ — "
             "was it created by `repro serve/replay --state-dir`?"
         )
-    state = ServiceState(args.state_dir, keep_segments=args.keep_segments)
+    shards = 1
+    if (root / "meta.json").exists():
+        shards = int(json.loads((root / "meta.json").read_text()).get("shards", 1))
+    state = ServiceState(
+        args.state_dir, keep_segments=args.keep_segments, shards=shards
+    )
     before = len(state.journal.segments())
     removed = state.compact()
     state.close()
@@ -518,6 +644,17 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="journal segments compaction always retains (safety margin)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="per-tenant data-plane shards (own window + journal each)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        action="store_true",
+        help="run the shards as multiprocessing worker processes",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -561,6 +698,15 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a scenario through the streaming service"
     )
     _add_scenario_options(replay)
+    replay.add_argument(
+        "--trace",
+        help="replay recorded telemetry from a JSONL trace file instead of "
+        "simulating the scenario (the scenario still supplies cluster/SLOs)",
+    )
+    replay.add_argument(
+        "--save-trace",
+        help="record the delivered telemetry to a JSONL trace file",
+    )
     replay.set_defaults(func=cmd_replay)
 
     serve = sub.add_parser(
@@ -580,6 +726,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override the original run's pacing",
+    )
+    resume.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count to continue with (mismatching the state dir's "
+        "layout requires --reshard)",
+    )
+    resume.add_argument(
+        "--reshard",
+        action="store_true",
+        help="redistribute the data plane across --shards before continuing",
     )
     resume.set_defaults(func=cmd_resume)
 

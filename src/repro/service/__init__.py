@@ -14,6 +14,11 @@ live Resource Manager):
 * :mod:`repro.service.journal` — the append-only, CRC-framed,
   segment-rotated write-ahead journal of every event, decision, applied
   configuration, and rollback;
+* :mod:`repro.service.sharding` — the per-tenant sharded data plane:
+  :class:`ShardRouter` (stable tenant-hash routing), :class:`IngestShard`
+  (own bus + window + journal per shard, in-process or as
+  ``multiprocessing`` workers), merged by the control plane at each
+  retune cadence;
 * :mod:`repro.service.snapshot` — periodic full-state snapshots over
   the journal and the :class:`ServiceState` facade owning a state
   directory, enabling :meth:`TempoService.resume` crash recovery;
@@ -54,6 +59,13 @@ from repro.service.journal import (
     decode_event,
     encode_event,
 )
+from repro.service.sharding import (
+    IngestShard,
+    ShardRouter,
+    ShardWorkerHandle,
+    stable_shard,
+    tenant_of,
+)
 from repro.service.snapshot import ServiceState, SnapshotStore
 from repro.service.replay import (
     SCENARIOS,
@@ -62,7 +74,10 @@ from repro.service.replay import (
     ScenarioReplayer,
     build_controller,
     build_service,
+    dump_trace_events,
+    load_trace_events,
     make_scenario,
+    replay_trace,
 )
 
 __all__ = [
@@ -91,6 +106,11 @@ __all__ = [
     "decode_event",
     "ServiceState",
     "SnapshotStore",
+    "IngestShard",
+    "ShardRouter",
+    "ShardWorkerHandle",
+    "stable_shard",
+    "tenant_of",
     "Scenario",
     "SCENARIOS",
     "make_scenario",
@@ -98,4 +118,7 @@ __all__ = [
     "build_service",
     "ScenarioReplayer",
     "ReplaySummary",
+    "dump_trace_events",
+    "load_trace_events",
+    "replay_trace",
 ]

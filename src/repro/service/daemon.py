@@ -38,6 +38,20 @@ from its state directory — replaying the journal tail over the newest
 snapshot — with window statistics again verifiable against a batch
 recompute and the config history intact.
 
+The service is split into two planes (see
+:mod:`repro.service.sharding`).  The **data plane** is N
+:class:`~repro.service.sharding.IngestShard` instances — each owning a
+bus, a rolling window, and (durable, sharded) its own journal — with
+telemetry routed per tenant by a stable hash; shards run in-process or
+as ``multiprocessing`` workers.  The **control plane** is this class:
+it owns the cadence, the guards, the controller, the rollback history,
+and the decision/config journal, and at every cadence tick it drains
+the shards' window states and merges them
+(:meth:`~repro.service.ingest.RollingWindow.merge_states`) before
+deciding exactly as an unsharded daemon would.  With ``shards=1`` (the
+default) the shard shares the service's journal and every code path —
+and every journal byte — is identical to the pre-sharding pipeline.
+
 The daemon's clock is *simulated time carried by the events*, never the
 wall clock — a serving run is exactly reproducible from its event
 stream.
@@ -64,8 +78,18 @@ from repro.service.events import (
     TenantJoined,
     TenantLeft,
 )
-from repro.service.ingest import RollingWindow, TenantWindowStats, window_drift
+from repro.service.ingest import (
+    RollingWindow,
+    TenantWindowStats,
+    stats_gap,
+    window_drift,
+)
 from repro.service.journal import JournalError, JournalRecord, decode_event, encode_event
+from repro.service.sharding import (
+    IngestShard,
+    ShardRouter,
+    start_shard_workers,
+)
 from repro.service.snapshot import (
     ServiceState,
     config_from_dict,
@@ -197,7 +221,21 @@ class TempoService:
         bus: Optional externally owned event bus.
         state: Optional durable home (journal + snapshots).  When given,
             every event is journaled *before* it is processed and the
-            service can later be rebuilt with :meth:`resume`.
+            service can later be rebuilt with :meth:`resume`.  Its shard
+            layout must match ``shards``.
+        shards: Data-plane shard count.  ``1`` (the default) keeps the
+            exact pre-sharding pipeline: one window, one journal,
+            byte-identical output.  ``N > 1`` routes telemetry per
+            tenant onto N :class:`~repro.service.sharding.IngestShard`
+            instances whose statistics the control plane merges at each
+            cadence tick.
+        shard_workers: Run the shards as ``multiprocessing`` worker
+            processes (each owning its journal and window) instead of
+            in-process objects.  Batches are acknowledged when queued to
+            a worker, so durability lags acknowledgement by the queue
+            depth — the same contract as ``--async-journal``, recovered
+            by the same chunk-boundary rewind.  Ignored when
+            ``shards == 1``.
     """
 
     def __init__(
@@ -206,12 +244,52 @@ class TempoService:
         config: ServiceConfig | None = None,
         bus: EventBus | None = None,
         state: ServiceState | None = None,
+        *,
+        shards: int = 1,
+        shard_workers: bool = False,
     ):
         self.controller = controller
         self.config = config or ServiceConfig()
-        self.window = RollingWindow(self.config.window)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if state is not None and state.shards != shards:
+            raise ValueError(
+                f"state dir is laid out for {state.shards} shard(s) but the "
+                f"service was built with {shards}; resume with --reshard to "
+                "change the layout"
+            )
         self.bus = bus or EventBus(self.config.queue_capacity)
         self.state = state
+        self.router = ShardRouter(shards)
+        self.shard_workers = bool(shard_workers) and shards > 1
+        if self.shard_workers:
+            if state is not None:
+                # Workers own their journals; the parent must neither
+                # open nor compact them while the workers run.
+                state.shard_compaction = False
+                paths = [state.shard_journal_path(i) for i in range(shards)]
+                opts = state.shard_journal_opts()
+            else:
+                paths, opts = None, None
+            self.shards = start_shard_workers(
+                shards, self.config.window, paths, opts
+            )
+        else:
+            self.shards = [
+                IngestShard(
+                    i,
+                    self.config.window,
+                    journal=(
+                        state.shard_journal(i)
+                        if state is not None and shards > 1
+                        else None
+                    ),
+                    queue_capacity=self.config.queue_capacity,
+                )
+                for i in range(shards)
+            ]
+        self._now = 0.0
+        self._telemetry = 0
         self.decisions: deque[RetuneDecision] = deque(
             maxlen=self.config.decision_history
         )
@@ -235,9 +313,117 @@ class TempoService:
 
     def __repr__(self) -> str:
         return (
-            f"TempoService(events={self._events}, retunes={self.retunes}, "
-            f"skips={self.skips}, now={self.window.now:.0f}s)"
+            f"TempoService(shards={self.router.shards}, events={self._events}, "
+            f"retunes={self.retunes}, skips={self.skips}, now={self.now:.0f}s)"
         )
+
+    # -- data-plane views ---------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Data-plane shard count."""
+        return self.router.shards
+
+    @property
+    def now(self) -> float:
+        """Latest simulated event time the service has seen."""
+        if self.router.shards == 1:
+            return self.shards[0].window.now
+        return self._now
+
+    @property
+    def window(self) -> RollingWindow:
+        """The service's rolling window.
+
+        Single-shard: the live window object (mutating it is the same
+        as pre-sharding behavior).  Sharded: a *merged copy* built from
+        every shard's current state — a consistent read-only view;
+        mutations do not feed back into the shards.
+        """
+        if self.router.shards == 1:
+            return self.shards[0].window
+        with self._lock:
+            return RollingWindow.merge_states(
+                [s["window"] for s in self._drain_shards(self._now)]
+            )
+
+    @property
+    def telemetry_ingested(self) -> int:
+        """Telemetry events folded into the data plane (control excluded)."""
+        if self.router.shards == 1:
+            return self.shards[0].window.events_ingested
+        return self._telemetry
+
+    def _drain_shards(self, now: float) -> list[dict]:
+        """Advance every shard to ``now`` and collect their states.
+
+        For worker shards this is the synchronization barrier: the
+        reply necessarily follows every batch queued before it.
+        """
+        return [shard.drain_state(now) for shard in self.shards]
+
+    def _merged_shard_snapshot(self, now: float) -> dict[str, TenantWindowStats]:
+        """Per-tenant statistics merged across every shard — O(tenants).
+
+        The cadence tick's guard view: each shard contributes its
+        running-sums snapshot (no window entries cross a process
+        boundary), and same-tenant parts — which the per-tenant routing
+        invariant makes a degenerate single-part case — combine through
+        :meth:`TenantWindowStats.merged`.
+        """
+        at = max(now, self._now)
+        merged: dict[str, TenantWindowStats] = {}
+        for shard in self.shards:
+            for name, stats in shard.drain_stats(at).items():
+                mine = merged.get(name)
+                if mine is None:
+                    merged[name] = stats
+                else:
+                    merged[name] = TenantWindowStats.merged(
+                        [mine, stats], self.config.window
+                    )
+        return merged
+
+    def _control_window(self, now: float) -> RollingWindow:
+        """The window the control plane decides on at a cadence tick.
+
+        Single-shard: the live window, advanced to ``now`` (eviction
+        current at the attempt time — the pre-sharding behavior,
+        unchanged).  Sharded: every shard advanced to the global clock
+        and merged into one window, so the merged statistics equal what
+        a single window ingesting the whole stream would report.
+        """
+        if self.router.shards == 1:
+            window = self.shards[0].window
+            window.advance(now)
+            return window
+        states = self._drain_shards(max(now, self._now))
+        return RollingWindow.merge_states([s["window"] for s in states])
+
+    def stats_gap_now(self) -> float:
+        """Worst incremental-vs-batch stats deviation across the data plane.
+
+        Single-shard and in-process shards check the live accumulators
+        directly; worker shards are checked through their drained state
+        (the refold-vs-``fsum`` comparison on the merged window).
+        """
+        with self._lock:
+            if self.router.shards == 1:
+                return stats_gap(self.shards[0].window)
+            if self.shard_workers:
+                return stats_gap(self._control_window(self._now))
+            return max(stats_gap(shard.window) for shard in self.shards)
+
+    def close(self) -> None:
+        """Shut the data plane down.
+
+        Flushes and closes every shard journal; worker shards are
+        stopped and joined.  The control journal belongs to the
+        :class:`~repro.service.snapshot.ServiceState` and is closed by
+        its owner.
+        """
+        for shard in self.shards:
+            shard.close()
 
     # -- telemetry ingestion ------------------------------------------------
 
@@ -251,16 +437,22 @@ class TempoService:
         cadence tick, else ``None``.
         """
         with self._lock:
-            if self.state is not None and not self._replaying:
-                self.state.record_event(encode_event(event))
-            if isinstance(event, _CONTROL_EVENTS):
-                self._apply_control(event)
-                # Control events do not pass through ingest, so the
-                # clock/eviction advance happens here.
-                self.window.advance(event.time)
+            if self.router.shards == 1:
+                window = self.shards[0].window
+                if self.state is not None and not self._replaying:
+                    self.state.record_event(encode_event(event))
+                if isinstance(event, _CONTROL_EVENTS):
+                    self._apply_control(event)
+                    # Control events do not pass through ingest, so the
+                    # clock/eviction advance happens here.
+                    window.advance(event.time)
+                else:
+                    window.ingest(event)  # advances the window itself
             else:
-                self.window.ingest(event)  # advances the window itself
+                self._ingest_one_sharded(event)
             self._events += 1
+            if event.time > self._now:
+                self._now = event.time
             decision: RetuneDecision | None = None
             if self._last_attempt is None:
                 # Anchor the cadence at the first event's timestamp.
@@ -285,7 +477,9 @@ class TempoService:
             self.active_tenants.add(event.tenant)
         elif isinstance(event, TenantLeft):
             self.active_tenants.discard(event.tenant)
-            self.window.drop_tenant(event.tenant)
+            # Single-shard path only: sharded daemons route churn to the
+            # owning shard (see _apply_membership / IngestShard.fold).
+            self.shards[0].window.drop_tenant(event.tenant)
             if self._last_snapshot is not None:
                 self._last_snapshot.pop(event.tenant, None)
             self._force = True
@@ -308,6 +502,52 @@ class TempoService:
                 else:
                     del self.lost_capacity[event.pool]
                 self._force = True  # capacity changed; stability is void
+
+    def _apply_membership(self, event: ServiceEvent) -> None:
+        """Control-plane half of a tenant-churn event (sharded mode).
+
+        The window half — dropping the departed tenant's entries — is
+        applied by the owning shard, which received the event in stream
+        order; here only the membership set, the stability baseline,
+        and the forced-retune flag move.
+        """
+        if isinstance(event, TenantJoined):
+            self.active_tenants.add(event.tenant)
+        else:
+            self.active_tenants.discard(event.tenant)
+            if self._last_snapshot is not None:
+                self._last_snapshot.pop(event.tenant, None)
+            self._force = True
+
+    def _ingest_one_sharded(self, event: ServiceEvent) -> None:
+        """Route one live event through the sharded data plane.
+
+        Tenant-scoped events (telemetry and churn) are journaled and
+        folded by their owning shard; cluster-level control events are
+        journaled in the control journal and applied here; heartbeats
+        are broadcast to every shard journal so all journals share
+        chunk boundaries.
+        """
+        journaling = self.state is not None and not self._replaying
+        shard = self.router.route(event)
+        if shard is None:
+            if journaling:
+                self.state.record_event(encode_event(event))
+            if isinstance(event, Heartbeat):
+                for target in self.shards:
+                    target.ingest([event])
+                if journaling:
+                    self.state.note_shard_records(len(self.shards))
+            else:
+                self._apply_control(event)  # NodeLost / NodeRecovered
+        else:
+            if isinstance(event, (TenantJoined, TenantLeft)):
+                self._apply_membership(event)
+            else:
+                self._telemetry += 1
+            self.shards[shard].ingest([event])
+            if journaling:
+                self.state.note_shard_records(1)
 
     def _cadence_chunks(
         self, events: list[ServiceEvent]
@@ -358,33 +598,85 @@ class TempoService:
             return decisions
         with self._lock:
             retuned = False
-            pending: list[ServiceEvent] = []
-            for chunk, tick in self._cadence_chunks(events):
-                if self.state is not None and not self._replaying:
-                    self.state.record_events(chunk)
-                for event in chunk:
-                    if isinstance(event, _CONTROL_EVENTS):
-                        if pending:
-                            self.window.ingest_many(pending)
-                            pending.clear()
-                        self._apply_control(event)
-                        self.window.advance(event.time)
-                    else:
-                        pending.append(event)
-                    self._events += 1
-                if pending:
-                    self.window.ingest_many(pending)
-                    pending.clear()
-                if tick is not None and not self._replaying:
-                    decision = self.retune(tick)
-                    decisions.append(decision)
-                    retuned = retuned or decision.retuned
+            if self.router.shards == 1:
+                window = self.shards[0].window
+                pending: list[ServiceEvent] = []
+                for chunk, tick in self._cadence_chunks(events):
+                    if self.state is not None and not self._replaying:
+                        self.state.record_events(chunk)
+                    for event in chunk:
+                        if isinstance(event, _CONTROL_EVENTS):
+                            if pending:
+                                window.ingest_many(pending)
+                                pending.clear()
+                            self._apply_control(event)
+                            window.advance(event.time)
+                        else:
+                            pending.append(event)
+                        self._events += 1
+                    if pending:
+                        window.ingest_many(pending)
+                        pending.clear()
+                    if tick is not None and not self._replaying:
+                        decision = self.retune(tick)
+                        decisions.append(decision)
+                        retuned = retuned or decision.retuned
+            else:
+                for chunk, tick in self._cadence_chunks(events):
+                    retuned = (
+                        self._ingest_chunk_sharded(chunk, tick, decisions)
+                        or retuned
+                    )
             if self._last_attempt is None:
                 self._last_attempt = events[0].time
             if self.state is not None and not self._replaying:
                 if self.state.snapshot_due(force=retuned):
                     self.state.write_snapshot(self.state_dict())
             return decisions
+
+    def _ingest_chunk_sharded(
+        self,
+        chunk: list[ServiceEvent],
+        tick: float | None,
+        decisions: list[RetuneDecision],
+    ) -> bool:
+        """One cadence sub-batch through the sharded data plane.
+
+        Cluster-level control events group-commit to the control
+        journal first (so a tick's decision record lands after them, as
+        on the per-event path), then every shard receives its partition
+        — telemetry, tenant churn, and the broadcast heartbeats, each
+        journaled write-ahead by the shard that owns it — and finally
+        the control plane applies the chunk's membership/capacity
+        effects before the tick's retune merges the shard statistics.
+        Returns whether the tick (if any) applied a tune.
+        """
+        parts, control = self.router.partition(chunk)
+        journaling = self.state is not None and not self._replaying
+        if journaling and control:
+            self.state.record_events(control)
+        dispatched = 0
+        for shard, part in zip(self.shards, parts):
+            if part:
+                shard.ingest(part)
+                dispatched += len(part)
+        if journaling and dispatched:
+            self.state.note_shard_records(dispatched)
+        for event in chunk:
+            self._events += 1
+            if event.time > self._now:
+                self._now = event.time
+            if isinstance(event, (TenantJoined, TenantLeft)):
+                self._apply_membership(event)
+            elif isinstance(event, (NodeLost, NodeRecovered)):
+                self._apply_control(event)
+            elif not isinstance(event, Heartbeat):
+                self._telemetry += 1
+        if tick is not None and not self._replaying:
+            decision = self.retune(tick)
+            decisions.append(decision)
+            return decision.retuned
+        return False
 
     def retune(self, now: float, force: bool = False) -> RetuneDecision:
         """One guarded retune attempt at simulated time ``now``.
@@ -397,8 +689,18 @@ class TempoService:
         """
         with self._lock:
             self._last_attempt = now
-            self.window.advance(now)  # eviction current at the attempt time
-            snapshot = self.window.snapshot()
+            if self.router.shards == 1:
+                # The live window, advanced (eviction current at the
+                # attempt time — the pre-sharding behavior, unchanged).
+                window = self.shards[0].window
+                window.advance(now)
+                snapshot = window.snapshot()
+            else:
+                # Guards decide on O(tenants) merged statistics; the
+                # O(retained-entries) merged window is only
+                # materialized below if the tune actually proceeds.
+                window = None
+                snapshot = self._merged_shard_snapshot(now)
             jobs = sum(s.jobs for s in snapshot.values())
             force = force or self._force
             # An empty window is always "sparse": even with
@@ -419,7 +721,9 @@ class TempoService:
                     self._record_decision(decision)
                     return decision
                 reason = "drift"
-            trace = self.window.trace()
+            if window is None:
+                window = self._control_window(now)  # full merge: tune input
+            trace = window.trace()
             cluster = self.effective_cluster(capacity_floor(trace.task_records))
             trace.capacity = cluster.as_dict()
             started = _time.perf_counter()
@@ -515,10 +819,29 @@ class TempoService:
     # -- durability ---------------------------------------------------------
 
     def state_dict(self) -> dict:
-        """Everything a resumed daemon needs, as one JSON-ready dict."""
+        """Everything a resumed daemon needs, as one JSON-ready dict.
+
+        Single-shard snapshots keep the PR 2 shape (one ``window``
+        key); sharded snapshots carry every shard's window state plus
+        the shard layout and each journal's covered position under
+        ``sharding`` — one snapshot covers all N+1 journals.
+        """
         with self._lock:
+            if self.router.shards == 1:
+                extra = {"window": self.shards[0].window.to_state()}
+            else:
+                states = self._drain_shards(self._now)
+                extra = {
+                    "shard_windows": [s["window"] for s in states],
+                    "sharding": {
+                        "shards": self.router.shards,
+                        "router": "crc32",
+                        "shard_seqs": [int(s["seq"]) for s in states],
+                        "telemetry": self._telemetry,
+                    },
+                }
             return {
-                "window": self.window.to_state(),
+                **extra,
                 "active_tenants": sorted(self.active_tenants),
                 "nodes_lost": self.nodes_lost,
                 "nodes_recovered": self.nodes_recovered,
@@ -546,7 +869,29 @@ class TempoService:
             }
 
     def _restore_state(self, state: dict) -> None:
-        self.window = RollingWindow.from_state(state["window"])
+        if "shard_windows" in state:
+            sharding = state.get("sharding", {})
+            recorded = int(sharding.get("shards", len(state["shard_windows"])))
+            if recorded != self.router.shards:
+                raise JournalError(
+                    f"snapshot records {recorded} shard(s) but the service "
+                    f"was built with {self.router.shards}; resume with "
+                    "--reshard to change the layout"
+                )
+            for shard, window_state in zip(self.shards, state["shard_windows"]):
+                shard.restore(window_state)
+            self._now = max(
+                (float(w["now"]) for w in state["shard_windows"]), default=0.0
+            )
+            self._telemetry = int(sharding.get("telemetry", 0))
+        else:
+            if self.router.shards != 1:
+                raise JournalError(
+                    "single-shard snapshot cannot restore a sharded service; "
+                    "resume with --reshard to change the layout"
+                )
+            self.shards[0].window = RollingWindow.from_state(state["window"])
+            self._now = self.shards[0].window.now
         self.active_tenants = set(state["active_tenants"])
         self.nodes_lost = int(state["nodes_lost"])
         self.nodes_recovered = int(state.get("nodes_recovered", 0))
@@ -603,8 +948,12 @@ class TempoService:
                 ConfigSnapshot(decision.index, decision.time, self.controller.config)
             )
             # The window state at this journal position is what the
-            # live daemon snapshotted when it applied the tune.
-            self._last_snapshot = self.window.snapshot()
+            # live daemon snapshotted when it applied the tune (the
+            # merged per-tenant statistics, when sharded).
+            if self.router.shards == 1:
+                self._last_snapshot = self._control_window(decision.time).snapshot()
+            else:
+                self._last_snapshot = self._merged_shard_snapshot(decision.time)
         elif record.kind == "rollback":
             self._rollback_locked()
         else:
@@ -617,6 +966,9 @@ class TempoService:
         state: ServiceState | str | os.PathLike,
         config: ServiceConfig | None = None,
         bus: EventBus | None = None,
+        *,
+        shards: int | None = None,
+        shard_workers: bool = False,
     ) -> "TempoService":
         """Rebuild a daemon from its state directory.
 
@@ -627,37 +979,244 @@ class TempoService:
         produced — a tune is never recomputed on resume, so the restored
         config history is exactly what was applied.
 
+        Sharded state dirs replay **all N+1 journal tails**: each
+        shard's telemetry re-folds into its own window, the control
+        tail restores decisions and configs, and the streams are
+        interleaved in event-time order so control effects land at the
+        stream position the live daemon applied them.  ``shards`` must
+        match the state dir's layout (pass it when ``state`` is a
+        path); a mismatch — including a snapshot recorded under a
+        different layout — is refused rather than silently re-routed
+        (reshard explicitly instead).  ``shard_workers`` promotes the
+        shards to worker processes *after* the replay, which always
+        runs in-process.
+
         ``controller`` must be a freshly built controller for the same
         cluster, SLOs, and config space the daemon was serving (the
         scenario descriptor in ``meta.json`` is how the CLI rebuilds
         one); its tuning state is overwritten from the persisted state.
         """
         if not isinstance(state, ServiceState):
-            state = ServiceState(state)
-        service = cls(controller, config, bus, state=state)
+            if shards is None:
+                shards = _detect_shard_layout(state)
+            state = ServiceState(state, shards=shards)
+        elif shards is not None and shards != state.shards:
+            raise ValueError(
+                f"state dir is laid out for {state.shards} shard(s), "
+                f"asked to resume with {shards}; reshard explicitly"
+            )
+        service = cls(controller, config, bus, state=state, shards=state.shards)
         loaded = state.load_latest_snapshot()
         after = 0
+        shard_after = [0] * state.shards
         if loaded is not None:
             after, snapshot = loaded
             service._restore_state(snapshot)
+            if state.shards > 1:
+                recorded = snapshot.get("sharding", {}).get("shard_seqs")
+                if recorded is not None:
+                    shard_after = [int(s) for s in recorded]
         else:
             # A compacted journal no longer starts at seq 1; without a
             # readable snapshot covering the deleted prefix, resuming
             # would silently rebuild from partial history.  Refuse.
-            segments = state.journal.segments()
-            if segments and state.journal._first_seq_of(segments[0]) > 1:
-                raise JournalError(
-                    "journal was compacted (first retained seq "
-                    f"{state.journal._first_seq_of(segments[0])}) but no "
-                    "readable snapshot covers the deleted prefix; cannot resume"
-                )
+            journals = [state.journal]
+            if state.shards > 1:
+                journals += [state.shard_journal(i) for i in range(state.shards)]
+            for journal in journals:
+                segments = journal.segments()
+                if segments and journal._first_seq_of(segments[0]) > 1:
+                    raise JournalError(
+                        "journal was compacted (first retained seq "
+                        f"{journal._first_seq_of(segments[0])}) but no "
+                        "readable snapshot covers the deleted prefix; cannot resume"
+                    )
         service._replaying = True
         try:
-            for record in state.journal.iter_records(after=after):
-                service._apply_journal_record(record)
+            if state.shards == 1:
+                for record in state.journal.iter_records(after=after):
+                    service._apply_journal_record(record)
+            else:
+                service._replay_sharded(after, shard_after)
         finally:
             service._replaying = False
+        if shard_workers and state.shards > 1:
+            service.promote_to_workers()
         return service
+
+    def _replay_sharded(self, control_after: int, shard_after: list[int]) -> None:
+        """Replay N+1 journal tails interleaved in event-time order.
+
+        Each journal is internally ordered; the global interleaving the
+        live daemon saw is reconstructed by sorting on ``(event time,
+        kind rank, stream, position)`` — telemetry before the decision
+        that fired at the same instant, each stream's own order
+        preserved on ties.  Bounded cross-stream disorder (completion
+        telemetry carrying timestamps past a chunk edge) only perturbs
+        where the stability baseline is re-measured, never the restored
+        decisions, configs, or window statistics — all of which are
+        order-insensitive or restored verbatim.
+        """
+        state = self.state
+        entries: list[tuple[float, int, int, int, JournalRecord]] = []
+        last = 0.0
+        for ordinal, record in enumerate(
+            state.journal.iter_records(after=control_after)
+        ):
+            if record.kind == "event":
+                when, rank = float(record.data["time"]), 0
+            elif record.kind == "decision":
+                when, rank = float(record.data["time"]), 1
+            elif record.kind == "config":
+                when, rank = float(record.data["decision"]["time"]), 1
+            else:  # rollback carries no timestamp; keep stream position
+                when, rank = last, 1
+            last = max(last, when)
+            entries.append((when, rank, 0, ordinal, record))
+        for i in range(self.router.shards):
+            tail = state.shard_journal(i).iter_records(after=shard_after[i])
+            for ordinal, record in enumerate(tail):
+                if record.kind != "event":
+                    raise JournalError(
+                        f"unexpected {record.kind!r} record in shard journal {i}"
+                    )
+                entries.append(
+                    (float(record.data["time"]), 0, i + 1, ordinal, record)
+                )
+        entries.sort(key=lambda entry: entry[:4])
+        for _, _, stream, _, record in entries:
+            if stream == 0:
+                self._apply_control_tail_record(record)
+            else:
+                self._apply_shard_tail_record(stream - 1, record)
+
+    def _apply_control_tail_record(self, record: JournalRecord) -> None:
+        """Re-apply one control-journal record during a sharded resume."""
+        if record.kind != "event":
+            self._apply_journal_record(record)  # decision/config/rollback
+            return
+        event = decode_event(record.data)
+        self._events += 1
+        if event.time > self._now:
+            self._now = event.time
+        if self._last_attempt is None:
+            self._last_attempt = event.time
+        if not isinstance(event, Heartbeat):
+            self._apply_control(event)  # NodeLost / NodeRecovered
+        # Heartbeats advance the shard clocks through their broadcast
+        # copies in the shard journals; nothing more to do here.
+
+    def _apply_shard_tail_record(self, shard_id: int, record: JournalRecord) -> None:
+        """Re-fold one shard-journal record during a sharded resume."""
+        event = decode_event(record.data)
+        shard = self.shards[shard_id]
+        if isinstance(event, Heartbeat):
+            shard.advance(event.time)  # broadcast copy: clock only
+            return
+        self._events += 1
+        if event.time > self._now:
+            self._now = event.time
+        if self._last_attempt is None:
+            self._last_attempt = event.time
+        if isinstance(event, (TenantJoined, TenantLeft)):
+            self._apply_membership(event)
+        else:
+            self._telemetry += 1
+        shard.fold([event])
+
+    def promote_to_workers(self) -> None:
+        """Swap in-process shards for worker processes (post-replay).
+
+        The in-process shards' windows move into freshly spawned
+        workers; every parent-side shard-journal handle is closed first
+        so the workers — which own the journals from here on — never
+        race the parent's open.
+        """
+        states = self._drain_shards(self._now)
+        for shard in self.shards:
+            shard.close()
+        state = self.state
+        if state is not None:
+            state.shard_compaction = False
+            for journal in state._shard_journals.values():
+                journal.close()
+            state._shard_journals.clear()
+            paths = [
+                state.shard_journal_path(i) for i in range(self.router.shards)
+            ]
+            opts = state.shard_journal_opts()
+        else:
+            paths, opts = None, None
+        self.shards = start_shard_workers(
+            self.router.shards, self.config.window, paths, opts
+        )
+        for shard, shard_state in zip(self.shards, states):
+            shard.restore(shard_state["window"])
+        self.shard_workers = True
+
+    def reshard(self, shards: int) -> None:
+        """Redistribute the data plane across a new shard count.
+
+        Every retained window entry is re-routed through a fresh
+        :class:`~repro.service.sharding.ShardRouter` for the new count;
+        merged statistics are unchanged (the entries are the same, only
+        their grouping moves).  With durable state attached the state
+        dir is re-targeted and a full snapshot is written immediately,
+        so the new layout always has a consistent (snapshot,
+        journal-tail) pair — pre-reshard journals are never replayed
+        past it.  Must run before any worker promotion.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if self.shard_workers:
+            raise RuntimeError("reshard before promoting shards to workers")
+        with self._lock:
+            prior_telemetry = self.telemetry_ingested
+            states = self._drain_shards(self._now)
+            merged = RollingWindow.merge_states([s["window"] for s in states])
+            for shard in self.shards:
+                shard.close()
+            if self.state is not None:
+                self.state.reshard(shards)
+            self.router = ShardRouter(shards)
+            self.shards = [
+                IngestShard(
+                    i,
+                    self.config.window,
+                    journal=(
+                        self.state.shard_journal(i)
+                        if self.state is not None and shards > 1
+                        else None
+                    ),
+                    queue_capacity=self.config.queue_capacity,
+                )
+                for i in range(shards)
+            ]
+            merged_state = merged.to_state()
+            partitions: list[dict] = [
+                {
+                    "window": merged_state["window"],
+                    "now": merged_state["now"],
+                    "events": 0,
+                    "tenants": {},
+                }
+                for _ in range(shards)
+            ]
+            for name, slot in merged_state["tenants"].items():
+                part = partitions[self.router.shard_of(name)]
+                part["tenants"][name] = slot
+                part["events"] += (
+                    len(slot["tasks"]) + len(slot["jobs"]) + len(slot["submits"])
+                )
+            if shards == 1:
+                # One window again: its ingest counter resumes the
+                # stream-wide total, not just the retained entries.
+                partitions[0]["events"] = merged_state["events"]
+            for shard, part in zip(self.shards, partitions):
+                shard.restore(part)
+            self._telemetry = prior_telemetry
+            if self.state is not None and not self._replaying:
+                self.state.write_snapshot(self.state_dict())
 
     # -- daemon mode --------------------------------------------------------
 
@@ -791,6 +1350,36 @@ class TempoService:
     def config_history(self) -> tuple[ConfigSnapshot, ...]:
         """Retained applied-configuration snapshots, oldest first."""
         return tuple(self._history)
+
+
+def _detect_shard_layout(root: str | os.PathLike) -> int:
+    """Shard count of an existing state dir (meta.json, else the tree).
+
+    Guards :meth:`TempoService.resume` callers who pass a bare path
+    without ``shards``: silently opening a sharded state dir as
+    single-shard would replay only the control journal and drop every
+    shard's telemetry without an error.  ``meta.json`` is authoritative
+    when present; otherwise the ``shard-NN/`` trees on disk are
+    counted.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    root = _Path(root)
+    meta = root / "meta.json"
+    if meta.exists():
+        try:
+            recorded = _json.loads(meta.read_text()).get("shards")
+            if recorded is not None:
+                return int(recorded)
+        except (ValueError, TypeError):
+            pass  # unreadable descriptor: fall through to the tree scan
+    from repro.service.sharding import shard_dir_name
+
+    count = 0
+    while (root / shard_dir_name(count) / "journal").is_dir():
+        count += 1
+    return max(count, 1)
 
 
 def _decision_to_dict(decision: RetuneDecision) -> dict:

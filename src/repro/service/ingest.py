@@ -64,6 +64,12 @@ class TenantWindowStats:
             ``sigma``.
         preempted_fraction: Fraction of attempts that were preempted.
         failed_fraction: Fraction of attempts that failed.
+        duration_samples: Completed attempts with a positive service
+            time — the sample count behind ``log_duration_mean``/``std``
+            (distinct from ``tasks``, which also counts preempted and
+            failed attempts).  Carried so shard statistics are exactly
+            mergeable: :meth:`merged` recovers the underlying log-sums
+            from ``(mu, sigma, n)`` per part.
     """
 
     tenant: str
@@ -76,6 +82,7 @@ class TenantWindowStats:
     log_duration_std: float
     preempted_fraction: float
     failed_fraction: float
+    duration_samples: int = 0
 
     def duration_model(self) -> LognormalModel:
         """Lognormal task-duration model implied by the window."""
@@ -86,6 +93,56 @@ class TenantWindowStats:
     def arrival_model(self) -> PoissonProcessModel:
         """Poisson arrival-process model implied by the window."""
         return PoissonProcessModel(rate=self.arrival_rate)
+
+    @classmethod
+    def merged(
+        cls, parts: "Iterable[TenantWindowStats]", window: float
+    ) -> "TenantWindowStats":
+        """Combine same-tenant stats from disjoint windows (shards).
+
+        Inverts the sums-to-stats formula per part — ``s_log = mu * n``,
+        ``s2_log = (sigma^2 + mu^2) * n``, ``s_resp = mean * jobs`` —
+        adds the recovered sums, and re-derives through the shared
+        :func:`_stats_from_sums` formula, so merging N shard snapshots
+        matches a single window that ingested every part's events to
+        floating-point accumulation error.  The parts must describe
+        disjoint event sets of the same tenant over the same window
+        length (the per-tenant sharding invariant makes a tenant's
+        stats live in exactly one shard, so in practice this merges a
+        single part — the general form exists for verification and for
+        resharding).
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge zero stats parts")
+        tenant = parts[0].tenant
+        if any(p.tenant != tenant for p in parts):
+            raise ValueError("merged() requires same-tenant parts")
+        n_jobs = sum(p.jobs for p in parts)
+        n_tasks = sum(p.tasks for p in parts)
+        n_submits = sum(p.submitted for p in parts)
+        n_dur = sum(p.duration_samples for p in parts)
+        s_log = math.fsum(p.log_duration_mean * p.duration_samples for p in parts)
+        s2_log = math.fsum(
+            (p.log_duration_std**2 + p.log_duration_mean**2) * p.duration_samples
+            for p in parts
+        )
+        n_pre = sum(round(p.preempted_fraction * p.tasks) for p in parts)
+        n_fail = sum(round(p.failed_fraction * p.tasks) for p in parts)
+        s_resp = math.fsum(p.mean_response * p.jobs for p in parts)
+        return _stats_from_sums(
+            tenant,
+            window,
+            n_jobs=n_jobs,
+            n_tasks=n_tasks,
+            n_submits=n_submits,
+            n_dur=n_dur,
+            s_log=s_log,
+            s2_log=s2_log,
+            n_pre=n_pre,
+            n_fail=n_fail,
+            s_resp=s_resp,
+        )
 
 
 class _KahanSum:
@@ -227,6 +284,7 @@ def _stats_from_sums(
         log_duration_std=math.sqrt(max(var, 0.0)),
         preempted_fraction=n_pre / n_tasks if n_tasks else 0.0,
         failed_fraction=n_fail / n_tasks if n_tasks else 0.0,
+        duration_samples=n_dur,
     )
 
 
@@ -478,6 +536,66 @@ class RollingWindow:
         window._events = int(state["events"])
         return window
 
+    @classmethod
+    def merge_states(cls, states: Iterable[Mapping]) -> "RollingWindow":
+        """Rebuild ONE window from several shards' :meth:`to_state` dumps.
+
+        The control plane's view of a sharded data plane: every shard's
+        retained raw entries are refolded through the same accumulator
+        arithmetic as :meth:`from_state`, so the merged window's
+        incremental statistics are verifiable against
+        :meth:`batch_recompute` and — because sharding partitions events
+        by tenant — identical (to floating-point accumulation error,
+        well under 1e-9) to a single window that ingested the whole
+        stream.  A tenant appearing in several states (only possible
+        outside the per-tenant routing invariant, e.g. mid-reshard) has
+        its entries interleaved in time order before refolding.  All
+        states must share the same window length; the merged clock is
+        the maximum of the parts'.
+        """
+        states = list(states)
+        if not states:
+            raise ValueError("cannot merge zero window states")
+        length = float(states[0]["window"])
+        if any(float(s["window"]) != length for s in states):
+            raise ValueError("merge_states requires equal window lengths")
+        merged = cls(length)
+        slots: dict[str, dict[str, list]] = {}
+        multi: set[str] = set()
+        for state in states:
+            for name, slot in state["tenants"].items():
+                mine = slots.get(name)
+                if mine is None:
+                    slots[name] = {
+                        "tasks": list(slot["tasks"]),
+                        "jobs": list(slot["jobs"]),
+                        "submits": list(slot["submits"]),
+                    }
+                else:
+                    multi.add(name)
+                    mine["tasks"].extend(slot["tasks"])
+                    mine["jobs"].extend(slot["jobs"])
+                    mine["submits"].extend(slot["submits"])
+        for name in multi:
+            # Stable sort on entry time keeps each part's internal
+            # order, reconstructing one plausible arrival interleaving.
+            slots[name]["tasks"].sort(key=lambda pair: pair[0])
+            slots[name]["jobs"].sort(key=lambda pair: pair[0])
+            slots[name]["submits"].sort()
+        for name, slot in slots.items():
+            acc = merged._acc(name)
+            for t, row in slot["tasks"]:
+                acc.add_task(float(t), task_record_from_dict(row))
+            for t, row in slot["jobs"]:
+                acc.add_job(float(t), job_record_from_dict(row))
+            acc.submits.extend(float(t) for t in slot["submits"])
+            earliest = acc.earliest()
+            if earliest is not None:
+                merged._note_entry(name, acc, earliest)
+        merged._now = max(float(s["now"]) for s in states)
+        merged._events = sum(int(s["events"]) for s in states)
+        return merged
+
     def trace(self, capacity: Mapping[str, int] | None = None) -> Trace:
         """The window's retained records as a Trace re-anchored to t=0.
 
@@ -547,6 +665,7 @@ def stats_gap(window: "RollingWindow") -> float:
         "log_duration_std",
         "preempted_fraction",
         "failed_fraction",
+        "duration_samples",
     )
     for name, inc in incremental.items():
         ref = batch[name]

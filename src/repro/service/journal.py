@@ -343,6 +343,33 @@ def last_heartbeat(journal: "EventJournal") -> tuple[int, float] | None:
     return None
 
 
+def heartbeat_at_or_before(
+    journal: "EventJournal", time: float
+) -> tuple[int, float] | None:
+    """Seq and time of the newest journaled heartbeat with ``time <= t``.
+
+    The sharded rewind primitive: heartbeats are broadcast to every
+    journal at every chunk boundary, so rewinding all journals to the
+    newest *common* boundary means finding, per journal, its newest
+    heartbeat not past that boundary's time.  Scans segments
+    newest-first and stops at the first segment containing a qualifying
+    heartbeat (heartbeat times are non-decreasing in seq), so the cost
+    is bounded by the tail.
+    """
+    journal.close()
+    segments = journal.segments()
+    for i, path in enumerate(reversed(segments)):
+        found = None
+        for record in journal._read_segment(path, final=(i == 0)):
+            if record.kind == "event" and record.data.get("type") == "Heartbeat":
+                when = float(record.data["time"])
+                if when <= time:
+                    found = (record.seq, when)
+        if found is not None:
+            return found
+    return None
+
+
 class _AsyncJournalWriter:
     """Bounded background group-commit thread for :class:`EventJournal`.
 

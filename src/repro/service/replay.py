@@ -17,7 +17,15 @@ configurable speedup factor:
 * ``failure-storm`` — harsh cluster noise plus periodic
   :class:`~repro.service.events.NodeLost` bursts;
 * ``failure-recovery`` — node-loss bursts whose capacity is repaired
-  (:class:`~repro.service.events.NodeRecovered`) ~20 minutes later.
+  (:class:`~repro.service.events.NodeRecovered`) ~20 minutes later;
+* ``flash-failure`` — the compound case: the flash crowd arrives in the
+  middle of a failure storm (surge and capacity loss interact).
+
+Recorded telemetry can also be replayed from a JSONL trace file
+(:func:`load_trace_events` / :func:`replay_trace`; capture one with
+``record_to`` or the CLI's ``--save-trace``) — the scenario-catalog
+escape hatch for driving the pipeline with events no generator
+produced.
 
 The replayer is the "production side" of the serving loop.  By default
 it drives **one continuous execution**: a single
@@ -61,7 +69,7 @@ from repro.service.events import (
     TenantJoined,
     TenantLeft,
 )
-from repro.service.ingest import stats_gap
+from repro.service.journal import decode_event, encode_event
 from repro.stats.distributions import LognormalModel, PoissonProcessModel
 from repro.workload.generator import (
     StageModel,
@@ -263,6 +271,48 @@ def failure_storm_scenario(scale: float = 1.5, horizon: float | None = None) -> 
     )
 
 
+def flash_failure_scenario(
+    scale: float = 1.5, horizon: float | None = None
+) -> Scenario:
+    """Compound stress: a flash crowd arriving mid failure-storm.
+
+    Composes the two hardest single-factor scenarios: the best-effort
+    tenant spikes to 5x while periodic node-loss bursts (under harsh
+    cluster noise) are already shrinking the capacity the surge lands
+    on.  The two signals interact — the drift guard sees the arrival
+    surge at the same ticks the forced-retune flag fires for capacity
+    loss — which is exactly the regime the single-factor scenarios
+    cannot produce.
+    """
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    base = two_tenant_model(scale)
+    best_effort = replace(
+        base.tenant_model(BEST_EFFORT_TENANT),
+        rate_pattern=SpikePattern(
+            start=0.35 * horizon, duration=0.2 * horizon, level=5.0
+        ),
+    )
+    losses = tuple(
+        (t, MAP_POOL if i % 2 == 0 else REDUCE_POOL, 2 + (i % 3))
+        for i, t in enumerate(
+            float(s) for s in range(1800, int(horizon), 2700)
+        )
+    )
+    return Scenario(
+        name="flash-failure",
+        description="5x best-effort surge during a node-loss failure storm",
+        cluster=two_tenant_cluster(),
+        model=StatisticalWorkloadModel(
+            [base.tenant_model(DEADLINE_TENANT), best_effort]
+        ),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.harsh(),
+        node_loss=losses,
+    )
+
+
 def failure_recovery_scenario(
     scale: float = 1.5, horizon: float | None = None
 ) -> Scenario:
@@ -306,6 +356,7 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "tenant-churn": tenant_churn_scenario,
     "failure-storm": failure_storm_scenario,
     "failure-recovery": failure_recovery_scenario,
+    "flash-failure": flash_failure_scenario,
 }
 
 
@@ -345,15 +396,21 @@ def build_service(
     config: ServiceConfig | None = None,
     seed: int = 0,
     state=None,
+    shards: int = 1,
+    shard_workers: bool = False,
     **controller_kwargs,
 ) -> TempoService:
     """A TempoService wired for ``scenario`` (controller + config space).
 
     ``state`` optionally attaches a durable
-    :class:`~repro.service.snapshot.ServiceState` home.
+    :class:`~repro.service.snapshot.ServiceState` home; ``shards`` /
+    ``shard_workers`` configure the data plane (see
+    :mod:`repro.service.sharding`).
     """
     controller = build_controller(scenario, seed=seed, **controller_kwargs)
-    return TempoService(controller, config, state=state)
+    return TempoService(
+        controller, config, state=state, shards=shards, shard_workers=shard_workers
+    )
 
 
 @dataclass(frozen=True)
@@ -425,6 +482,9 @@ class ScenarioReplayer:
             mid-run, backlog carries across retune intervals).  When
             False, every retune interval is simulated from an empty
             cluster — the legacy mode kept as a comparison baseline.
+        record_to: Optional list collecting every delivered event in
+            delivery order — the capture side of trace-file replay
+            (write it out with :func:`dump_trace_events`).
     """
 
     def __init__(
@@ -437,6 +497,7 @@ class ScenarioReplayer:
         transport: str = "direct",
         verify_stats: bool = True,
         continuous: bool = True,
+        record_to: list[ServiceEvent] | None = None,
     ):
         if transport not in ("direct", "bus"):
             raise ValueError(f"unknown transport {transport!r}")
@@ -447,6 +508,7 @@ class ScenarioReplayer:
         self.transport = transport
         self.verify_stats = verify_stats
         self.continuous = continuous
+        self.record_to = record_to
         self.sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=seed)
 
     def run(
@@ -548,9 +610,9 @@ class ScenarioReplayer:
             if (
                 self.verify_stats
                 and self.transport == "direct"
-                and service.window.events_ingested
+                and service.telemetry_ingested
             ):
-                max_gap = max(max_gap, stats_gap(service.window))
+                max_gap = max(max_gap, service.stats_gap_now())
             s0, index = s1, index + 1
         if self.continuous and session is not None:
             # Backlog still queued or running at the horizon completes
@@ -567,8 +629,8 @@ class ScenarioReplayer:
                 service.quiesce()
         if self.transport == "bus":
             service.stop()
-            if self.verify_stats and service.window.events_ingested:
-                max_gap = max(max_gap, stats_gap(service.window))
+            if self.verify_stats and service.telemetry_ingested:
+                max_gap = max(max_gap, service.stats_gap_now())
         wall = _time.perf_counter() - wall_start
         decisions = [d for d in service.decisions if d.time > prior_time]
         reverts = sum(
@@ -605,6 +667,8 @@ class ScenarioReplayer:
     # -- internals ----------------------------------------------------------
 
     def _deliver(self, events: list[ServiceEvent], counts: dict) -> None:
+        if self.record_to is not None:
+            self.record_to.extend(events)
         if self.transport == "direct":
             # The batch fast path: the whole chunk is journaled with one
             # group commit per cadence sub-batch and folded with one
@@ -803,5 +867,123 @@ class ScenarioReplayer:
             events.append(_node_recovery_event(when, pool, containers))
         events.sort(key=lambda pair: pair[0])
         return [event for _, event in events]
+
+
+# -- trace-file replay --------------------------------------------------------
+#
+# Recorded telemetry — from a previous replay (`--save-trace`), or from a
+# real RM's callback log converted to the event vocabulary — replayed
+# through the (optionally sharded) serving pipeline.  The wire format is
+# one `encode_event` JSON object per line: the journal's canonical event
+# codec without the CRC frame or sequence numbers, so a trace file is
+# producible with nothing but `json.dumps`.
+
+
+def dump_trace_events(events, path) -> int:
+    """Write telemetry events as a JSONL trace file; returns the count."""
+    import json as _json
+    from pathlib import Path as _Path
+
+    lines = [
+        _json.dumps(encode_event(event), sort_keys=True) for event in events
+    ]
+    _Path(path).write_text("".join(line + "\n" for line in lines))
+    return len(lines)
+
+
+def load_trace_events(path) -> list[ServiceEvent]:
+    """Read a JSONL trace file back into event objects (inverse of dump)."""
+    import json as _json
+    from pathlib import Path as _Path
+
+    events: list[ServiceEvent] = []
+    for i, line in enumerate(_Path(path).read_text().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            events.append(decode_event(_json.loads(line)))
+        except Exception as exc:
+            raise ValueError(f"bad trace record at {path} line {i + 1}: {exc}")
+    return events
+
+
+def replay_trace(
+    service: TempoService,
+    events: list[ServiceEvent],
+    *,
+    speedup: float = 0.0,
+    verify_stats: bool = True,
+    batch: int = 512,
+) -> ReplaySummary:
+    """Feed recorded telemetry through a service (sharded or not).
+
+    The trace-file twin of :meth:`ScenarioReplayer.run`: events are
+    delivered in order through :meth:`TempoService.ingest_batch` (the
+    group-commit pipeline, which splits batches at the cadence ticks
+    they cross), paced by ``speedup`` simulated seconds per wall second
+    (``<= 0``: as fast as possible).  Returns a summary whose scenario
+    name is ``"trace"``.
+
+    The service must be built for a scenario whose cluster, SLOs, and
+    config space cover the trace's tenants — a retune on telemetry from
+    unknown tenants has no configuration surface to tune.
+    """
+    prior_time = service.decisions[-1].time if service.decisions else -math.inf
+    counts = {
+        "events": 0,
+        "submitted": 0,
+        "completed": 0,
+        "tasks": 0,
+        "backlog_peak": 0,
+        "response_sum": 0.0,
+    }
+    max_gap = 0.0
+    wall_start = _time.perf_counter()
+    # Pace against the trace-local clock: a recorded trace may start at
+    # an arbitrary (even epoch-scale) timestamp, and absolute-time
+    # pacing would sleep that whole offset away before delivering.
+    epoch = events[0].time if events else 0.0
+    for i in range(0, len(events), batch):
+        chunk = events[i : i + batch]
+        if speedup > 0:
+            target = (chunk[-1].time - epoch) / speedup
+            delay = target - (_time.perf_counter() - wall_start)
+            if delay > 0:
+                _time.sleep(delay)
+        service.ingest_batch(chunk)
+        for event in chunk:
+            ScenarioReplayer._count(event, counts)
+    if verify_stats and service.telemetry_ingested:
+        max_gap = service.stats_gap_now()
+    wall = _time.perf_counter() - wall_start
+    decisions = [d for d in service.decisions if d.time > prior_time]
+    retunes = sum(1 for d in decisions if d.retuned)
+    reverts = sum(
+        1 for d in decisions if d.iteration is not None and d.iteration.reverted
+    )
+    return ReplaySummary(
+        scenario="trace",
+        horizon=events[-1].time if events else 0.0,
+        start=events[0].time if events else 0.0,
+        events=counts["events"],
+        jobs_submitted=counts["submitted"],
+        jobs_completed=counts["completed"],
+        tasks=counts["tasks"],
+        retunes=retunes,
+        skips=len(decisions) - retunes,
+        reverts=reverts,
+        dropped=service.bus.dropped,
+        wall_seconds=wall,
+        events_per_second=counts["events"] / wall if wall > 0 else math.inf,
+        max_stats_gap=max_gap,
+        peak_backlog=int(counts["backlog_peak"]),
+        mean_response=(
+            counts["response_sum"] / counts["completed"]
+            if counts["completed"]
+            else 0.0
+        ),
+        decisions=tuple(decisions),
+        final_config=service.rm_config,
+    )
 
 

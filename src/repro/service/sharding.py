@@ -1,0 +1,455 @@
+"""Per-tenant sharded data plane for the serving pipeline.
+
+PR 3 left the durable ingest path a single-threaded ceiling: one
+``EventBus`` feeding one ``RollingWindow`` and one ``EventJournal``.
+This module splits the serving stack into two planes:
+
+* **Data plane** — N :class:`IngestShard` instances, each owning its own
+  bounded :class:`~repro.service.events.EventBus`, its own
+  :class:`~repro.service.ingest.RollingWindow`, and (when durable) its
+  own :class:`~repro.service.journal.EventJournal` under
+  ``<state-dir>/shard-NN/journal/``.  A :class:`ShardRouter` assigns
+  every tenant to exactly one shard with a **stable** hash
+  (``crc32(tenant) % shards`` — identical across processes and Python
+  runs, unlike the salted builtin ``hash``), so a tenant's whole window
+  state lives in one place and shard statistics merge by plain union.
+* **Control plane** — :class:`~repro.service.daemon.TempoService` keeps
+  the retune cadence, the guards, the controller, and the
+  decision/config/rollback journal; at each cadence tick it drains every
+  shard's window state, merges them through
+  :meth:`~repro.service.ingest.RollingWindow.merge_states`, and tunes
+  exactly as the unsharded daemon would.
+
+Shards run **in-process** (the default — same thread, zero IPC) or as
+**worker processes** (:class:`ShardWorkerHandle`): each worker owns its
+journal and window and receives event batches over a ``multiprocessing``
+queue, so journal encoding — the measured ingest bottleneck — runs on
+every core instead of one.  Both modes write byte-identical journals
+(same routing, same order, same encoder, same sequence numbers), so
+resume never cares how the journals were produced.
+
+Because the single-shard daemon journals through the unchanged PR 2/3
+path, ``--shards 1`` output stays byte-identical to the pre-sharding
+pipeline and every existing durability guarantee carries over.
+
+Crash-recovery coordination: the chunk-boundary ``Heartbeat`` the replay
+driver emits is **broadcast** — journaled in the control journal *and*
+every shard journal — so recovery can rewind all N+1 journals to one
+common completed-chunk boundary (see
+``ServiceState.rewind_to_heartbeat``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import zlib
+from typing import Iterable, Mapping
+
+from repro.service.events import (
+    EventBus,
+    Heartbeat,
+    JobCompleted,
+    JobSubmitted,
+    ServiceEvent,
+    TaskCompleted,
+    TenantJoined,
+    TenantLeft,
+)
+from repro.service.ingest import RollingWindow
+
+#: Directory name of shard ``i`` under a state dir.
+SHARD_DIR_FMT = "shard-{:02d}"
+
+#: Telemetry event types folded into a shard's rolling window.
+_TELEMETRY_EVENTS = (JobSubmitted, TaskCompleted, JobCompleted)
+
+
+def shard_dir_name(shard_id: int) -> str:
+    """Directory name of one shard's durable home (``shard-NN``)."""
+    return SHARD_DIR_FMT.format(shard_id)
+
+
+def stable_shard(tenant: str, shards: int) -> int:
+    """Deterministic tenant-to-shard assignment, stable across processes.
+
+    ``crc32`` rather than ``hash``: the builtin string hash is salted
+    per interpreter, and a routing function that changes between runs
+    would scatter a resumed daemon's tenants across the wrong journals.
+    """
+    if shards <= 1:
+        return 0
+    return zlib.crc32(tenant.encode("utf-8")) % shards
+
+
+def tenant_of(event: ServiceEvent) -> str | None:
+    """The tenant an event is scoped to (None for cluster-level events)."""
+    if isinstance(event, (TaskCompleted, JobCompleted)):
+        return event.record.tenant
+    tenant = getattr(event, "tenant", None)
+    return tenant if isinstance(tenant, str) else None
+
+
+class ShardRouter:
+    """Stable tenant-hash routing of telemetry onto N shards.
+
+    Tenant-scoped events (job/task telemetry and tenant churn) route to
+    ``crc32(tenant) % shards``; cluster-level control events (node
+    loss/recovery) belong to the control plane; heartbeats are broadcast
+    (control plane *and* every shard) so all journals share chunk
+    boundaries.  Routing decisions are memoized per tenant — the hot
+    path is one dict hit.
+    """
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self._assignment: dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        return f"ShardRouter(shards={self.shards}, tenants={len(self._assignment)})"
+
+    def shard_of(self, tenant: str) -> int:
+        """Owning shard of ``tenant`` (memoized stable hash)."""
+        shard = self._assignment.get(tenant)
+        if shard is None:
+            shard = self._assignment[tenant] = stable_shard(tenant, self.shards)
+        return shard
+
+    def route(self, event: ServiceEvent) -> int | None:
+        """Owning shard of one event, or ``None`` for control-plane events."""
+        tenant = tenant_of(event)
+        if tenant is None:
+            return None
+        return self.shard_of(tenant)
+
+    def partition(
+        self, events: Iterable[ServiceEvent]
+    ) -> tuple[list[list[ServiceEvent]], list[ServiceEvent]]:
+        """Split a batch into per-shard lists plus the control-plane list.
+
+        Relative order is preserved within every output list.
+        Heartbeats appear in the control list *and* every shard list
+        (the broadcast that keeps chunk boundaries common across
+        journals); all other cluster-level events appear only in the
+        control list.
+        """
+        parts: list[list[ServiceEvent]] = [[] for _ in range(self.shards)]
+        control: list[ServiceEvent] = []
+        shard_of = self.shard_of
+        for event in events:
+            tenant = tenant_of(event)
+            if tenant is not None:
+                parts[shard_of(tenant)].append(event)
+            elif isinstance(event, Heartbeat):
+                control.append(event)
+                for part in parts:
+                    part.append(event)
+            else:
+                control.append(event)
+        return parts, control
+
+
+class IngestShard:
+    """One data-plane worker: own bus, own rolling window, own journal.
+
+    The shard's contract mirrors the unsharded pipeline's per-chunk
+    semantics exactly: a batch is journaled **write-ahead** with one
+    group commit (:meth:`~repro.service.journal.EventJournal.
+    append_events`), telemetry folds through
+    :meth:`~repro.service.ingest.RollingWindow.ingest_many` with one
+    eviction pass, and tenant-churn events flush pending telemetry
+    before acting, so a departing tenant's window state is dropped at
+    exactly the stream position the per-event path would drop it.
+
+    The shard never retunes and never looks at other shards — the
+    control plane merges window states at cadence ticks.  ``bus`` is
+    the shard's bounded intake queue for daemon-style feeding
+    (:meth:`submit` + :meth:`flush_bus`); the batch pipeline bypasses
+    it and hands lists straight to :meth:`ingest`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        window: float,
+        *,
+        journal=None,
+        queue_capacity: int = 100_000,
+    ):
+        self.shard_id = int(shard_id)
+        self.window = RollingWindow(window)
+        self.bus = EventBus(queue_capacity)
+        self.journal = journal
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestShard(id={self.shard_id}, tenants={len(self.window.tenants())}, "
+            f"seq={self.last_seq})"
+        )
+
+    @property
+    def last_seq(self) -> int:
+        """Newest journaled sequence number (0 without a journal)."""
+        return 0 if self.journal is None else self.journal.last_seq
+
+    def ingest(self, events: list[ServiceEvent]) -> None:
+        """Journal a batch write-ahead, then fold it into the window."""
+        if not events:
+            return
+        if self.journal is not None:
+            self.journal.append_events(events)
+        self.fold(events)
+
+    def fold(self, events: list[ServiceEvent]) -> None:
+        """Apply a batch to the window only (the resume-replay path)."""
+        window = self.window
+        pending: list[ServiceEvent] = []
+        for event in events:
+            if isinstance(event, _TELEMETRY_EVENTS):
+                pending.append(event)
+            else:
+                # Control events (heartbeat broadcast, tenant churn)
+                # flush pending telemetry first so their effect lands at
+                # the exact stream position, then advance the clock.
+                if pending:
+                    window.ingest_many(pending)
+                    pending.clear()
+                if isinstance(event, TenantLeft):
+                    window.drop_tenant(event.tenant)
+                window.advance(event.time)
+        if pending:
+            window.ingest_many(pending)
+
+    def submit(self, event: ServiceEvent) -> bool:
+        """Publish onto the shard's bounded intake bus (False when shed)."""
+        return self.bus.publish(event)
+
+    def flush_bus(self, limit: int | None = None) -> int:
+        """Ingest everything queued on the intake bus; returns the count."""
+        events = self.bus.drain(limit)
+        if events:
+            self.ingest(events)
+        return len(events)
+
+    def advance(self, now: float) -> None:
+        """Move the shard clock forward (evicting expired entries)."""
+        self.window.advance(now)
+
+    def drain_state(self, now: float) -> dict:
+        """Advance to ``now`` and dump the shard's mergeable state.
+
+        The control plane calls this when it needs the *full* window —
+        an applied tune's trace, a durability snapshot — the returned
+        dict is what :meth:`RollingWindow.merge_states` consumes, plus
+        the shard's journal position (for snapshot coverage).
+        """
+        self.window.advance(now)
+        return {
+            "shard": self.shard_id,
+            "window": self.window.to_state(),
+            "seq": self.last_seq,
+        }
+
+    def drain_stats(self, now: float) -> dict:
+        """Advance to ``now`` and return per-tenant statistics only.
+
+        The cadence tick's cheap path: O(tenants) running-sums
+        snapshots (and, in worker mode, a few hundred bytes over the
+        queue) instead of the full O(retained-entries) window dump —
+        the guards decide on merged statistics, and the full state is
+        only drained when a tune actually proceeds.
+        """
+        self.window.advance(now)
+        return self.window.snapshot()
+
+    def restore(self, window_state: Mapping) -> None:
+        """Replace the shard's window with a persisted state."""
+        self.window = RollingWindow.from_state(window_state)
+
+    def close(self) -> None:
+        """Close the shard journal (pending appends are flushed)."""
+        if self.journal is not None:
+            self.journal.close()
+
+
+# -- worker processes ---------------------------------------------------------
+
+
+def _worker_main(
+    shard_id: int,
+    window: float,
+    journal_path,
+    journal_opts: dict,
+    commands,
+    replies,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Owns the shard end-to-end: the journal is opened *inside* the worker
+    (never in the parent, whose open would race the worker's tail
+    repair), commands arrive over ``commands``, and every synchronous
+    command answers on ``replies``.  Any failure is reported on
+    ``replies`` and ends the worker — a dead shard must surface at the
+    parent's next sync point, not vanish.
+    """
+    from repro.service.journal import EventJournal  # local: after fork
+
+    journal = None
+    try:
+        if journal_path is not None:
+            journal = EventJournal(journal_path, **journal_opts)
+        shard = IngestShard(shard_id, window, journal=journal)
+        while True:
+            command = commands.get()
+            op = command[0]
+            if op == "ingest":
+                shard.ingest(command[1])
+            elif op == "state":
+                replies.put(("state", shard.drain_state(command[1])))
+            elif op == "stats":
+                replies.put(("stats", shard.drain_stats(command[1])))
+            elif op == "restore":
+                shard.restore(command[1])
+                replies.put(("ok", shard_id))
+            elif op == "stop":
+                shard.close()
+                replies.put(("stopped", shard_id))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown shard command {op!r}")
+    except BaseException as exc:
+        try:
+            if journal is not None:
+                journal.close()
+        finally:
+            replies.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class ShardWorkerHandle:
+    """Parent-side proxy of one shard worker process.
+
+    Implements the same surface the control plane uses on an in-process
+    :class:`IngestShard` — :meth:`ingest` (asynchronous: the batch is
+    enqueued and the call returns), :meth:`drain_state` (synchronous
+    barrier: the reply necessarily follows every batch queued before
+    it, so the returned window state covers them all), :meth:`restore`,
+    and :meth:`close`.  Durability therefore lags acknowledgement by
+    the queue depth, exactly like ``--async-journal``: batches still
+    queued at a crash are the torn tail recovery already rewinds past.
+    """
+
+    #: Seconds to wait on a synchronous reply before declaring the
+    #: worker dead (generous: a drain waits behind queued batches).
+    REPLY_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        shard_id: int,
+        window: float,
+        journal_path=None,
+        journal_opts: Mapping | None = None,
+    ):
+        self.shard_id = int(shard_id)
+        ctx = mp.get_context("fork")
+        self._commands = ctx.Queue()
+        self._replies = ctx.Queue()
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(
+                self.shard_id,
+                float(window),
+                None if journal_path is None else str(journal_path),
+                dict(journal_opts or {}),
+                self._commands,
+                self._replies,
+            ),
+            name=f"tempo-shard-{shard_id:02d}",
+            daemon=True,
+        )
+        self._process.start()
+
+    def __repr__(self) -> str:
+        alive = self._process.is_alive()
+        return f"ShardWorkerHandle(id={self.shard_id}, alive={alive})"
+
+    def ingest(self, events: list[ServiceEvent]) -> None:
+        """Queue one batch for the worker (returns immediately)."""
+        if events:
+            self._commands.put(("ingest", events))
+
+    def drain_state(self, now: float) -> dict:
+        """Barrier: process every queued batch, advance, return state."""
+        self._commands.put(("state", now))
+        return self._reply("state")
+
+    def drain_stats(self, now: float) -> dict:
+        """Barrier returning only per-tenant statistics (cadence path)."""
+        self._commands.put(("stats", now))
+        return self._reply("stats")
+
+    def restore(self, window_state: Mapping) -> None:
+        """Replace the worker's window with a persisted state."""
+        self._commands.put(("restore", dict(window_state)))
+        self._reply("ok")
+
+    def close(self) -> None:
+        """Stop the worker, flushing its journal; join the process."""
+        if self._process.is_alive():
+            try:
+                self._commands.put(("stop",))
+                self._reply("stopped")
+            except RuntimeError:
+                pass  # already dead; join below reaps it either way
+        self._process.join(timeout=10.0)
+
+    def _reply(self, expected: str):
+        import queue as _queue
+        import time as _time
+
+        deadline = _time.monotonic() + self.REPLY_TIMEOUT
+        while True:
+            try:
+                kind, payload = self._replies.get(timeout=0.2)
+            except _queue.Empty:
+                if not self._process.is_alive():
+                    raise RuntimeError(
+                        f"shard worker {self.shard_id} died without replying"
+                    ) from None
+                if _time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"shard worker {self.shard_id} reply timed out"
+                    ) from None
+                continue
+            if kind == "error":
+                raise RuntimeError(
+                    f"shard worker {self.shard_id} failed: {payload}"
+                )
+            if kind != expected:  # pragma: no cover - protocol misuse
+                raise RuntimeError(
+                    f"shard worker {self.shard_id}: expected {expected!r} "
+                    f"reply, got {kind!r}"
+                )
+            return payload
+
+
+def start_shard_workers(
+    shards: int,
+    window: float,
+    journal_paths: list | None,
+    journal_opts: Mapping | None = None,
+) -> list[ShardWorkerHandle]:
+    """Spawn one worker process per shard; returns their handles.
+
+    ``journal_paths`` is either ``None`` (no durability) or one path per
+    shard; the journals are opened inside the workers.
+    """
+    return [
+        ShardWorkerHandle(
+            i,
+            window,
+            None if journal_paths is None else journal_paths[i],
+            journal_opts,
+        )
+        for i in range(shards)
+    ]

@@ -40,9 +40,11 @@ from repro.service.journal import (
     EventJournal,
     canonical_json,
     frame_line,
+    heartbeat_at_or_before,
     last_heartbeat,
     unframe_line,
 )
+from repro.service.sharding import shard_dir_name
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.controller import TempoController
@@ -221,6 +223,23 @@ class SnapshotStore:
             old.unlink()
         return path
 
+    def load_oldest(self) -> tuple[int, dict] | None:
+        """Oldest readable snapshot as ``(seq, state)``, or ``None``.
+
+        The compaction anchor's payload: sharded compaction needs the
+        per-shard journal positions the oldest retained snapshot
+        recorded, not just its control-journal seq (the filename).
+        """
+        for path in self.paths():
+            try:
+                payload = json.loads(
+                    unframe_line(path.read_text(encoding="utf-8").strip())
+                )
+                return int(payload["seq"]), payload["state"]
+            except (ValueError, KeyError, TypeError):
+                continue
+        return None
+
     def load_latest(self, max_seq: int | None = None) -> tuple[int, dict] | None:
         """Newest readable snapshot as ``(seq, state)``, or ``None``.
 
@@ -249,31 +268,47 @@ class SnapshotStore:
 class ServiceState:
     """The daemon's durable home: journal + snapshots + meta descriptor.
 
-    Layout under ``root``::
+    Layout under ``root`` (single-shard, identical to PR 2/3)::
 
         meta.json                    scenario/service descriptor (resume)
         journal/segment-*.jsonl      CRC-framed write-ahead records
         snapshots/snapshot-*.json    periodic full-state snapshots
+
+    With ``shards > 1`` the data plane is split per tenant-shard: the
+    top-level journal becomes the **control journal** (cluster-level
+    control events, retune decisions, applied configs, rollbacks, and
+    the broadcast chunk heartbeats) while each shard's telemetry lives
+    in its own journal::
+
+        journal/segment-*.jsonl      control journal
+        shard-00/journal/...         shard 0 telemetry (+ heartbeats)
+        shard-01/journal/...         shard 1 telemetry (+ heartbeats)
+        snapshots/snapshot-*.json    one snapshot covering ALL journals
+                                     (per-shard seqs recorded inside)
 
     Args:
         root: State directory (created if missing).
         segment_records: Journal records per segment before rotation.
         snapshot_every: Journal records between periodic snapshots (a
             snapshot is also taken after every applied tune, the
-            state-change that matters most).
+            state-change that matters most).  Sharded, the count is the
+            total across the control and shard journals.
         keep_snapshots: Snapshot files retained after pruning.
         fsync: Force journal appends to stable storage.
         async_journal: Journal appends through a bounded background
             group-commit thread instead of blocking on the write (see
             :class:`~repro.service.journal.EventJournal`); records still
             queued at a crash are lost — they form the torn batch tail
-            repair recovers past.
+            repair recovers past.  Applies to the control journal only;
+            shard workers are already asynchronous relative to the
+            control plane.
         keep_segments: Journal segments always retained by
             :meth:`compact` regardless of snapshot coverage (safety
             margin).
         auto_compact: Run :meth:`compact` after every snapshot write,
             so a durable daemon's disk footprint stays bounded by the
             snapshot retention window instead of its lifetime.
+        shards: Data-plane shard count this state dir is laid out for.
     """
 
     def __init__(
@@ -287,11 +322,14 @@ class ServiceState:
         async_journal: bool = False,
         keep_segments: int = 2,
         auto_compact: bool = True,
+        shards: int = 1,
     ):
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
         if keep_segments < 1:
             raise ValueError(f"keep_segments must be >= 1, got {keep_segments}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.journal = EventJournal(
@@ -304,6 +342,14 @@ class ServiceState:
         self.snapshot_every = int(snapshot_every)
         self.keep_segments = int(keep_segments)
         self.auto_compact = bool(auto_compact)
+        self.shards = int(shards)
+        #: Lazily opened per-shard journals (parent side).  Worker-mode
+        #: daemons never open these while workers run — the workers own
+        #: them — which is why :attr:`shard_compaction` is switched off
+        #: for the run's duration in that mode.
+        self._shard_journals: dict[int, EventJournal] = {}
+        self.shard_compaction = True
+        self._records_since_snapshot = 0
         self._last_snapshot_seq = 0
         # Newest heartbeat seq this process knows of: None = not yet
         # determined (scan lazily), -1 = the journal holds none.  A
@@ -336,6 +382,57 @@ class ServiceState:
             return None
         return json.loads(self.meta_path.read_text())
 
+    # -- shard journals ------------------------------------------------------
+
+    def shard_journal_path(self, shard_id: int) -> Path:
+        """On-disk journal directory of one shard.
+
+        Single-shard state dirs have no ``shard-NN`` tree: shard 0's
+        journal *is* the top-level journal, which is what keeps
+        ``--shards 1`` output byte-identical to the pre-sharding
+        pipeline.
+        """
+        if self.shards == 1:
+            return self.root / "journal"
+        return self.root / shard_dir_name(shard_id) / "journal"
+
+    def shard_journal(self, shard_id: int) -> EventJournal:
+        """Lazily opened parent-side handle of one shard's journal.
+
+        Never call this while worker processes own the journals — a
+        parent-side open would race the worker's torn-tail repair.
+        """
+        if not 0 <= shard_id < self.shards:
+            raise ValueError(
+                f"shard {shard_id} out of range for {self.shards}-shard state"
+            )
+        if self.shards == 1:
+            return self.journal
+        journal = self._shard_journals.get(shard_id)
+        if journal is None:
+            journal = self._shard_journals[shard_id] = EventJournal(
+                self.shard_journal_path(shard_id),
+                segment_records=self.journal.segment_records,
+                fsync=self.journal.fsync,
+            )
+        return journal
+
+    def shard_journal_opts(self) -> dict:
+        """Constructor kwargs a worker uses to open its shard journal."""
+        return {
+            "segment_records": self.journal.segment_records,
+            "fsync": self.journal.fsync,
+        }
+
+    def note_shard_records(self, count: int) -> None:
+        """Count records journaled by the data plane (snapshot cadence).
+
+        Sharded daemons dispatch telemetry to shard journals the
+        control plane never re-reads, so the snapshot cadence counts
+        what it *dispatched* rather than re-polling N journals.
+        """
+        self._records_since_snapshot += count
+
     # -- write-ahead records -------------------------------------------------
 
     def record_event(self, data: dict) -> int:
@@ -343,6 +440,7 @@ class ServiceState:
         seq = self.journal.append("event", data)
         if data.get("type") == "Heartbeat":
             self._last_heartbeat_seq = seq
+        self._records_since_snapshot += 1
         return seq
 
     def record_events(self, events: list) -> list[int]:
@@ -357,19 +455,23 @@ class ServiceState:
         for seq, event in zip(seqs, events):
             if type(event).__name__ == "Heartbeat":
                 self._last_heartbeat_seq = seq
+        self._records_since_snapshot += len(seqs)
         return seqs
 
     def record_decision(self, data: dict) -> int:
         """Journal one skipped cadence tick (sparse/stable outcome)."""
+        self._records_since_snapshot += 1
         return self.journal.append("decision", data)
 
     def record_config(self, data: dict) -> int:
         """Journal one applied tune: its decision and the controller
         state it produced, as a single atomic record."""
+        self._records_since_snapshot += 1
         return self.journal.append("config", data)
 
     def record_rollback(self) -> int:
         """Journal an operator rollback."""
+        self._records_since_snapshot += 1
         return self.journal.append("rollback", {})
 
     # -- snapshot cadence ----------------------------------------------------
@@ -378,6 +480,10 @@ class ServiceState:
         """Whether the periodic snapshot cadence has elapsed."""
         if force:
             return True
+        if self.shards > 1:
+            # Telemetry lands in shard journals the control plane does
+            # not poll; the cadence counts dispatched + control records.
+            return self._records_since_snapshot >= self.snapshot_every
         return self.journal.last_seq - self._last_snapshot_seq >= self.snapshot_every
 
     def write_snapshot(self, state: dict) -> Path:
@@ -390,6 +496,7 @@ class ServiceState:
         seq = self.journal.last_seq
         path = self.snapshots.write(seq, state)
         self._last_snapshot_seq = seq
+        self._records_since_snapshot = 0
         if self.auto_compact:
             self.compact()
         return path
@@ -437,7 +544,45 @@ class ServiceState:
         heartbeat = self._heartbeat_seq()
         if heartbeat is not None and anchor > heartbeat:
             return 0
-        return self.journal.compact(anchor, keep_segments=keep)
+        removed = self.journal.compact(anchor, keep_segments=keep)
+        if self.shards > 1 and self.shard_compaction:
+            removed += self._compact_shards(keep)
+        return removed
+
+    def _compact_shards(self, keep: int) -> int:
+        """Compact shard journals below the oldest snapshot's coverage.
+
+        Each shard journal ``i`` is compacted up to the oldest retained
+        snapshot's recorded position ``shard_seqs[i]`` — and only when
+        that position is at or before the shard journal's newest
+        broadcast heartbeat, the same boundary-safety rule the control
+        journal applies: the crash-recovery rewind truncates to a
+        completed chunk boundary, and the anchor snapshot must survive
+        that rewind for the compacted prefix to stay unreachable.
+        """
+        if self._heartbeat_seq() is None:
+            # Heartbeats are broadcast: none in the control journal
+            # means none anywhere, so no completed-chunk boundary
+            # protects a rewind yet — and scanning N heartbeat-free
+            # shard journals end-to-end on every snapshot would cost
+            # O(journal) each time.  Skip until a boundary exists.
+            return 0
+        oldest = self.snapshots.load_oldest()
+        if oldest is None:
+            return 0
+        shard_seqs = oldest[1].get("sharding", {}).get("shard_seqs")
+        if not shard_seqs or len(shard_seqs) != self.shards:
+            return 0  # snapshot predates this layout; nothing provable
+        removed = 0
+        for i in range(self.shards):
+            journal = self.shard_journal(i)
+            # Cheap: heartbeats land every chunk, so the scan stops at
+            # the newest segment containing one.
+            boundary = last_heartbeat(journal)
+            if boundary is None or int(shard_seqs[i]) > boundary[0]:
+                continue
+            removed += journal.compact(int(shard_seqs[i]), keep_segments=keep)
+        return removed
 
     # -- truncation ----------------------------------------------------------
 
@@ -450,6 +595,103 @@ class ServiceState:
             self._last_heartbeat_seq = None  # re-scan lazily past the cut
         return removed
 
+    def rewind_to_heartbeat(self) -> tuple[float, int]:
+        """Rewind every journal to the newest *common* chunk boundary.
+
+        The crash-recovery primitive behind ``repro resume``.  Returns
+        ``(boundary_time, records_dropped)``; a boundary time of 0.0
+        means no chunk completed anywhere and everything was rewound.
+
+        Single-shard: truncate the one journal (and snapshots) past its
+        newest heartbeat — exactly the PR 2 behavior.  Sharded: the
+        boundary is the newest heartbeat time present in **all**
+        journals (heartbeats are broadcast at every boundary, so the
+        minimum over per-journal newest heartbeats is common); each
+        journal is truncated past its own copy of that heartbeat, and
+        snapshots are pruned when their control seq *or any recorded
+        shard seq* lies past the corresponding boundary — a snapshot
+        taken mid-chunk may cover shard telemetry that was just
+        truncated, and restoring it would double-deliver the partial
+        chunk the resume re-simulates.
+        """
+        if self.shards == 1:
+            boundary = last_heartbeat(self.journal)
+            seq, start = boundary if boundary is not None else (0, 0.0)
+            return start, self.truncate_after(seq)
+        journals = [self.journal] + [
+            self.shard_journal(i) for i in range(self.shards)
+        ]
+        # A journal holding no records at all constrains nothing: a
+        # freshly resharded (or tenant-less) shard journal must not
+        # drag the common boundary — and the whole retained history —
+        # down to zero.  Only journals with acknowledged records but no
+        # completed chunk boundary force the full rewind.
+        newest = [
+            last_heartbeat(j) for j in journals if j.last_seq or j.segments()
+        ]
+        if not newest or any(found is None for found in newest):
+            start, control_seq = 0.0, 0
+            cuts = [0] * self.shards
+            dropped = self.journal.truncate_after(0)
+            for i in range(self.shards):
+                dropped += self.shard_journal(i).truncate_after(0)
+        else:
+            start = min(when for _, when in newest)
+            control = heartbeat_at_or_before(self.journal, start)
+            control_seq = control[0] if control is not None else 0
+            dropped = self.journal.truncate_after(control_seq)
+            cuts = []
+            for i in range(self.shards):
+                journal = self.shard_journal(i)
+                found = heartbeat_at_or_before(journal, start)
+                cut = found[0] if found is not None else 0
+                cuts.append(cut)
+                dropped += journal.truncate_after(cut)
+        self.snapshots.truncate_after(control_seq)
+        for path in self.snapshots.paths():
+            seqs = None
+            try:
+                payload = json.loads(
+                    unframe_line(path.read_text(encoding="utf-8").strip())
+                )
+                seqs = payload["state"].get("sharding", {}).get("shard_seqs")
+            except (ValueError, KeyError, TypeError):
+                pass  # unreadable snapshots are skipped at load time
+            if seqs is not None and any(
+                int(s) > cut for s, cut in zip(seqs, cuts)
+            ):
+                path.unlink()
+        self._last_snapshot_seq = min(self._last_snapshot_seq, control_seq)
+        if (
+            self._last_heartbeat_seq is not None
+            and self._last_heartbeat_seq > control_seq
+        ):
+            self._last_heartbeat_seq = None  # re-scan lazily past the cut
+        return start, dropped
+
+    # -- resharding ----------------------------------------------------------
+
+    def reshard(self, shards: int) -> None:
+        """Re-target the state dir at a new shard count.
+
+        Only the *layout pointer* changes: existing journals stay on
+        disk (records at or below the covering snapshot's recorded
+        positions are never replayed, and orphaned ``shard-NN`` trees
+        beyond the new count are simply ignored).  The caller — see
+        ``repro resume --reshard`` — must immediately write a full
+        snapshot recording the new layout, so every later resume finds
+        a consistent (snapshot, journal-tail) pair under the new
+        routing.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        for journal in self._shard_journals.values():
+            journal.close()
+        self._shard_journals.clear()
+        self.shards = int(shards)
+
     def close(self) -> None:
-        """Close the underlying journal file handle."""
+        """Close every open journal file handle (control and shards)."""
         self.journal.close()
+        for journal in self._shard_journals.values():
+            journal.close()

@@ -130,12 +130,31 @@ class TestDocsPages:
             for sub in pattern.findall(text):
                 assert sub in known, f"{page} references unknown subcommand {sub!r}"
 
-    def test_operations_flag_table_matches_serve_parser(self):
+    def test_operations_flags_match_cli_parsers(self):
+        """Every flag OPERATIONS.md documents exists on serve/replay/resume."""
         ops = (REPO_ROOT / "docs/OPERATIONS.md").read_text()
-        serve = _subcommands()["serve"]
-        flags = {s for action in serve._actions for s in action.option_strings}
+        subs = _subcommands()
+        flags = {
+            s
+            for name in ("serve", "replay", "resume", "compact")
+            for action in subs[name]._actions
+            for s in action.option_strings
+        }
         for flag in re.findall(r"`(--[a-z][a-z-]*)`", ops):
             assert flag in flags, f"OPERATIONS.md documents unknown flag {flag}"
+
+    def test_serve_and_replay_share_the_documented_flag_table(self):
+        """The OPERATIONS flag table says 'shared by serve and replay';
+        keep the two parsers' common scenario flags actually shared."""
+        subs = _subcommands()
+        serve = {
+            s for a in subs["serve"]._actions for s in a.option_strings
+        }
+        replay = {
+            s for a in subs["replay"]._actions for s in a.option_strings
+        }
+        for flag in ("--shards", "--shard-workers", "--state-dir", "--scenario"):
+            assert flag in serve and flag in replay
 
     def test_operations_covers_scenario_catalog(self):
         from repro.service.replay import SCENARIOS

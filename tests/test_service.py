@@ -392,6 +392,19 @@ class TestScenarios:
         assert model.rate_pattern.factor(0.5 * 10_000.0) == 1.0
         assert scenario.churn[0][2] is True and scenario.churn[1][2] is False
 
+    def test_flash_failure_composes_surge_and_node_loss(self):
+        """The compound scenario carries both stress signals at once."""
+        scenario = make_scenario("flash-failure", scale=1.0, horizon=10_000.0)
+        model = scenario.model.tenant_model("besteffort")
+        inside = model.rate_pattern.factor(0.45 * 10_000.0)
+        outside = model.rate_pattern.factor(0.0)
+        assert inside == pytest.approx(5.0) and outside == pytest.approx(1.0)
+        assert scenario.node_loss, "failure bursts missing"
+        # At least one loss burst lands inside the surge window, so the
+        # two signals genuinely interact.
+        surge = (0.35 * 10_000.0, 0.55 * 10_000.0)
+        assert any(surge[0] <= when < surge[1] for when, _, _ in scenario.node_loss)
+
 
 class TestReplay:
     def _run(self, name, seed=0, transport="direct"):
@@ -434,6 +447,20 @@ class TestReplay:
         assert summary.events > 0
         service_decisions = summary.decisions
         assert service_decisions is not None
+
+    def test_flash_failure_replays_end_to_end(self):
+        """The compound scenario drives surge + loss through the daemon."""
+        scenario = make_scenario("flash-failure", scale=1.0, horizon=3600.0)
+        service = build_service(
+            scenario,
+            ServiceConfig(window=900.0, retune_interval=450.0, min_window_jobs=3),
+            seed=0,
+        )
+        summary = ScenarioReplayer(scenario, service, seed=0).run()
+        assert summary.events > 100
+        assert summary.max_stats_gap < 1e-9
+        assert service.nodes_lost > 0  # the failure half fired
+        assert any(d.reason == "forced" for d in summary.decisions)
 
     def test_bus_transport_matches_direct_counts(self):
         direct = self._run("steady", seed=3, transport="direct")
