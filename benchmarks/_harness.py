@@ -30,6 +30,37 @@ from repro.workload.synthetic import (
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def append_trajectory_run(results_json: Path, record: dict) -> None:
+    """Append one timestamped run to a machine-readable trajectory file.
+
+    The file holds a ``runs`` list and every benchmark invocation
+    **appends** a record stamped with UTC time and the host's core
+    count, so the trajectory across PRs (and CI runs) is preserved
+    instead of overwritten.  A pre-trajectory file (one flat dict of
+    metrics) is migrated by wrapping it as the first, undated run.
+    """
+    import json as _json
+    import os as _os
+    from datetime import datetime, timezone
+
+    history = {"runs": []}
+    if results_json.exists():
+        data = _json.loads(results_json.read_text())
+        if "runs" in data:
+            history = data
+        else:  # legacy flat layout: keep it as the first (undated) run
+            history = {"runs": [{"mode": "full", "timestamp": None, **data}]}
+    history["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "cpu_count": _os.cpu_count() or 1,
+            **record,
+        }
+    )
+    results_json.parent.mkdir(parents=True, exist_ok=True)
+    results_json.write_text(_json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
 def report(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Format, print, and archive one experiment's table."""
     widths = [

@@ -45,16 +45,14 @@ CI smoke (small event count + regression ceilings):
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
 import time
-from datetime import datetime, timezone
 
 import numpy as np
 
-from _harness import RESULTS_DIR, report
+from _harness import RESULTS_DIR, append_trajectory_run, report
 from repro.service.daemon import ServiceConfig, TempoService
 from repro.service.events import JobCompleted, JobSubmitted, TaskCompleted
 from repro.service.ingest import RollingWindow, stats_gap
@@ -72,27 +70,8 @@ RESULTS_JSON = RESULTS_DIR / "perf_service_ingest.json"
 
 
 def append_run(record: dict) -> None:
-    """Append one timestamped run record to the results trajectory.
-
-    Migrates the pre-trajectory format (one flat dict of metrics) by
-    wrapping it as the first run, so no history is lost.
-    """
-    history = {"runs": []}
-    if RESULTS_JSON.exists():
-        data = json.loads(RESULTS_JSON.read_text())
-        if "runs" in data:
-            history = data
-        else:  # legacy flat layout: keep it as the first (undated) run
-            history = {"runs": [{"mode": "full", "timestamp": None, **data}]}
-    history["runs"].append(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            "cpu_count": os.cpu_count() or 1,
-            **record,
-        }
-    )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    RESULTS_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    """Append one timestamped run record to this bench's trajectory."""
+    append_trajectory_run(RESULTS_JSON, record)
 
 
 def telemetry_events(horizon: float = 7200.0, scale: float = 2.0, seed: int = 0):

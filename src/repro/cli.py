@@ -44,6 +44,18 @@ small operational CLI:
     is covered by the oldest retained snapshot (the daemon also does
     this automatically after every snapshot unless disabled).
 
+``python -m repro convert``
+    Convert an RM callback log (the archived trace JSONL format a real
+    RM's callback recorder or ``repro simulate --save`` writes) into a
+    service trace file replayable with ``repro replay --trace``.
+
+The serving subcommands take ``--guards`` — a comma-separated decision
+pipeline spec (``legacy``, ``predictive``, ``predictive,stability``,
+...).  ``legacy`` (the default) is the byte-compatible
+observed-vs-observed revert guard; ``predictive`` swaps in the
+load-normalized predicted-vs-predicted comparison so workload growth no
+longer reads as config regression.  See ``docs/OPERATIONS.md``.
+
 SLO spec file format — a JSON array of QS-template dictionaries::
 
     [
@@ -236,6 +248,18 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _verdict_line(decisions) -> str | None:
+    """Tally decision-plane verdicts (``None`` for legacy pipelines)."""
+    from repro.core.decisions import VERDICTS, verdict_counts
+
+    counts = verdict_counts(d.record for d in decisions)
+    if not counts:
+        return None
+    parts = [f"{v}:{counts[v]}" for v in VERDICTS if v in counts]
+    parts += [f"{v}:{n}" for v, n in sorted(counts.items()) if v not in VERDICTS]
+    return "verdicts=" + ",".join(parts)
+
+
 def _print_replay_summary(summary: ReplaySummary, out) -> None:
     print(
         f"events={summary.events} (submitted={summary.jobs_submitted}, "
@@ -251,6 +275,9 @@ def _print_replay_summary(summary: ReplaySummary, out) -> None:
         f"(stable={stable}, sparse={sparse}) reverted={summary.reverts}",
         file=out,
     )
+    verdicts = _verdict_line(summary.decisions)
+    if verdicts:
+        print(verdicts, file=out)
     if summary.dropped:
         print(f"WARNING: bus shed {summary.dropped} events", file=out)
     print(
@@ -288,6 +315,10 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         )
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.freeze_after is not None and args.freeze_after < 1:
+        raise SystemExit(
+            f"--freeze-after must be >= 1, got {args.freeze_after}"
+        )
     scenario = make_scenario(
         args.scenario,
         scale=args.scale,
@@ -327,6 +358,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "keep_segments": args.keep_segments,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
+                "guards": args.guards,
+                "freeze_after": args.freeze_after,
             }
         )
     service = build_service(
@@ -341,6 +374,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         revert_windows=args.revert_windows,
+        guards=args.guards,
+        freeze_after=args.freeze_after,
     )
     recorded: list | None = [] if getattr(args, "save_trace", None) else None
     replayer = ScenarioReplayer(
@@ -405,6 +440,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
                 "revert_windows": args.revert_windows,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
+                "guards": args.guards,
+                "freeze_after": args.freeze_after,
             }
         )
     service = build_service(
@@ -419,6 +456,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         revert_windows=args.revert_windows,
+        guards=args.guards,
+        freeze_after=args.freeze_after,
     )
     print(
         f"trace={args.trace} ({len(events)} events) "
@@ -497,13 +536,19 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         drift_threshold=meta["drift"],
     )
     controller = build_controller(
-        scenario, seed=meta["seed"], revert_windows=meta.get("revert_windows", 1)
+        scenario,
+        seed=meta["seed"],
+        revert_windows=meta.get("revert_windows", 1),
+        guards=meta.get("guards"),
+        freeze_after=meta.get("freeze_after"),
     )
     service = TempoService.resume(controller, state, config)
+    restored_verdicts = _verdict_line(service.decisions)
     print(
         f"resumed from {args.state_dir}: events={service.events_processed} "
         f"retunes={service.retunes} configs={len(service.config_history)} "
         f"shards={service.num_shards} t={start:.0f}s"
+        + (f" {restored_verdicts}" if restored_verdicts else "")
         + (f" (dropped {dropped} partial-interval records)" if dropped else ""),
         file=out,
     )
@@ -548,6 +593,33 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
     finally:
         service.close()
     _print_replay_summary(summary, out)
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace, out) -> int:
+    """``repro convert``: RM callback log -> service trace file.
+
+    The input is the archived trace JSONL format
+    (:meth:`~repro.workload.trace.Trace.to_jsonl` — what a real RM's
+    callback recorder or ``repro simulate --save`` writes); the output
+    is the event-per-line format ``repro replay --trace`` consumes.
+    ``--heartbeat`` inserts cadence heartbeats so the daemon retunes
+    through quiet stretches of the log.
+    """
+    from repro.service.replay import convert_rm_log
+
+    if not Path(args.log).exists():
+        raise SystemExit(f"log file {args.log} does not exist")
+    if args.heartbeat < 0:
+        raise SystemExit(
+            f"--heartbeat must be non-negative, got {args.heartbeat}"
+        )
+    count = convert_rm_log(
+        args.log,
+        args.out,
+        heartbeat_interval=None if args.heartbeat == 0 else args.heartbeat * 60.0,
+    )
+    print(f"converted {args.log} -> {args.out} ({count} events)", file=out)
     return 0
 
 
@@ -622,6 +694,23 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=3,
         help="windows averaged for the revert-guard comparison",
+    )
+    parser.add_argument(
+        "--guards",
+        default="legacy",
+        help="decision-plane pipeline: comma-separated guards from "
+        "{legacy, predictive, stability, sparsity}; 'legacy' (default) "
+        "keeps the observed-vs-observed guard byte-identical to the "
+        "pre-decision-plane pipeline, 'predictive' swaps in the "
+        "load-normalized comparison",
+    )
+    parser.add_argument(
+        "--freeze-after",
+        type=int,
+        default=None,
+        help="consecutive reverts after which the decision plane "
+        "freezes (rolls back and stops proposing candidates); "
+        "default: disabled",
     )
     parser.add_argument(
         "--state-dir",
@@ -740,6 +829,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="redistribute the data plane across --shards before continuing",
     )
     resume.set_defaults(func=cmd_resume)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert an RM callback log (trace JSONL) to a replayable "
+        "service trace file",
+    )
+    convert.add_argument("log", help="RM callback log / archived trace JSONL")
+    convert.add_argument("out", help="output service trace file (JSONL events)")
+    convert.add_argument(
+        "--heartbeat",
+        type=float,
+        default=15.0,
+        help="minutes between inserted cadence heartbeats "
+        "(0: raw callbacks only, no heartbeats)",
+    )
+    convert.set_defaults(func=cmd_convert)
 
     compact = sub.add_parser(
         "compact", help="drop journal segments a retained snapshot covers"

@@ -14,11 +14,16 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.pald` — PAreto Local Descent (Section 6);
 * :mod:`repro.core.baselines` — random search, NSGA-II-lite,
   weighted-sum descent baselines;
+* :mod:`repro.core.decisions` — the decision plane: a pluggable guard
+  pipeline (sparsity, stability, legacy observed-vs-observed revert,
+  load-normalized predictive revert) with typed verdicts
+  (accept / revert / hold / freeze) and journaled
+  :class:`~repro.core.decisions.DecisionRecord` s;
 * :mod:`repro.core.controller` — the eight-step Tempo control loop with
-  trust region and revert guard (Section 4); the guard compares
-  multi-window-averaged observed QS vectors to stay calm under noisy
-  telemetry, and :meth:`~repro.core.controller.TempoController.
-  tune_from_trace` is the serving layer's entry point.
+  trust region and decision plane (Section 4); the legacy guard
+  compares multi-window-averaged observed QS vectors to stay calm
+  under noisy telemetry, and :meth:`~repro.core.controller.
+  TempoController.tune_from_trace` is the serving layer's entry point.
 """
 
 from repro.core.pareto import ParetoArchive, dominates, pareto_front, weakly_dominates
@@ -36,6 +41,17 @@ from repro.core.baselines import (
     NSGAIILite,
     RandomSearchOptimizer,
     WeightedSumOptimizer,
+)
+from repro.core.decisions import (
+    VERDICTS,
+    DecisionEngine,
+    DecisionRecord,
+    GuardVote,
+    LegacyRevertGuard,
+    PredictiveGuard,
+    SparsityGuard,
+    StabilityGuard,
+    verdict_counts,
 )
 from repro.core.controller import ControlIteration, TempoController
 
@@ -62,4 +78,13 @@ __all__ = [
     "NSGAIILite",
     "TempoController",
     "ControlIteration",
+    "VERDICTS",
+    "DecisionEngine",
+    "DecisionRecord",
+    "GuardVote",
+    "SparsityGuard",
+    "StabilityGuard",
+    "LegacyRevertGuard",
+    "PredictiveGuard",
+    "verdict_counts",
 ]

@@ -14,24 +14,35 @@ Each iteration performs the paper's Steps (1)-(8):
 
 Two robustness mechanisms frame the loop: the **trust region** bounds
 each move's normalized-l2 distance (the DBA's risk tolerance), and the
-**revert guard** rolls back a newly applied configuration whose observed
-QS vector regresses the previously observed one.  Thresholds of
-best-effort SLOs are *ratcheted*: the best value observed so far becomes
-the constraint for the next iteration (Section 6.1), so the loop keeps
-improving on the incumbent rather than merely not regressing.
+**decision plane** (:mod:`repro.core.decisions`) judges every applied
+configuration before the loop optimizes further.  The default
+``legacy`` pipeline reproduces the paper's revert guard exactly — roll
+back a configuration whose observed QS vector regresses the previously
+observed one — while the ``predictive`` pipeline re-evaluates both the
+incumbent and its revert target on the *fresh* window's observed
+workload, so workload growth no longer reads as config regression.
+Thresholds of best-effort SLOs are *ratcheted*: the best value observed
+so far becomes the constraint for the next iteration (Section 6.1), so
+the loop keeps improving on the incumbent rather than merely not
+regressing.
 """
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.decisions import (
+    VERDICT_FREEZE,
+    VERDICT_REVERT,
+    DecisionEngine,
+    DecisionRecord,
+    RevertSignals,
+)
 from repro.core.pald import PALD
-from repro.core.pareto import dominates
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
 from repro.rm.policies import SchedulingPolicy
@@ -58,6 +69,16 @@ class ControlIteration:
     reverted: bool
     whatif_evaluations: int
     trace: TaskSchedule | None = None
+    #: The decision plane's full record of this iteration's verdict
+    #: (prediction, observation, residual, guard votes).
+    decision: DecisionRecord | None = None
+
+    @property
+    def verdict(self) -> str:
+        """The decision plane's verdict for this iteration."""
+        if self.decision is not None:
+            return self.decision.verdict
+        return "revert" if self.reverted else "accept"
 
     @property
     def feasible(self) -> bool:
@@ -116,6 +137,18 @@ class TempoController:
             guard fire on most applied tunes; averaging ``k > 1``
             windows trades reaction speed for far less revert churn.
             ``1`` reproduces the single-window guard.
+        guards: Decision-plane pipeline judging every applied
+            configuration — a spec string (``"legacy"``,
+            ``"predictive"``, ``"predictive,stability"``, ...) or a
+            pre-built :class:`~repro.core.decisions.DecisionEngine`.
+            The default ``"legacy"`` pipeline is byte-identical to the
+            pre-decision-plane controller; ``"predictive"`` swaps the
+            observed-vs-observed revert comparison for the
+            load-normalized predicted-vs-predicted one.
+        freeze_after: Consecutive reverts after which the decision
+            plane freezes (roll back and stop proposing candidates
+            until the workload moves).  ``None`` disables the churn
+            breaker; ignored when ``guards`` is a pre-built engine.
         ratchet: Ratchet best-effort thresholds to the best observed QS.
         heartbeat: Production simulator heartbeat seconds.
         store_traces: Keep each iteration's full trace on the record
@@ -140,6 +173,8 @@ class TempoController:
         revert_mode: str = "regression",
         revert_tol: float = 0.05,
         revert_windows: int = 1,
+        guards: str | DecisionEngine | None = None,
+        freeze_after: int | None = None,
         ratchet: bool = True,
         heartbeat: float = 5.0,
         seed: int = 0,
@@ -173,6 +208,14 @@ class TempoController:
         # Trailing observed-QS vectors feeding the revert guard's
         # multi-window average (len <= revert_windows).
         self._observed_recent: deque[np.ndarray] = deque(maxlen=self.revert_windows)
+        if isinstance(guards, DecisionEngine):
+            self.engine = guards
+        else:
+            self.engine = DecisionEngine.from_spec(guards, freeze_after=freeze_after)
+        # Selection-time what-if prediction for the currently applied
+        # configuration (retained only for prediction-hungry pipelines).
+        self._predicted: np.ndarray | None = None
+        self.last_decision: DecisionRecord | None = None
 
         # One persistent PALD: its sample buffer accumulates QS
         # observations across control iterations (the workload is
@@ -231,10 +274,14 @@ class TempoController:
         observed = self.slos.evaluate(trace)
         observed_raw = self.slos.evaluate_raw(trace)
 
-        # Revert guard: roll back a regressing configuration before
-        # optimizing further (Section 4's robustness mechanism).  The
+        # Decision plane: judge the applied configuration before
+        # optimizing further (Section 4's robustness mechanism,
+        # extracted into :mod:`repro.core.decisions`).  The legacy
         # guard compares averages over the trailing `revert_windows`
-        # observations, not single noisy windows.
+        # observations; the predictive guard re-evaluates the incumbent
+        # and its revert target on this window's observed workload
+        # through the what-if model, which is why the model is built
+        # before the verdict.
         evicted = (
             self._observed_recent[0]
             if len(self._observed_recent) == self._observed_recent.maxlen
@@ -242,8 +289,32 @@ class TempoController:
         )
         self._observed_recent.append(observed)
         smoothed = self.smoothed_observation()
-        reverted = self._maybe_revert(smoothed)
+        whatif = self._build_whatif(trace, window, index, cluster)
+        decision = self.engine.judge(
+            RevertSignals(
+                index=index,
+                config=self.config,
+                prev=self._prev,
+                observed=observed,
+                smoothed=smoothed,
+                predicted=self._predicted,
+                evaluate=whatif.evaluate,
+                revert_mode=self.revert_mode,
+                tol=self.revert_tol,
+            )
+        )
+        self.last_decision = decision
+        # A revert without a baseline has nothing to restore: built-in
+        # guards never vote revert before an accepted application, but
+        # the pipeline is pluggable and a custom guard might.
+        reverted = (
+            decision.verdict in (VERDICT_REVERT, VERDICT_FREEZE)
+            and self._prev is not None
+        )
         if reverted:
+            prev_config, _, prev_x = self._prev
+            self.config = prev_config
+            self.x = prev_x.copy()
             # The window was measured under the configuration the guard
             # just rejected; keeping it would poison the average for the
             # next `revert_windows` comparisons and trigger a revert
@@ -258,10 +329,16 @@ class TempoController:
         thresholds = self._current_thresholds(observed)
         self._pald.set_thresholds(thresholds)
 
-        # Steps (2)-(7): workload generation + what-if + PALD.
-        whatif = self._build_whatif(trace, window, thresholds, index, cluster)
+        # Steps (2)-(7): workload generation + what-if + PALD.  A
+        # freeze verdict (revert churn breaker) rolls back *without*
+        # proposing a new candidate: the restored incumbent stands
+        # until the workload moves.
         self._pald.evaluator = whatif.evaluator(self.space)
-        step = self._pald.step(self.x, f_x=whatif.evaluate(self.config))
+        if decision.verdict == VERDICT_FREEZE:
+            step_x = self.x.copy()
+        else:
+            step = self._pald.step(self.x, f_x=whatif.evaluate(self.config))
+            step_x = step.x
 
         record = ControlIteration(
             index=index,
@@ -273,6 +350,7 @@ class TempoController:
             reverted=reverted,
             whatif_evaluations=whatif.evaluations,
             trace=trace if self.store_traces else None,
+            decision=decision,
         )
 
         # Step (8): apply the Pareto-improving configuration.  After a
@@ -280,8 +358,16 @@ class TempoController:
         # baseline for the next guard comparison.
         if not reverted:
             self._prev = (self.config, smoothed, self.x.copy())
-        self.x = step.x
-        self.config = self.space.decode(step.x)
+        self.x = step_x
+        self.config = self.space.decode(step_x)
+        if self.engine.wants_prediction:
+            # Retain what the what-if model promised for the configura-
+            # tion just applied — a cache hit for any candidate PALD
+            # evaluated, so this costs no extra simulation in practice.
+            predicted = whatif.evaluate_cached(self.config)
+            self._predicted = (
+                predicted if predicted is not None else whatif.evaluate(self.config)
+            )
         return record
 
     def smoothed_observation(self) -> np.ndarray:
@@ -298,22 +384,6 @@ class TempoController:
         return np.mean(np.vstack(list(self._observed_recent)), axis=0)
 
     # -- internals -------------------------------------------------------------
-
-    def _maybe_revert(self, observed: np.ndarray) -> bool:
-        if self.revert_mode == "off" or self._prev is None:
-            return False
-        prev_config, prev_observed, prev_x = self._prev
-        tol = self.revert_tol * (np.abs(prev_observed) + 1e-9)
-        if self.revert_mode == "regression":
-            regress = dominates(prev_observed, observed, tol)
-        else:  # strict: revert unless the new observation dominates.
-            regress = not dominates(observed, prev_observed, tol) and not np.allclose(
-                observed, prev_observed
-            )
-        if regress:
-            self.config = prev_config
-            self.x = prev_x.copy()
-        return bool(regress)
 
     def _current_thresholds(self, observed: np.ndarray) -> np.ndarray:
         base = self.slos.thresholds()
@@ -334,7 +404,6 @@ class TempoController:
         self,
         trace: TaskSchedule,
         window: Workload | None,
-        thresholds: np.ndarray,
         index: int,
         cluster: ClusterSpec | None = None,
     ) -> WhatIfModel:

@@ -29,6 +29,7 @@ live Resource Manager):
 """
 
 from repro.service.events import (
+    DecisionMade,
     EventBus,
     Heartbeat,
     JobCompleted,
@@ -74,7 +75,9 @@ from repro.service.replay import (
     ScenarioReplayer,
     build_controller,
     build_service,
+    convert_rm_log,
     dump_trace_events,
+    events_from_trace,
     load_trace_events,
     make_scenario,
     replay_trace,
@@ -90,6 +93,7 @@ __all__ = [
     "TenantJoined",
     "TenantLeft",
     "Heartbeat",
+    "DecisionMade",
     "EventBus",
     "RollingWindow",
     "TenantWindowStats",
@@ -121,4 +125,6 @@ __all__ = [
     "dump_trace_events",
     "load_trace_events",
     "replay_trace",
+    "events_from_trace",
+    "convert_rm_log",
 ]

@@ -59,7 +59,6 @@ stream.
 
 from __future__ import annotations
 
-import math
 import os
 import threading
 import time as _time
@@ -67,9 +66,11 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.controller import ControlIteration, TempoController
+from repro.core.decisions import DecisionEngine, DecisionRecord, TickSignals
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import RMConfig
 from repro.service.events import (
+    DecisionMade,
     EventBus,
     Heartbeat,
     NodeLost,
@@ -178,6 +179,11 @@ class RetuneDecision:
         drift: The stability signal measured at the attempt.
         latency: Wall-clock seconds the tune took (0.0 when skipped).
         iteration: The controller's record when retuned, else ``None``.
+        record: The decision plane's full
+            :class:`~repro.core.decisions.DecisionRecord` (verdict,
+            guard votes, prediction/observation/residual).  ``None``
+            under the byte-compatible legacy pipeline, whose journal
+            records keep the pre-decision-plane wire format.
     """
 
     time: float
@@ -187,6 +193,18 @@ class RetuneDecision:
     drift: float
     latency: float = 0.0
     iteration: ControlIteration | None = None
+    record: DecisionRecord | None = None
+
+    @property
+    def verdict(self) -> str:
+        """The decision plane's verdict for this cadence tick."""
+        if self.record is not None:
+            return self.record.verdict
+        if not self.retuned:
+            return "hold"
+        if self.iteration is not None:
+            return self.iteration.verdict
+        return "accept"
 
 
 @dataclass(frozen=True)
@@ -250,6 +268,13 @@ class TempoService:
     ):
         self.controller = controller
         self.config = config or ServiceConfig()
+        # One decision plane shared with the controller: the daemon
+        # consults it at each cadence tick (sparsity/stability phase),
+        # the controller in the revert phase of the tune itself.
+        self.engine: DecisionEngine = getattr(
+            controller, "engine", None
+        ) or DecisionEngine.from_spec(None)
+        self._decision_listeners: list = []
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if state is not None and state.shards != shards:
@@ -703,30 +728,41 @@ class TempoService:
                 snapshot = self._merged_shard_snapshot(now)
             jobs = sum(s.jobs for s in snapshot.values())
             force = force or self._force
-            # An empty window is always "sparse": even with
-            # min_window_jobs=0 there is no telemetry to tune from, and
-            # an empty trace would read as perfect SLO compliance.
-            if jobs == 0 or jobs < self.config.min_window_jobs:
-                decision = RetuneDecision(now, self._index, False, "sparse", 0.0)
+            # Pre-tune guard phase: the decision plane's sparsity and
+            # stability guards vote before any tuning work.  (An empty
+            # window is always held by the engine, even with
+            # min_window_jobs=0: there is no telemetry to tune from,
+            # and an empty trace would read as perfect SLO compliance.)
+            signals = TickSignals(
+                time=now,
+                index=self._index,
+                jobs=jobs,
+                min_jobs=self.config.min_window_jobs,
+                force=force,
+                first=self._last_snapshot is None,
+                drift_threshold=self.config.drift_threshold,
+                drift_fn=lambda: window_drift(self._last_snapshot, snapshot),
+            )
+            tick = self.engine.tick(signals)
+            if not tick.proceed:
+                record = (
+                    self.engine.hold_record(self._index, now, tick)
+                    if self.engine.emit_records
+                    else None
+                )
+                decision = RetuneDecision(
+                    now, self._index, False, tick.reason, tick.drift, record=record
+                )
                 self._record_decision(decision)
                 return decision
-            if self._last_snapshot is None:
-                reason, drift = "initial", math.inf
-            elif force:
-                reason, drift = "forced", math.inf
-            else:
-                drift = window_drift(self._last_snapshot, snapshot)
-                if drift < self.config.drift_threshold:
-                    decision = RetuneDecision(now, self._index, False, "stable", drift)
-                    self._record_decision(decision)
-                    return decision
-                reason = "drift"
+            reason, drift = tick.reason, tick.drift
             if window is None:
                 window = self._control_window(now)  # full merge: tune input
             trace = window.trace()
             cluster = self.effective_cluster(capacity_floor(trace.task_records))
             trace.capacity = cluster.as_dict()
             started = _time.perf_counter()
+            self.engine.begin_tune(now, tick.votes)
             iteration = self.controller.tune_from_trace(
                 self._index, trace, cluster=cluster
             )
@@ -737,7 +773,14 @@ class TempoService:
             self._last_snapshot = snapshot
             self._force = False
             decision = RetuneDecision(
-                now, self._index, True, reason, drift, latency, iteration
+                now,
+                self._index,
+                True,
+                reason,
+                drift,
+                latency,
+                iteration,
+                record=iteration.decision if self.engine.emit_records else None,
             )
             self._index += 1
             self._record_decision(decision)
@@ -794,6 +837,16 @@ class TempoService:
             losses[pool] = min(lost, max(0, allowed))
         return cluster.shrunk(losses)
 
+    def on_decision(self, callback) -> None:
+        """Subscribe to decision-plane outcomes.
+
+        ``callback`` receives a :class:`~repro.service.events.
+        DecisionMade` event for every cadence-tick decision this daemon
+        makes (never for decisions restored by a resume) — the
+        observability hook for dashboards and ablation harnesses.
+        """
+        self._decision_listeners.append(callback)
+
     def _record_decision(self, decision: RetuneDecision) -> None:
         """Append a decision in memory and, when durable, to the journal.
 
@@ -804,6 +857,19 @@ class TempoService:
         daemon never had.  Skipped ticks are plain ``decision`` records.
         """
         self.decisions.append(decision)
+        if self._decision_listeners and not self._replaying:
+            event = DecisionMade(
+                decision.time,
+                verdict=decision.verdict,
+                index=decision.index,
+                retuned=decision.retuned,
+                reason=decision.reason,
+                record=None
+                if decision.record is None
+                else decision.record.to_dict(),
+            )
+            for callback in self._decision_listeners:
+                callback(event)
         if self.state is None or self._replaying:
             return
         if decision.retuned:
@@ -1383,8 +1449,14 @@ def _detect_shard_layout(root: str | os.PathLike) -> int:
 
 
 def _decision_to_dict(decision: RetuneDecision) -> dict:
-    """JSON-ready dict for a decision (infinite drift -> null)."""
-    return {
+    """JSON-ready dict for a decision (infinite drift -> null).
+
+    The decision plane's :class:`~repro.core.decisions.DecisionRecord`
+    rides along under a ``"record"`` key when present; the legacy
+    pipeline attaches none, which keeps its journal and snapshot bytes
+    identical to the pre-decision-plane format.
+    """
+    row = {
         "time": decision.time,
         "index": decision.index,
         "retuned": decision.retuned,
@@ -1392,10 +1464,14 @@ def _decision_to_dict(decision: RetuneDecision) -> dict:
         "drift": inf_to_null(decision.drift),
         "latency": decision.latency,
     }
+    if decision.record is not None:
+        row["record"] = decision.record.to_dict()
+    return row
 
 
 def _decision_from_dict(row: dict) -> RetuneDecision:
     """Rebuild a decision record (without its in-memory iteration)."""
+    record = row.get("record")
     return RetuneDecision(
         time=float(row["time"]),
         index=int(row["index"]),
@@ -1403,4 +1479,5 @@ def _decision_from_dict(row: dict) -> RetuneDecision:
         reason=str(row["reason"]),
         drift=inf_from_null(row["drift"]),
         latency=float(row["latency"]),
+        record=None if record is None else DecisionRecord.from_dict(record),
     )

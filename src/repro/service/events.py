@@ -116,6 +116,27 @@ class Heartbeat(ServiceEvent):
     """
 
 
+@dataclass(frozen=True)
+class DecisionMade(ServiceEvent):
+    """The decision plane resolved one cadence tick.
+
+    An *outbound* event: the daemon never ingests it — it is published
+    to :meth:`~repro.service.daemon.TempoService.on_decision`
+    subscribers (dashboards, ablation harnesses) and may be archived in
+    trace files.  ``record`` carries the full
+    :class:`~repro.core.decisions.DecisionRecord` in its dict form when
+    the pipeline emits decision-plane payloads (every non-legacy
+    pipeline), so a consumer sees not just the verdict but the
+    prediction, observation, residual, and each guard's vote.
+    """
+
+    verdict: str
+    index: int
+    retuned: bool = False
+    reason: str = ""
+    record: dict | None = None
+
+
 class EventBus:
     """Bounded, thread-safe, in-memory FIFO event queue.
 

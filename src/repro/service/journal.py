@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping
 
 from repro.service.events import (
+    DecisionMade,
     Heartbeat,
     JobCompleted,
     JobSubmitted,
@@ -83,6 +84,7 @@ _EVENT_TYPES = {
         TenantJoined,
         TenantLeft,
         Heartbeat,
+        DecisionMade,
     )
 }
 
@@ -133,6 +135,16 @@ def encode_event(event: ServiceEvent) -> dict:
         }
     if isinstance(event, (TenantJoined, TenantLeft)):
         return {"type": cls, "time": event.time, "tenant": event.tenant}
+    if isinstance(event, DecisionMade):
+        return {
+            "type": cls,
+            "time": event.time,
+            "verdict": event.verdict,
+            "index": event.index,
+            "retuned": event.retuned,
+            "reason": event.reason,
+            "record": event.record,
+        }
     return {"type": cls, "time": event.time}  # Heartbeat
 
 

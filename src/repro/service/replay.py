@@ -19,7 +19,12 @@ configurable speedup factor:
 * ``failure-recovery`` — node-loss bursts whose capacity is repaired
   (:class:`~repro.service.events.NodeRecovered`) ~20 minutes later;
 * ``flash-failure`` — the compound case: the flash crowd arrives in the
-  middle of a failure storm (surge and capacity loss interact).
+  middle of a failure storm (surge and capacity loss interact);
+* ``adversarial`` — an SLO-gaming tenant that inflates its load just
+  before every retune boundary, so each window the guards judge looks
+  overloaded while the average load is mild — the scenario that makes
+  the observed-vs-observed revert guard churn and the predictive
+  (load-normalized) guard hold steady.
 
 Recorded telemetry can also be replayed from a JSONL trace file
 (:func:`load_trace_events` / :func:`replay_trace`; capture one with
@@ -77,7 +82,7 @@ from repro.workload.generator import (
     TenantWorkloadModel,
 )
 from repro.workload.model import MAP_POOL, REDUCE_POOL, Workload
-from repro.workload.patterns import DiurnalPattern, SpikePattern
+from repro.workload.patterns import BurstPattern, DiurnalPattern, SpikePattern
 from repro.workload.synthetic import (
     BEST_EFFORT_TENANT,
     DEADLINE_TENANT,
@@ -89,6 +94,9 @@ from repro.workload.trace import shift_job, shift_task
 
 #: Tenant name used by the churn scenario's transient batch tenant.
 CHURN_TENANT = "batch"
+
+#: Tenant name used by the adversarial scenario's SLO-gaming tenant.
+GAMING_TENANT = "gamer"
 
 
 def _node_loss_event(
@@ -348,6 +356,67 @@ def failure_recovery_scenario(
     )
 
 
+def adversarial_scenario(
+    scale: float = 1.5,
+    horizon: float | None = None,
+    *,
+    cadence: float = 900.0,
+) -> Scenario:
+    """An SLO-gaming tenant inflating load just before retune boundaries.
+
+    The ``gamer`` tenant knows the tuner's cadence (the serving
+    default, 15 minutes) and bursts through the *last quarter* of every
+    retune interval, idling the rest: every window the guards judge at
+    a tick closes on a load spike, so observed QS at decision time is
+    always worse than the interval's average.  The observed-vs-observed
+    revert guard reads that as "the configuration just applied
+    regressed" and churns reverts; the predictive guard re-evaluates
+    incumbent and revert target on the *observed* (inflated) workload
+    and correctly attributes the pain to the tenant, holding steady.
+
+    ``cadence`` is the retune interval the adversary games; drive the
+    replay with the same ``--interval`` for the full effect.
+    """
+    horizon = horizon if horizon is not None else 6 * 3600.0
+    base = two_tenant_model(scale)
+    gamer = TenantWorkloadModel(
+        tenant=GAMING_TENANT,
+        arrival=PoissonProcessModel(rate=60 * scale / 3600.0),
+        stages=(
+            StageModel(
+                "map",
+                MAP_POOL,
+                LognormalModel(mu=math.log(10), sigma=0.6, minimum=1),
+                LognormalModel(mu=math.log(45), sigma=0.8, minimum=1),
+            ),
+        ),
+        rate_pattern=BurstPattern(
+            period=cadence,
+            burst_fraction=0.25,
+            burst_level=4.0,
+            idle_level=0.05,
+            phase=0.75,
+        ),
+        tags=("adversarial",),
+    )
+    return Scenario(
+        name="adversarial",
+        description="SLO-gaming tenant bursting just before retune boundaries",
+        cluster=two_tenant_cluster(),
+        model=StatisticalWorkloadModel(
+            [
+                base.tenant_model(DEADLINE_TENANT),
+                base.tenant_model(BEST_EFFORT_TENANT),
+                gamer,
+            ]
+        ),
+        slos=_two_tenant_slos(),
+        initial_config=two_tenant_expert_config(),
+        horizon=horizon,
+        noise=NoiseModel.production(),
+    )
+
+
 #: Scenario catalog: name -> factory(scale, horizon).
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "steady": steady_scenario,
@@ -357,6 +426,7 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "failure-storm": failure_storm_scenario,
     "failure-recovery": failure_recovery_scenario,
     "flash-failure": flash_failure_scenario,
+    "adversarial": adversarial_scenario,
 }
 
 
@@ -877,6 +947,92 @@ class ScenarioReplayer:
 # one `encode_event` JSON object per line: the journal's canonical event
 # codec without the CRC frame or sequence numbers, so a trace file is
 # producible with nothing but `json.dumps`.
+
+
+def events_from_trace(trace, *, heartbeat_interval: float | None = None):
+    """Convert an observed :class:`~repro.workload.trace.Trace` into the
+    service's telemetry-event vocabulary.
+
+    This is the bridge from a *real* RM's callback log to the serving
+    pipeline: what an RM exposes through its job-submitted /
+    task-finished / job-finished callbacks is exactly the job and task
+    records an archived trace holds (``repro simulate --save`` writes
+    the same format), and this function replays those records as the
+    event stream the RM would have emitted live —
+    :class:`~repro.service.events.JobSubmitted` at each submission,
+    :class:`~repro.service.events.TaskCompleted` /
+    :class:`~repro.service.events.JobCompleted` at each completion, in
+    timestamp order with the replayer's tie-breaking ranks.
+
+    ``heartbeat_interval`` inserts a :class:`~repro.service.events.
+    Heartbeat` every that-many seconds (plus one at the horizon), so
+    the daemon's retune cadence keeps firing through quiet stretches
+    of the log; ``None`` emits no heartbeats (the raw callbacks only).
+    """
+    keyed: list[tuple[tuple, ServiceEvent]] = []
+    for jrec in trace.job_records:
+        keyed.append(
+            (
+                (jrec.submit_time, 0, jrec.job_id),
+                JobSubmitted(
+                    jrec.submit_time,
+                    tenant=jrec.tenant,
+                    job_id=jrec.job_id,
+                    deadline=jrec.deadline,
+                ),
+            )
+        )
+        keyed.append(
+            (
+                (jrec.finish_time, 2, jrec.job_id),
+                JobCompleted(jrec.finish_time, record=jrec),
+            )
+        )
+    for trec in trace.task_records:
+        keyed.append(
+            (
+                (trec.finish_time, 1, trec.task_id, trec.attempt),
+                TaskCompleted(trec.finish_time, record=trec),
+            )
+        )
+    if heartbeat_interval is not None:
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        horizon = max(
+            [trace.horizon]
+            + [t.finish_time for t in trace.task_records]
+            + [j.finish_time for j in trace.job_records]
+        )
+        tick = heartbeat_interval
+        while tick < horizon:
+            keyed.append(((tick, 3, ""), Heartbeat(tick)))
+            tick += heartbeat_interval
+        keyed.append(((horizon, 3, ""), Heartbeat(horizon)))
+    keyed.sort(key=lambda pair: pair[0])
+    return [event for _, event in keyed]
+
+
+def convert_rm_log(
+    log_path, out_path, *, heartbeat_interval: float | None = None
+) -> int:
+    """Convert an RM callback log (archived trace JSONL) to a service
+    trace file replayable with ``repro replay --trace``.
+
+    Reads the :meth:`~repro.workload.trace.Trace.to_jsonl` format — the
+    ``header``/``job``/``task`` rows a real RM's callback recorder (or
+    ``repro simulate --save``) archives; the header row is optional —
+    and writes the event-per-line format of :func:`dump_trace_events`.
+    Returns the number of events written.
+    """
+    from pathlib import Path as _Path
+
+    from repro.workload.trace import Trace as _Trace
+
+    trace = _Trace.from_jsonl(_Path(log_path).read_text())
+    events = events_from_trace(trace, heartbeat_interval=heartbeat_interval)
+    return dump_trace_events(events, out_path)
 
 
 def dump_trace_events(events, path) -> int:

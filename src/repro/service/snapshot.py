@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.core.decisions import _floats_in, _floats_out
 from repro.rm.config import RMConfig, TenantConfig
 from repro.service.ingest import TenantWindowStats
 from repro.service.journal import (
@@ -122,8 +123,12 @@ def controller_state_dict(controller: "TempoController") -> dict:
     Captures the applied configuration and its encoded vector, the
     revert guard's baseline (``_prev``), the trailing observed-QS
     vectors feeding the multi-window average, and the ratcheted
-    best-effort thresholds.  The PALD sample buffer is deliberately NOT
-    captured (see the module docstring).
+    best-effort thresholds.  Non-legacy decision pipelines additionally
+    persist the retained selection-time prediction and the engine's
+    freeze fuse — the legacy pipeline adds neither key, keeping its
+    snapshot and journal bytes identical to the pre-decision-plane
+    format.  The PALD sample buffer is deliberately NOT captured (see
+    the module docstring).
     """
     prev = None
     if controller._prev is not None:
@@ -134,7 +139,7 @@ def controller_state_dict(controller: "TempoController") -> dict:
             "x": [float(v) for v in prev_x],
         }
     ratchet = controller._ratchet_values
-    return {
+    state = {
         "config": config_to_dict(controller.config),
         "x": [float(v) for v in controller.x],
         "prev": prev,
@@ -143,6 +148,13 @@ def controller_state_dict(controller: "TempoController") -> dict:
         ],
         "ratchet": None if ratchet is None else _floats_out(ratchet),
     }
+    engine = getattr(controller, "engine", None)
+    if engine is not None and not engine.legacy:
+        state["guards"] = {"spec": engine.spec, **engine.state_dict()}
+        predicted = getattr(controller, "_predicted", None)
+        if predicted is not None:
+            state["predicted"] = _floats_out(predicted)
+    return state
 
 
 def restore_controller_state(controller: "TempoController", state: Mapping) -> None:
@@ -167,19 +179,18 @@ def restore_controller_state(controller: "TempoController", state: Mapping) -> N
     controller._ratchet_values = (
         None if ratchet is None else np.asarray(_floats_in(ratchet), dtype=float)
     )
+    predicted = state.get("predicted")
+    controller._predicted = (
+        None if predicted is None else np.asarray(_floats_in(predicted), dtype=float)
+    )
+    guards = state.get("guards")
+    if guards is not None and getattr(controller, "engine", None) is not None:
+        controller.engine.restore_state(guards)
 
 
-def _floats_out(values) -> list:
-    """Floats -> JSON list with infinities made round-trippable."""
-    return [
-        {"inf": 1 if v > 0 else -1} if math.isinf(v) else float(v) for v in values
-    ]
-
-
-def _floats_in(values) -> list[float]:
-    return [
-        math.inf * v["inf"] if isinstance(v, dict) else float(v) for v in values
-    ]
+# The infinity-safe float-vector codec is shared with the decision
+# plane's DecisionRecord codec, so snapshot and journal encodings can
+# never drift apart.
 
 
 # -- snapshot store -----------------------------------------------------------

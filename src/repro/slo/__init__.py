@@ -13,6 +13,8 @@ from repro.slo.qs import (
     NegativeThroughput,
     NegativeUtilization,
     QSMetric,
+    normalized_residual,
+    worst_residual,
 )
 from repro.slo.objectives import Objective, SLOSet
 from repro.slo.templates import (
@@ -31,6 +33,8 @@ __all__ = [
     "NegativeUtilization",
     "NegativeThroughput",
     "FairnessDeviation",
+    "normalized_residual",
+    "worst_residual",
     "Objective",
     "SLOSet",
     "QSTemplate",

@@ -17,10 +17,49 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.workload.trace import Trace
 
 Interval = tuple[float, float]
+
+
+def normalized_residual(
+    observed: Sequence[float], reference: Sequence[float], floor: float = 1e-9
+) -> np.ndarray:
+    """Per-metric symmetric relative residual, ``(o - r) / scale``.
+
+    The scale is the symmetric mean magnitude ``(|o| + |r|) / 2 + floor``
+    (the same normalization the stability guard's drift signal uses), so
+    the residual is unitless, bounded in ``[-2, 2]``, and well behaved
+    when the reference is near zero — a QS of exactly zero against a
+    zero reference is a residual of zero, not an explosion.  QS metrics
+    are losses (lower is better), so a positive residual means *worse
+    than the reference* — the sign convention the decision plane's
+    guards and records rely on.
+    """
+    observed = np.asarray(observed, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if observed.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: {observed.shape} vs {reference.shape}"
+        )
+    scale = (np.abs(observed) + np.abs(reference)) / 2.0 + floor
+    return (observed - reference) / scale
+
+
+def worst_residual(
+    observed: Sequence[float], reference: Sequence[float], floor: float = 1e-9
+) -> float:
+    """Largest per-metric normalized residual (the worst regression).
+
+    This is the scalar the decision plane journals with every verdict:
+    ``> 0`` means at least one QS metric ran worse than the reference,
+    and its magnitude is the relative excess.
+    """
+    return float(np.max(normalized_residual(observed, reference, floor)))
 
 
 class QSMetric(ABC):

@@ -80,6 +80,17 @@ class WhatIfModel:
         self._cache[key] = mean
         return mean.copy()
 
+    def evaluate_cached(self, config: RMConfig) -> np.ndarray | None:
+        """Memoized QS vector for ``config``, or ``None`` on a miss.
+
+        A pure cache read: never runs the predictor and never counts an
+        evaluation.  The control loop uses it to retain the prediction
+        of the configuration it just applied — PALD already evaluated
+        every candidate it considered, so the retained vector is free.
+        """
+        cached = self._cache.get(_config_key(config))
+        return None if cached is None else cached.copy()
+
     def evaluator(self, space: ConfigSpace) -> Callable[[np.ndarray], np.ndarray]:
         """A vector-in, QS-vector-out callable for the optimizers."""
 

@@ -93,22 +93,30 @@ class BurstPattern(RatePattern):
     """Periodic bursts: factor ``burst_level`` during the first
     ``burst_fraction`` of every ``period`` seconds, ``idle_level``
     otherwise.  Models the "periodic but bursty" ETL tenant of Table 1.
+
+    ``phase`` shifts where in the period the burst sits (as a fraction
+    of the period): ``phase=0.75, burst_fraction=0.25`` bursts through
+    the *last* quarter of every period — the shape of an SLO-gaming
+    tenant timing its load against a known retune cadence.
     """
 
     period: float = SECONDS_PER_HOUR
     burst_fraction: float = 0.2
     burst_level: float = 4.0
     idle_level: float = 0.1
+    phase: float = 0.0
 
     def __post_init__(self) -> None:
         if self.period <= 0:
             raise ValueError("period must be positive")
         if not 0.0 < self.burst_fraction <= 1.0:
             raise ValueError("burst_fraction must be in (0, 1]")
+        if not 0.0 <= self.phase < 1.0:
+            raise ValueError("phase must be in [0, 1)")
 
     def factor(self, t: float) -> float:
-        phase = (t % self.period) / self.period
-        return self.burst_level if phase < self.burst_fraction else self.idle_level
+        where = ((t % self.period) / self.period - self.phase) % 1.0
+        return self.burst_level if where < self.burst_fraction else self.idle_level
 
 
 @dataclass(frozen=True)

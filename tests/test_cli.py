@@ -102,6 +102,115 @@ class TestReportCommand:
         assert "VIOLATED" in text  # 1s AJR threshold is surely violated
 
 
+class TestGuardsFlag:
+    def test_replay_with_predictive_guards_prints_verdicts(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "replay",
+                "--scenario", "steady",
+                "--horizon", "1",
+                "--guards", "predictive",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "verdicts=" in out.getvalue()
+
+    def test_legacy_guards_print_no_verdict_line(self):
+        out = io.StringIO()
+        code = main(
+            ["replay", "--scenario", "steady", "--horizon", "1"], out=out
+        )
+        assert code == 0
+        assert "verdicts=" not in out.getvalue()
+
+    def test_unknown_guard_rejected(self):
+        with pytest.raises((SystemExit, ValueError)):
+            main(
+                [
+                    "replay",
+                    "--scenario", "steady",
+                    "--horizon", "1",
+                    "--guards", "psychic",
+                ],
+                out=io.StringIO(),
+            )
+
+    def test_bad_freeze_after_rejected(self):
+        with pytest.raises(SystemExit, match="freeze-after"):
+            main(
+                [
+                    "replay",
+                    "--scenario", "steady",
+                    "--horizon", "1",
+                    "--freeze-after", "0",
+                ],
+                out=io.StringIO(),
+            )
+
+
+class TestConvertCommand:
+    def test_convert_then_trace_replay(self, tmp_path):
+        log = tmp_path / "callbacks.jsonl"
+        out = io.StringIO()
+        main(
+            [
+                "simulate",
+                "--engine", "cluster",
+                "--horizon", "0.5",
+                "--save", str(log),
+            ],
+            out=out,
+        )
+        events = tmp_path / "events.jsonl"
+        out = io.StringIO()
+        code = main(
+            ["convert", str(log), str(events), "--heartbeat", "10"], out=out
+        )
+        assert code == 0
+        assert "converted" in out.getvalue()
+        assert events.exists()
+        out = io.StringIO()
+        code = main(
+            [
+                "replay",
+                "--scenario", "steady",
+                "--trace", str(events),
+                "--guards", "predictive",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "events=" in out.getvalue()
+
+    def test_heartbeat_zero_emits_raw_callbacks_only(self, tmp_path):
+        from repro.service.events import Heartbeat
+        from repro.service.replay import load_trace_events
+
+        log = tmp_path / "callbacks.jsonl"
+        main(
+            ["simulate", "--horizon", "0.3", "--save", str(log)],
+            out=io.StringIO(),
+        )
+        events = tmp_path / "events.jsonl"
+        code = main(
+            ["convert", str(log), str(events), "--heartbeat", "0"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        assert not any(
+            isinstance(e, Heartbeat) for e in load_trace_events(events)
+        )
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(
+                ["convert", str(tmp_path / "nope.jsonl"), str(tmp_path / "o")],
+                out=io.StringIO(),
+            )
+
+
 class TestTuneCommand:
     def test_small_tune_run(self):
         out = io.StringIO()

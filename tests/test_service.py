@@ -695,13 +695,26 @@ class TestRevertWindowAveraging:
     def test_revert_restores_evicted_observation(self):
         """Dropping a rejected config's window must not also lose the
         observation its append evicted from the full deque."""
+        from repro.core.decisions import (
+            VERDICT_REVERT,
+            DecisionEngine,
+            Guard,
+            GuardVote,
+        )
         from repro.service.replay import build_controller
+
+        class _AlwaysRevert(Guard):
+            name = "always-revert"
+
+            def revert_vote(self, signals):
+                return GuardVote(self.name, VERDICT_REVERT, "forced")
 
         scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
         controller = build_controller(scenario, seed=0, revert_windows=2)
         kept = [np.array([1.0, 10.0]), np.array([2.0, 20.0])]
         controller._observed_recent.extend(kept)
-        controller._maybe_revert = lambda smoothed: True  # force the guard
+        controller.engine = DecisionEngine([_AlwaysRevert()])  # force the guard
+        controller._prev = (controller.config, kept[1].copy(), controller.x.copy())
         rng = np.random.default_rng(3)
         record = controller.tune_from_trace(0, self._noisy_window(rng, 120.0))
         assert record.reverted
