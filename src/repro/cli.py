@@ -49,6 +49,13 @@ small operational CLI:
     RM's callback recorder or ``repro simulate --save`` writes) into a
     service trace file replayable with ``repro replay --trace``.
 
+``python -m repro status``
+    Read-only introspection of a serving state dir: pretty-print the
+    freshest persisted metrics registry (newest snapshot vs newest
+    journaled ``metrics`` sample), or render it as Prometheus text
+    exposition with ``--format prom``.  Safe against a live daemon's
+    state dir — it never opens the journal for writing.
+
 The serving subcommands take ``--guards`` — a comma-separated decision
 pipeline spec (``legacy``, ``predictive``, ``predictive,stability``,
 ...).  ``legacy`` (the default) is the byte-compatible
@@ -264,6 +271,7 @@ def _print_replay_summary(summary: ReplaySummary, out) -> None:
     print(
         f"events={summary.events} (submitted={summary.jobs_submitted}, "
         f"completed={summary.jobs_completed}, tasks={summary.tasks}) "
+        f"dropped={summary.dropped} "
         f"wall={summary.wall_seconds:.1f}s "
         f"ingest={summary.events_per_second:,.0f} events/s",
         file=out,
@@ -279,7 +287,12 @@ def _print_replay_summary(summary: ReplaySummary, out) -> None:
     if verdicts:
         print(verdicts, file=out)
     if summary.dropped:
-        print(f"WARNING: bus shed {summary.dropped} events", file=out)
+        print(
+            f"WARNING: bus shed {summary.dropped} events "
+            "(bounded-queue overflow; raise the bus capacity or slow "
+            "the producer)",
+            file=out,
+        )
     print(
         f"peak backlog={summary.peak_backlog} jobs, "
         f"mean response={summary.mean_response:.1f}s",
@@ -298,6 +311,35 @@ def _print_replay_summary(summary: ReplaySummary, out) -> None:
     )
     print("\nfinal configuration:", file=out)
     print(summary.final_config.describe(), file=out)
+
+
+def _json_decision_logger(out):
+    """The ``--log-json`` hook: one JSON line per retune decision.
+
+    Subscribed via :meth:`~repro.service.daemon.TempoService.
+    on_decision`, so it fires for every cadence-tick decision the live
+    daemon makes (never for decisions restored by a resume) — a
+    machine-readable decision log replacing ad-hoc prints.
+    """
+
+    def _log(event) -> None:
+        print(
+            json.dumps(
+                {
+                    "type": "decision",
+                    "time": event.time,
+                    "index": event.index,
+                    "verdict": event.verdict,
+                    "retuned": event.retuned,
+                    "reason": event.reason,
+                },
+                sort_keys=True,
+            ),
+            file=out,
+            flush=True,
+        )
+
+    return _log
 
 
 def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
@@ -360,6 +402,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "shard_workers": args.shard_workers,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
+                "log_json": args.log_json,
             }
         )
     service = build_service(
@@ -368,6 +411,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
             window=args.window * 60.0,
             retune_interval=args.interval * 60.0,
             drift_threshold=args.drift,
+            sample_metrics=True,
         ),
         seed=args.seed,
         state=state,
@@ -377,6 +421,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         guards=args.guards,
         freeze_after=args.freeze_after,
     )
+    if args.log_json:
+        service.on_decision(_json_decision_logger(out))
     recorded: list | None = [] if getattr(args, "save_trace", None) else None
     replayer = ScenarioReplayer(
         scenario,
@@ -442,6 +488,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
                 "shard_workers": args.shard_workers,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
+                "log_json": args.log_json,
             }
         )
     service = build_service(
@@ -450,6 +497,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
             window=args.window * 60.0,
             retune_interval=args.interval * 60.0,
             drift_threshold=args.drift,
+            sample_metrics=True,
         ),
         seed=args.seed,
         state=state,
@@ -459,6 +507,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
         guards=args.guards,
         freeze_after=args.freeze_after,
     )
+    if args.log_json:
+        service.on_decision(_json_decision_logger(out))
     print(
         f"trace={args.trace} ({len(events)} events) "
         f"scenario={scenario.name} shards={args.shards}"
@@ -534,6 +584,7 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         window=meta["window"],
         retune_interval=meta["interval"],
         drift_threshold=meta["drift"],
+        sample_metrics=True,
     )
     controller = build_controller(
         scenario,
@@ -543,6 +594,8 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         freeze_after=meta.get("freeze_after"),
     )
     service = TempoService.resume(controller, state, config)
+    if meta.get("log_json"):
+        service.on_decision(_json_decision_logger(out))
     restored_verdicts = _verdict_line(service.decisions)
     print(
         f"resumed from {args.state_dir}: events={service.events_processed} "
@@ -663,6 +716,87 @@ def cmd_compact(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_status(args: argparse.Namespace, out) -> int:
+    """``repro status``: introspect a state dir's persisted metrics.
+
+    Purely read-only — it never constructs a
+    :class:`~repro.service.snapshot.ServiceState` (which would repair
+    the journal tail), so it is safe to run against the state dir of a
+    *live* daemon.  Shows the freshest persisted registry (newest
+    readable snapshot vs newest journaled ``metrics`` sample, whichever
+    saw more events); ``--format prom`` renders it as Prometheus text
+    exposition instead for scrape-style collection.
+    """
+    from repro.obs.introspect import read_status
+
+    root = Path(args.state_dir)
+    # Guard with a precise message instead of showing an empty status
+    # for a typo'd path.
+    if not (root / "journal").is_dir():
+        raise SystemExit(
+            f"{args.state_dir} has no journal/ — "
+            "was it created by `repro serve/replay --state-dir`?"
+        )
+    status = read_status(root)
+    registry = status["registry"]
+    if args.format == "prom":
+        out.write(registry.render())
+        return 0
+    meta = status["meta"] or {}
+    print(
+        f"state-dir={args.state_dir} "
+        f"scenario={meta.get('scenario', '?')} "
+        f"shards={meta.get('shards', 1)} "
+        f"snapshot-seq={status['snapshot_seq'] if status['snapshot_seq'] is not None else 'none'}",
+        file=out,
+    )
+    sample = status["sample"]
+    if sample is not None:
+        print(
+            f"last MetricsSampled: t={sample.get('time', 0.0):.0f}s "
+            f"index={sample.get('index', '?')}",
+            file=out,
+        )
+    print(f"metrics source: {status['source']}", file=out)
+    dump = registry.to_dict()
+    if dump["counters"]:
+        print("\ncounters:", file=out)
+        for key in sorted(dump["counters"]):
+            print(f"  {key} = {_fmt_metric(dump['counters'][key])}", file=out)
+    if dump["gauges"]:
+        print("\ngauges:", file=out)
+        for key in sorted(dump["gauges"]):
+            gauge = dump["gauges"][key]
+            print(
+                f"  {key} = {_fmt_metric(gauge['value'])} ({gauge['mode']})",
+                file=out,
+            )
+    if dump["histograms"]:
+        print("\nhistograms:", file=out)
+        for key in sorted(dump["histograms"]):
+            hist = dump["histograms"][key]
+            count = hist["count"]
+            mean = hist["sum"] / count if count else 0.0
+            print(
+                f"  {key}: count={count} mean={mean:.6g} sum={hist['sum']:.6g}",
+                file=out,
+            )
+    if not len(registry):
+        print(
+            "\nno persisted metrics (run predates metrics sampling, or no "
+            "retune completed yet)",
+            file=out,
+        )
+    return 0
+
+
+def _fmt_metric(value: float) -> str:
+    """Render a metric value; integral floats print as integers."""
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     """Shared flags of the ``serve`` and ``replay`` subcommands."""
     parser.add_argument(
@@ -743,6 +877,11 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         "--shard-workers",
         action="store_true",
         help="run the shards as multiprocessing worker processes",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON line per retune decision (structured logging)",
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -859,6 +998,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal segments compaction always retains (safety margin)",
     )
     compact.set_defaults(func=cmd_compact)
+
+    status = sub.add_parser(
+        "status", help="show the persisted metrics of a serving state dir"
+    )
+    status.add_argument(
+        "--state-dir", required=True, help="state dir to introspect (read-only)"
+    )
+    status.add_argument(
+        "--format",
+        choices=["text", "prom"],
+        default="text",
+        help="text summary (default) or Prometheus text exposition",
+    )
+    status.set_defaults(func=cmd_status)
 
     return parser
 

@@ -1,0 +1,42 @@
+"""Observability plane: dependency-free metrics for the serving stack.
+
+``repro.obs`` gives every layer of the daemon — ingest, journal,
+decision plane, retune loop — a shared vocabulary for telemetry without
+pulling in a client library: :class:`MetricsRegistry` holds counters,
+gauges, and fixed-bucket histograms cheap enough for the ~170k events/s
+ingest hot path, :class:`Span` times the phases of a retune cycle, and
+:class:`NullRegistry` makes instrumentation a no-op when a deployment
+opts out (``ServiceConfig(observe=False)``).
+
+Registries are shard-local by design: each ingest shard owns one and the
+control plane merges them at drain barriers, exactly like window
+statistics, so the hot path never takes a cross-shard lock.  Snapshots
+persist ``registry.to_dict()`` next to service state, per-retune
+``MetricsSampled`` records land in the journal as an append-only time
+series, and :meth:`MetricsRegistry.render` emits Prometheus text
+exposition for scrape-style consumers (``repro status --format prom``).
+"""
+
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    RESIDUAL_BUCKETS,
+    Span,
+)
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RESIDUAL_BUCKETS",
+    "Span",
+]

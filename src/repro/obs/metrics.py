@@ -1,0 +1,534 @@
+"""Counters, gauges, fixed-bucket histograms, and retune spans.
+
+The design target is the service ingest hot path: recording one event
+must cost a cached attribute lookup plus a float add, nothing more.  So
+instruments are plain mutable objects handed out once by the registry
+(`registry.counter(...)` get-or-creates), callers cache the handle, and
+the per-observation methods never touch the registry again.  There are
+no locks: every instrument has a single writer (a shard worker, the
+journal writer thread, or the daemon's control plane under its own
+lock), and cross-thread readers tolerate slightly stale values.
+
+Serialization is symmetric JSON: :meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.restore` round-trip bit-exactly, and
+:meth:`MetricsRegistry.merge` folds one shard-local dump into another —
+counters add, histograms add element-wise, gauges combine according to
+their declared mode (``last`` / ``sum`` / ``max``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+#: Default latency buckets (seconds) for append/fsync/retune timings:
+#: 25us to 10s, roughly quarter-decade spaced.
+LATENCY_BUCKETS = (
+    0.000025,
+    0.0001,
+    0.00025,
+    0.001,
+    0.0025,
+    0.01,
+    0.025,
+    0.1,
+    0.25,
+    1.0,
+    2.5,
+    10.0,
+)
+
+#: Buckets for group-commit batch sizes (records per write).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0)
+
+#: Buckets for normalized QS residuals (dimensionless).
+RESIDUAL_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+_GAUGE_MODES = ("last", "sum", "max")
+
+
+def _check_name(name: str) -> str:
+    """Validate a metric or label name against the Prometheus charset."""
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_label_value(value: str) -> str:
+    """Reject label values that would need escaping in exposition text."""
+    if '"' in value or "\\" in value or "\n" in value:
+        raise ValueError(f"unsupported label value {value!r}")
+    return value
+
+
+def series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical series identity: ``name`` or ``name{k="v",...}``.
+
+    Label keys are sorted so the same label set always produces the same
+    key, which is what makes cross-shard merging line up.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{_check_name(k)}="{_check_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`series_key` back into ``(name, labels)``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    body = rest.rstrip("}")
+    if body:
+        for part in body.split(","):
+            lname, _, lvalue = part.partition("=")
+            labels[lname] = lvalue.strip('"')
+    return name, labels
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value in Prometheus text form (ints stay ints)."""
+    if value != value:
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing count; the hot-path instrument.
+
+    Callers cache the handle returned by ``registry.counter(...)`` so a
+    single observation is one method call and one float add.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value with a declared cross-shard merge mode.
+
+    Attributes:
+        mode: How :meth:`MetricsRegistry.merge` combines two samples of
+            this gauge: ``"last"`` (incoming wins), ``"sum"`` (add, for
+            per-shard depths), or ``"max"`` (worst-of, for lags).
+    """
+
+    __slots__ = ("name", "labels", "value", "mode")
+
+    def __init__(self, name: str, labels: Mapping[str, str], mode: str = "last"):
+        if mode not in _GAUGE_MODES:
+            raise ValueError(f"unknown gauge mode {mode!r}")
+        self.name = name
+        self.labels = dict(labels)
+        self.mode = mode
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus sum/count.
+
+    ``buckets`` are finite, strictly increasing upper bounds; an
+    implicit ``+Inf`` bucket catches the overflow.  One observation is a
+    bisect over a dozen floats — cheap enough for per-write journal
+    latencies, and bit-exactly serializable since only counts and a sum
+    are stored.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket and the running sum."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Span:
+    """Phase timer for one retune cycle (drain / guard / merge / whatif).
+
+    Not registry-backed: the daemon opens a ``Span`` per cadence tick,
+    brackets each phase with :meth:`phase`, and feeds the resulting
+    ``durations`` into per-phase histograms afterwards.
+    """
+
+    __slots__ = ("durations",)
+
+    def __init__(self):
+        self.durations: dict[str, float] = {}
+
+    def phase(self, name: str) -> "_SpanPhase":
+        """Return a context manager timing phase ``name``."""
+        return _SpanPhase(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phase durations, in seconds."""
+        return sum(self.durations.values())
+
+
+class _SpanPhase:
+    """Context manager recording one phase's wall time into its span."""
+
+    __slots__ = ("_span", "_name", "_started")
+
+    def __init__(self, span: Span, name: str):
+        self._span = span
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_SpanPhase":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._started
+        self._span.durations[self._name] = (
+            self._span.durations.get(self._name, 0.0) + elapsed
+        )
+
+
+class MetricsRegistry:
+    """Shard-local home for instruments, with merge and exposition.
+
+    The factory methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) get-or-create, so wiring code can call them
+    idempotently and hot paths can cache the returned handle.  Help text
+    is kept per metric *name* (shared by every labeled series) and rides
+    along in :meth:`to_dict` so restored registries still render
+    complete ``# HELP`` lines.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._help: dict[str, str] = {}
+
+    # -- factories ----------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter series ``name{labels}``."""
+        key = series_key(_check_name(name), labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, labels)
+            self._note_help(name, help)
+        return inst
+
+    def gauge(
+        self, name: str, help: str = "", mode: str = "last", **labels: str
+    ) -> Gauge:
+        """Get or create the gauge series ``name{labels}``."""
+        key = series_key(_check_name(name), labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, labels, mode)
+            self._note_help(name, help)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram series ``name{labels}``."""
+        key = series_key(_check_name(name), labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, labels, buckets)
+            self._note_help(name, help)
+        return inst
+
+    def _note_help(self, name: str, help: str) -> None:
+        if help and not self._help.get(name):
+            self._help[name] = help
+
+    # -- introspection ------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live series across all instrument kinds."""
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of a counter series (0.0 when absent)."""
+        inst = self._counters.get(series_key(name, labels))
+        return inst.value if inst is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        """Current value of a gauge series (0.0 when absent)."""
+        inst = self._gauges.get(series_key(name, labels))
+        return inst.value if inst is not None else 0.0
+
+    def counters(self) -> Iterator[tuple[str, float]]:
+        """Yield ``(series_key, value)`` for every counter, sorted."""
+        for key in sorted(self._counters):
+            yield key, self._counters[key].value
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: values, gauge modes, histogram state, help."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: {"mode": g.mode, "value": g.value}
+                for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+            "help": dict(sorted(self._help.items())),
+        }
+
+    def restore(self, data: Mapping) -> None:
+        """Overwrite instrument state from a :meth:`to_dict` dump."""
+        for key, value in data.get("counters", {}).items():
+            name, labels = parse_series_key(key)
+            self.counter(name, **labels).value = float(value)
+        for key, row in data.get("gauges", {}).items():
+            name, labels = parse_series_key(key)
+            gauge = self.gauge(name, mode=row.get("mode", "last"), **labels)
+            gauge.mode = row.get("mode", gauge.mode)
+            gauge.value = float(row["value"])
+        for key, row in data.get("histograms", {}).items():
+            name, labels = parse_series_key(key)
+            hist = self.histogram(name, buckets=row["buckets"], **labels)
+            if list(hist.buckets) != [float(b) for b in row["buckets"]]:
+                raise ValueError(f"bucket bounds changed for {key}")
+            hist.counts = [int(c) for c in row["counts"]]
+            hist.sum = float(row["sum"])
+            hist.count = int(row["count"])
+        for name, help in data.get("help", {}).items():
+            self._note_help(name, help)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsRegistry":
+        """Build a fresh registry from a :meth:`to_dict` dump."""
+        registry = cls()
+        registry.restore(data)
+        return registry
+
+    def merge(self, data: Mapping) -> None:
+        """Fold one shard-local dump into this registry.
+
+        Counters and histograms add; gauges combine by their mode.  This
+        is the drain-barrier operation: the control plane merges every
+        shard's dump into one registry for snapshots and exposition.
+        """
+        for key, value in data.get("counters", {}).items():
+            name, labels = parse_series_key(key)
+            self.counter(name, **labels).value += float(value)
+        for key, row in data.get("gauges", {}).items():
+            name, labels = parse_series_key(key)
+            mode = row.get("mode", "last")
+            gauge = self.gauge(name, mode=mode, **labels)
+            incoming = float(row["value"])
+            if mode == "sum":
+                gauge.value += incoming
+            elif mode == "max":
+                gauge.value = max(gauge.value, incoming)
+            else:
+                gauge.value = incoming
+        for key, row in data.get("histograms", {}).items():
+            name, labels = parse_series_key(key)
+            hist = self.histogram(name, buckets=row["buckets"], **labels)
+            if list(hist.buckets) != [float(b) for b in row["buckets"]]:
+                raise ValueError(f"bucket bounds differ for {key}")
+            for i, c in enumerate(row["counts"]):
+                hist.counts[i] += int(c)
+            hist.sum += float(row["sum"])
+            hist.count += int(row["count"])
+        for name, help in data.get("help", {}).items():
+            self._note_help(name, help)
+
+    # -- exposition ---------------------------------------------------
+
+    def render(self) -> str:
+        """Prometheus text exposition of every series in the registry.
+
+        ``# HELP`` / ``# TYPE`` are emitted once per metric name;
+        histograms expand into cumulative ``_bucket{le=...}`` series
+        plus ``_sum`` and ``_count``.
+        """
+        lines: list[str] = []
+
+        def _header(name: str, kind: str) -> None:
+            help = self._help.get(name, "")
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        by_name: dict[str, list[Counter]] = {}
+        for key in sorted(self._counters):
+            by_name.setdefault(self._counters[key].name, []).append(
+                self._counters[key]
+            )
+        for name, series in by_name.items():
+            _header(name, "counter")
+            for inst in series:
+                lines.append(f"{series_key(name, inst.labels)} {_fmt(inst.value)}")
+
+        gauges_by_name: dict[str, list[Gauge]] = {}
+        for key in sorted(self._gauges):
+            gauges_by_name.setdefault(self._gauges[key].name, []).append(
+                self._gauges[key]
+            )
+        for name, series in gauges_by_name.items():
+            _header(name, "gauge")
+            for inst in series:
+                lines.append(f"{series_key(name, inst.labels)} {_fmt(inst.value)}")
+
+        hists_by_name: dict[str, list[Histogram]] = {}
+        for key in sorted(self._histograms):
+            hists_by_name.setdefault(self._histograms[key].name, []).append(
+                self._histograms[key]
+            )
+        for name, series in hists_by_name.items():
+            _header(name, "histogram")
+            for inst in series:
+                cumulative = 0
+                for bound, count in zip(inst.buckets, inst.counts):
+                    cumulative += count
+                    labels = dict(inst.labels, le=_fmt(bound))
+                    lines.append(
+                        f"{series_key(name + '_bucket', labels)} {cumulative}"
+                    )
+                labels = dict(inst.labels, le="+Inf")
+                lines.append(f"{series_key(name + '_bucket', labels)} {inst.count}")
+                lines.append(
+                    f"{series_key(name + '_sum', inst.labels)} {_fmt(inst.sum)}"
+                )
+                lines.append(
+                    f"{series_key(name + '_count', inst.labels)} {inst.count}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the observation."""
+
+    def set(self, value: float) -> None:
+        """Discard the observation."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in for ``observe=False``: every call is a no-op.
+
+    Factory methods return one shared null instrument, so call sites
+    keep their cached-handle shape and pay only an empty method call
+    when observability is disabled.
+    """
+
+    def counter(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL
+
+    def gauge(
+        self, name: str, help: str = "", mode: str = "last", **labels: str
+    ) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL
+
+    def __len__(self) -> int:
+        """A null registry never holds series."""
+        return 0
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Always 0.0 — nothing is recorded."""
+        return 0.0
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        """Always 0.0 — nothing is recorded."""
+        return 0.0
+
+    def counters(self) -> Iterator[tuple[str, float]]:
+        """Yield nothing."""
+        return iter(())
+
+    def to_dict(self) -> dict:
+        """An empty dump, so persistence paths need no special casing."""
+        return {}
+
+    def restore(self, data: Mapping) -> None:
+        """Ignore the dump."""
+
+    def merge(self, data: Mapping) -> None:
+        """Ignore the dump."""
+
+    def render(self) -> str:
+        """Empty exposition."""
+        return ""

@@ -59,6 +59,7 @@ stream.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time as _time
@@ -67,6 +68,12 @@ from dataclasses import dataclass
 
 from repro.core.controller import ControlIteration, TempoController
 from repro.core.decisions import DecisionEngine, DecisionRecord, TickSignals
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    RESIDUAL_BUCKETS,
+    Span,
+)
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import RMConfig
 from repro.service.events import (
@@ -137,6 +144,16 @@ class ServiceConfig:
             ~six weeks of decisions at a 15-minute cadence; the
             ``retunes``/``skips`` counters only see the retained window.
         queue_capacity: Bound of the daemon's event bus.
+        observe: Whether the service carries live metrics (the
+            observability plane of :mod:`repro.obs`).  ``False`` swaps
+            every registry for a no-op stand-in — the uninstrumented
+            baseline ``bench_perf_obs_overhead.py`` measures against.
+        sample_metrics: Whether to *persist* metrics: include the merged
+            registry dump in state snapshots and journal one
+            ``metrics`` record (:class:`~repro.service.events.
+            MetricsSampled`) per cadence tick.  Off by default so the
+            journal and snapshot bytes of API-constructed services stay
+            exactly as before; the CLI turns it on for its state dirs.
     """
 
     window: float = 1800.0
@@ -146,6 +163,8 @@ class ServiceConfig:
     history: int = 16
     decision_history: int = 4096
     queue_capacity: int = 100_000
+    observe: bool = True
+    sample_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -287,6 +306,17 @@ class TempoService:
         self.state = state
         self.router = ShardRouter(shards)
         self.shard_workers = bool(shard_workers) and shards > 1
+        # Control-plane registry: the single-shard ingest path, the
+        # decision plane, and the retune loop all count here.  Shards
+        # keep their own registries (merged at drain barriers).
+        self.metrics = MetricsRegistry() if self.config.observe else NullRegistry()
+        if state is not None and self.config.observe:
+            state.journal.metrics = self.metrics
+        #: Latest metrics dump drained from each worker shard, and the
+        #: pre-promotion/restored base it accumulates on top of.
+        self._shard_metrics: dict[int, dict] = {}
+        self._shard_metrics_base: dict[int, dict] = {}
+        self._last_metrics_sample: dict | None = None
         if self.shard_workers:
             if state is not None:
                 # Workers own their journals; the parent must neither
@@ -297,7 +327,8 @@ class TempoService:
             else:
                 paths, opts = None, None
             self.shards = start_shard_workers(
-                shards, self.config.window, paths, opts
+                shards, self.config.window, paths, opts,
+                observe=self.config.observe,
             )
         else:
             self.shards = [
@@ -310,9 +341,20 @@ class TempoService:
                         else None
                     ),
                     queue_capacity=self.config.queue_capacity,
+                    metrics=(
+                        MetricsRegistry()
+                        if self.config.observe and shards > 1
+                        else None
+                    ),
                 )
                 for i in range(shards)
             ]
+        self._m_ingest_events = self.metrics.counter(
+            "tempo_ingest_events_total", "Events folded into the window."
+        )
+        self._m_ingest_batches = self.metrics.counter(
+            "tempo_ingest_batches_total", "Ingest batches processed."
+        )
         self._now = 0.0
         self._telemetry = 0
         self.decisions: deque[RetuneDecision] = deque(
@@ -383,9 +425,16 @@ class TempoService:
         """Advance every shard to ``now`` and collect their states.
 
         For worker shards this is the synchronization barrier: the
-        reply necessarily follows every batch queued before it.
+        reply necessarily follows every batch queued before it.  Shard
+        metrics dumps ride the same barrier — the control plane caches
+        the latest one per shard for merging, exactly like window stats.
         """
-        return [shard.drain_state(now) for shard in self.shards]
+        states = [shard.drain_state(now) for shard in self.shards]
+        for state in states:
+            dump = state.get("metrics")
+            if dump:
+                self._shard_metrics[int(state["shard"])] = dump
+        return states
 
     def _merged_shard_snapshot(self, now: float) -> dict[str, TenantWindowStats]:
         """Per-tenant statistics merged across every shard — O(tenants).
@@ -473,6 +522,7 @@ class TempoService:
                     window.advance(event.time)
                 else:
                     window.ingest(event)  # advances the window itself
+                self._m_ingest_events.inc()
             else:
                 self._ingest_one_sharded(event)
             self._events += 1
@@ -565,6 +615,7 @@ class TempoService:
                     self.state.note_shard_records(len(self.shards))
             else:
                 self._apply_control(event)  # NodeLost / NodeRecovered
+                self._m_ingest_events.inc()
         else:
             if isinstance(event, (TenantJoined, TenantLeft)):
                 self._apply_membership(event)
@@ -642,6 +693,8 @@ class TempoService:
                     if pending:
                         window.ingest_many(pending)
                         pending.clear()
+                    self._m_ingest_events.inc(len(chunk))
+                    self._m_ingest_batches.inc()
                     if tick is not None and not self._replaying:
                         decision = self.retune(tick)
                         decisions.append(decision)
@@ -680,6 +733,9 @@ class TempoService:
         journaling = self.state is not None and not self._replaying
         if journaling and control:
             self.state.record_events(control)
+        if control:
+            self._m_ingest_events.inc(len(control))
+        self._m_ingest_batches.inc()
         dispatched = 0
         for shard, part in zip(self.shards, parts):
             if part:
@@ -714,18 +770,20 @@ class TempoService:
         """
         with self._lock:
             self._last_attempt = now
-            if self.router.shards == 1:
-                # The live window, advanced (eviction current at the
-                # attempt time — the pre-sharding behavior, unchanged).
-                window = self.shards[0].window
-                window.advance(now)
-                snapshot = window.snapshot()
-            else:
-                # Guards decide on O(tenants) merged statistics; the
-                # O(retained-entries) merged window is only
-                # materialized below if the tune actually proceeds.
-                window = None
-                snapshot = self._merged_shard_snapshot(now)
+            span = Span()
+            with span.phase("drain"):
+                if self.router.shards == 1:
+                    # The live window, advanced (eviction current at the
+                    # attempt time — the pre-sharding behavior, unchanged).
+                    window = self.shards[0].window
+                    window.advance(now)
+                    snapshot = window.snapshot()
+                else:
+                    # Guards decide on O(tenants) merged statistics; the
+                    # O(retained-entries) merged window is only
+                    # materialized below if the tune actually proceeds.
+                    window = None
+                    snapshot = self._merged_shard_snapshot(now)
             jobs = sum(s.jobs for s in snapshot.values())
             force = force or self._force
             # Pre-tune guard phase: the decision plane's sparsity and
@@ -743,7 +801,8 @@ class TempoService:
                 drift_threshold=self.config.drift_threshold,
                 drift_fn=lambda: window_drift(self._last_snapshot, snapshot),
             )
-            tick = self.engine.tick(signals)
+            with span.phase("guard"):
+                tick = self.engine.tick(signals)
             if not tick.proceed:
                 record = (
                     self.engine.hold_record(self._index, now, tick)
@@ -753,19 +812,24 @@ class TempoService:
                 decision = RetuneDecision(
                     now, self._index, False, tick.reason, tick.drift, record=record
                 )
+                self._observe_retune(span)
                 self._record_decision(decision)
                 return decision
             reason, drift = tick.reason, tick.drift
-            if window is None:
-                window = self._control_window(now)  # full merge: tune input
-            trace = window.trace()
-            cluster = self.effective_cluster(capacity_floor(trace.task_records))
-            trace.capacity = cluster.as_dict()
+            with span.phase("merge"):
+                if window is None:
+                    window = self._control_window(now)  # full merge: tune input
+                trace = window.trace()
+                cluster = self.effective_cluster(
+                    capacity_floor(trace.task_records)
+                )
+                trace.capacity = cluster.as_dict()
             started = _time.perf_counter()
-            self.engine.begin_tune(now, tick.votes)
-            iteration = self.controller.tune_from_trace(
-                self._index, trace, cluster=cluster
-            )
+            with span.phase("whatif"):
+                self.engine.begin_tune(now, tick.votes)
+                iteration = self.controller.tune_from_trace(
+                    self._index, trace, cluster=cluster
+                )
             latency = _time.perf_counter() - started
             self._history.append(
                 ConfigSnapshot(self._index, now, self.controller.config)
@@ -783,6 +847,7 @@ class TempoService:
                 record=iteration.decision if self.engine.emit_records else None,
             )
             self._index += 1
+            self._observe_retune(span)
             self._record_decision(decision)
             return decision
 
@@ -847,6 +912,112 @@ class TempoService:
         """
         self._decision_listeners.append(callback)
 
+    # -- observability ------------------------------------------------------
+
+    def _observe_retune(self, span: Span) -> None:
+        """Record one cadence tick's phase timings and backlog gauges."""
+        m = self.metrics
+        m.histogram(
+            "tempo_retune_seconds", "Wall time of one full cadence tick."
+        ).observe(span.total)
+        for phase, seconds in span.durations.items():
+            m.histogram(
+                "tempo_retune_phase_seconds",
+                "Cadence tick wall time by phase (drain/guard/merge/whatif).",
+                phase=phase,
+            ).observe(seconds)
+        m.gauge(
+            "tempo_bus_depth", "Events queued on the daemon bus (backlog)."
+        ).set(len(self.bus))
+        m.gauge(
+            "tempo_bus_dropped_total",
+            "Events shed by the bounded daemon bus (overflow drops).",
+        ).set(self.bus.dropped)
+        lag = 0
+        for shard in self.shards:
+            pending = getattr(shard, "pending_batches", None)
+            lag = max(lag, len(shard.bus) if pending is None else pending)
+        m.gauge(
+            "tempo_shard_queue_lag",
+            "Worst per-shard intake backlog (batches for workers, "
+            "bus events in-process).",
+            mode="max",
+        ).set(lag)
+
+    def _observe_decision(self, decision: RetuneDecision) -> None:
+        """Count one decision-plane outcome (live or tail-replayed)."""
+        m = self.metrics
+        m.counter(
+            "tempo_decisions_total",
+            "Cadence-tick decisions by verdict.",
+            verdict=decision.verdict,
+        ).inc()
+        m.counter(
+            "tempo_decision_reasons_total",
+            "Cadence-tick decisions by guard reason.",
+            reason=decision.reason or "none",
+        ).inc()
+        record = decision.record
+        if record is not None:
+            for vote in record.votes:
+                m.counter(
+                    "tempo_guard_votes_total",
+                    "Guard votes by guard and argued verdict.",
+                    guard=vote.guard,
+                    verdict=vote.verdict,
+                ).inc()
+            residual = record.residual
+            if residual is not None and math.isfinite(residual):
+                m.histogram(
+                    "tempo_decision_residual",
+                    "Worst normalized QS residual per applied decision.",
+                    buckets=RESIDUAL_BUCKETS,
+                ).observe(residual)
+        m.gauge(
+            "tempo_freeze_fuse_reverts",
+            "Consecutive reverts counted toward the freeze fuse.",
+        ).set(getattr(self.engine, "reverts_in_row", 0))
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """Merged view of the control-plane and every shard registry.
+
+        Always returns a real :class:`~repro.obs.MetricsRegistry` (empty
+        when ``observe=False``).  Worker-shard dumps are as fresh as the
+        last drain barrier; in-process shard registries are read live.
+        """
+        merged = MetricsRegistry.from_dict(self.metrics.to_dict())
+        for i, shard in enumerate(self.shards):
+            base = self._shard_metrics_base.get(i)
+            if base:
+                merged.merge(base)
+            live = getattr(shard, "metrics", None)
+            if live is not None:
+                merged.merge(live.to_dict())
+            else:
+                cached = self._shard_metrics.get(i)
+                if cached:
+                    merged.merge(cached)
+        return merged
+
+    def _metrics_state(self) -> dict:
+        """Snapshot payload: the control dump plus one dump per shard."""
+        shard_dumps: list[dict] = []
+        if self.router.shards > 1:
+            for i, shard in enumerate(self.shards):
+                merged = MetricsRegistry()
+                base = self._shard_metrics_base.get(i)
+                if base:
+                    merged.merge(base)
+                live = getattr(shard, "metrics", None)
+                if live is not None:
+                    merged.merge(live.to_dict())
+                else:
+                    cached = self._shard_metrics.get(i)
+                    if cached:
+                        merged.merge(cached)
+                shard_dumps.append(merged.to_dict())
+        return {"control": self.metrics.to_dict(), "shards": shard_dumps}
+
     def _record_decision(self, decision: RetuneDecision) -> None:
         """Append a decision in memory and, when durable, to the journal.
 
@@ -855,8 +1026,12 @@ class TempoService:
         can never land between "the tune happened" and "this is the
         config it applied", which would resume into a state the live
         daemon never had.  Skipped ticks are plain ``decision`` records.
+        With metrics sampling enabled, every tick additionally journals
+        one ``metrics`` record — the merged registry dump at that moment
+        — so the journal carries an append-only observability series.
         """
         self.decisions.append(decision)
+        self._observe_decision(decision)
         if self._decision_listeners and not self._replaying:
             event = DecisionMade(
                 decision.time,
@@ -881,6 +1056,14 @@ class TempoService:
             )
         else:
             self.state.record_decision(_decision_to_dict(decision))
+        if self.config.sample_metrics:
+            sample = {
+                "time": decision.time,
+                "index": decision.index,
+                "metrics": self.metrics_snapshot().to_dict(),
+            }
+            self._last_metrics_sample = sample
+            self.state.record_metrics(sample)
 
     # -- durability ---------------------------------------------------------
 
@@ -932,6 +1115,13 @@ class TempoService:
                 ],
                 "decisions": [_decision_to_dict(d) for d in self.decisions],
                 "controller": controller_state_dict(self.controller),
+                # Registry dumps ride the snapshot only when sampling is
+                # on, keeping default snapshot bytes exactly as before.
+                **(
+                    {"metrics": self._metrics_state()}
+                    if self.config.sample_metrics
+                    else {}
+                ),
             }
 
     def _restore_state(self, state: dict) -> None:
@@ -991,6 +1181,19 @@ class TempoService:
             maxlen=self.config.decision_history,
         )
         restore_controller_state(self.controller, state["controller"])
+        metrics_state = state.get("metrics")
+        if metrics_state and self.config.observe:
+            self.metrics.restore(metrics_state.get("control", {}))
+            for i, dump in enumerate(metrics_state.get("shards", [])):
+                if i >= len(self.shards) or not dump:
+                    continue
+                live = getattr(self.shards[i], "metrics", None)
+                if live is not None:
+                    live.restore(dump)
+                else:
+                    # Worker shards restart with fresh registries; keep
+                    # the persisted dump as an additive base.
+                    self._shard_metrics_base[i] = dump
 
     def _apply_journal_record(self, record: JournalRecord) -> None:
         """Re-apply one journal record during resume (cadence quiet)."""
@@ -1001,11 +1204,13 @@ class TempoService:
             # anchor and the decision log move.
             decision = _decision_from_dict(record.data)
             self.decisions.append(decision)
+            self._observe_decision(decision)
             self._last_attempt = decision.time
         elif record.kind == "config":
             # An applied tune: decision + controller state, atomically.
             decision = _decision_from_dict(record.data["decision"])
             self.decisions.append(decision)
+            self._observe_decision(decision)
             self._last_attempt = decision.time
             self._index = decision.index + 1
             self._force = False
@@ -1020,6 +1225,11 @@ class TempoService:
                 self._last_snapshot = self._control_window(decision.time).snapshot()
             else:
                 self._last_snapshot = self._merged_shard_snapshot(decision.time)
+        elif record.kind == "metrics":
+            # Observability samples restore registries from snapshots,
+            # not from the journal; the tail's newest sample is only
+            # noted so introspection can cross-check it.
+            self._last_metrics_sample = record.data
         elif record.kind == "rollback":
             self._rollback_locked()
         else:
@@ -1135,6 +1345,8 @@ class TempoService:
                 when, rank = float(record.data["time"]), 1
             elif record.kind == "config":
                 when, rank = float(record.data["decision"]["time"]), 1
+            elif record.kind == "metrics":
+                when, rank = float(record.data["time"]), 1
             else:  # rollback carries no timestamp; keep stream position
                 when, rank = last, 1
             last = max(last, when)
@@ -1199,6 +1411,18 @@ class TempoService:
         race the parent's open.
         """
         states = self._drain_shards(self._now)
+        # Workers start with fresh registries: fold what the in-process
+        # shards counted (on top of any restored base) into the additive
+        # base the control plane merges under each worker's dump.
+        for i, shard in enumerate(self.shards):
+            live = getattr(shard, "metrics", None)
+            if live is not None:
+                carried = MetricsRegistry.from_dict(
+                    self._shard_metrics_base.get(i, {})
+                )
+                carried.merge(live.to_dict())
+                self._shard_metrics_base[i] = carried.to_dict()
+        self._shard_metrics.clear()
         for shard in self.shards:
             shard.close()
         state = self.state
@@ -1214,7 +1438,8 @@ class TempoService:
         else:
             paths, opts = None, None
         self.shards = start_shard_workers(
-            self.router.shards, self.config.window, paths, opts
+            self.router.shards, self.config.window, paths, opts,
+            observe=self.config.observe,
         )
         for shard, shard_state in zip(self.shards, states):
             shard.restore(shard_state["window"])
@@ -1240,6 +1465,23 @@ class TempoService:
             prior_telemetry = self.telemetry_ingested
             states = self._drain_shards(self._now)
             merged = RollingWindow.merge_states([s["window"] for s in states])
+            # The per-shard attribution cannot survive a re-partition;
+            # fold every shard's counts into the control registry so the
+            # merged totals stay monotone across the reshard.
+            if self.config.observe:
+                for i, shard in enumerate(self.shards):
+                    base = self._shard_metrics_base.get(i)
+                    if base:
+                        self.metrics.merge(base)
+                    live = getattr(shard, "metrics", None)
+                    if live is not None:
+                        self.metrics.merge(live.to_dict())
+                    else:
+                        cached = self._shard_metrics.get(i)
+                        if cached:
+                            self.metrics.merge(cached)
+            self._shard_metrics.clear()
+            self._shard_metrics_base.clear()
             for shard in self.shards:
                 shard.close()
             if self.state is not None:
@@ -1255,6 +1497,11 @@ class TempoService:
                         else None
                     ),
                     queue_capacity=self.config.queue_capacity,
+                    metrics=(
+                        MetricsRegistry()
+                        if self.config.observe and shards > 1
+                        else None
+                    ),
                 )
                 for i in range(shards)
             ]

@@ -137,6 +137,23 @@ class DecisionMade(ServiceEvent):
     record: dict | None = None
 
 
+@dataclass(frozen=True)
+class MetricsSampled(ServiceEvent):
+    """One per-retune observability sample (journal kind ``metrics``).
+
+    Another *outbound* record: the daemon journals one after every
+    cadence tick when metrics sampling is enabled, carrying the merged
+    registry dump (:meth:`repro.obs.MetricsRegistry.to_dict`) at that
+    moment.  It is never ingested or published on the bus — replay and
+    sweep tooling read the journal's ``metrics`` records as an
+    append-only time series, and ``repro status`` shows the newest one
+    next to the restored snapshot registry.
+    """
+
+    index: int
+    metrics: dict
+
+
 class EventBus:
     """Bounded, thread-safe, in-memory FIFO event queue.
 

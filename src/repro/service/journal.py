@@ -45,6 +45,7 @@ import json
 import math
 import os
 import threading
+import time
 import zlib
 from collections import deque
 from dataclasses import dataclass
@@ -553,6 +554,54 @@ class EventJournal:
         self._async = (
             _AsyncJournalWriter(self, queue_records) if async_writer else None
         )
+        self._metrics = None
+        self._m_append = None
+        self._m_fsync = None
+        self._m_batch = None
+        self._m_records = None
+        self._m_rotations = None
+        self._m_compacted = None
+
+    @property
+    def metrics(self):
+        """The attached metrics registry, or ``None`` when unobserved."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        """Attach a registry and cache the journal's instrument handles.
+
+        The journal stays import-free of :mod:`repro.obs`: any object
+        with ``counter``/``histogram`` factories works.  Set before
+        traffic starts — the write path reads the cached handles only.
+        """
+        self._metrics = registry
+        if registry is None:
+            self._m_append = self._m_fsync = self._m_batch = None
+            self._m_records = self._m_rotations = self._m_compacted = None
+            return
+        self._m_append = registry.histogram(
+            "tempo_journal_append_seconds",
+            "Wall time of one group-commit write (write+flush+fsync).",
+        )
+        self._m_fsync = registry.histogram(
+            "tempo_journal_fsync_seconds", "Wall time of each fsync call."
+        )
+        self._m_batch = registry.histogram(
+            "tempo_journal_batch_records",
+            "Records committed per group-commit batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096),
+        )
+        self._m_records = registry.counter(
+            "tempo_journal_records_total", "Records durably appended."
+        )
+        self._m_rotations = registry.counter(
+            "tempo_journal_rotations_total", "Segment files opened by rotation."
+        )
+        self._m_compacted = registry.counter(
+            "tempo_journal_compacted_records_total",
+            "Records reclaimed by journal compaction.",
+        )
 
     def _repair_tail(self) -> None:
         """Drop a torn final line (the write a crash interrupted) on open.
@@ -694,6 +743,8 @@ class EventJournal:
         file touched; a batch only spans two files when it crosses a
         rotation boundary.
         """
+        observed = self._m_append is not None
+        started = time.perf_counter() if observed else 0.0
         i = 0
         while i < len(entries):
             fh = self._writer(entries[i][0])
@@ -702,9 +753,18 @@ class EventJournal:
             fh.write(b"".join(line for _, line in chunk))
             fh.flush()
             if self.fsync:
-                os.fsync(fh.fileno())
+                if observed:
+                    fsync_started = time.perf_counter()
+                    os.fsync(fh.fileno())
+                    self._m_fsync.observe(time.perf_counter() - fsync_started)
+                else:
+                    os.fsync(fh.fileno())
             self._tail_records += len(chunk)
             i += len(chunk)
+        if observed:
+            self._m_append.observe(time.perf_counter() - started)
+            self._m_batch.observe(len(entries))
+            self._m_records.inc(len(entries))
 
     def _writer(self, seq: int):
         if self._fh is not None and self._tail_records >= self.segment_records:
@@ -721,6 +781,8 @@ class EventJournal:
                 path = self.root / f"segment-{seq:010d}.jsonl"
                 self._tail_path = path
                 self._tail_records = 0
+                if self._m_rotations is not None:
+                    self._m_rotations.inc()
             self._fh = path.open("ab")
         return self._fh
 
@@ -802,6 +864,8 @@ class EventJournal:
                 break
         removable = removable[: max(0, len(segments) - keep_segments)]
         for path in removable:
+            if self._m_compacted is not None:
+                self._m_compacted.inc(self._count_lines(path))
             path.unlink()
         return len(removable)
 

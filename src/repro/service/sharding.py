@@ -176,11 +176,28 @@ class IngestShard:
         *,
         journal=None,
         queue_capacity: int = 100_000,
+        metrics=None,
     ):
         self.shard_id = int(shard_id)
         self.window = RollingWindow(window)
         self.bus = EventBus(queue_capacity)
         self.journal = journal
+        #: Shard-local metrics registry (or ``None``): the shard counts
+        #: its own ingest and journal activity without cross-shard
+        #: locking; the control plane merges dumps at drain barriers.
+        self.metrics = metrics
+        if metrics is not None:
+            if journal is not None:
+                journal.metrics = metrics
+            self._m_events = metrics.counter(
+                "tempo_ingest_events_total", "Events folded into the window."
+            )
+            self._m_batches = metrics.counter(
+                "tempo_ingest_batches_total", "Ingest batches processed."
+            )
+        else:
+            self._m_events = None
+            self._m_batches = None
 
     def __repr__(self) -> str:
         return (
@@ -199,6 +216,9 @@ class IngestShard:
             return
         if self.journal is not None:
             self.journal.append_events(events)
+        if self._m_events is not None:
+            self._m_events.inc(len(events))
+            self._m_batches.inc()
         self.fold(events)
 
     def fold(self, events: list[ServiceEvent]) -> None:
@@ -245,11 +265,14 @@ class IngestShard:
         the shard's journal position (for snapshot coverage).
         """
         self.window.advance(now)
-        return {
+        state = {
             "shard": self.shard_id,
             "window": self.window.to_state(),
             "seq": self.last_seq,
         }
+        if self.metrics is not None:
+            state["metrics"] = self.metrics.to_dict()
+        return state
 
     def drain_stats(self, now: float) -> dict:
         """Advance to ``now`` and return per-tenant statistics only.
@@ -283,6 +306,7 @@ def _worker_main(
     journal_opts: dict,
     commands,
     replies,
+    observe: bool = False,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -299,7 +323,12 @@ def _worker_main(
     try:
         if journal_path is not None:
             journal = EventJournal(journal_path, **journal_opts)
-        shard = IngestShard(shard_id, window, journal=journal)
+        metrics = None
+        if observe:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        shard = IngestShard(shard_id, window, journal=journal, metrics=metrics)
         while True:
             command = commands.get()
             op = command[0]
@@ -349,8 +378,12 @@ class ShardWorkerHandle:
         window: float,
         journal_path=None,
         journal_opts: Mapping | None = None,
+        observe: bool = False,
     ):
         self.shard_id = int(shard_id)
+        #: Batches queued since the last synchronous barrier — the
+        #: parent-side view of this worker's queue lag.
+        self.pending_batches = 0
         ctx = mp.get_context("fork")
         self._commands = ctx.Queue()
         self._replies = ctx.Queue()
@@ -363,6 +396,7 @@ class ShardWorkerHandle:
                 dict(journal_opts or {}),
                 self._commands,
                 self._replies,
+                bool(observe),
             ),
             name=f"tempo-shard-{shard_id:02d}",
             daemon=True,
@@ -376,17 +410,22 @@ class ShardWorkerHandle:
     def ingest(self, events: list[ServiceEvent]) -> None:
         """Queue one batch for the worker (returns immediately)."""
         if events:
+            self.pending_batches += 1
             self._commands.put(("ingest", events))
 
     def drain_state(self, now: float) -> dict:
         """Barrier: process every queued batch, advance, return state."""
         self._commands.put(("state", now))
-        return self._reply("state")
+        state = self._reply("state")
+        self.pending_batches = 0
+        return state
 
     def drain_stats(self, now: float) -> dict:
         """Barrier returning only per-tenant statistics (cadence path)."""
         self._commands.put(("stats", now))
-        return self._reply("stats")
+        stats = self._reply("stats")
+        self.pending_batches = 0
+        return stats
 
     def restore(self, window_state: Mapping) -> None:
         """Replace the worker's window with a persisted state."""
@@ -438,11 +477,14 @@ def start_shard_workers(
     window: float,
     journal_paths: list | None,
     journal_opts: Mapping | None = None,
+    observe: bool = False,
 ) -> list[ShardWorkerHandle]:
     """Spawn one worker process per shard; returns their handles.
 
     ``journal_paths`` is either ``None`` (no durability) or one path per
-    shard; the journals are opened inside the workers.
+    shard; the journals are opened inside the workers.  With ``observe``
+    each worker builds a shard-local metrics registry whose dump rides
+    back on every :meth:`~ShardWorkerHandle.drain_state` barrier.
     """
     return [
         ShardWorkerHandle(
@@ -450,6 +492,7 @@ def start_shard_workers(
             window,
             None if journal_paths is None else journal_paths[i],
             journal_opts,
+            observe=observe,
         )
         for i in range(shards)
     ]

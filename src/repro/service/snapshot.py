@@ -485,6 +485,19 @@ class ServiceState:
         self._records_since_snapshot += 1
         return self.journal.append("rollback", {})
 
+    def record_metrics(self, data: dict) -> int:
+        """Journal one per-retune metrics sample (kind ``metrics``).
+
+        The payload is a :class:`~repro.service.events.MetricsSampled`
+        dict — ``time``, ``index``, and a merged registry dump — giving
+        replay and sweep tooling an append-only time series without a
+        separate sink.  Samples describe observability state, not
+        serving state: resume restores registries from snapshots and
+        merely notes the newest sample.
+        """
+        self._records_since_snapshot += 1
+        return self.journal.append("metrics", data)
+
     # -- snapshot cadence ----------------------------------------------------
 
     def snapshot_due(self, *, force: bool = False) -> bool:
