@@ -39,6 +39,15 @@ small operational CLI:
     completed retune interval.  See ``docs/OPERATIONS.md`` for the
     crash-recovery semantics.
 
+``python -m repro chaos``
+    Fault-injection harness: drive a scenario through a durable,
+    supervised service while a deterministic schedule of faults
+    (``--fault kill-shard@t=2``, ``stall-shard``, ``drop-batches``,
+    ``slow-journal``) hits the data plane; print a survival report —
+    events lost, retunes missed, recovery latency, decision-verdict
+    drift versus the fault-free run.  Exit code 0 iff the service
+    recovered with zero surviving-shard event loss.
+
 ``python -m repro compact``
     Offline journal compaction: delete segments whose entire seq range
     is covered by the oldest retained snapshot (the daemon also does
@@ -86,6 +95,7 @@ from repro.core.controller import TempoController, windows_from_model
 from repro.rm.cluster import ClusterSpec
 from repro.rm.config import ConfigSpace, RMConfig
 from repro.service.daemon import ServiceConfig, TempoService
+from repro.service.failover import FailoverConfig, parse_fault, run_chaos
 from repro.service.replay import (
     SCENARIOS as SERVICE_SCENARIOS,
     ReplaySummary,
@@ -342,6 +352,19 @@ def _json_decision_logger(out):
     return _log
 
 
+def _failover_from_args(heartbeat_interval, failover_after) -> FailoverConfig | None:
+    """Supervision config from CLI/meta values (``None``: supervision off)."""
+    if failover_after is None:
+        return None
+    try:
+        return FailoverConfig(
+            heartbeat_interval=float(heartbeat_interval),
+            failover_after=float(failover_after),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
     if args.horizon is not None and args.horizon <= 0:
         raise SystemExit(f"--horizon must be positive, got {args.horizon}")
@@ -361,6 +384,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         raise SystemExit(
             f"--freeze-after must be >= 1, got {args.freeze_after}"
         )
+    failover = _failover_from_args(args.heartbeat_interval, args.failover_after)
     scenario = make_scenario(
         args.scenario,
         scale=args.scale,
@@ -400,6 +424,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "keep_segments": args.keep_segments,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
+                "heartbeat_interval": args.heartbeat_interval,
+                "failover_after": args.failover_after,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
                 "log_json": args.log_json,
@@ -417,6 +443,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         state=state,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        failover=failover,
         revert_windows=args.revert_windows,
         guards=args.guards,
         freeze_after=args.freeze_after,
@@ -503,6 +530,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
         state=state,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        failover=_failover_from_args(args.heartbeat_interval, args.failover_after),
         revert_windows=args.revert_windows,
         guards=args.guards,
         freeze_after=args.freeze_after,
@@ -593,7 +621,14 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         guards=meta.get("guards"),
         freeze_after=meta.get("freeze_after"),
     )
-    service = TempoService.resume(controller, state, config)
+    service = TempoService.resume(
+        controller,
+        state,
+        config,
+        failover=_failover_from_args(
+            meta.get("heartbeat_interval", 1.0), meta.get("failover_after")
+        ),
+    )
     if meta.get("log_json"):
         service.on_decision(_json_decision_logger(out))
     restored_verdicts = _verdict_line(service.decisions)
@@ -647,6 +682,53 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         service.close()
     _print_replay_summary(summary, out)
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace, out) -> int:
+    """``repro chaos``: scenario x fault schedule -> survival report.
+
+    Drives a scenario through a durable, supervised service while the
+    deterministic fault injector kills, stalls, or degrades shards per
+    ``--fault`` schedule, then reports what survived: events lost on
+    surviving shards (must be zero), the bounded loss on failed shards,
+    retunes missed, decision-verdict drift versus the fault-free run,
+    and worst-case recovery latency.  Exit code 0 means the service
+    recovered from every lethal fault without losing a single
+    surviving-shard event.
+    """
+    if not args.fault:
+        raise SystemExit("at least one --fault is required (e.g. kill-shard@t=2)")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.horizon is not None and args.horizon <= 0:
+        raise SystemExit(f"--horizon must be positive, got {args.horizon}")
+    if args.window <= 0:
+        raise SystemExit(f"--window must be positive, got {args.window}")
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be positive, got {args.interval}")
+    try:
+        faults = [parse_fault(text) for text in args.fault]
+        report = run_chaos(
+            args.scenario,
+            faults,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
+            horizon=args.horizon * 3600.0 if args.horizon is not None else None,
+            scale=args.scale,
+            seed=args.seed,
+            window=args.window * 60.0,
+            interval=args.interval * 60.0,
+            heartbeat_interval=args.heartbeat_interval,
+            failover_after=(
+                args.failover_after if args.failover_after is not None else 5.0
+            ),
+            state_dir=args.state_dir,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for line in report.lines():
+        print(line, file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_convert(args: argparse.Namespace, out) -> int:
@@ -879,6 +961,20 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         help="run the shards as multiprocessing worker processes",
     )
     parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker-shard liveness beats (supervision)",
+    )
+    parser.add_argument(
+        "--failover-after",
+        type=float,
+        default=None,
+        help="declare a shard dead after this many seconds without a "
+        "heartbeat (or past a barrier reply) and fail it over to a "
+        "replacement; default: supervision off, a dead shard raises",
+    )
+    parser.add_argument(
         "--log-json",
         action="store_true",
         help="emit one JSON line per retune decision (structured logging)",
@@ -968,6 +1064,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="redistribute the data plane across --shards before continuing",
     )
     resume.set_defaults(func=cmd_resume)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="drive a scenario through a supervised service under a "
+        "deterministic fault schedule; report what survived",
+    )
+    chaos.add_argument(
+        "--scenario", choices=sorted(SERVICE_SCENARIOS), default="flash-failure"
+    )
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        help="fault spec <kind>[:<shard>]@t=<interval-units>[@for=<amount>], "
+        "kind one of kill-shard/stall-shard/drop-batches/slow-journal; "
+        "repeatable (t is in retune intervals: t=2 fires at the second "
+        "cadence chunk)",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="per-tenant data-plane shards (own window + journal each)",
+    )
+    chaos.add_argument(
+        "--shard-workers",
+        action="store_true",
+        help="run the shards as multiprocessing worker processes",
+    )
+    chaos.add_argument(
+        "--horizon", type=float, default=None, help="hours to replay"
+    )
+    chaos.add_argument(
+        "--scale", type=float, default=None, help="arrival-rate scale"
+    )
+    chaos.add_argument(
+        "--window", type=float, default=30.0, help="stats window, minutes"
+    )
+    chaos.add_argument(
+        "--interval", type=float, default=15.0, help="retune cadence, minutes"
+    )
+    chaos.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker-shard liveness beats",
+    )
+    chaos.add_argument(
+        "--failover-after",
+        type=float,
+        default=None,
+        help="declare a shard dead after this many heartbeat-less "
+        "seconds (default 5.0; chaos runs are always supervised)",
+    )
+    chaos.add_argument(
+        "--state-dir",
+        help="keep the faulted run's journal + snapshots here for "
+        "inspection (default: a temp dir, removed afterwards)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=cmd_chaos)
 
     convert = sub.add_parser(
         "convert",

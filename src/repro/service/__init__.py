@@ -25,7 +25,11 @@ live Resource Manager):
 * :mod:`repro.service.replay` — a scenario catalog (flash crowd,
   diurnal wave, tenant churn, failure storm) and the replay driver that
   feeds scenarios through the service — continuously by default, so
-  backlog compounds across retune intervals — at a speedup factor.
+  backlog compounds across retune intervals — at a speedup factor;
+* :mod:`repro.service.failover` — the failover plane: heartbeat
+  failure detection, supervised shard replacement with bounded journal
+  replay, and the deterministic :class:`FaultInjector` / ``repro
+  chaos`` harness that makes every failure mode a reproducible test.
 """
 
 from repro.service.events import (
@@ -37,9 +41,21 @@ from repro.service.events import (
     NodeLost,
     NodeRecovered,
     ServiceEvent,
+    ShardFailed,
+    ShardRecovered,
     TaskCompleted,
     TenantJoined,
     TenantLeft,
+)
+from repro.service.failover import (
+    ChaosReport,
+    FailoverConfig,
+    FailoverReport,
+    FailureDetector,
+    FaultInjector,
+    FaultSpec,
+    parse_fault,
+    run_chaos,
 )
 from repro.service.ingest import (
     RollingWindow,
@@ -62,6 +78,7 @@ from repro.service.journal import (
 )
 from repro.service.sharding import (
     IngestShard,
+    ShardFailedError,
     ShardRouter,
     ShardWorkerHandle,
     stable_shard,
@@ -93,6 +110,8 @@ __all__ = [
     "TenantJoined",
     "TenantLeft",
     "Heartbeat",
+    "ShardFailed",
+    "ShardRecovered",
     "DecisionMade",
     "EventBus",
     "RollingWindow",
@@ -111,10 +130,19 @@ __all__ = [
     "ServiceState",
     "SnapshotStore",
     "IngestShard",
+    "ShardFailedError",
     "ShardRouter",
     "ShardWorkerHandle",
     "stable_shard",
     "tenant_of",
+    "FailoverConfig",
+    "FailureDetector",
+    "FailoverReport",
+    "FaultSpec",
+    "parse_fault",
+    "FaultInjector",
+    "ChaosReport",
+    "run_chaos",
     "Scenario",
     "SCENARIOS",
     "make_scenario",

@@ -83,19 +83,30 @@ from repro.service.events import (
     NodeLost,
     NodeRecovered,
     ServiceEvent,
+    ShardFailed,
+    ShardRecovered,
     TenantJoined,
     TenantLeft,
 )
+from repro.service.failover import FailoverConfig, FailoverReport, FailureDetector
 from repro.service.ingest import (
     RollingWindow,
     TenantWindowStats,
     stats_gap,
     window_drift,
 )
-from repro.service.journal import JournalError, JournalRecord, decode_event, encode_event
+from repro.service.journal import (
+    JournalError,
+    JournalRecord,
+    decode_event,
+    encode_event,
+    last_heartbeat,
+)
 from repro.service.sharding import (
     IngestShard,
+    ShardFailedError,
     ShardRouter,
+    ShardWorkerHandle,
     start_shard_workers,
 )
 from repro.service.snapshot import (
@@ -113,7 +124,15 @@ from repro.whatif.model import capacity_floor
 
 #: Control events handled by the daemon itself (never folded into the
 #: rolling window).
-_CONTROL_EVENTS = (Heartbeat, TenantJoined, TenantLeft, NodeLost, NodeRecovered)
+_CONTROL_EVENTS = (
+    Heartbeat,
+    TenantJoined,
+    TenantLeft,
+    NodeLost,
+    NodeRecovered,
+    ShardFailed,
+    ShardRecovered,
+)
 
 #: Maximum events pulled off the bus per drain-loop iteration; one
 #: :meth:`TempoService.ingest_batch` call journals and folds the whole
@@ -273,6 +292,16 @@ class TempoService:
             depth — the same contract as ``--async-journal``, recovered
             by the same chunk-boundary rewind.  Ignored when
             ``shards == 1``.
+        failover: Optional :class:`~repro.service.failover.
+            FailoverConfig` enabling shard supervision: worker shards
+            emit heartbeats, a :class:`~repro.service.failover.
+            FailureDetector` declares dead ones, and every barrier that
+            observes a dead shard triggers :meth:`failover_shard` — the
+            dead shard's journal rewinds to its newest heartbeat
+            boundary, a replacement is spawned and replayed, and the
+            failed call is retried once against it.  ``None`` (the
+            default) keeps the pre-supervision behavior: a dead shard
+            raises :class:`~repro.service.sharding.ShardFailedError`.
     """
 
     def __init__(
@@ -284,6 +313,7 @@ class TempoService:
         *,
         shards: int = 1,
         shard_workers: bool = False,
+        failover: FailoverConfig | None = None,
     ):
         self.controller = controller
         self.config = config or ServiceConfig()
@@ -306,6 +336,12 @@ class TempoService:
         self.state = state
         self.router = ShardRouter(shards)
         self.shard_workers = bool(shard_workers) and shards > 1
+        self.failover = failover
+        self.detector = FailureDetector(failover) if failover is not None else None
+        #: Completed failovers, newest last (see ``repro chaos``).
+        self.failovers: list[FailoverReport] = []
+        self.shard_failures = 0
+        self.shard_recoveries = 0
         # Control-plane registry: the single-shard ingest path, the
         # decision plane, and the retune loop all count here.  Shards
         # keep their own registries (merged at drain barriers).
@@ -329,6 +365,12 @@ class TempoService:
             self.shards = start_shard_workers(
                 shards, self.config.window, paths, opts,
                 observe=self.config.observe,
+                heartbeat_interval=(
+                    failover.heartbeat_interval if failover is not None else 1.0
+                ),
+                failover_after=(
+                    failover.failover_after if failover is not None else None
+                ),
             )
         else:
             self.shards = [
@@ -405,8 +447,12 @@ class TempoService:
         Single-shard: the live window object (mutating it is the same
         as pre-sharding behavior).  Sharded: a *merged copy* built from
         every shard's current state — a consistent read-only view;
-        mutations do not feed back into the shards.
+        mutations do not feed back into the shards.  Supervised planes
+        sweep for dead shards first, so introspection after a crash
+        triggers the same failover an ingest call would.
         """
+        if self.failover is not None:
+            self.check_shards()
         if self.router.shards == 1:
             return self.shards[0].window
         with self._lock:
@@ -429,7 +475,10 @@ class TempoService:
         metrics dumps ride the same barrier — the control plane caches
         the latest one per shard for merging, exactly like window stats.
         """
-        states = [shard.drain_state(now) for shard in self.shards]
+        states = [
+            self._supervised(i, lambda shard: shard.drain_state(now))
+            for i in range(len(self.shards))
+        ]
         for state in states:
             dump = state.get("metrics")
             if dump:
@@ -447,8 +496,9 @@ class TempoService:
         """
         at = max(now, self._now)
         merged: dict[str, TenantWindowStats] = {}
-        for shard in self.shards:
-            for name, stats in shard.drain_stats(at).items():
+        for i in range(len(self.shards)):
+            drained = self._supervised(i, lambda shard: shard.drain_stats(at))
+            for name, stats in drained.items():
                 mine = merged.get(name)
                 if mine is None:
                     merged[name] = stats
@@ -482,6 +532,8 @@ class TempoService:
         (the refold-vs-``fsum`` comparison on the merged window).
         """
         with self._lock:
+            if self.failover is not None:
+                self.check_shards()
             if self.router.shards == 1:
                 return stats_gap(self.shards[0].window)
             if self.shard_workers:
@@ -499,6 +551,235 @@ class TempoService:
         for shard in self.shards:
             shard.close()
 
+    # -- failover plane -----------------------------------------------------
+
+    def _supervised(self, shard_id: int, call):
+        """Run one shard barrier call; on a shard failure, fail over and retry.
+
+        Every synchronous interaction with a shard flows through here.
+        A :class:`~repro.service.sharding.ShardFailedError` — a dead
+        worker process, a reply past the supervised bound, an injected
+        fault — triggers :meth:`failover_shard` and ONE retry against
+        the replacement.  Without a failover config the error
+        propagates, preserving the pre-supervision contract.
+        """
+        try:
+            return call(self.shards[shard_id])
+        except ShardFailedError as exc:
+            if self.failover is None:
+                raise
+            self.failover_shard(shard_id, exc.reason)
+            return call(self.shards[shard_id])
+
+    def check_shards(self) -> list[FailoverReport]:
+        """Sweep the data plane for dead shards and fail each one over.
+
+        Runs at the top of every supervised ingest call (and is safe to
+        call from operator code at any time): a shard whose process has
+        exited is replaced immediately, and a live worker whose newest
+        heartbeat is older than ``failover_after`` is declared dead by
+        the :class:`~repro.service.failover.FailureDetector` and
+        replaced the same way.  Returns the failovers performed
+        (usually an empty list).  No-op without a failover config.
+        """
+        if self.failover is None:
+            return []
+        reports: list[FailoverReport] = []
+        with self._lock:
+            for shard_id in range(len(self.shards)):
+                shard = self.shards[shard_id]
+                if not getattr(shard, "alive", True):
+                    reason = getattr(shard, "reason", "process-exit")
+                    reports.append(self.failover_shard(shard_id, reason))
+                    continue
+                age = getattr(shard, "heartbeat_age", None)
+                if age is None or self.detector is None:
+                    continue
+                self.detector.observe(shard_id, age())
+                if self.detector.suspect(shard_id):
+                    reports.append(
+                        self.failover_shard(shard_id, "heartbeat-timeout")
+                    )
+        return reports
+
+    def failover_shard(
+        self, shard_id: int, reason: str = "process-exit"
+    ) -> FailoverReport:
+        """Replace a dead shard; bounded journal replay, not a restart.
+
+        The recovery path every detection signal converges on:
+
+        1. the old shard is fenced (worker processes are SIGKILLed and
+           reaped, so a merely-wedged worker cannot write after its
+           replacement);
+        2. *worker mode*: the dead shard's journal — whose unsynced tail
+           died with the process — rewinds to its newest broadcast-
+           heartbeat boundary (the chunk edge crash recovery already
+           uses) and snapshots past the boundary are pruned.  In-process
+           and single-shard journals are parent-owned and consistent, so
+           nothing is truncated and nothing is lost;
+        3. the replacement window is rebuilt from the newest surviving
+           snapshot plus a replay of the shard's journal tail;
+        4. a replacement shard (worker or in-process, matching the
+           plane's mode) takes the slot, and
+           :class:`~repro.service.events.ShardFailed` /
+           :class:`~repro.service.events.ShardRecovered` are journaled
+           in the control journal and applied (counters, metrics), so a
+           later resume replays the failover history.
+
+        Surviving shards are untouched: one dead shard costs one
+        bounded replay.  Requires a failover config.
+        """
+        if self.failover is None:
+            raise RuntimeError("failover_shard() requires a FailoverConfig")
+        with self._lock:
+            started = _time.perf_counter()
+            shards = self.router.shards
+            old = self.shards[shard_id]
+            fence = getattr(old, "kill", None)
+            if callable(fence):
+                try:
+                    fence()
+                except Exception:
+                    pass  # already gone; the join reaped what it could
+            state = self.state
+            replacement_window = RollingWindow(self.config.window)
+            boundary_time = 0.0
+            records_dropped = telemetry_dropped = replayed = 0
+            if state is not None:
+                if self.shard_workers or shards == 1:
+                    # Worker journals lose their unsynced tail with the
+                    # process: rewind to the heartbeat boundary.  The
+                    # single-shard call never truncates (the control
+                    # journal is parent-owned); it only reports the
+                    # boundary.
+                    boundary_time, _cut, records_dropped, telemetry_dropped = (
+                        state.failover_shard(shard_id)
+                    )
+                else:
+                    # In-process shard journals are parent-owned and
+                    # consistent through the last acknowledged append:
+                    # replay everything, lose nothing.
+                    boundary = last_heartbeat(state.shard_journal(shard_id))
+                    if boundary is not None:
+                        boundary_time = boundary[1]
+                journal = (
+                    state.journal if shards == 1 else state.shard_journal(shard_id)
+                )
+                window_state = None
+                base_seq = 0
+                loaded = state.load_latest_snapshot()
+                if loaded is not None:
+                    base_seq, snapshot = loaded
+                    if shards == 1:
+                        window_state = snapshot.get("window")
+                    else:
+                        windows = snapshot.get("shard_windows")
+                        if windows is not None:
+                            window_state = windows[shard_id]
+                        recorded = snapshot.get("sharding", {}).get("shard_seqs")
+                        base_seq = (
+                            int(recorded[shard_id]) if recorded is not None else 0
+                        )
+                else:
+                    segments = journal.segments()
+                    if segments and journal._first_seq_of(segments[0]) > 1:
+                        raise JournalError(
+                            f"shard {shard_id} journal was compacted (first "
+                            f"retained seq {journal._first_seq_of(segments[0])}) "
+                            "but no readable snapshot covers the deleted "
+                            "prefix; cannot fail over"
+                        )
+                replayer = IngestShard(shard_id, self.config.window)
+                if window_state is not None:
+                    replayer.restore(window_state)
+                tail = [
+                    decode_event(record.data)
+                    for record in journal.iter_records(after=base_seq)
+                    if record.kind == "event"
+                ]
+                if tail:
+                    replayer.fold(tail)
+                replayed = len(tail)
+                replacement_window = replayer.window
+            if self.shard_workers:
+                if state is not None:
+                    # The truncation opened a parent-side handle; the
+                    # replacement worker owns the journal from here on.
+                    state.release_shard_journal(shard_id)
+                handle = ShardWorkerHandle(
+                    shard_id,
+                    self.config.window,
+                    None if state is None else state.shard_journal_path(shard_id),
+                    None if state is None else state.shard_journal_opts(),
+                    observe=self.config.observe,
+                    heartbeat_interval=self.failover.heartbeat_interval,
+                    failover_after=self.failover.failover_after,
+                )
+                if state is not None:
+                    handle.restore(replacement_window.to_state())
+                self.shards[shard_id] = handle
+            else:
+                replacement = IngestShard(
+                    shard_id,
+                    self.config.window,
+                    journal=(
+                        state.shard_journal(shard_id)
+                        if state is not None and shards > 1
+                        else None
+                    ),
+                    queue_capacity=self.config.queue_capacity,
+                    metrics=(
+                        MetricsRegistry()
+                        if self.config.observe and shards > 1
+                        else None
+                    ),
+                )
+                replacement.window = replacement_window
+                self.shards[shard_id] = replacement
+            # The dead shard's registry died with it; fold its last
+            # drained dump into the additive base so merged totals stay
+            # monotone across the failover (same move as promotion).
+            stale = self._shard_metrics.pop(shard_id, None)
+            if stale:
+                carried = MetricsRegistry.from_dict(
+                    self._shard_metrics_base.get(shard_id, {})
+                )
+                carried.merge(stale)
+                self._shard_metrics_base[shard_id] = carried.to_dict()
+            if telemetry_dropped:
+                self._telemetry = max(0, self._telemetry - telemetry_dropped)
+            if self.detector is not None:
+                self.detector.observe(shard_id, 0.0)
+            latency = _time.perf_counter() - started
+            now = max(self._now, 0.0)
+            failed = ShardFailed(now, shard=shard_id, reason=str(reason))
+            recovered = ShardRecovered(
+                now,
+                shard=shard_id,
+                replayed=replayed,
+                dropped=records_dropped,
+                latency=latency,
+            )
+            if state is not None and not self._replaying:
+                state.record_event(encode_event(failed))
+                state.record_event(encode_event(recovered))
+            self._apply_control(failed)
+            self._apply_control(recovered)
+            self._events += 2
+            report = FailoverReport(
+                shard=shard_id,
+                time=now,
+                reason=str(reason),
+                boundary=boundary_time,
+                replayed=replayed,
+                records_dropped=records_dropped,
+                events_lost=telemetry_dropped,
+                latency=latency,
+            )
+            self.failovers.append(report)
+            return report
+
     # -- telemetry ingestion ------------------------------------------------
 
     def process(self, event: ServiceEvent) -> RetuneDecision | None:
@@ -511,6 +792,8 @@ class TempoService:
         cadence tick, else ``None``.
         """
         with self._lock:
+            if self.failover is not None:
+                self.check_shards()
             if self.router.shards == 1:
                 window = self.shards[0].window
                 if self.state is not None and not self._replaying:
@@ -577,6 +860,25 @@ class TempoService:
                 else:
                     del self.lost_capacity[event.pool]
                 self._force = True  # capacity changed; stability is void
+        elif isinstance(event, ShardFailed):
+            self.shard_failures += 1
+            self.metrics.counter(
+                "tempo_shard_failovers_total",
+                "Shards declared dead and replaced by the supervision plane.",
+                shard=str(event.shard),
+            ).inc()
+        elif isinstance(event, ShardRecovered):
+            self.shard_recoveries += 1
+            self.metrics.counter(
+                "tempo_shard_recoveries_total",
+                "Replacement shards that finished journal replay and rejoined.",
+                shard=str(event.shard),
+            ).inc()
+            if event.latency > 0:
+                self.metrics.histogram(
+                    "tempo_shard_failover_latency_seconds",
+                    "Wall-clock failover latency (rewind + replay + respawn).",
+                ).observe(event.latency)
 
     def _apply_membership(self, event: ServiceEvent) -> None:
         """Control-plane half of a tenant-churn event (sharded mode).
@@ -609,8 +911,10 @@ class TempoService:
             if journaling:
                 self.state.record_event(encode_event(event))
             if isinstance(event, Heartbeat):
-                for target in self.shards:
-                    target.ingest([event])
+                for target_id in range(len(self.shards)):
+                    self._supervised(
+                        target_id, lambda target: target.ingest([event])
+                    )
                 if journaling:
                     self.state.note_shard_records(len(self.shards))
             else:
@@ -621,7 +925,7 @@ class TempoService:
                 self._apply_membership(event)
             else:
                 self._telemetry += 1
-            self.shards[shard].ingest([event])
+            self._supervised(shard, lambda target: target.ingest([event]))
             if journaling:
                 self.state.note_shard_records(1)
 
@@ -673,6 +977,8 @@ class TempoService:
         if not events:
             return decisions
         with self._lock:
+            if self.failover is not None:
+                self.check_shards()
             retuned = False
             if self.router.shards == 1:
                 window = self.shards[0].window
@@ -737,9 +1043,15 @@ class TempoService:
             self._m_ingest_events.inc(len(control))
         self._m_ingest_batches.inc()
         dispatched = 0
-        for shard, part in zip(self.shards, parts):
+        for shard_id, part in enumerate(parts):
             if part:
-                shard.ingest(part)
+                # On a failover the partition is re-delivered to the
+                # replacement: the failed call's records never reached
+                # the journal (or were truncated past the boundary), so
+                # the retry cannot duplicate anything.
+                self._supervised(
+                    shard_id, lambda shard, p=part: shard.ingest(p)
+                )
                 dispatched += len(part)
         if journaling and dispatched:
             self.state.note_shard_records(dispatched)
@@ -934,9 +1246,16 @@ class TempoService:
             "Events shed by the bounded daemon bus (overflow drops).",
         ).set(self.bus.dropped)
         lag = 0
-        for shard in self.shards:
+        for shard_id, shard in enumerate(self.shards):
             pending = getattr(shard, "pending_batches", None)
             lag = max(lag, len(shard.bus) if pending is None else pending)
+            age = getattr(shard, "heartbeat_age", None)
+            if age is not None:
+                m.gauge(
+                    "tempo_shard_heartbeat_age_seconds",
+                    "Seconds since each worker shard's newest liveness beat.",
+                    shard=str(shard_id),
+                ).set(age())
         m.gauge(
             "tempo_shard_queue_lag",
             "Worst per-shard intake backlog (batches for workers, "
@@ -1094,6 +1413,17 @@ class TempoService:
                 "active_tenants": sorted(self.active_tenants),
                 "nodes_lost": self.nodes_lost,
                 "nodes_recovered": self.nodes_recovered,
+                # Failover counters ride the snapshot only once a
+                # failover happened, keeping snapshot bytes identical
+                # for every fault-free service.
+                **(
+                    {
+                        "shard_failures": self.shard_failures,
+                        "shard_recoveries": self.shard_recoveries,
+                    }
+                    if self.shard_failures or self.shard_recoveries
+                    else {}
+                ),
                 "lost_capacity": dict(self.lost_capacity),
                 "events": self._events,
                 "last_attempt": self._last_attempt,
@@ -1151,6 +1481,8 @@ class TempoService:
         self.active_tenants = set(state["active_tenants"])
         self.nodes_lost = int(state["nodes_lost"])
         self.nodes_recovered = int(state.get("nodes_recovered", 0))
+        self.shard_failures = int(state.get("shard_failures", 0))
+        self.shard_recoveries = int(state.get("shard_recoveries", 0))
         self.lost_capacity = {
             pool: int(n) for pool, n in state["lost_capacity"].items()
         }
@@ -1245,6 +1577,7 @@ class TempoService:
         *,
         shards: int | None = None,
         shard_workers: bool = False,
+        failover: FailoverConfig | None = None,
     ) -> "TempoService":
         """Rebuild a daemon from its state directory.
 
@@ -1281,7 +1614,14 @@ class TempoService:
                 f"state dir is laid out for {state.shards} shard(s), "
                 f"asked to resume with {shards}; reshard explicitly"
             )
-        service = cls(controller, config, bus, state=state, shards=state.shards)
+        service = cls(
+            controller,
+            config,
+            bus,
+            state=state,
+            shards=state.shards,
+            failover=failover,
+        )
         loaded = state.load_latest_snapshot()
         after = 0
         shard_after = [0] * state.shards
@@ -1440,6 +1780,16 @@ class TempoService:
         self.shards = start_shard_workers(
             self.router.shards, self.config.window, paths, opts,
             observe=self.config.observe,
+            heartbeat_interval=(
+                self.failover.heartbeat_interval
+                if self.failover is not None
+                else 1.0
+            ),
+            failover_after=(
+                self.failover.failover_after
+                if self.failover is not None
+                else None
+            ),
         )
         for shard, shard_state in zip(self.shards, states):
             shard.restore(shard_state["window"])

@@ -117,6 +117,39 @@ class Heartbeat(ServiceEvent):
 
 
 @dataclass(frozen=True)
+class ShardFailed(ServiceEvent):
+    """A data-plane shard was declared dead by the failure detector.
+
+    A *control* event: journaled in the control journal (never routed to
+    a shard) so a resume replays the failover history and the
+    observability counters (``tempo_shard_failovers_total``) stay
+    monotone across crashes.  ``reason`` is a short operator-facing
+    detection cause (``"process-exit"``, ``"heartbeat-timeout"``,
+    ``"reply-timeout"``, ...).
+    """
+
+    shard: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ShardRecovered(ServiceEvent):
+    """A replacement shard finished its journal replay and rejoined.
+
+    The symmetric partner of :class:`ShardFailed`.  ``replayed`` counts
+    journal records re-folded into the replacement window, ``dropped``
+    counts records past the common heartbeat boundary that were
+    truncated (the bounded loss of a failover), and ``latency`` is the
+    wall-clock seconds the failover took (detection excluded).
+    """
+
+    shard: int
+    replayed: int = 0
+    dropped: int = 0
+    latency: float = 0.0
+
+
+@dataclass(frozen=True)
 class DecisionMade(ServiceEvent):
     """The decision plane resolved one cadence tick.
 

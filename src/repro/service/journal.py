@@ -60,6 +60,8 @@ from repro.service.events import (
     NodeLost,
     NodeRecovered,
     ServiceEvent,
+    ShardFailed,
+    ShardRecovered,
     TaskCompleted,
     TenantJoined,
     TenantLeft,
@@ -86,6 +88,8 @@ _EVENT_TYPES = {
         TenantLeft,
         Heartbeat,
         DecisionMade,
+        ShardFailed,
+        ShardRecovered,
     )
 }
 
@@ -145,6 +149,22 @@ def encode_event(event: ServiceEvent) -> dict:
             "retuned": event.retuned,
             "reason": event.reason,
             "record": event.record,
+        }
+    if isinstance(event, ShardFailed):
+        return {
+            "type": cls,
+            "time": event.time,
+            "shard": event.shard,
+            "reason": event.reason,
+        }
+    if isinstance(event, ShardRecovered):
+        return {
+            "type": cls,
+            "time": event.time,
+            "shard": event.shard,
+            "replayed": event.replayed,
+            "dropped": event.dropped,
+            "latency": event.latency,
         }
     return {"type": cls, "time": event.time}  # Heartbeat
 

@@ -468,6 +468,7 @@ def build_service(
     state=None,
     shards: int = 1,
     shard_workers: bool = False,
+    failover=None,
     **controller_kwargs,
 ) -> TempoService:
     """A TempoService wired for ``scenario`` (controller + config space).
@@ -475,11 +476,18 @@ def build_service(
     ``state`` optionally attaches a durable
     :class:`~repro.service.snapshot.ServiceState` home; ``shards`` /
     ``shard_workers`` configure the data plane (see
-    :mod:`repro.service.sharding`).
+    :mod:`repro.service.sharding`); ``failover`` optionally enables
+    shard supervision (a :class:`~repro.service.failover.
+    FailoverConfig`).
     """
     controller = build_controller(scenario, seed=seed, **controller_kwargs)
     return TempoService(
-        controller, config, state=state, shards=shards, shard_workers=shard_workers
+        controller,
+        config,
+        state=state,
+        shards=shards,
+        shard_workers=shard_workers,
+        failover=failover,
     )
 
 
@@ -555,6 +563,11 @@ class ScenarioReplayer:
         record_to: Optional list collecting every delivered event in
             delivery order — the capture side of trace-file replay
             (write it out with :func:`dump_trace_events`).
+        injector: Optional :class:`~repro.service.failover.
+            FaultInjector`: armed against the service before the first
+            chunk, and advanced to each chunk boundary's simulated time
+            so scheduled faults fire deterministically at chunk edges —
+            the chaos axis of the replay harness (``repro chaos``).
     """
 
     def __init__(
@@ -568,6 +581,7 @@ class ScenarioReplayer:
         verify_stats: bool = True,
         continuous: bool = True,
         record_to: list[ServiceEvent] | None = None,
+        injector=None,
     ):
         if transport not in ("direct", "bus"):
             raise ValueError(f"unknown transport {transport!r}")
@@ -579,6 +593,7 @@ class ScenarioReplayer:
         self.verify_stats = verify_stats
         self.continuous = continuous
         self.record_to = record_to
+        self.injector = injector
         self.sim = ClusterSimulator(scenario.cluster, noise=scenario.noise, seed=seed)
 
     def run(
@@ -638,6 +653,8 @@ class ScenarioReplayer:
         # deque evicting old entries mid-run (a length-based slice
         # would not).
         prior_time = service.decisions[-1].time if service.decisions else -math.inf
+        if self.injector is not None:
+            self.injector.arm(service)
         wall_start = _time.perf_counter()
         counts = {
             "events": 0,
@@ -670,6 +687,11 @@ class ScenarioReplayer:
             else:
                 events = self._chunk_events(workload, s0, s1, index, start)
                 events.append(Heartbeat(start + s1))
+            if self.injector is not None:
+                # Faults land at chunk boundaries: every spec whose
+                # simulated time has come fires before this chunk's
+                # delivery, deterministically.
+                self.injector.advance(start + s0)
             self._pace(wall_start, s1)
             self._deliver(events, counts)
             if self.transport == "bus":
@@ -694,6 +716,8 @@ class ScenarioReplayer:
                 self._drain_events(session, start) if not session.idle else []
             )
             drain_events.append(Heartbeat(horizon))
+            if self.injector is not None:
+                self.injector.advance(horizon)
             self._deliver(drain_events, counts)
             if self.transport == "bus":
                 service.quiesce()

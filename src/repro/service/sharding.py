@@ -37,12 +37,24 @@ driver emits is **broadcast** — journaled in the control journal *and*
 every shard journal — so recovery can rewind all N+1 journals to one
 common completed-chunk boundary (see
 ``ServiceState.rewind_to_heartbeat``).
+
+**Supervision** (the failover plane, see :mod:`repro.service.failover`):
+each worker runs a daemon heartbeat thread that keeps beating even while
+the command loop crunches batches, so the parent can tell a *busy*
+worker from a *dead* one.  Three failure signals surface as a typed
+:class:`ShardFailedError`: the process exited (``process-exit``),
+heartbeats stopped (``heartbeat-timeout``), or a synchronous barrier
+reply outlived ``failover_after`` (``reply-timeout`` — catches a worker
+that is alive and beating but wedged).  Unsupervised handles
+(``failover_after=None``) keep the legacy generous
+:attr:`ShardWorkerHandle.REPLY_TIMEOUT` bound.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import zlib
+from time import monotonic as _monotonic
 from typing import Iterable, Mapping
 
 from repro.service.events import (
@@ -62,6 +74,25 @@ SHARD_DIR_FMT = "shard-{:02d}"
 
 #: Telemetry event types folded into a shard's rolling window.
 _TELEMETRY_EVENTS = (JobSubmitted, TaskCompleted, JobCompleted)
+
+
+class ShardFailedError(RuntimeError):
+    """A data-plane shard failed and needs failover.
+
+    Subclasses :class:`RuntimeError` so pre-failover call sites that
+    caught the untyped worker error keep working; supervision-aware
+    callers (the daemon's drain barriers) catch this type specifically
+    and run :meth:`~repro.service.daemon.TempoService.failover_shard`
+    instead of crashing the control plane.
+    """
+
+    def __init__(self, shard_id: int, reason: str, message: str | None = None):
+        super().__init__(message or f"shard {shard_id} failed: {reason}")
+        #: Which shard failed.
+        self.shard_id = int(shard_id)
+        #: Short detection cause: ``process-exit``, ``heartbeat-timeout``,
+        #: ``reply-timeout``, ``worker-error``, or an injected fault name.
+        self.reason = str(reason)
 
 
 def shard_dir_name(shard_id: int) -> str:
@@ -168,6 +199,10 @@ class IngestShard:
     (:meth:`submit` + :meth:`flush_bus`); the batch pipeline bypasses
     it and hands lists straight to :meth:`ingest`.
     """
+
+    #: In-process shards never fail on their own; the fault injector's
+    #: :class:`~repro.service.failover.DeadShard` stand-in flips this.
+    alive = True
 
     def __init__(
         self,
@@ -307,6 +342,8 @@ def _worker_main(
     commands,
     replies,
     observe: bool = False,
+    beats=None,
+    heartbeat_interval: float = 1.0,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -316,10 +353,40 @@ def _worker_main(
     command answers on ``replies``.  Any failure is reported on
     ``replies`` and ends the worker — a dead shard must surface at the
     parent's next sync point, not vanish.
+
+    When ``beats`` is given, a daemon thread puts one liveness beat on
+    it every ``heartbeat_interval`` seconds.  The thread beats through
+    batch processing (and through an injected ``stall``), so heartbeat
+    age distinguishes *dead* from *busy*; only an actual process exit
+    or a wedged reply trips the detector.  The ``stall`` and ``slow``
+    commands exist for the fault injector: ``stall`` sleeps the command
+    loop (the worker stays alive and beating but stops replying) and
+    ``slow`` degrades the next N batches to per-record journal appends
+    (byte-identical records, group commit disabled — pure latency).
     """
+    import threading
+    import time as _time
+
     from repro.service.journal import EventJournal  # local: after fork
 
+    if beats is not None:
+        stop_beating = threading.Event()
+
+        def _beat() -> None:
+            while not stop_beating.is_set():
+                try:
+                    beats.put_nowait(_time.monotonic())
+                except Exception:  # queue torn down at exit
+                    return
+                if stop_beating.wait(heartbeat_interval):
+                    return
+
+        threading.Thread(
+            target=_beat, name=f"tempo-shard-{shard_id:02d}-beat", daemon=True
+        ).start()
+
     journal = None
+    slow_batches = 0
     try:
         if journal_path is not None:
             journal = EventJournal(journal_path, **journal_opts)
@@ -333,7 +400,12 @@ def _worker_main(
             command = commands.get()
             op = command[0]
             if op == "ingest":
-                shard.ingest(command[1])
+                if slow_batches > 0:
+                    slow_batches -= 1
+                    for event in command[1]:
+                        shard.ingest([event])
+                else:
+                    shard.ingest(command[1])
             elif op == "state":
                 replies.put(("state", shard.drain_state(command[1])))
             elif op == "stats":
@@ -341,6 +413,10 @@ def _worker_main(
             elif op == "restore":
                 shard.restore(command[1])
                 replies.put(("ok", shard_id))
+            elif op == "stall":
+                _time.sleep(command[1])
+            elif op == "slow":
+                slow_batches += int(command[1])
             elif op == "stop":
                 shard.close()
                 replies.put(("stopped", shard_id))
@@ -370,6 +446,7 @@ class ShardWorkerHandle:
 
     #: Seconds to wait on a synchronous reply before declaring the
     #: worker dead (generous: a drain waits behind queued batches).
+    #: ``failover_after`` tightens this bound when supervision is on.
     REPLY_TIMEOUT = 120.0
 
     def __init__(
@@ -379,14 +456,23 @@ class ShardWorkerHandle:
         journal_path=None,
         journal_opts: Mapping | None = None,
         observe: bool = False,
+        heartbeat_interval: float = 1.0,
+        failover_after: float | None = None,
     ):
         self.shard_id = int(shard_id)
         #: Batches queued since the last synchronous barrier — the
         #: parent-side view of this worker's queue lag.
         self.pending_batches = 0
+        #: Seconds the worker emits one liveness beat per.
+        self.heartbeat_interval = float(heartbeat_interval)
+        #: Supervised reply bound (``None``: legacy unsupervised mode
+        #: with the generous :attr:`REPLY_TIMEOUT`).
+        self.failover_after = None if failover_after is None else float(failover_after)
         ctx = mp.get_context("fork")
         self._commands = ctx.Queue()
         self._replies = ctx.Queue()
+        self._beats = ctx.Queue()
+        self._last_beat = _monotonic()
         self._process = ctx.Process(
             target=_worker_main,
             args=(
@@ -397,6 +483,8 @@ class ShardWorkerHandle:
                 self._commands,
                 self._replies,
                 bool(observe),
+                self._beats,
+                self.heartbeat_interval,
             ),
             name=f"tempo-shard-{shard_id:02d}",
             daemon=True,
@@ -407,9 +495,69 @@ class ShardWorkerHandle:
         alive = self._process.is_alive()
         return f"ShardWorkerHandle(id={self.shard_id}, alive={alive})"
 
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self._process.is_alive()
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the worker's newest liveness beat.
+
+        Drains the beat queue (newest beat wins; ``monotonic`` is
+        system-wide on Linux so worker stamps compare directly with the
+        parent clock).  The beat thread keeps beating while the command
+        loop crunches a batch, so a large age means the *process* is
+        gone or wedged, not merely busy.
+        """
+        import queue as _queue
+
+        while True:
+            try:
+                stamp = self._beats.get_nowait()
+            except (_queue.Empty, OSError, ValueError):
+                break
+            if stamp > self._last_beat:
+                self._last_beat = stamp
+        return max(0.0, _monotonic() - self._last_beat)
+
+    def kill(self) -> None:
+        """SIGKILL the worker process and reap it (fault injection)."""
+        self._process.kill()
+        self._process.join(timeout=10.0)
+        self._release_queues()
+
+    def _release_queues(self) -> None:
+        """Drop the queue buffers once the worker is gone.
+
+        A queue feeder thread flushing buffered batches into a pipe no
+        process will ever read blocks — and ``multiprocessing`` joins
+        feeder threads at interpreter exit, so a SIGKILLed worker whose
+        command queue still held data would hang shutdown forever.
+        """
+        for queue in (self._commands, self._replies, self._beats):
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except (OSError, ValueError):
+                pass  # already closed
+
+    def stall(self, seconds: float) -> None:
+        """Inject a command-loop stall: the worker sleeps but keeps beating."""
+        self._commands.put(("stall", float(seconds)))
+
+    def slow_journal(self, batches: int) -> None:
+        """Degrade the next ``batches`` ingests to per-record appends."""
+        self._commands.put(("slow", int(batches)))
+
     def ingest(self, events: list[ServiceEvent]) -> None:
-        """Queue one batch for the worker (returns immediately)."""
+        """Queue one batch for the worker (returns immediately).
+
+        Supervised handles check liveness first — enqueueing onto a dead
+        worker would silently drop the batch until the next barrier.
+        """
         if events:
+            if self.failover_after is not None and not self._process.is_alive():
+                raise ShardFailedError(self.shard_id, "process-exit")
             self.pending_batches += 1
             self._commands.put(("ingest", events))
 
@@ -441,28 +589,41 @@ class ShardWorkerHandle:
             except RuntimeError:
                 pass  # already dead; join below reaps it either way
         self._process.join(timeout=10.0)
+        self._release_queues()
 
     def _reply(self, expected: str):
         import queue as _queue
-        import time as _time
 
-        deadline = _time.monotonic() + self.REPLY_TIMEOUT
+        bound = (
+            self.REPLY_TIMEOUT if self.failover_after is None else self.failover_after
+        )
+        deadline = _monotonic() + bound
+        # Poll in short slices so a worker that died mid-batch surfaces
+        # within ~0.2s instead of blocking the control plane on a reply
+        # that will never come (the latent drain-barrier hang).
         while True:
             try:
                 kind, payload = self._replies.get(timeout=0.2)
             except _queue.Empty:
                 if not self._process.is_alive():
-                    raise RuntimeError(
-                        f"shard worker {self.shard_id} died without replying"
+                    raise ShardFailedError(
+                        self.shard_id,
+                        "process-exit",
+                        f"shard worker {self.shard_id} died without replying",
                     ) from None
-                if _time.monotonic() > deadline:
-                    raise RuntimeError(
-                        f"shard worker {self.shard_id} reply timed out"
+                if _monotonic() > deadline:
+                    raise ShardFailedError(
+                        self.shard_id,
+                        "reply-timeout",
+                        f"shard worker {self.shard_id} reply timed out "
+                        f"after {bound:g}s",
                     ) from None
                 continue
             if kind == "error":
-                raise RuntimeError(
-                    f"shard worker {self.shard_id} failed: {payload}"
+                raise ShardFailedError(
+                    self.shard_id,
+                    "worker-error",
+                    f"shard worker {self.shard_id} failed: {payload}",
                 )
             if kind != expected:  # pragma: no cover - protocol misuse
                 raise RuntimeError(
@@ -478,6 +639,8 @@ def start_shard_workers(
     journal_paths: list | None,
     journal_opts: Mapping | None = None,
     observe: bool = False,
+    heartbeat_interval: float = 1.0,
+    failover_after: float | None = None,
 ) -> list[ShardWorkerHandle]:
     """Spawn one worker process per shard; returns their handles.
 
@@ -485,6 +648,9 @@ def start_shard_workers(
     shard; the journals are opened inside the workers.  With ``observe``
     each worker builds a shard-local metrics registry whose dump rides
     back on every :meth:`~ShardWorkerHandle.drain_state` barrier.
+    ``failover_after`` turns on supervision: barriers bound their reply
+    wait by it and raise :class:`ShardFailedError` instead of the
+    legacy 120s untyped timeout.
     """
     return [
         ShardWorkerHandle(
@@ -493,6 +659,8 @@ def start_shard_workers(
             None if journal_paths is None else journal_paths[i],
             journal_opts,
             observe=observe,
+            heartbeat_interval=heartbeat_interval,
+            failover_after=failover_after,
         )
         for i in range(shards)
     ]

@@ -693,6 +693,80 @@ class ServiceState:
             self._last_heartbeat_seq = None  # re-scan lazily past the cut
         return start, dropped
 
+    def failover_shard(self, shard_id: int) -> tuple[float, int, int, int]:
+        """Rewind ONE shard's journal to its newest chunk boundary.
+
+        The durable half of a shard failover
+        (:meth:`~repro.service.daemon.TempoService.failover_shard`).
+        Returns ``(boundary_time, boundary_seq, records_dropped,
+        telemetry_dropped)`` — the last is the job/task telemetry subset
+        of the dropped records, what the control plane subtracts from
+        its ingested-telemetry counter.
+
+        Sharded layout: the dead shard's journal is reopened (running
+        torn-tail repair over whatever the worker managed to ack before
+        dying) and truncated back to its newest broadcast heartbeat —
+        a *common* boundary, since heartbeats land in every journal at
+        every chunk edge.  Surviving shards keep their post-boundary
+        records untouched: only the dead shard pays the bounded replay.
+        Snapshots whose recorded position for this shard lies past the
+        cut are pruned — their windows contain telemetry that no longer
+        exists in any journal, and restoring one would resurrect the
+        failover's bounded loss.
+
+        Single-shard layout: the shard journal *is* the control journal
+        (shared with decision/config records the control plane still
+        holds in memory), so nothing is truncated — the parent-owned
+        journal is consistent with everything acked, and the rebuild
+        replays its full telemetry tail with zero loss.
+        """
+        if not 0 <= shard_id < self.shards:
+            raise ValueError(
+                f"shard {shard_id} out of range for {self.shards}-shard state"
+            )
+        if self.shards == 1:
+            boundary = last_heartbeat(self.journal)
+            seq, when = boundary if boundary is not None else (0, 0.0)
+            return when, seq, 0, 0
+        cached = self._shard_journals.pop(shard_id, None)
+        if cached is not None:
+            cached.close()
+        journal = self.shard_journal(shard_id)
+        boundary = last_heartbeat(journal)
+        cut, when = boundary if boundary is not None else (0, 0.0)
+        telemetry_dropped = sum(
+            1
+            for record in journal.iter_records(after=cut)
+            if record.kind == "event"
+            and record.data.get("type")
+            in ("JobSubmitted", "TaskCompleted", "JobCompleted")
+        )
+        dropped = journal.truncate_after(cut)
+        for path in self.snapshots.paths():
+            seqs = None
+            try:
+                payload = json.loads(
+                    unframe_line(path.read_text(encoding="utf-8").strip())
+                )
+                seqs = payload["state"].get("sharding", {}).get("shard_seqs")
+            except (ValueError, KeyError, TypeError):
+                pass  # unreadable snapshots are skipped at load time
+            if seqs is not None and len(seqs) > shard_id and int(seqs[shard_id]) > cut:
+                path.unlink()
+        return when, cut, dropped, telemetry_dropped
+
+    def release_shard_journal(self, shard_id: int) -> None:
+        """Close and drop the parent-side handle of one shard journal.
+
+        Worker-mode failover reopens a dead shard's journal in the
+        parent just long enough to rewind and replay it; the handle must
+        be released before the replacement worker opens the journal, or
+        the two opens would race on the tail.
+        """
+        cached = self._shard_journals.pop(shard_id, None)
+        if cached is not None:
+            cached.close()
+
     # -- resharding ----------------------------------------------------------
 
     def reshard(self, shards: int) -> None:

@@ -136,7 +136,7 @@ class TestDocsPages:
         subs = _subcommands()
         flags = {
             s
-            for name in ("serve", "replay", "resume", "compact", "status")
+            for name in ("serve", "replay", "resume", "compact", "status", "chaos")
             for action in subs[name]._actions
             for s in action.option_strings
         }
