@@ -20,6 +20,13 @@ Not a paper figure — an operational benchmark for the failover plane
    failover; the row reports the batch size the retry carried and the
    wall seconds the absorbing ``ingest_batch`` call stalled end to end
    (detection + rewind + replay + respawn + re-delivery).
+4. **TCP transport rows** — the same supervision story through the
+   network data plane (`repro.service.transport`): wall seconds from a
+   SIGKILL of a TCP worker to the fenced handle (detection is the
+   partition outliving ``failover_after``, not a process-table check),
+   reconnect latency past a transient partition window (outage minus
+   the injected window = backoff + hello + suffix replay), and the
+   journal-replay rate of a TCP worker failover.
 
 Alongside the human-readable table the benchmark archives a
 machine-readable ``benchmarks/results/failover_latency.json``.  The
@@ -52,11 +59,16 @@ import numpy as np
 
 from _harness import RESULTS_DIR, append_trajectory_run, report
 from repro.service.daemon import ServiceConfig, TempoService
-from repro.service.events import JobCompleted, TaskCompleted
+from repro.service.events import Heartbeat, JobCompleted, TaskCompleted
 from repro.service.failover import DeadShard, FailoverConfig
 from repro.service.replay import build_controller, make_scenario
-from repro.service.sharding import ShardFailedError, ShardWorkerHandle
+from repro.service.sharding import (
+    ShardFailedError,
+    ShardPartitionedError,
+    ShardWorkerHandle,
+)
 from repro.service.snapshot import ServiceState
+from repro.service.transport import start_remote_shards
 from repro.workload.trace import JobRecord, TaskRecord
 
 #: Fast supervision: detection bound well under a second, and the
@@ -113,7 +125,9 @@ def synthetic_events(tenants: int, count: int, window: float = 600.0, seed: int 
     return events
 
 
-def _service(root, shards: int, workers: bool) -> tuple[TempoService, ServiceState]:
+def _service(
+    root, shards: int, workers: bool, tcp: bool = False
+) -> tuple[TempoService, ServiceState]:
     """A supervised durable service over a fresh state dir."""
     scenario = make_scenario("steady", scale=1.0, horizon=3600.0)
     config = ServiceConfig(window=600.0, retune_interval=10**9)
@@ -124,6 +138,7 @@ def _service(root, shards: int, workers: bool) -> tuple[TempoService, ServiceSta
         state=state,
         shards=shards,
         shard_workers=workers,
+        tcp_workers=tcp,
         failover=FAST,
     )
     return service, state
@@ -200,6 +215,13 @@ def bench_buffered_during_failover(batch: int = 4000) -> dict:
             os.kill(victim._process.pid, signal.SIGKILL)
             started = time.perf_counter()
             service.ingest_batch(events[half:])  # absorbs the failover
+            # The kill can land after the batch slipped through (the OS
+            # had not reaped the process yet); sweep until supervision
+            # catches up so the row always measures a real failover.
+            deadline = time.perf_counter() + 10.0
+            while not service.failovers and time.perf_counter() < deadline:
+                service.check_shards()
+                time.sleep(0.01)
             stall = time.perf_counter() - started
             failover = service.failovers[0]
             buffered = sum(
@@ -217,6 +239,127 @@ def bench_buffered_during_failover(batch: int = 4000) -> dict:
         "replayed": failover.replayed,
         "records_dropped": failover.records_dropped,
         "reason": failover.reason,
+    }
+
+
+def bench_tcp_detection(trials: int = 3) -> list[float]:
+    """SIGKILL of a TCP worker -> fenced handle, wall seconds.
+
+    The TCP handle has no process table to sweep: a killed worker is a
+    partition, and detection is the outage crossing ``failover_after``
+    under the handle's reconnect loop — so this latency is bounded
+    below by ``failover_after`` itself, not by a poll slice.
+    """
+    latencies = []
+    for trial in range(trials):
+        handles, launcher = start_remote_shards(
+            1,
+            600.0,
+            heartbeat_interval=FAST.heartbeat_interval,
+            failover_after=FAST.failover_after,
+        )
+        handle = handles[0]
+        try:
+            handle.ingest(synthetic_events(50, 400, seed=trial)[:200])
+            handle.drain_state(10.0)  # connected, batches applied
+            os.kill(launcher._procs[0].pid, signal.SIGKILL)
+            started = time.perf_counter()
+            while handle.alive and time.perf_counter() - started < 30.0:
+                time.sleep(0.005)
+            if handle.alive:  # pragma: no cover - supervision regression
+                raise RuntimeError("killed TCP worker never fenced")
+            latencies.append(time.perf_counter() - started)
+        finally:
+            handle.kill()
+            launcher.close()
+    return latencies
+
+
+def bench_tcp_reconnect(dur: float = 0.2, trials: int = 3) -> list[dict]:
+    """Transient-partition heal latency on an unsupervised TCP handle.
+
+    Injects a ``dur``-second partition mid-stream, buffers a tail
+    through it, and measures the recorded outage: outage minus the
+    injected window is the reconnect overhead — backoff wait, the
+    hello exchange, and the deduped replay of the unacknowledged
+    suffix.
+    """
+    results = []
+    for trial in range(trials):
+        handles, launcher = start_remote_shards(1, 600.0)
+        handle = handles[0]
+        try:
+            events = synthetic_events(50, 600, seed=trial)
+            half = len(events) // 2
+            handle.ingest(events[:half])
+            handle.drain_state(10.0)
+            handle.inject_partition(dur)
+            handle.ingest(events[half:])  # buffered through the window
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    handle.drain_state(20.0)
+                    break
+                except ShardPartitionedError:
+                    if time.monotonic() > deadline:  # pragma: no cover
+                        raise RuntimeError("partition never healed")
+                    time.sleep(0.005)
+            outage = (
+                handle.reconnect_seconds[-1] if handle.reconnect_seconds else 0.0
+            )
+            results.append(
+                {
+                    "injected_seconds": dur,
+                    "outage_seconds": outage,
+                    "reconnect_overhead_seconds": max(0.0, outage - dur),
+                    "replayed_batches": handle.retries,
+                    "reconnects": handle.reconnects,
+                }
+            )
+        finally:
+            handle.close()
+            launcher.close()
+    return results
+
+
+def bench_tcp_replay(records: int) -> dict:
+    """Failover wall seconds vs journal size through the TCP plane.
+
+    The TCP twin of the in-process replay row: a 2-shard loopback TCP
+    service, ~``records`` records drained into the victim's
+    worker-owned journal, the handle fenced (SIGKILL + dead), and
+    ``failover_shard`` timed end to end — journal rewind, replay, and
+    the respawn of a replacement worker process.
+    """
+    with tempfile.TemporaryDirectory(prefix="tempo-bench-failover-") as root:
+        service, state = _service(root, shards=2, workers=False, tcp=True)
+        try:
+            events = synthetic_events(64, records)
+            # Broadcast heartbeats bound the rewind: a worker-owned
+            # journal truncates to its newest heartbeat boundary, so
+            # without them a failover would replay nothing.
+            beats = [
+                Heartbeat(events[i].time + 1e-6)
+                for i in range(49, len(events), 50)
+            ]
+            beats.append(Heartbeat(events[-1].time + 1e-6))
+            events = sorted(events + beats, key=lambda e: e.time)
+            service.ingest_batch(events)
+            now = max(event.time for event in events) + 1.0
+            victim_records = service.shards[1].drain_state(now)["seq"]
+            service.shards[1].kill()
+            started = time.perf_counter()
+            failover = service.failover_shard(1, "fenced")
+            elapsed = time.perf_counter() - started
+        finally:
+            service.close()
+            state.close()
+    return {
+        "journal_records": victim_records,
+        "replayed": failover.replayed,
+        "failover_seconds": elapsed,
+        "replay_internal_seconds": failover.latency,
+        "records_per_second": failover.replayed / elapsed if elapsed > 0 else 0.0,
     }
 
 
@@ -247,6 +390,28 @@ def _rows(detection: list[float], replays: list[dict], buffered: dict):
     return rows
 
 
+def _tcp_rows(detection: list[float], reconnects: list[dict], replay: dict):
+    overheads = [r["reconnect_overhead_seconds"] for r in reconnects]
+    return [
+        (
+            "tcp detection (SIGKILL -> fenced)",
+            f"{min(detection) * 1000:.0f}-{max(detection) * 1000:.0f} ms",
+            f"floor failover_after={FAST.failover_after * 1000:.0f} ms",
+        ),
+        (
+            f"tcp reconnect ({reconnects[0]['injected_seconds'] * 1000:.0f} ms partition)",
+            f"{min(overheads) * 1000:.0f}-{max(overheads) * 1000:.0f} ms overhead",
+            f"{sum(r['reconnects'] for r in reconnects)} reconnect(s), "
+            f"{sum(r['replayed_batches'] for r in reconnects)} batch(es) re-sent",
+        ),
+        (
+            f"tcp replay {replay['journal_records']:,} records",
+            f"{replay['failover_seconds'] * 1000:.0f} ms",
+            f"{replay['records_per_second']:,.0f} rec/s",
+        ),
+    ]
+
+
 def smoke() -> int:
     """CI gate: bounded detection + full-tail recovery, generous ceilings.
 
@@ -256,11 +421,15 @@ def smoke() -> int:
     detection = bench_detection_latency(trials=3)
     replay = bench_replay_time(1_000)
     buffered = bench_buffered_during_failover(batch=1_000)
+    tcp_detection = bench_tcp_detection(trials=2)
+    tcp_reconnect = bench_tcp_reconnect(dur=0.2, trials=2)
+    tcp_replay = bench_tcp_replay(1_000)
     report(
         "failover_latency_smoke",
         "Shard failover latency (smoke)",
         ("measurement", "latency", "detail"),
-        _rows(detection, [replay], buffered),
+        _rows(detection, [replay], buffered)
+        + _tcp_rows(tcp_detection, tcp_reconnect, tcp_replay),
     )
     failures = []
     # Boundedness, not throughput: the poll slice is 0.2s and the
@@ -286,6 +455,33 @@ def smoke() -> int:
             f"ingest stalled {buffered['ingest_stall_seconds']:.1f}s "
             "through a failover (> 60s bound)"
         )
+    # TCP boundedness: fencing must land between failover_after (its
+    # floor by construction) and a generous multiple of it; a healed
+    # transient partition must cost bounded reconnect overhead; the
+    # TCP failover must actually replay the journal.
+    if max(tcp_detection) > 10.0:
+        failures.append(
+            f"tcp fence latency {max(tcp_detection):.2f}s > 10s bound "
+            "(partition never crossed failover_after?)"
+        )
+    if min(tcp_detection) < FAST.failover_after * 0.5:
+        failures.append(
+            f"tcp fence latency {min(tcp_detection):.3f}s below "
+            f"failover_after/2 — fencing before the partition bound"
+        )
+    worst_overhead = max(
+        r["reconnect_overhead_seconds"] for r in tcp_reconnect
+    )
+    if worst_overhead > 10.0:
+        failures.append(
+            f"tcp reconnect overhead {worst_overhead:.2f}s > 10s bound "
+            "(backoff runaway or suffix replay wedged)"
+        )
+    if tcp_replay["replayed"] <= 0 or tcp_replay["records_per_second"] <= 0:
+        failures.append(
+            f"tcp failover replayed {tcp_replay['replayed']} records "
+            f"of a {tcp_replay['journal_records']}-record journal"
+        )
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}")
     append_run(
@@ -294,6 +490,9 @@ def smoke() -> int:
             "detection_seconds": detection,
             "replay": [replay],
             "buffered": buffered,
+            "tcp_detection_seconds": tcp_detection,
+            "tcp_reconnect": tcp_reconnect,
+            "tcp_replay": tcp_replay,
             "failures": failures,
         }
     )
@@ -316,11 +515,15 @@ def main() -> int:
     detection = bench_detection_latency(trials=7)
     replays = [bench_replay_time(n) for n in (1_000, 5_000, 20_000)]
     buffered = bench_buffered_during_failover(batch=4_000)
+    tcp_detection = bench_tcp_detection(trials=5)
+    tcp_reconnect = bench_tcp_reconnect(dur=0.2, trials=5)
+    tcp_replay = bench_tcp_replay(5_000)
     report(
         "failover_latency",
         "Shard failover latency",
         ("measurement", "latency", "detail"),
-        _rows(detection, replays, buffered),
+        _rows(detection, replays, buffered)
+        + _tcp_rows(tcp_detection, tcp_reconnect, tcp_replay),
     )
     append_run(
         {
@@ -328,6 +531,9 @@ def main() -> int:
             "detection_seconds": detection,
             "replay": replays,
             "buffered": buffered,
+            "tcp_detection_seconds": tcp_detection,
+            "tcp_reconnect": tcp_reconnect,
+            "tcp_replay": tcp_replay,
         }
     )
     return 0

@@ -380,6 +380,10 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         )
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_workers and args.tcp_workers:
+        raise SystemExit(
+            "--shard-workers and --tcp-workers are mutually exclusive"
+        )
     if args.freeze_after is not None and args.freeze_after < 1:
         raise SystemExit(
             f"--freeze-after must be >= 1, got {args.freeze_after}"
@@ -424,6 +428,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "keep_segments": args.keep_segments,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
+                "tcp_workers": args.tcp_workers,
                 "heartbeat_interval": args.heartbeat_interval,
                 "failover_after": args.failover_after,
                 "guards": args.guards,
@@ -443,6 +448,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         state=state,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        tcp_workers=args.tcp_workers,
         failover=failover,
         revert_windows=args.revert_windows,
         guards=args.guards,
@@ -463,7 +469,9 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
     print(
         f"scenario={scenario.name} ({scenario.description}) "
         f"horizon={scenario.horizon:.0f}s transport={transport} "
-        f"shards={args.shards}{' (workers)' if args.shard_workers else ''} "
+        f"shards={args.shards}"
+        f"{' (workers)' if args.shard_workers else ''}"
+        f"{' (tcp-workers)' if args.tcp_workers else ''} "
         f"speedup={'max' if args.speedup <= 0 else f'{args.speedup:g}x'}"
         + (f" state-dir={args.state_dir}" if args.state_dir else ""),
         file=out,
@@ -483,6 +491,10 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     """``repro replay --trace``: recorded telemetry through the pipeline."""
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_workers and args.tcp_workers:
+        raise SystemExit(
+            "--shard-workers and --tcp-workers are mutually exclusive"
+        )
     if not Path(args.trace).exists():
         raise SystemExit(f"trace file {args.trace} does not exist")
     events = load_trace_events(args.trace)
@@ -513,6 +525,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
                 "revert_windows": args.revert_windows,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
+                "tcp_workers": args.tcp_workers,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
                 "log_json": args.log_json,
@@ -530,6 +543,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
         state=state,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        tcp_workers=args.tcp_workers,
         failover=_failover_from_args(args.heartbeat_interval, args.failover_after),
         revert_windows=args.revert_windows,
         guards=args.guards,
@@ -540,7 +554,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     print(
         f"trace={args.trace} ({len(events)} events) "
         f"scenario={scenario.name} shards={args.shards}"
-        f"{' (workers)' if args.shard_workers else ''}",
+        f"{' (workers)' if args.shard_workers else ''}"
+        f"{' (tcp-workers)' if args.tcp_workers else ''}",
         file=out,
     )
     try:
@@ -656,6 +671,8 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         print(f"resharded data plane: {shards} -> {reshard_to} shard(s)", file=out)
     if meta.get("shard_workers") and service.num_shards > 1:
         service.promote_to_workers()
+    elif meta.get("tcp_workers") and service.num_shards > 1:
+        service.promote_to_remote()
     horizon = scenario.horizon
     if start >= horizon:
         print("replay already complete; nothing to continue", file=out)
@@ -700,6 +717,10 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
         raise SystemExit("at least one --fault is required (e.g. kill-shard@t=2)")
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_workers and args.tcp_workers:
+        raise SystemExit(
+            "--shard-workers and --tcp-workers are mutually exclusive"
+        )
     if args.horizon is not None and args.horizon <= 0:
         raise SystemExit(f"--horizon must be positive, got {args.horizon}")
     if args.window <= 0:
@@ -713,6 +734,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
             faults,
             shards=args.shards,
             shard_workers=args.shard_workers,
+            tcp_workers=args.tcp_workers,
             horizon=args.horizon * 3600.0 if args.horizon is not None else None,
             scale=args.scale,
             seed=args.seed,
@@ -729,6 +751,62 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
     for line in report.lines():
         print(line, file=out)
     return 0 if report.ok else 1
+
+
+def cmd_worker(args: argparse.Namespace, out) -> int:
+    """``repro worker``: run one ingest shard behind a TCP listener.
+
+    The standalone face of the socket data plane: binds ``--listen``,
+    prints the bound address (port 0 picks an ephemeral port), and
+    serves one :class:`~repro.service.sharding.IngestShard` until the
+    control plane sends ``stop`` or the process is killed.  Point a
+    ``TempoService(shard_endpoints=[...])`` control plane at a fleet
+    of these to split the data plane across machines; the locally
+    spawned ``--tcp-workers`` plane runs this same loop in-process.
+    """
+    from repro.service.transport import serve_shard
+
+    host, sep, port_text = args.listen.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(
+            f"--listen must be host:port, got {args.listen!r} "
+            "(port 0 binds an ephemeral port)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port_text!r}")
+    if args.shard < 0:
+        raise SystemExit(f"--shard must be >= 0, got {args.shard}")
+    if args.window <= 0:
+        raise SystemExit(f"--window must be positive, got {args.window}")
+
+    class _Announce:
+        """Ready-queue shim that prints the bound address instead."""
+
+        def put(self, item) -> None:
+            print(f"worker shard={args.shard} listening on {host}:{item[1]}", file=out)
+            if hasattr(out, "flush"):
+                out.flush()
+
+    try:
+        serve_shard(
+            args.shard,
+            args.window * 60.0,
+            journal_path=args.journal,
+            journal_opts=(
+                {"async_writer": True} if args.async_journal else None
+            ),
+            host=host,
+            port=port,
+            observe=args.observe,
+            ready=_Announce(),
+        )
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        raise SystemExit(f"cannot serve on {args.listen}: {exc}")
+    return 0
 
 
 def cmd_convert(args: argparse.Namespace, out) -> int:
@@ -961,6 +1039,12 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         help="run the shards as multiprocessing worker processes",
     )
     parser.add_argument(
+        "--tcp-workers",
+        action="store_true",
+        help="run the shards as socket-fed loopback worker processes "
+        "(the `repro worker` transport, spawned and supervised locally)",
+    )
+    parser.add_argument(
         "--heartbeat-interval",
         type=float,
         default=1.0,
@@ -1078,9 +1162,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         help="fault spec <kind>[:<shard>]@t=<interval-units>[@for=<amount>], "
-        "kind one of kill-shard/stall-shard/drop-batches/slow-journal; "
-        "repeatable (t is in retune intervals: t=2 fires at the second "
-        "cadence chunk)",
+        "kind one of kill-shard/stall-shard/drop-batches/slow-journal/"
+        "partition/slow-net/drop-net; repeatable (t is in retune "
+        "intervals: t=2 fires at the second cadence chunk); network "
+        "faults take their own magnitude spelling, e.g. "
+        "'partition:1@t=2 dur=3' (wall seconds), 'slow-net@t=1 ms=50', "
+        "'drop-net@t=1 n=4'",
     )
     chaos.add_argument(
         "--shards",
@@ -1092,6 +1179,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers",
         action="store_true",
         help="run the shards as multiprocessing worker processes",
+    )
+    chaos.add_argument(
+        "--tcp-workers",
+        action="store_true",
+        help="run the shards as socket-fed loopback worker processes "
+        "(network faults hit the real transport)",
     )
     chaos.add_argument(
         "--horizon", type=float, default=None, help="hours to replay"
@@ -1125,6 +1218,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(func=cmd_chaos)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one ingest shard behind a TCP listener "
+        "(the socket data plane's standalone worker)",
+    )
+    worker.add_argument(
+        "--listen",
+        required=True,
+        help="host:port to bind (port 0 picks an ephemeral port, "
+        "printed on stdout)",
+    )
+    worker.add_argument(
+        "--shard", type=int, default=0, help="shard id this worker serves"
+    )
+    worker.add_argument(
+        "--window", type=float, default=30.0, help="stats window, minutes"
+    )
+    worker.add_argument(
+        "--journal",
+        help="journal this shard's events here (worker-owned directory)",
+    )
+    worker.add_argument(
+        "--async-journal",
+        action="store_true",
+        help="journal through a background group-commit thread",
+    )
+    worker.add_argument(
+        "--observe",
+        action="store_true",
+        help="run a shard-local metrics registry (drained at barriers)",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     convert = sub.add_parser(
         "convert",

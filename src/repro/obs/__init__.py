@@ -18,6 +18,7 @@ exposition for scrape-style consumers (``repro status --format prom``).
 """
 
 from repro.obs.metrics import (
+    BACKOFF_BUCKETS,
     BATCH_BUCKETS,
     Counter,
     Gauge,
@@ -30,6 +31,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "BACKOFF_BUCKETS",
     "BATCH_BUCKETS",
     "Counter",
     "Gauge",

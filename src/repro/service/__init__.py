@@ -29,7 +29,12 @@ live Resource Manager):
 * :mod:`repro.service.failover` — the failover plane: heartbeat
   failure detection, supervised shard replacement with bounded journal
   replay, and the deterministic :class:`FaultInjector` / ``repro
-  chaos`` harness that makes every failure mode a reproducible test.
+  chaos`` harness that makes every failure mode a reproducible test;
+* :mod:`repro.service.transport` — the network data plane:
+  length-prefixed CRC-framed TCP transport, ``repro worker`` shard
+  servers, and :class:`RemoteShardHandle` — retrying, deduping,
+  partition-tolerant — presenting the same shard surface as the
+  in-process and ``multiprocessing`` planes.
 """
 
 from repro.service.events import (
@@ -42,6 +47,8 @@ from repro.service.events import (
     NodeRecovered,
     ServiceEvent,
     ShardFailed,
+    ShardPartitioned,
+    ShardReconnected,
     ShardRecovered,
     TaskCompleted,
     TenantJoined,
@@ -79,12 +86,23 @@ from repro.service.journal import (
 from repro.service.sharding import (
     IngestShard,
     ShardFailedError,
+    ShardHandle,
+    ShardPartitionedError,
     ShardRouter,
     ShardWorkerHandle,
     stable_shard,
     tenant_of,
 )
 from repro.service.snapshot import ServiceState, SnapshotStore
+from repro.service.transport import (
+    RemoteShardHandle,
+    ShardServer,
+    TransportConfig,
+    TransportError,
+    WorkerLauncher,
+    serve_shard,
+    start_remote_shards,
+)
 from repro.service.replay import (
     SCENARIOS,
     ReplaySummary,
@@ -111,6 +129,8 @@ __all__ = [
     "TenantLeft",
     "Heartbeat",
     "ShardFailed",
+    "ShardPartitioned",
+    "ShardReconnected",
     "ShardRecovered",
     "DecisionMade",
     "EventBus",
@@ -131,10 +151,19 @@ __all__ = [
     "SnapshotStore",
     "IngestShard",
     "ShardFailedError",
+    "ShardHandle",
+    "ShardPartitionedError",
     "ShardRouter",
     "ShardWorkerHandle",
     "stable_shard",
     "tenant_of",
+    "RemoteShardHandle",
+    "ShardServer",
+    "TransportConfig",
+    "TransportError",
+    "WorkerLauncher",
+    "serve_shard",
+    "start_remote_shards",
     "FailoverConfig",
     "FailureDetector",
     "FailoverReport",

@@ -69,6 +69,7 @@ from dataclasses import dataclass
 from repro.core.controller import ControlIteration, TempoController
 from repro.core.decisions import DecisionEngine, DecisionRecord, TickSignals
 from repro.obs import (
+    BACKOFF_BUCKETS,
     MetricsRegistry,
     NullRegistry,
     RESIDUAL_BUCKETS,
@@ -84,6 +85,8 @@ from repro.service.events import (
     NodeRecovered,
     ServiceEvent,
     ShardFailed,
+    ShardPartitioned,
+    ShardReconnected,
     ShardRecovered,
     TenantJoined,
     TenantLeft,
@@ -105,9 +108,15 @@ from repro.service.journal import (
 from repro.service.sharding import (
     IngestShard,
     ShardFailedError,
+    ShardPartitionedError,
     ShardRouter,
     ShardWorkerHandle,
     start_shard_workers,
+)
+from repro.service.transport import (
+    RemoteShardHandle,
+    TransportConfig,
+    start_remote_shards,
 )
 from repro.service.snapshot import (
     ServiceState,
@@ -132,6 +141,8 @@ _CONTROL_EVENTS = (
     NodeRecovered,
     ShardFailed,
     ShardRecovered,
+    ShardPartitioned,
+    ShardReconnected,
 )
 
 #: Maximum events pulled off the bus per drain-loop iteration; one
@@ -292,6 +303,21 @@ class TempoService:
             depth — the same contract as ``--async-journal``, recovered
             by the same chunk-boundary rewind.  Ignored when
             ``shards == 1``.
+        tcp_workers: Run the shards as loopback **TCP** worker
+            processes behind :class:`~repro.service.transport.
+            RemoteShardHandle` proxies — same acknowledgement and
+            journal-ownership contract as ``shard_workers``, plus the
+            transport plane's partition tolerance (bounded buffering,
+            backoff reconnect, degraded-mode serving).  Exclusive with
+            ``shard_workers``; ignored when ``shards == 1``.
+        shard_endpoints: Addresses of operator-managed ``repro worker``
+            processes, one ``(host, port)`` per shard — the service
+            connects instead of spawning.  Exclusive with both worker
+            modes and with durable ``state`` (external workers own
+            their journals end to end).
+        transport: Optional :class:`~repro.service.transport.
+            TransportConfig` tuning the TCP planes' timeouts, backoff,
+            and send-queue bound.
         failover: Optional :class:`~repro.service.failover.
             FailoverConfig` enabling shard supervision: worker shards
             emit heartbeats, a :class:`~repro.service.failover.
@@ -313,6 +339,9 @@ class TempoService:
         *,
         shards: int = 1,
         shard_workers: bool = False,
+        tcp_workers: bool = False,
+        shard_endpoints: list | None = None,
+        transport: TransportConfig | None = None,
         failover: FailoverConfig | None = None,
     ):
         self.controller = controller
@@ -336,6 +365,36 @@ class TempoService:
         self.state = state
         self.router = ShardRouter(shards)
         self.shard_workers = bool(shard_workers) and shards > 1
+        #: TCP loopback worker fleet (see :mod:`repro.service.transport`).
+        self.tcp_workers = bool(tcp_workers) and shards > 1
+        if self.shard_workers and self.tcp_workers:
+            raise ValueError("choose one of shard_workers / tcp_workers")
+        #: Operator-managed worker addresses (``repro worker`` peers).
+        self.shard_endpoints = None
+        if shard_endpoints is not None:
+            if self.shard_workers or self.tcp_workers:
+                raise ValueError(
+                    "shard_endpoints is exclusive with shard_workers/tcp_workers"
+                )
+            if len(shard_endpoints) != shards:
+                raise ValueError(
+                    f"{len(shard_endpoints)} endpoint(s) for {shards} shard(s)"
+                )
+            if shards < 2:
+                raise ValueError(
+                    "external shard endpoints require shards >= 2 (the "
+                    "single-shard path runs the pre-sharding pipeline)"
+                )
+            if state is not None:
+                raise ValueError(
+                    "durable state with external workers is not supported; "
+                    "give each `repro worker` its own --journal instead"
+                )
+            self.shard_endpoints = [
+                (str(host), int(port)) for host, port in shard_endpoints
+            ]
+        self.transport = transport
+        self._launcher = None
         self.failover = failover
         self.detector = FailureDetector(failover) if failover is not None else None
         #: Completed failovers, newest last (see ``repro chaos``).
@@ -353,6 +412,20 @@ class TempoService:
         self._shard_metrics: dict[int, dict] = {}
         self._shard_metrics_base: dict[int, dict] = {}
         self._last_metrics_sample: dict | None = None
+        #: Partition episodes in flight: shard id -> simulated start time.
+        self._partitioned: dict[int, float] = {}
+        #: Last successfully drained stats/state per shard (the stale
+        #: copies degraded-mode serving hands out through a partition).
+        self._stats_cache: dict[int, dict] = {}
+        self._state_cache: dict[int, dict] = {}
+        #: Barrier calls answered from a stale cache (degraded serves).
+        self.stale_serves = 0
+        self.shard_partitions = 0
+        self.shard_reconnects = 0
+        #: Transport counters folded in from handles failover replaced,
+        #: and the last totals scraped into the metrics registry.
+        self._transport_base: dict[int, dict] = {}
+        self._transport_seen: dict[tuple, int] = {}
         if self.shard_workers:
             if state is not None:
                 # Workers own their journals; the parent must neither
@@ -372,6 +445,40 @@ class TempoService:
                     failover.failover_after if failover is not None else None
                 ),
             )
+        elif self.tcp_workers:
+            if state is not None:
+                # TCP workers own their journals exactly like mp workers.
+                state.shard_compaction = False
+                paths = [state.shard_journal_path(i) for i in range(shards)]
+                opts = state.shard_journal_opts()
+            else:
+                paths, opts = None, None
+            self.shards, self._launcher = start_remote_shards(
+                shards, self.config.window, paths, opts,
+                observe=self.config.observe,
+                heartbeat_interval=(
+                    failover.heartbeat_interval if failover is not None else 1.0
+                ),
+                failover_after=(
+                    failover.failover_after if failover is not None else None
+                ),
+                config=self.transport,
+            )
+        elif self.shard_endpoints is not None:
+            self.shards = [
+                RemoteShardHandle(
+                    i,
+                    self.shard_endpoints[i],
+                    heartbeat_interval=(
+                        failover.heartbeat_interval if failover is not None else 1.0
+                    ),
+                    failover_after=(
+                        failover.failover_after if failover is not None else None
+                    ),
+                    config=self.transport,
+                )
+                for i in range(shards)
+            ]
         else:
             self.shards = [
                 IngestShard(
@@ -475,15 +582,39 @@ class TempoService:
         metrics dumps ride the same barrier — the control plane caches
         the latest one per shard for merging, exactly like window stats.
         """
-        states = [
-            self._supervised(i, lambda shard: shard.drain_state(now))
-            for i in range(len(self.shards))
-        ]
+        states = []
+        for i in range(len(self.shards)):
+            try:
+                drained = self._supervised(i, lambda shard: shard.drain_state(now))
+            except ShardPartitionedError:
+                drained = self._stale_state(i)
+            else:
+                self._note_reconnected(i)
+                self._state_cache[i] = drained
+            states.append(drained)
         for state in states:
             dump = state.get("metrics")
             if dump:
                 self._shard_metrics[int(state["shard"])] = dump
         return states
+
+    def _stale_state(self, shard_id: int) -> dict:
+        """Degraded mode: the last drained state of a partitioned shard.
+
+        Before the first successful drain there is nothing cached; an
+        empty window at journal position 0 is returned instead, which
+        is always safe — a snapshot recording seq 0 for the shard just
+        replays its journal from the start on resume.
+        """
+        self._note_partitioned(shard_id)
+        cached = self._state_cache.get(shard_id)
+        if cached is None:
+            cached = {
+                "shard": shard_id,
+                "window": RollingWindow(self.config.window).to_state(),
+                "seq": 0,
+            }
+        return cached
 
     def _merged_shard_snapshot(self, now: float) -> dict[str, TenantWindowStats]:
         """Per-tenant statistics merged across every shard — O(tenants).
@@ -497,7 +628,14 @@ class TempoService:
         at = max(now, self._now)
         merged: dict[str, TenantWindowStats] = {}
         for i in range(len(self.shards)):
-            drained = self._supervised(i, lambda shard: shard.drain_stats(at))
+            try:
+                drained = self._supervised(i, lambda shard: shard.drain_stats(at))
+            except ShardPartitionedError:
+                self._note_partitioned(i)
+                drained = self._stats_cache.get(i, {})
+            else:
+                self._note_reconnected(i)
+                self._stats_cache[i] = dict(drained)
             for name, stats in drained.items():
                 mine = merged.get(name)
                 if mine is None:
@@ -536,7 +674,9 @@ class TempoService:
                 self.check_shards()
             if self.router.shards == 1:
                 return stats_gap(self.shards[0].window)
-            if self.shard_workers:
+            if any(not hasattr(shard, "window") for shard in self.shards):
+                # Worker shards (mp or TCP) hold their windows behind a
+                # process boundary: check the merged drained state.
                 return stats_gap(self._control_window(self._now))
             return max(stats_gap(shard.window) for shard in self.shards)
 
@@ -550,6 +690,8 @@ class TempoService:
         """
         for shard in self.shards:
             shard.close()
+        if self._launcher is not None:
+            self._launcher.close()
 
     # -- failover plane -----------------------------------------------------
 
@@ -570,6 +712,71 @@ class TempoService:
                 raise
             self.failover_shard(shard_id, exc.reason)
             return call(self.shards[shard_id])
+
+    def _note_partitioned(self, shard_id: int) -> None:
+        """Account one stale serve; open a partition episode if needed.
+
+        First stale serve of an episode journals a
+        :class:`~repro.service.events.ShardPartitioned` control event
+        and raises the per-shard staleness gauge, so dashboards and a
+        later resume both see when degraded-mode serving started.
+        """
+        self.stale_serves += 1
+        self.metrics.counter(
+            "tempo_shard_stale_serves_total",
+            "Barrier calls answered from a stale cache through a partition.",
+            shard=str(shard_id),
+        ).inc()
+        if shard_id in self._partitioned:
+            return
+        self._partitioned[shard_id] = self._now
+        self.metrics.gauge(
+            "tempo_shard_partitioned",
+            "1 while the shard is unreachable and served from stale stats.",
+            shard=str(shard_id),
+        ).set(1.0)
+        event = ShardPartitioned(max(self._now, 0.0), shard=shard_id)
+        if self.state is not None and not self._replaying:
+            self.state.record_event(encode_event(event))
+        self._apply_control(event)
+        self._events += 1
+
+    def _note_reconnected(self, shard_id: int) -> None:
+        """Close a partition episode after a successful fresh drain."""
+        started = self._partitioned.pop(shard_id, None)
+        if started is None:
+            return
+        self.metrics.gauge(
+            "tempo_shard_partitioned",
+            "1 while the shard is unreachable and served from stale stats.",
+            shard=str(shard_id),
+        ).set(0.0)
+        event = ShardReconnected(
+            max(self._now, 0.0),
+            shard=shard_id,
+            outage=max(0.0, self._now - started),
+        )
+        if self.state is not None and not self._replaying:
+            self.state.record_event(encode_event(event))
+        self._apply_control(event)
+        self._events += 1
+
+    def transport_stats(self) -> dict[int, dict]:
+        """Per-shard transport counters, cumulative across failovers.
+
+        Empty dicts for shards without a TCP transport.  Counters from
+        handles a failover replaced are carried in an additive base, so
+        the totals stay monotone across respawns — the same contract as
+        the shard metrics dumps.
+        """
+        totals: dict[int, dict] = {}
+        for shard_id, shard in enumerate(self.shards):
+            stats_fn = getattr(shard, "transport_stats", None)
+            stats = dict(stats_fn()) if callable(stats_fn) else {}
+            for key, value in self._transport_base.get(shard_id, {}).items():
+                stats[key] = stats.get(key, 0) + value
+            totals[shard_id] = stats
+        return totals
 
     def check_shards(self) -> list[FailoverReport]:
         """Sweep the data plane for dead shards and fail each one over.
@@ -642,12 +849,26 @@ class TempoService:
                     fence()
                 except Exception:
                     pass  # already gone; the join reaped what it could
+            old_transport = getattr(old, "transport_stats", None)
+            if callable(old_transport):
+                # Carry the fenced handle's transport counters so the
+                # scraped totals stay monotone across the respawn.
+                base = self._transport_base.setdefault(shard_id, {})
+                for key, value in old_transport().items():
+                    base[key] = base.get(key, 0) + value
+            if self._partitioned.pop(shard_id, None) is not None:
+                self.metrics.gauge(
+                    "tempo_shard_partitioned",
+                    "1 while the shard is unreachable and served from "
+                    "stale stats.",
+                    shard=str(shard_id),
+                ).set(0.0)
             state = self.state
             replacement_window = RollingWindow(self.config.window)
             boundary_time = 0.0
             records_dropped = telemetry_dropped = replayed = 0
             if state is not None:
-                if self.shard_workers or shards == 1:
+                if self.shard_workers or self.tcp_workers or shards == 1:
                     # Worker journals lose their unsynced tail with the
                     # process: rewind to the heartbeat boundary.  The
                     # single-shard call never truncates (the control
@@ -719,6 +940,34 @@ class TempoService:
                 if state is not None:
                     handle.restore(replacement_window.to_state())
                 self.shards[shard_id] = handle
+            elif self.tcp_workers:
+                if state is not None:
+                    # The truncation opened a parent-side handle; the
+                    # respawned worker owns the journal from here on.
+                    state.release_shard_journal(shard_id)
+                address = self._launcher.spawn(shard_id)
+                remote = RemoteShardHandle(
+                    shard_id,
+                    address,
+                    heartbeat_interval=self.failover.heartbeat_interval,
+                    failover_after=self.failover.failover_after,
+                    config=self.transport,
+                    launcher=self._launcher,
+                )
+                if state is not None:
+                    remote.restore(replacement_window.to_state())
+                self.shards[shard_id] = remote
+            elif self.shard_endpoints is not None:
+                # Operator-managed worker: reconnect to the same address
+                # (the operator restarts the process); no parent-side
+                # journal exists, so there is nothing to replay here.
+                self.shards[shard_id] = RemoteShardHandle(
+                    shard_id,
+                    self.shard_endpoints[shard_id],
+                    heartbeat_interval=self.failover.heartbeat_interval,
+                    failover_after=self.failover.failover_after,
+                    config=self.transport,
+                )
             else:
                 replacement = IngestShard(
                     shard_id,
@@ -879,6 +1128,27 @@ class TempoService:
                     "tempo_shard_failover_latency_seconds",
                     "Wall-clock failover latency (rewind + replay + respawn).",
                 ).observe(event.latency)
+        elif isinstance(event, ShardPartitioned):
+            self.shard_partitions += 1
+            self.metrics.counter(
+                "tempo_shard_partitions_total",
+                "Partition episodes: a shard went unreachable and the "
+                "control plane began serving stale statistics for it.",
+                shard=str(event.shard),
+            ).inc()
+        elif isinstance(event, ShardReconnected):
+            self.shard_reconnects += 1
+            self.metrics.counter(
+                "tempo_shard_reconnects_total",
+                "Partition episodes that healed by reconnect (no failover).",
+                shard=str(event.shard),
+            ).inc()
+            if event.outage > 0:
+                self.metrics.histogram(
+                    "tempo_shard_outage_seconds",
+                    "Simulated seconds each healed partition served stale.",
+                    buckets=BACKOFF_BUCKETS,
+                ).observe(event.outage)
 
     def _apply_membership(self, event: ServiceEvent) -> None:
         """Control-plane half of a tenant-churn event (sharded mode).
@@ -1262,6 +1532,56 @@ class TempoService:
             "bus events in-process).",
             mode="max",
         ).set(lag)
+        self._observe_transport()
+
+    #: Transport counters scraped per shard: handle attribute -> series.
+    _TRANSPORT_COUNTERS = (
+        ("reconnects", "tempo_transport_reconnects_total",
+         "Reconnects that restored a shard connection."),
+        ("retries", "tempo_transport_retries_total",
+         "Batches re-sent after a reconnect (deduped at the worker)."),
+        ("backpressure_dropped", "tempo_transport_backpressure_drops_total",
+         "Telemetry events dropped by the bounded send queue."),
+        ("connect_attempts", "tempo_transport_connect_attempts_total",
+         "TCP connect attempts, successful or not."),
+    )
+
+    def _observe_transport(self) -> None:
+        """Scrape each TCP handle's counters into the control registry.
+
+        The handles' counters are plain ints owned by their I/O threads
+        (the registry's single-writer contract); the control plane owns
+        the registry instruments and feeds them by delta against the
+        last scraped total, so respawns (whose counters restart under
+        an additive base) never double-count.
+        """
+        m = self.metrics
+        totals = None
+        for shard_id, shard in enumerate(self.shards):
+            if not callable(getattr(shard, "transport_stats", None)):
+                continue
+            if totals is None:
+                totals = self.transport_stats()
+            stats = totals[shard_id]
+            label = str(shard_id)
+            for key, name, help_text in self._TRANSPORT_COUNTERS:
+                value = int(stats.get(key, 0))
+                prev = self._transport_seen.get((shard_id, key), 0)
+                if value > prev:
+                    m.counter(name, help_text, shard=label).inc(value - prev)
+                    self._transport_seen[(shard_id, key)] = value
+            durations = getattr(shard, "reconnect_seconds", None)
+            if durations:
+                hist = m.histogram(
+                    "tempo_transport_reconnect_seconds",
+                    "Wall seconds each healed partition stayed disconnected.",
+                    buckets=BACKOFF_BUCKETS,
+                )
+                while True:
+                    try:
+                        hist.observe(durations.popleft())
+                    except IndexError:
+                        break
 
     def _observe_decision(self, decision: RetuneDecision) -> None:
         """Count one decision-plane outcome (live or tail-replayed)."""
@@ -1577,6 +1897,8 @@ class TempoService:
         *,
         shards: int | None = None,
         shard_workers: bool = False,
+        tcp_workers: bool = False,
+        transport: TransportConfig | None = None,
         failover: FailoverConfig | None = None,
     ) -> "TempoService":
         """Rebuild a daemon from its state directory.
@@ -1598,7 +1920,9 @@ class TempoService:
         different layout — is refused rather than silently re-routed
         (reshard explicitly instead).  ``shard_workers`` promotes the
         shards to worker processes *after* the replay, which always
-        runs in-process.
+        runs in-process; ``tcp_workers`` promotes to TCP loopback
+        workers instead (``transport`` tunes their
+        :class:`~repro.service.transport.TransportConfig`).
 
         ``controller`` must be a freshly built controller for the same
         cluster, SLOs, and config space the daemon was serving (the
@@ -1658,6 +1982,8 @@ class TempoService:
             service._replaying = False
         if shard_workers and state.shards > 1:
             service.promote_to_workers()
+        elif tcp_workers and state.shards > 1:
+            service.promote_to_remote(transport)
         return service
 
     def _replay_sharded(self, control_after: int, shard_after: list[int]) -> None:
@@ -1795,6 +2121,60 @@ class TempoService:
             shard.restore(shard_state["window"])
         self.shard_workers = True
 
+    def promote_to_remote(self, transport: TransportConfig | None = None) -> None:
+        """Swap in-process shards for TCP loopback workers (post-replay).
+
+        The TCP twin of :meth:`promote_to_workers`: windows move into
+        freshly spawned ``serve_shard`` processes behind
+        :class:`~repro.service.transport.RemoteShardHandle` proxies,
+        with the same journal-ownership handoff (parent-side handles
+        closed first, workers own the journals from here on).
+        """
+        states = self._drain_shards(self._now)
+        for i, shard in enumerate(self.shards):
+            live = getattr(shard, "metrics", None)
+            if live is not None:
+                carried = MetricsRegistry.from_dict(
+                    self._shard_metrics_base.get(i, {})
+                )
+                carried.merge(live.to_dict())
+                self._shard_metrics_base[i] = carried.to_dict()
+        self._shard_metrics.clear()
+        for shard in self.shards:
+            shard.close()
+        state = self.state
+        if state is not None:
+            state.shard_compaction = False
+            for journal in state._shard_journals.values():
+                journal.close()
+            state._shard_journals.clear()
+            paths = [
+                state.shard_journal_path(i) for i in range(self.router.shards)
+            ]
+            opts = state.shard_journal_opts()
+        else:
+            paths, opts = None, None
+        if transport is not None:
+            self.transport = transport
+        self.shards, self._launcher = start_remote_shards(
+            self.router.shards, self.config.window, paths, opts,
+            observe=self.config.observe,
+            heartbeat_interval=(
+                self.failover.heartbeat_interval
+                if self.failover is not None
+                else 1.0
+            ),
+            failover_after=(
+                self.failover.failover_after
+                if self.failover is not None
+                else None
+            ),
+            config=self.transport,
+        )
+        for shard, shard_state in zip(self.shards, states):
+            shard.restore(shard_state["window"])
+        self.tcp_workers = True
+
     def reshard(self, shards: int) -> None:
         """Redistribute the data plane across a new shard count.
 
@@ -1809,7 +2189,7 @@ class TempoService:
         """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        if self.shard_workers:
+        if self.shard_workers or self.tcp_workers or self.shard_endpoints:
             raise RuntimeError("reshard before promoting shards to workers")
         with self._lock:
             prior_telemetry = self.telemetry_ingested

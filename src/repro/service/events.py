@@ -150,6 +150,37 @@ class ShardRecovered(ServiceEvent):
 
 
 @dataclass(frozen=True)
+class ShardPartitioned(ServiceEvent):
+    """A shard became unreachable over the network but is not yet dead.
+
+    A *control* event journaled when the control plane first serves
+    stale statistics for a shard whose transport reports a partition
+    (:class:`~repro.service.sharding.ShardPartitionedError`).  Marks
+    the start of a degraded-mode episode; the episode ends with either
+    :class:`ShardReconnected` (transient partition) or
+    :class:`ShardFailed` (the outage outlived ``failover_after``).
+    """
+
+    shard: int
+    reason: str = "partition"
+
+
+@dataclass(frozen=True)
+class ShardReconnected(ServiceEvent):
+    """A partitioned shard answered a barrier again without failover.
+
+    The happy ending of a :class:`ShardPartitioned` episode: the
+    transport reconnected inside ``failover_after``, replayed its
+    unacknowledged batches (deduped at the worker), and fresh
+    statistics replaced the stale cache.  ``outage`` is the simulated
+    seconds the control plane served stale data for this shard.
+    """
+
+    shard: int
+    outage: float = 0.0
+
+
+@dataclass(frozen=True)
 class DecisionMade(ServiceEvent):
     """The decision plane resolved one cadence tick.
 

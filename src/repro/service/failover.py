@@ -42,26 +42,42 @@ from __future__ import annotations
 import math
 import random
 import re
+import time as _time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.service.sharding import (
     _TELEMETRY_EVENTS,
     ShardFailedError,
-    ShardWorkerHandle,
+    ShardPartitionedError,
 )
 
 #: Fault kinds the injector understands (the ``repro chaos --fault`` axis).
-FAULT_KINDS = ("kill-shard", "stall-shard", "drop-batches", "slow-journal")
+FAULT_KINDS = (
+    "kill-shard",
+    "stall-shard",
+    "drop-batches",
+    "slow-journal",
+    "partition",
+    "slow-net",
+    "drop-net",
+)
 
 #: Journal event types counted as telemetry (vs heartbeats/churn).
 _TELEMETRY_TYPES = ("JobSubmitted", "TaskCompleted", "JobCompleted")
+
+#: Kind-appropriate spelling of the magnitude parameter in canonical
+#: specs: the network faults read better with their own unit names
+#: (``partition:1@t=2 dur=3`` — seconds; ``slow-net@t=1 ms=50`` —
+#: milliseconds per frame; ``drop-net@t=1 n=4`` — batches).  Every
+#: spelling parses for every kind; this map only governs rendering.
+_AMOUNT_PARAM = {"partition": " dur=", "slow-net": " ms=", "drop-net": " n="}
 
 _FAULT_RE = re.compile(
     r"^(?P<kind>[a-z][a-z-]*)"
     r"(?::(?P<shard>\d+))?"
     r"@t=(?P<at>\d+(?:\.\d+)?)"
-    r"(?:@for=(?P<amount>\d+(?:\.\d+)?))?$"
+    r"(?:(?:@for=|\s+(?:dur|ms|n)=)(?P<amount>\d+(?:\.\d+)?))?$"
 )
 
 
@@ -182,7 +198,10 @@ class FaultSpec:
             RNG pick one (deterministic per seed).
         amount: Kind-specific magnitude: stall seconds for
             ``stall-shard``; batch count for ``drop-batches`` /
-            ``slow-journal``.  ``None`` picks the kind's default.
+            ``slow-journal`` / ``drop-net``; partition duration in
+            wall seconds for ``partition`` (``dur=``); per-frame delay
+            in milliseconds for ``slow-net`` (``ms=``).  ``None``
+            picks the kind's default.
     """
 
     kind: str
@@ -205,23 +224,28 @@ class FaultSpec:
     def canonical(self) -> str:
         """The spec as its grammar string (round-trips through parsing)."""
         shard = "" if self.shard is None else f":{self.shard}"
-        amount = "" if self.amount is None else f"@for={self.amount:g}"
+        param = _AMOUNT_PARAM.get(self.kind, "@for=")
+        amount = "" if self.amount is None else f"{param}{self.amount:g}"
         return f"{self.kind}{shard}@t={self.at:g}{amount}"
 
 
 def parse_fault(text: str) -> FaultSpec:
     """Parse one ``--fault`` argument into a :class:`FaultSpec`.
 
-    Grammar: ``<kind>[:<shard>]@t=<float>[@for=<float>]``, e.g.
-    ``kill-shard@t=2`` (seeded shard pick), ``stall-shard:1@t=3@for=4``
-    (stall shard 1 for 4 seconds at the third chunk boundary).
+    Grammar: ``<kind>[:<shard>]@t=<float>[<param><float>]`` where
+    ``<param>`` is ``@for=`` or the network-fault spellings `` dur=``
+    (partition seconds), `` ms=`` (slow-net frame delay), `` n=``
+    (drop-net batches); e.g. ``kill-shard@t=2`` (seeded shard pick),
+    ``stall-shard:1@t=3@for=4`` (stall shard 1 for 4 seconds at the
+    third chunk boundary), ``partition:0@t=2 dur=3`` (sever shard 0's
+    link for 3 wall seconds).
     """
     match = _FAULT_RE.match(text.strip())
     if match is None:
         raise ValueError(
             f"bad fault spec {text!r}; expected "
-            "<kind>[:<shard>]@t=<float>[@for=<float>] with kind one of "
-            f"{', '.join(FAULT_KINDS)}"
+            "<kind>[:<shard>]@t=<float> with an optional @for=/dur=/ms=/n= "
+            f"magnitude and kind one of {', '.join(FAULT_KINDS)}"
         )
     return FaultSpec(
         kind=match.group("kind"),
@@ -322,20 +346,43 @@ class FaultedShard:
     * ``"slow"`` — the next ``batches`` ingest calls degrade to
       per-record appends (group commit disabled: byte-identical
       records, pure latency).
+    * ``"partition"`` — for ``seconds`` of wall clock the shard is
+      unreachable: drain barriers raise
+      :class:`~repro.service.sharding.ShardPartitionedError` (the
+      degraded-mode stale-serving path), ingest buffers in arrival
+      order, and the reported heartbeat age is the outage's elapsed
+      wall time — so a window longer than ``failover_after`` trips the
+      failure detector exactly like a lethal network partition.  Once
+      the window elapses the buffer flushes and everything delegates
+      again (transient partition: reconnect, resume, nothing lost).
+    * ``"slow-net"`` — every ingest call sleeps ``seconds`` first
+      (link latency; delivery order and journal bytes unchanged).
     """
 
     #: Wrapper modes (DeadShard covers ``kill``).
-    MODES = ("stall", "drop", "slow")
+    MODES = ("stall", "drop", "slow", "partition", "slow-net")
 
-    def __init__(self, inner, mode: str, *, batches: int = 0):
+    def __init__(self, inner, mode: str, *, batches: int = 0, seconds: float = 0.0):
         if mode not in self.MODES:
             raise ValueError(f"unknown fault mode {mode!r}; expected {self.MODES}")
         self._inner = inner
         self._mode = mode
         self._batches_left = int(batches)
+        self._seconds = max(0.0, float(seconds))
+        self._partition_started = _time.monotonic()
+        self._partition_until = (
+            self._partition_started + self._seconds
+            if mode == "partition"
+            else 0.0
+        )
+        self._buffer: list = []
         #: Telemetry events discarded by ``drop`` so far (heartbeat and
         #: churn copies in dropped batches are not counted).
         self.telemetry_dropped = 0
+        #: Partition windows opened (1 for a partition wrapper).
+        self.partitions = 1 if mode == "partition" else 0
+        #: Healed partition windows (set when the buffer flushes).
+        self.reconnects = 0
 
     def __repr__(self) -> str:
         return (
@@ -357,10 +404,27 @@ class FaultedShard:
         """Whether a bounded fault (drop/slow) has spent its batches."""
         return self._mode in ("drop", "slow") and self._batches_left <= 0
 
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition window is still open (wall clock)."""
+        return (
+            self._mode == "partition"
+            and _time.monotonic() < self._partition_until
+        )
+
+    def _heal(self) -> None:
+        """Flush the partition buffer once the window has elapsed."""
+        if self._buffer:
+            buffered, self._buffer = self._buffer, []
+            self.reconnects += 1
+            self._inner.ingest(buffered)
+
     def heartbeat_age(self) -> float:
         """Stalled stand-ins stop beating (infinite age); others delegate."""
         if self._mode == "stall":
             return math.inf
+        if self.partitioned:
+            return _time.monotonic() - self._partition_started
         inner_age = getattr(self._inner, "heartbeat_age", None)
         return 0.0 if inner_age is None else inner_age()
 
@@ -368,6 +432,18 @@ class FaultedShard:
         """Apply the fault to one batch, else delegate."""
         if self._mode == "stall":
             raise ShardFailedError(self._inner.shard_id, "stall")
+        if self._mode == "partition":
+            if self.partitioned:
+                self._buffer.extend(events)
+                return
+            self._heal()
+            self._inner.ingest(events)
+            return
+        if self._mode == "slow-net":
+            if self._seconds > 0.0:
+                _time.sleep(self._seconds)
+            self._inner.ingest(events)
+            return
         if self._batches_left > 0:
             self._batches_left -= 1
             if self._mode == "drop":
@@ -381,16 +457,36 @@ class FaultedShard:
         self._inner.ingest(events)
 
     def drain_state(self, now: float) -> dict:
-        """Barrier — raises under ``stall``, else delegates."""
+        """Barrier — raises under ``stall``/partition, else delegates."""
         if self._mode == "stall":
             raise ShardFailedError(self._inner.shard_id, "stall")
+        if self.partitioned:
+            raise ShardPartitionedError(self._inner.shard_id)
+        self._heal()
         return self._inner.drain_state(now)
 
     def drain_stats(self, now: float) -> dict:
-        """Stats barrier — raises under ``stall``, else delegates."""
+        """Stats barrier — raises under ``stall``/partition, else delegates."""
         if self._mode == "stall":
             raise ShardFailedError(self._inner.shard_id, "stall")
+        if self.partitioned:
+            raise ShardPartitionedError(self._inner.shard_id)
+        self._heal()
         return self._inner.drain_stats(now)
+
+    def close(self) -> None:
+        """Flush a healed partition buffer, then delegate the close."""
+        if self._mode == "partition" and not self.partitioned:
+            self._heal()
+        elif self._buffer:
+            # Shutdown mid-partition: the buffered tail never reached
+            # the shard — account it as injector loss, like a dropped
+            # batch, so the survivor audit stays truthful.
+            self.telemetry_dropped += sum(
+                1 for event in self._buffer if isinstance(event, _TELEMETRY_EVENTS)
+            )
+            self._buffer = []
+        self._inner.close()
 
 
 class FaultInjector:
@@ -424,9 +520,13 @@ class FaultInjector:
         self.now = 0.0
         #: ``(sim_time, spec, shard)`` of every fault fired, in order.
         self.fired: list[tuple[float, FaultSpec, int]] = []
+        #: Shards whose partition window exceeded ``failover_after``
+        #: (lethal partitions: the run must answer with a failover).
+        self.lethal_partitions: set[int] = set()
         self._pending: list[tuple[float, FaultSpec, int]] = []
         self._service = None
         self._wrappers: list[FaultedShard] = []
+        self._drop_handles: list[tuple[int, object]] = []
 
     def __repr__(self) -> str:
         return (
@@ -457,7 +557,9 @@ class FaultInjector:
         self._service = service
         self._pending = pending
         self.fired = []
+        self.lethal_partitions = set()
         self._wrappers = []
+        self._drop_handles = []
         self.now = 0.0
 
     def advance(self, sim_time: float) -> list[FaultSpec]:
@@ -496,23 +598,36 @@ class FaultInjector:
         for wrapper in self._wrappers:
             shard = wrapper.inner.shard_id
             dropped[shard] = dropped.get(shard, 0) + wrapper.telemetry_dropped
+        for shard, handle in self._drop_handles:
+            dropped[shard] = dropped.get(shard, 0) + getattr(
+                handle, "telemetry_dropped", 0
+            )
         return dropped
 
     def _fire(self, when: float, spec: FaultSpec, shard: int) -> None:
+        """Inject one due fault, by capability rather than handle type.
+
+        Each kind probes the target for the matching fault hook
+        (``kill``/``stall``/``slow_journal``/``inject_*``) and falls
+        back to an in-process :class:`DeadShard`/:class:`FaultedShard`
+        stand-in when the plane has none — so every shard plane
+        (in-process, worker process, TCP worker) takes the same fault
+        schedule without the injector naming a single handle class.
+        """
         service = self._service
+        failover = getattr(service, "failover", None)
         current = service.shards[shard]
         inner = getattr(current, "inner", current)
         self.fired.append((when, spec, shard))
         if spec.kind == "kill-shard":
             if isinstance(inner, DeadShard):
                 return  # already dead; nothing left to kill
-            if isinstance(inner, ShardWorkerHandle):
+            if callable(getattr(inner, "kill", None)):
                 inner.kill()  # SIGKILL mid-whatever, like a real crash
             else:
                 service.shards[shard] = DeadShard(shard)
         elif spec.kind == "stall-shard":
-            if isinstance(inner, ShardWorkerHandle):
-                failover = getattr(service, "failover", None)
+            if callable(getattr(inner, "stall", None)):
                 seconds = (
                     spec.amount
                     if spec.amount is not None
@@ -525,8 +640,39 @@ class FaultInjector:
             wrapper = FaultedShard(current, "drop", batches=int(spec.amount or 1))
             service.shards[shard] = wrapper
             self._wrappers.append(wrapper)
+        elif spec.kind == "partition":
+            seconds = float(
+                spec.amount
+                if spec.amount is not None
+                else (0.5 * failover.failover_after if failover else 1.0)
+            )
+            if failover is not None and seconds > failover.failover_after:
+                self.lethal_partitions.add(shard)
+            if callable(getattr(inner, "inject_partition", None)):
+                inner.inject_partition(seconds)
+            else:
+                wrapper = FaultedShard(current, "partition", seconds=seconds)
+                service.shards[shard] = wrapper
+                self._wrappers.append(wrapper)
+        elif spec.kind == "slow-net":
+            seconds = float(spec.amount if spec.amount is not None else 50.0) / 1e3
+            if callable(getattr(inner, "inject_latency", None)):
+                inner.inject_latency(seconds)
+            else:
+                service.shards[shard] = FaultedShard(
+                    current, "slow-net", seconds=seconds
+                )
+        elif spec.kind == "drop-net":
+            batches = int(spec.amount or 1)
+            if callable(getattr(inner, "inject_drop", None)):
+                inner.inject_drop(batches)
+                self._drop_handles.append((shard, inner))
+            else:
+                wrapper = FaultedShard(current, "drop", batches=batches)
+                service.shards[shard] = wrapper
+                self._wrappers.append(wrapper)
         else:  # slow-journal
-            if isinstance(inner, ShardWorkerHandle):
+            if callable(getattr(inner, "slow_journal", None)):
                 inner.slow_journal(int(spec.amount or 1))
             else:
                 service.shards[shard] = FaultedShard(
@@ -574,6 +720,16 @@ class ChaosReport:
         recovery_latency: Worst wall-clock failover latency (seconds).
         max_stats_gap: Worst incremental-vs-batch stats deviation seen
             during the faulted run (the 1e-9 oracle, live).
+        transport: Data-plane transport (``"tcp"`` for socket-fed
+            workers; empty for in-process and pipe-fed planes).
+        reconnects: Transport reconnections completed across all
+            shard links (partitions healed within backoff budget).
+        transport_retries: Batches re-sent after a reconnect (every
+            one deduped by the worker's ack sequence).
+        backpressure_drops: Batches shed by full client send queues.
+        partitions: Partition episodes the control plane served
+            through in degraded mode (stale stats, journaled
+            ``ShardPartitioned``).
     """
 
     scenario: str
@@ -598,6 +754,11 @@ class ChaosReport:
     baseline_decisions: int
     recovery_latency: float
     max_stats_gap: float
+    transport: str = ""
+    reconnects: int = 0
+    transport_retries: int = 0
+    backpressure_drops: int = 0
+    partitions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -606,7 +767,10 @@ class ChaosReport:
 
     def lines(self) -> list[str]:
         """Operator-facing render (what ``repro chaos`` prints)."""
-        mode = "workers" if self.shard_workers else "in-process"
+        if self.transport == "tcp":
+            mode = "tcp-workers"
+        else:
+            mode = "workers" if self.shard_workers else "in-process"
         out = [
             f"chaos: {self.scenario} x {len(self.faults)} fault(s), "
             f"{self.shards} shard(s) ({mode}), horizon {self.horizon:.0f}s",
@@ -634,6 +798,13 @@ class ChaosReport:
                 f"  injector dropped:    {self.injector_dropped} "
                 f"(producer-side drop-batches loss)"
             )
+        if self.transport or self.reconnects or self.partitions:
+            out.append(
+                f"  transport:           reconnects={self.reconnects} "
+                f"retries={self.transport_retries} "
+                f"backpressure-drops={self.backpressure_drops} "
+                f"partitions={self.partitions}"
+            )
         out += [
             f"  events delivered:    {self.events}",
             f"  retunes:             {self.retunes} "
@@ -653,6 +824,7 @@ def run_chaos(
     *,
     shards: int = 4,
     shard_workers: bool = False,
+    tcp_workers: bool = False,
     horizon: float | None = None,
     scale: float | None = None,
     seed: int = 0,
@@ -666,7 +838,11 @@ def run_chaos(
 
     Runs the scenario twice with the same seed: once fault-free and
     in-process (the oracle for retunes and verdicts), once durable and
-    supervised with the fault schedule armed.  After the faulted run,
+    supervised with the fault schedule armed — in-process shards by
+    default, pipe-fed worker processes with ``shard_workers=True``, or
+    socket-fed TCP workers with ``tcp_workers=True`` (the plane the
+    network faults ``partition``/``slow-net``/``drop-net`` hit for
+    real; on other planes they fall back to in-process stand-ins).  After the faulted run,
     every shard journal is re-read end to end (proving the frames
     CRC-clean) and per-shard journaled telemetry is compared against
     the delivered stream routed through a fresh
@@ -713,6 +889,7 @@ def run_chaos(
             state=state,
             shards=shards,
             shard_workers=shard_workers,
+            tcp_workers=tcp_workers,
             failover=FailoverConfig(
                 heartbeat_interval=heartbeat_interval,
                 failover_after=failover_after,
@@ -722,9 +899,15 @@ def run_chaos(
         replayer = ScenarioReplayer(
             scenario, service, seed=seed, record_to=recorded, injector=injector
         )
+        transport_totals: dict = {}
+        partitions = 0
         try:
             summary = replayer.run()
             failovers = tuple(service.failovers)
+            for stats in service.transport_stats().values():
+                for key, value in stats.items():
+                    transport_totals[key] = transport_totals.get(key, 0) + value
+            partitions = service.shard_partitions
         finally:
             service.close()
             state.close()
@@ -765,7 +948,7 @@ def run_chaos(
         shard
         for _, spec, shard in injector.fired
         if spec.kind in ("kill-shard", "stall-shard")
-    }
+    } | injector.lethal_partitions
     baseline_verdicts = [d.verdict for d in baseline.decisions]
     verdicts = [d.verdict for d in summary.decisions]
     drift = sum(
@@ -794,4 +977,9 @@ def run_chaos(
         baseline_decisions=len(baseline.decisions),
         recovery_latency=max((r.latency for r in failovers), default=0.0),
         max_stats_gap=summary.max_stats_gap,
+        transport="tcp" if tcp_workers and shards > 1 else "",
+        reconnects=int(transport_totals.get("reconnects", 0)),
+        transport_retries=int(transport_totals.get("retries", 0)),
+        backpressure_drops=int(transport_totals.get("backpressure_dropped", 0)),
+        partitions=int(partitions),
     )

@@ -61,6 +61,8 @@ from repro.service.events import (
     NodeRecovered,
     ServiceEvent,
     ShardFailed,
+    ShardPartitioned,
+    ShardReconnected,
     ShardRecovered,
     TaskCompleted,
     TenantJoined,
@@ -90,6 +92,8 @@ _EVENT_TYPES = {
         DecisionMade,
         ShardFailed,
         ShardRecovered,
+        ShardPartitioned,
+        ShardReconnected,
     )
 }
 
@@ -165,6 +169,20 @@ def encode_event(event: ServiceEvent) -> dict:
             "replayed": event.replayed,
             "dropped": event.dropped,
             "latency": event.latency,
+        }
+    if isinstance(event, ShardPartitioned):
+        return {
+            "type": cls,
+            "time": event.time,
+            "shard": event.shard,
+            "reason": event.reason,
+        }
+    if isinstance(event, ShardReconnected):
+        return {
+            "type": cls,
+            "time": event.time,
+            "shard": event.shard,
+            "outage": event.outage,
         }
     return {"type": cls, "time": event.time}  # Heartbeat
 

@@ -468,17 +468,21 @@ def build_service(
     state=None,
     shards: int = 1,
     shard_workers: bool = False,
+    tcp_workers: bool = False,
     failover=None,
+    transport=None,
     **controller_kwargs,
 ) -> TempoService:
     """A TempoService wired for ``scenario`` (controller + config space).
 
     ``state`` optionally attaches a durable
     :class:`~repro.service.snapshot.ServiceState` home; ``shards`` /
-    ``shard_workers`` configure the data plane (see
-    :mod:`repro.service.sharding`); ``failover`` optionally enables
+    ``shard_workers`` / ``tcp_workers`` configure the data plane (see
+    :mod:`repro.service.sharding` and
+    :mod:`repro.service.transport`); ``failover`` optionally enables
     shard supervision (a :class:`~repro.service.failover.
-    FailoverConfig`).
+    FailoverConfig`); ``transport`` tunes the TCP plane (a
+    :class:`~repro.service.transport.TransportConfig`).
     """
     controller = build_controller(scenario, seed=seed, **controller_kwargs)
     return TempoService(
@@ -487,7 +491,9 @@ def build_service(
         state=state,
         shards=shards,
         shard_workers=shard_workers,
+        tcp_workers=tcp_workers,
         failover=failover,
+        transport=transport,
     )
 
 

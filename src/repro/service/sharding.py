@@ -55,7 +55,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import zlib
 from time import monotonic as _monotonic
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Protocol, runtime_checkable
 
 from repro.service.events import (
     EventBus,
@@ -93,6 +93,64 @@ class ShardFailedError(RuntimeError):
         #: Short detection cause: ``process-exit``, ``heartbeat-timeout``,
         #: ``reply-timeout``, ``worker-error``, or an injected fault name.
         self.reason = str(reason)
+
+
+class ShardPartitionedError(RuntimeError):
+    """A shard is unreachable but not (yet) declared failed.
+
+    The transport raises it from synchronous barriers while a network
+    partition is in flight and the outage is still inside
+    ``failover_after``.  Deliberately **not** a
+    :class:`ShardFailedError` subclass: the supervised retry wrapper
+    must let it propagate so the control plane can serve stale merged
+    statistics (degraded mode) instead of triggering a failover the
+    partition policy says is premature.
+    """
+
+    def __init__(self, shard_id: int, message: str | None = None):
+        super().__init__(message or f"shard {shard_id} partitioned")
+        #: Which shard is unreachable.
+        self.shard_id = int(shard_id)
+
+
+@runtime_checkable
+class ShardHandle(Protocol):
+    """Minimal surface the control plane needs from any shard.
+
+    Implemented by the in-process :class:`IngestShard`, the
+    ``multiprocessing`` :class:`ShardWorkerHandle`, and the TCP
+    :class:`~repro.service.transport.RemoteShardHandle`, so the daemon,
+    its drain barriers, and ``failover_shard`` stay transport-agnostic:
+    they call this protocol and probe optional capabilities (``kill``
+    for fencing, ``stall``/``slow_journal``/``inject_*`` for fault
+    injection) with ``getattr``, never ``isinstance`` on a concrete
+    handle class.
+
+    ``alive`` is an attribute/property (liveness), ``heartbeat_age``
+    the freshness signal the failure detector consumes, ``ingest`` the
+    asynchronous dispatch, ``drain_state``/``drain_stats`` the
+    synchronous barriers, and ``restore``/``close`` lifecycle.
+    """
+
+    shard_id: int
+
+    def ingest(self, events: list[ServiceEvent]) -> None:
+        """Dispatch one event batch (may return before it is applied)."""
+
+    def drain_state(self, now: float) -> dict:
+        """Barrier: apply queued batches, advance, return window state."""
+
+    def drain_stats(self, now: float) -> dict:
+        """Barrier: apply queued batches, return per-tenant statistics."""
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the shard last proved liveness (0 = in-process)."""
+
+    def restore(self, window_state: Mapping) -> None:
+        """Replace the shard's window with a persisted state."""
+
+    def close(self) -> None:
+        """Stop the shard, flushing its journal."""
 
 
 def shard_dir_name(shard_id: int) -> str:
@@ -290,6 +348,10 @@ class IngestShard:
     def advance(self, now: float) -> None:
         """Move the shard clock forward (evicting expired entries)."""
         self.window.advance(now)
+
+    def heartbeat_age(self) -> float:
+        """Always fresh: an in-process shard shares the caller's thread."""
+        return 0.0
 
     def drain_state(self, now: float) -> dict:
         """Advance to ``now`` and dump the shard's mergeable state.

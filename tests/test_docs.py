@@ -136,7 +136,15 @@ class TestDocsPages:
         subs = _subcommands()
         flags = {
             s
-            for name in ("serve", "replay", "resume", "compact", "status", "chaos")
+            for name in (
+                "serve",
+                "replay",
+                "resume",
+                "compact",
+                "status",
+                "chaos",
+                "worker",
+            )
             for action in subs[name]._actions
             for s in action.option_strings
         }

@@ -411,9 +411,17 @@ class TestCrashMatrix:
         events = _events(seed=3 + shards, count=240, heartbeat_every=60)
         half = len(events) // 2
         victim = 0 if shards == 1 else 1
-        amount = {"stall-shard": 1.0, "drop-batches": 2.0, "slow-journal": 2.0}.get(
-            kind
-        )
+        amount = {
+            "stall-shard": 1.0,
+            "drop-batches": 2.0,
+            "slow-journal": 2.0,
+            # Transient partition: shorter than FAST.failover_after, so
+            # it heals instead of failing over; the heal wait below
+            # lets the post-mortem barrier flush the partition buffer.
+            "partition": 0.3,
+            "slow-net": 5.0,  # 5ms per frame: pure latency
+            "drop-net": 2.0,
+        }.get(kind)
         state = ServiceState(tmp_path, shards=shards)
         service = build_service(
             _scenario(),
@@ -431,6 +439,10 @@ class TestCrashMatrix:
         service.ingest_batch(events[:half])
         assert injector.advance(10**9), "the scheduled fault must fire"
         service.ingest_batch(events[half:])
+        if kind == "partition":
+            # Wait out the partition window so the barrier below heals
+            # the link and flushes the buffered tail to the journal.
+            time.sleep(amount + 0.2)
 
         merged = service.window  # live merged view: forces a full barrier
         snap, now = merged.snapshot(), merged.now
@@ -449,7 +461,7 @@ class TestCrashMatrix:
             assert report.latency >= 0.0
         else:
             assert failed == set()  # non-fatal faults never fail over
-        if kind == "drop-batches" and shards > 1:
+        if kind in ("drop-batches", "drop-net") and shards > 1:
             # Single-shard planes have no producer->shard batch boundary
             # to drop at; sharded planes must have really dropped some.
             assert sum(injector.dropped_by_shard().values()) > 0
