@@ -30,6 +30,42 @@ from repro.workload.synthetic import (
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _normalize_trajectory_run(run: dict) -> dict:
+    """Backfill the stamp keys a pre-stamping run is missing.
+
+    Early trajectory rows (the legacy-migration wrap of a flat results
+    file) carry ``"timestamp": null`` and no ``cpu_count`` at all;
+    readers that sort or group on those keys used to break on them.
+    Normalization makes both keys always present (``None`` when the
+    run predates stamping) without inventing history.
+    """
+    normalized = dict(run)
+    normalized.setdefault("timestamp", None)
+    normalized.setdefault("cpu_count", None)
+    return normalized
+
+
+def load_trajectory_runs(results_json: Path) -> list[dict]:
+    """Read a trajectory file's runs, normalized and in time order.
+
+    The backfill-tolerant reader: every returned run has ``timestamp``
+    and ``cpu_count`` keys (``None`` for pre-stamping rows), and runs
+    sort by timestamp with undated rows kept first in file order —
+    they are, by construction, the oldest.
+    """
+    import json as _json
+
+    if not results_json.exists():
+        return []
+    data = _json.loads(results_json.read_text())
+    runs = data.get("runs", []) if isinstance(data, dict) else []
+    normalized = [_normalize_trajectory_run(run) for run in runs]
+    return sorted(
+        normalized,
+        key=lambda run: (run["timestamp"] is not None, run["timestamp"] or ""),
+    )
+
+
 def append_trajectory_run(results_json: Path, record: dict) -> None:
     """Append one timestamped run to a machine-readable trajectory file.
 
@@ -37,7 +73,9 @@ def append_trajectory_run(results_json: Path, record: dict) -> None:
     **appends** a record stamped with UTC time and the host's core
     count, so the trajectory across PRs (and CI runs) is preserved
     instead of overwritten.  A pre-trajectory file (one flat dict of
-    metrics) is migrated by wrapping it as the first, undated run.
+    metrics) is migrated by wrapping it as the first, undated run;
+    existing rows missing the stamp keys are backfilled with explicit
+    ``None`` so every archived run carries the same schema.
     """
     import json as _json
     import os as _os
@@ -49,7 +87,8 @@ def append_trajectory_run(results_json: Path, record: dict) -> None:
         if "runs" in data:
             history = data
         else:  # legacy flat layout: keep it as the first (undated) run
-            history = {"runs": [{"mode": "full", "timestamp": None, **data}]}
+            history = {"runs": [{"mode": "full", **data}]}
+    history["runs"] = [_normalize_trajectory_run(run) for run in history["runs"]]
     history["runs"].append(
         {
             "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -59,6 +98,58 @@ def append_trajectory_run(results_json: Path, record: dict) -> None:
     )
     results_json.parent.mkdir(parents=True, exist_ok=True)
     results_json.write_text(_json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def gate_parallel_speedup(
+    name: str,
+    speedup: float,
+    *,
+    required_cores: int,
+    floor: float,
+    degraded_floor: float,
+    cpu_count: int | None = None,
+) -> dict:
+    """Core-count-aware pass/fail for one parallel-speedup measurement.
+
+    The shared gate behind every sharded/worker speedup check: on a
+    host with at least ``required_cores`` cores the measurement must
+    clear ``floor``; below that core count a parallel speedup is
+    physically impossible (the recorded sub-1x rows are pure IPC
+    overhead), so only ``degraded_floor`` — a pathological-regression
+    backstop — applies, and the returned annotation marks the run as
+    ``sub_core_run`` instead of letting it pass silently.  Archive the
+    annotation next to the numbers in the results JSON.
+
+    Returns ``{"name", "speedup", "cpu_count", "required_cores",
+    "gated", "sub_core_run", "floor", "failure"}`` where ``failure``
+    is ``None`` or the gate's human-readable message.
+    """
+    import os as _os
+
+    cores = cpu_count if cpu_count is not None else (_os.cpu_count() or 1)
+    gated = cores >= required_cores
+    active_floor = floor if gated else degraded_floor
+    failure = None
+    if gated and speedup < floor:
+        failure = (
+            f"{name} speedup {speedup:.2f}x < {floor}x floor "
+            f"on {cores} cores"
+        )
+    elif not gated and speedup < degraded_floor:
+        failure = (
+            f"{name} speedup {speedup:.2f}x < {degraded_floor}x "
+            f"pathological floor ({cores} < {required_cores} cores)"
+        )
+    return {
+        "name": name,
+        "speedup": speedup,
+        "cpu_count": cores,
+        "required_cores": required_cores,
+        "gated": gated,
+        "sub_core_run": not gated,
+        "floor": active_floor,
+        "failure": failure,
+    }
 
 
 def report(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:

@@ -13,6 +13,12 @@ layer (`repro.service`).  Measurements:
 3. **Durable service ingest** — the same with a write-ahead journal and
    periodic snapshots attached, across three durability paths:
    per-record appends, group-committed batches, and the async writer.
+   Plus **journal codec**: durable batched events/s at the journal
+   layer (`append_events` group commit, no window fold) for the JSON
+   and binary codecs measured in the same run — full runs gate the
+   binary codec at >= 3x JSON (>= 2x in ``--smoke``), with the
+   absolute >= 1M events/s target applied only on hosts with enough
+   cores (annotated otherwise).
 4. **Many-tenant scaling** — per-event window ingest cost at 5 vs 500
    active tenants (the heap-driven eviction keeps it near flat; the old
    per-event sweep over every tenant made it ~linear).
@@ -49,13 +55,20 @@ import os
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
-from _harness import RESULTS_DIR, append_trajectory_run, report
+from _harness import (
+    RESULTS_DIR,
+    append_trajectory_run,
+    gate_parallel_speedup,
+    report,
+)
 from repro.service.daemon import ServiceConfig, TempoService
 from repro.service.events import JobCompleted, JobSubmitted, TaskCompleted
 from repro.service.ingest import RollingWindow, stats_gap
+from repro.service.journal import EventJournal
 from repro.service.replay import ScenarioReplayer, build_service, make_scenario
 from repro.service.snapshot import ServiceState
 from repro.sim.simulator import ClusterSimulator
@@ -233,6 +246,49 @@ def bench_sharded_ingest(
     return len(events) / elapsed
 
 
+def bench_journal_codec(events, codec: str, batch: int = 2048) -> float:
+    """Durable batched events/s at the journal layer for one codec.
+
+    The isolated encode+write hot path (`append_events` group commit,
+    no window fold), which is what the binary codec accelerates: the
+    service-level durable numbers fold every event into the rolling
+    window too, so the codec's 3x shows up here, not there.  The batch
+    is large enough to amortize the per-group fsync — the gate compares
+    the codecs, not the disk, and both codecs pay identical fsync
+    counts either way.  Measured best-of-N by the callers — the two
+    codecs always run in the same invocation so their ratio is
+    jitter-comparable.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = EventJournal(Path(tmp) / "journal", codec=codec)
+        start = time.perf_counter()
+        for i in range(0, len(events), batch):
+            journal.append_events(events[i : i + batch])
+        journal.close()
+        elapsed = time.perf_counter() - start
+    return len(events) / elapsed
+
+
+def bench_codec_pair(events, trials: int = 5) -> tuple[float, float, float]:
+    """(json events/s, binary events/s, gate ratio) over paired trials.
+
+    The codecs alternate json/binary within each trial so both sample
+    the same machine state, the reported throughputs are best-of-trials,
+    and the gate ratio is the *median* of the per-pair ratios: a single
+    noisy window (a lucky json run or an unlucky binary one) moves one
+    pair, not the verdict.  Best-over-best would let independent noise
+    on either side flip the gate.
+    """
+    pairs = [
+        (bench_journal_codec(events, "json"), bench_journal_codec(events, "binary"))
+        for _ in range(trials)
+    ]
+    json_eps = max(p[0] for p in pairs)
+    binary_eps = max(p[1] for p in pairs)
+    ratios = sorted(p[1] / p[0] for p in pairs)
+    return json_eps, binary_eps, ratios[len(ratios) // 2]
+
+
 def bench_many_tenants(
     count: int = 40_000, tenant_counts: tuple[int, ...] = (5, 500)
 ) -> dict[int, float]:
@@ -328,10 +384,15 @@ def smoke() -> int:
     worker_speedup = workers4_eps / shard1_eps
     inproc_ratio = inproc4_eps / shard1_eps
     cores = os.cpu_count() or 1
+    codec_json_eps, codec_binary_eps, codec_ratio = bench_codec_pair(events, trials=3)
     print(
         f"smoke: {len(events):,} events, batched ingest {service_eps:,.0f}/s, "
         f"durable batched {durable_eps:,.0f}/s (overhead {overhead:.2f}x), "
         f"tenant-scaling 5->500 slowdown {flatness:.2f}x"
+    )
+    print(
+        f"smoke journal codec: json {codec_json_eps:,.0f}/s, "
+        f"binary {codec_binary_eps:,.0f}/s ({codec_ratio:.2f}x)"
     )
     print(
         f"smoke sharded (500 tenants, {len(sharded_events):,} events, "
@@ -354,22 +415,28 @@ def smoke() -> int:
             f"4 in-process shards at {inproc_ratio:.2f}x of 1 shard "
             "(< 0.5x floor)"
         )
-    if cores >= 4:
-        # Parallel group commit: with real cores the worker shards must
-        # beat the single pipeline clearly (design target >= 2.5x; the
-        # gate leaves headroom for shared-runner jitter).
-        if worker_speedup < 1.8:
-            failures.append(
-                f"4 worker shards at {worker_speedup:.2f}x of 1 shard "
-                f"on {cores} cores (< 1.8x floor)"
-            )
-    elif worker_speedup < 0.25:
-        # Single-core runners cannot parallelize anything; the floor
-        # only catches pathological IPC regressions.
+    # Binary codec vs JSON in the same run: full runs gate >= 3x; the
+    # smoke floor is 2x so shared-runner jitter cannot flake CI while a
+    # regression back to text-speed encoding still fails loudly.
+    if codec_ratio < 2.0:
         failures.append(
-            f"4 worker shards at {worker_speedup:.2f}x of 1 shard "
-            "(< 0.25x single-core floor)"
+            f"binary codec at {codec_ratio:.2f}x of json durable batched "
+            "(< 2.0x smoke floor)"
         )
+    # Parallel group commit: with real cores the worker shards must
+    # beat the single pipeline clearly (design target >= 2.5x; the
+    # floor leaves headroom for shared-runner jitter).  Sub-core runs
+    # are annotated, not silently passed.
+    worker_gate = gate_parallel_speedup(
+        "4 worker shards vs 1",
+        worker_speedup,
+        required_cores=4,
+        floor=1.8,
+        degraded_floor=0.25,
+        cpu_count=cores,
+    )
+    if worker_gate["failure"]:
+        failures.append(worker_gate["failure"])
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}")
     append_run(
@@ -380,12 +447,18 @@ def smoke() -> int:
             "durable_ingest_batched_eps": durable_eps,
             "durability_overhead_batched": overhead,
             "tenant_scaling_slowdown": flatness,
+            "journal_codec": {
+                "json_eps": codec_json_eps,
+                "binary_eps": codec_binary_eps,
+                "binary_vs_json": codec_ratio,
+            },
             "sharded_500_tenants": {
                 "events": len(sharded_events),
                 "shards1_eps": shard1_eps,
                 "inproc4_eps": inproc4_eps,
                 "workers4_eps": workers4_eps,
                 "workers4_speedup": worker_speedup,
+                "parallel_gate": worker_gate,
             },
             "failures": failures,
         }
@@ -429,6 +502,7 @@ def main() -> int:
             events, durable=True, batch=BATCH, async_journal=True
         )
     )
+    codec_json_eps, codec_binary_eps, codec_ratio = bench_codec_pair(events)
     tenant_eps = bench_many_tenants()
     sharded_events = synthetic_events(500, 40_000)
     shard1_eps = best(lambda: bench_sharded_ingest(sharded_events, 1))
@@ -437,6 +511,14 @@ def main() -> int:
         lambda: bench_sharded_ingest(sharded_events, 4, workers=True)
     )
     cores = os.cpu_count() or 1
+    worker_gate = gate_parallel_speedup(
+        "4 worker shards vs 1",
+        workers4_eps / shard1_eps,
+        required_cores=4,
+        floor=1.8,
+        degraded_floor=0.25,
+        cpu_count=cores,
+    )
     retunes, mean_lat, p50_lat, max_lat = bench_retune_latency()
     backlog = bench_backlog_compounding()
     rows = [
@@ -447,6 +529,11 @@ def main() -> int:
         ["durable ingest per-record (events/s)", f"{durable_eps:,.0f}"],
         ["durable ingest batched (events/s)", f"{durable_batched_eps:,.0f}"],
         ["durable ingest async (events/s)", f"{durable_async_eps:,.0f}"],
+        ["journal append_events json (events/s)", f"{codec_json_eps:,.0f}"],
+        [
+            "journal append_events binary (events/s)",
+            f"{codec_binary_eps:,.0f} ({codec_ratio:.2f}x vs json)",
+        ],
         [
             "durable batched vs per-record",
             f"{durable_batched_eps / durable_eps:.2f}x",
@@ -495,6 +582,27 @@ def main() -> int:
         ["metric", "value"],
         rows,
     )
+    failures = []
+    # Same-run relative gate: the binary codec must hold >= 3x the JSON
+    # codec at the journal layer (the encode-bound path it replaces).
+    if codec_ratio < 3.0:
+        failures.append(
+            f"binary codec at {codec_ratio:.2f}x of json durable batched "
+            "(< 3.0x full-run floor)"
+        )
+    # The absolute >= 1M events/s target needs real cores: a 1-core
+    # container tops out around the per-core encode ceiling, so the
+    # absolute gate is annotated instead of applied there.
+    binary_absolute_gated = cores >= 4
+    if binary_absolute_gated and codec_binary_eps < 1_000_000:
+        failures.append(
+            f"binary codec {codec_binary_eps:,.0f} events/s < 1M absolute "
+            f"floor on {cores} cores"
+        )
+    if worker_gate["failure"]:
+        failures.append(worker_gate["failure"])
+    for failure in failures:
+        print(f"BENCH FAILURE: {failure}")
     machine = {
         "mode": "full",
         "events": len(events),
@@ -508,6 +616,12 @@ def main() -> int:
         "durable_ingest_async_eps": durable_async_eps,
         "durable_batched_speedup_vs_per_record": durable_batched_eps / durable_eps,
         "durability_overhead_batched": service_batched_eps / durable_batched_eps,
+        "journal_codec": {
+            "json_eps": codec_json_eps,
+            "binary_eps": codec_binary_eps,
+            "binary_vs_json": codec_ratio,
+            "absolute_1m_gated": binary_absolute_gated,
+        },
         "stats_gap": max(gap, gap_batched),
         "many_tenant_eps": {str(k): v for k, v in tenant_eps.items()},
         "sharded_500_tenants": {
@@ -516,6 +630,7 @@ def main() -> int:
             "inproc4_eps": inproc4_eps,
             "workers4_eps": workers4_eps,
             "workers4_speedup": workers4_eps / shard1_eps,
+            "parallel_gate": worker_gate,
         },
         "retunes": retunes,
         "retune_latency_mean_s": mean_lat,
@@ -527,9 +642,10 @@ def main() -> int:
         "overload_mean_response_s": {
             label: backlog[label][1] for label in backlog
         },
+        "failures": failures,
     }
     append_run(machine)
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -58,6 +58,12 @@ small operational CLI:
     RM's callback recorder or ``repro simulate --save`` writes) into a
     service trace file replayable with ``repro replay --trace``.
 
+``python -m repro dump-journal``
+    Render a state dir's journal segments — JSON or binary codec — as
+    canonical JSON lines (one ``{"data":...,"kind":...,"seq":...}``
+    object per record), keeping binary segments operator-debuggable.
+    Read-only like ``status``.
+
 ``python -m repro status``
     Read-only introspection of a serving state dir: pretty-print the
     freshest persisted metrics registry (newest snapshot vs newest
@@ -405,6 +411,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
             async_journal=args.async_journal,
             keep_segments=args.keep_segments,
             shards=args.shards,
+            journal_codec=args.journal_codec,
         )
         if state.journal.last_seq:
             raise SystemExit(
@@ -426,6 +433,7 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "continuous": not args.chunked,
                 "async_journal": args.async_journal,
                 "keep_segments": args.keep_segments,
+                "journal_codec": args.journal_codec,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
                 "tcp_workers": args.tcp_workers,
@@ -503,7 +511,9 @@ def _run_trace(args: argparse.Namespace, out) -> int:
     scenario = make_scenario(args.scenario, scale=args.scale)
     state = None
     if args.state_dir:
-        state = ServiceState(args.state_dir, shards=args.shards)
+        state = ServiceState(
+            args.state_dir, shards=args.shards, journal_codec=args.journal_codec
+        )
         if state.journal.last_seq:
             raise SystemExit(
                 f"{args.state_dir} already holds serving state; "
@@ -523,6 +533,7 @@ def _run_trace(args: argparse.Namespace, out) -> int:
                 "interval": args.interval * 60.0,
                 "drift": args.drift,
                 "revert_windows": args.revert_windows,
+                "journal_codec": args.journal_codec,
                 "shards": args.shards,
                 "shard_workers": args.shard_workers,
                 "tcp_workers": args.tcp_workers,
@@ -613,6 +624,7 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         async_journal=meta.get("async_journal", False),
         keep_segments=meta.get("keep_segments", 2),
         shards=shards,
+        journal_codec=meta.get("journal_codec", "json"),
     )
     # A heartbeat at the horizon is only journaled once the run — final
     # drain included — delivered completely, so truncating to the last
@@ -745,6 +757,7 @@ def cmd_chaos(args: argparse.Namespace, out) -> int:
                 args.failover_after if args.failover_after is not None else 5.0
             ),
             state_dir=args.state_dir,
+            journal_codec=args.journal_codec,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -790,13 +803,14 @@ def cmd_worker(args: argparse.Namespace, out) -> int:
                 out.flush()
 
     try:
+        journal_opts = {"codec": args.journal_codec}
+        if args.async_journal:
+            journal_opts["async_writer"] = True
         serve_shard(
             args.shard,
             args.window * 60.0,
             journal_path=args.journal,
-            journal_opts=(
-                {"async_writer": True} if args.async_journal else None
-            ),
+            journal_opts=journal_opts,
             host=host,
             port=port,
             observe=args.observe,
@@ -950,6 +964,78 @@ def cmd_status(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_dump_journal(args: argparse.Namespace, out) -> int:
+    """``repro dump-journal``: render journal segments as JSON lines.
+
+    Keeps binary segments operator-debuggable: every record of every
+    segment (or one segment with ``--segment N``) prints as one
+    canonical JSON line ``{"data":...,"kind":...,"seq":...}`` — the
+    exact body the JSON codec frames on disk — whichever codec wrote
+    it.  Purely read-only, like ``repro status``: it never constructs
+    an :class:`~repro.service.snapshot.ServiceState` (which would
+    repair the journal tail), so it is safe against a live daemon's
+    state dir.  ``--shard N`` selects a shard journal of a sharded
+    state dir instead of the control journal.
+    """
+    from repro.service.journal import canonical_json, read_segment
+    from repro.service.sharding import shard_dir_name
+
+    root = Path(args.state_dir)
+    journal_dir = root / "journal"
+    if args.shard is not None:
+        if args.shard < 0:
+            raise SystemExit(f"--shard must be >= 0, got {args.shard}")
+        sharded = root / shard_dir_name(args.shard) / "journal"
+        # Shard 0 of a single-shard layout *is* the control journal.
+        if sharded.is_dir():
+            journal_dir = sharded
+        elif args.shard != 0:
+            raise SystemExit(
+                f"{args.state_dir} has no {shard_dir_name(args.shard)}/journal"
+            )
+    if not journal_dir.is_dir():
+        raise SystemExit(
+            f"{args.state_dir} has no journal/ — "
+            "was it created by `repro serve/replay --state-dir`?"
+        )
+    segments = sorted(
+        list(journal_dir.glob("segment-*.jsonl"))
+        + list(journal_dir.glob("segment-*.binl")),
+        key=lambda p: int(p.stem.split("-")[1]),
+    )
+    if not segments:
+        raise SystemExit(f"{journal_dir} holds no journal segments")
+    if args.segment is not None:
+        chosen = [p for p in segments if int(p.stem.split("-")[1]) == args.segment]
+        if not chosen:
+            known = ", ".join(str(int(p.stem.split("-")[1])) for p in segments)
+            raise SystemExit(
+                f"no segment starting at seq {args.segment} "
+                f"(segments start at: {known})"
+            )
+        segments = chosen
+    tail = segments[-1]
+    try:
+        for path in segments:
+            # Only the newest segment may legally carry a torn tail.
+            for record in read_segment(path, final=path is tail):
+                print(
+                    canonical_json(
+                        {"data": record.data, "kind": record.kind, "seq": record.seq}
+                    ),
+                    file=out,
+                )
+    except BrokenPipeError:
+        # `dump-journal | head` is the expected operator usage: exit
+        # quietly when the consumer stops reading, and point stdout at
+        # devnull so the interpreter's exit-time flush stays quiet too.
+        import os as _os
+        import sys as _sys
+
+        _os.dup2(_os.open(_os.devnull, _os.O_WRONLY), _sys.stdout.fileno())
+    return 0
+
+
 def _fmt_metric(value: float) -> str:
     """Render a metric value; integral floats print as integers."""
     if float(value).is_integer():
@@ -1026,6 +1112,15 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=2,
         help="journal segments compaction always retains (safety margin)",
+    )
+    parser.add_argument(
+        "--journal-codec",
+        choices=["json", "binary"],
+        default="json",
+        help="record codec for new journal segments: json (debug/compat "
+        "text, the default) or binary (struct-packed, ~3x faster durable "
+        "ingest); reads always handle both, and `repro resume` "
+        "auto-detects the persisted choice",
     )
     parser.add_argument(
         "--shards",
@@ -1216,6 +1311,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the faulted run's journal + snapshots here for "
         "inspection (default: a temp dir, removed afterwards)",
     )
+    chaos.add_argument(
+        "--journal-codec",
+        choices=["json", "binary"],
+        default="json",
+        help="record codec every journal of the faulted run is written "
+        "with (exercises the binary torn-tail/replay contracts)",
+    )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(func=cmd_chaos)
 
@@ -1244,6 +1346,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--async-journal",
         action="store_true",
         help="journal through a background group-commit thread",
+    )
+    worker.add_argument(
+        "--journal-codec",
+        choices=["json", "binary"],
+        default="json",
+        help="record codec for this worker's journal segments",
     )
     worker.add_argument(
         "--observe",
@@ -1281,6 +1389,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal segments compaction always retains (safety margin)",
     )
     compact.set_defaults(func=cmd_compact)
+
+    dump = sub.add_parser(
+        "dump-journal",
+        help="render a state dir's journal segments (JSON or binary) "
+        "as canonical JSON lines",
+    )
+    dump.add_argument(
+        "--state-dir", required=True, help="state dir to dump (read-only)"
+    )
+    dump.add_argument(
+        "--segment",
+        type=int,
+        default=None,
+        help="dump only the segment starting at this seq "
+        "(default: every segment, in order)",
+    )
+    dump.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="dump a shard journal (shard-NN/journal) instead of the "
+        "control journal",
+    )
+    dump.set_defaults(func=cmd_dump_journal)
 
     status = sub.add_parser(
         "status", help="show the persisted metrics of a serving state dir"

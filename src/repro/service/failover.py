@@ -833,6 +833,7 @@ def run_chaos(
     heartbeat_interval: float = 1.0,
     failover_after: float = 5.0,
     state_dir=None,
+    journal_codec: str = "json",
 ) -> ChaosReport:
     """Drive one scenario through a faulted, supervised service.
 
@@ -851,6 +852,9 @@ def run_chaos(
 
     ``state_dir=None`` uses a temporary directory, removed afterwards;
     an explicit directory is kept (inspect it with ``repro status``).
+    ``journal_codec`` selects the record codec every journal (control
+    and shard) is written with, so the chaos matrix exercises the
+    binary format's torn-tail and replay contracts too.
     """
     import shutil
     import tempfile
@@ -881,7 +885,7 @@ def run_chaos(
     )
     injector = FaultInjector(specs, seed=seed)
     try:
-        state = ServiceState(root, shards=shards)
+        state = ServiceState(root, shards=shards, journal_codec=journal_codec)
         service = build_service(
             scenario,
             config,

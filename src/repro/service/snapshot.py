@@ -320,6 +320,11 @@ class ServiceState:
             so a durable daemon's disk footprint stays bounded by the
             snapshot retention window instead of its lifetime.
         shards: Data-plane shard count this state dir is laid out for.
+        journal_codec: Record codec new journal segments are written
+            with — ``"json"`` (debug/compat text) or ``"binary"`` (the
+            struct-packed format of :mod:`repro.service.codec`).  Reads
+            always handle both, so mixed-codec state dirs (e.g. a dir
+            resumed under a different codec) replay transparently.
     """
 
     def __init__(
@@ -334,6 +339,7 @@ class ServiceState:
         keep_segments: int = 2,
         auto_compact: bool = True,
         shards: int = 1,
+        journal_codec: str = "json",
     ):
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -348,6 +354,7 @@ class ServiceState:
             segment_records=segment_records,
             fsync=fsync,
             async_writer=async_journal,
+            codec=journal_codec,
         )
         self.snapshots = SnapshotStore(self.root / "snapshots", keep=keep_snapshots)
         self.snapshot_every = int(snapshot_every)
@@ -425,6 +432,7 @@ class ServiceState:
                 self.shard_journal_path(shard_id),
                 segment_records=self.journal.segment_records,
                 fsync=self.journal.fsync,
+                codec=self.journal.codec,
             )
         return journal
 
@@ -433,6 +441,7 @@ class ServiceState:
         return {
             "segment_records": self.journal.segment_records,
             "fsync": self.journal.fsync,
+            "codec": self.journal.codec,
         }
 
     def note_shard_records(self, count: int) -> None:

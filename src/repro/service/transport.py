@@ -18,6 +18,16 @@ exactly one reply (stop-and-wait), which makes reply ordering, and
 therefore the drain barrier ("a drain reply follows every batch sent
 before it"), trivial.
 
+Ingest batches may alternatively ride the journal's **binary record
+frames** (:mod:`repro.service.codec`): a frame body whose first byte
+is ``0x00`` is a binary wire message (JSON CRC frames always start
+with an ASCII hex digit), carrying the same per-record crc32 the
+binary journal uses on disk, so TCP shards stop paying the JSON
+encode twice when the journal codec is binary.  The server
+auto-detects per frame; replies and every non-ingest op stay JSON, so
+``wire_codec="json"`` (the resolution of ``"auto"`` over a JSON
+journal) keeps the wire byte-identical to the JSON-only protocol.
+
 **Delivery contract.**  Batches are client-sequence-numbered and held
 in a bounded send queue until the server acknowledges them; the server
 keeps the highest applied sequence and ignores replayed batches at or
@@ -58,9 +68,14 @@ import struct
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping
 
+from repro.service.codec import (
+    WIRE_MAGIC,
+    decode_wire_batches,
+    encode_wire_batches,
+)
 from repro.service.journal import (
     EventJournal,
     JournalError,
@@ -82,6 +97,12 @@ _monotonic = time.monotonic
 
 #: Length prefix: one unsigned 32-bit big-endian frame size.
 _LEN = struct.Struct("!I")
+
+#: First body byte of a binary wire message (JSON frames start with hex).
+_WIRE_MAGIC_BYTE = bytes([WIRE_MAGIC])
+
+#: Wire codecs a resolved :attr:`TransportConfig.wire_codec` may name.
+WIRE_CODECS = ("json", "binary")
 
 
 class TransportError(RuntimeError):
@@ -116,6 +137,13 @@ class TransportConfig:
             ``heartbeat_age`` stays fresh on a quiet connection.
             Supervised handles cap this at their heartbeat interval, so
             a tight ``failover_after`` never outruns the ping cadence.
+        wire_codec: Encoding for ingest frames: ``"json"`` (the CRC
+            text frames, byte-identical to the JSON-only protocol),
+            ``"binary"`` (the journal's binary record frames), or
+            ``"auto"`` — :func:`start_remote_shards` resolves auto to
+            the shard journal codec so binary journals skip the double
+            JSON encode.  Replies and non-ingest ops are always JSON;
+            the server auto-detects the codec per frame.
     """
 
     connect_timeout: float = 1.0
@@ -127,6 +155,7 @@ class TransportConfig:
     max_coalesce: int = 32
     max_frame: int = 64 * 1024 * 1024
     ping_idle: float = 0.5
+    wire_codec: str = "auto"
 
 
 def _recv_exact(sock: socket.socket, size: int) -> bytes:
@@ -148,17 +177,30 @@ def send_frame(sock: socket.socket, payload: Mapping) -> None:
     sock.sendall(_LEN.pack(len(body)) + body)
 
 
-def recv_frame(sock: socket.socket, max_frame: int = TransportConfig.max_frame) -> dict:
-    """Receive one frame; CRC-validate it; return the decoded payload.
+def send_raw_frame(sock: socket.socket, body: bytes) -> None:
+    """Send one length-prefixed pre-encoded frame body (binary wire)."""
+    sock.sendall(_LEN.pack(len(body)) + body)
 
-    Raises :class:`TransportError` on an oversized length prefix or a
-    checksum mismatch and ``ConnectionError``/``socket.timeout`` on a
-    broken or stalled connection.
+
+def recv_raw_frame(
+    sock: socket.socket, max_frame: int = TransportConfig.max_frame
+) -> bytes:
+    """Receive one length-prefixed frame body without decoding it.
+
+    Raises :class:`TransportError` on an oversized length prefix and
+    ``ConnectionError``/``socket.timeout`` on a broken or stalled
+    connection.  The body's own CRC is validated by the codec-specific
+    decoder (:func:`decode_text_frame` or
+    :func:`~repro.service.codec.decode_wire_batches`).
     """
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
     if length == 0 or length > max_frame:
         raise TransportError(f"frame length {length} outside (0, {max_frame}]")
-    raw = _recv_exact(sock, length)
+    return _recv_exact(sock, length)
+
+
+def decode_text_frame(raw: bytes) -> dict:
+    """CRC-validate one JSON frame body; return the decoded op payload."""
     try:
         body = unframe_line(raw.decode("utf-8", errors="strict"))
     except (JournalError, ValueError, UnicodeDecodeError) as exc:
@@ -170,6 +212,16 @@ def recv_frame(sock: socket.socket, max_frame: int = TransportConfig.max_frame) 
     if not isinstance(payload, dict) or "op" not in payload:
         raise TransportError("frame payload is not an op object")
     return payload
+
+
+def recv_frame(sock: socket.socket, max_frame: int = TransportConfig.max_frame) -> dict:
+    """Receive one frame; CRC-validate it; return the decoded payload.
+
+    Raises :class:`TransportError` on an oversized length prefix or a
+    checksum mismatch and ``ConnectionError``/``socket.timeout`` on a
+    broken or stalled connection.
+    """
+    return decode_text_frame(recv_raw_frame(sock, max_frame))
 
 
 # -- server side --------------------------------------------------------------
@@ -252,7 +304,16 @@ class ShardServer:
         conn.settimeout(self.config.io_timeout)
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         while not self._stop.is_set():
-            request = recv_frame(conn, self.config.max_frame)
+            raw = recv_raw_frame(conn, self.config.max_frame)
+            if raw[:1] == _WIRE_MAGIC_BYTE:
+                # Binary ingest message: journal record frames, decoded
+                # to the exact batch shape the JSON ingest op carries.
+                try:
+                    request = {"op": "ingest", "batches": decode_wire_batches(raw)}
+                except ValueError as exc:
+                    raise TransportError(f"corrupt binary frame: {exc}") from exc
+            else:
+                request = decode_text_frame(raw)
             try:
                 reply = self._handle(request)
             except _StopServing:
@@ -411,6 +472,10 @@ class RemoteShardHandle:
         self.heartbeat_interval = float(heartbeat_interval)
         self.failover_after = None if failover_after is None else float(failover_after)
         self.config = config or TransportConfig()
+        if self.config.wire_codec not in ("auto",) + WIRE_CODECS:
+            raise ValueError(f"unknown wire codec {self.config.wire_codec!r}")
+        # Unresolved "auto" (a directly-built handle) stays on JSON.
+        self._binary_wire = self.config.wire_codec == "binary"
         self.launcher = launcher
         # Idle pings must outpace the failure detector: a quiet but
         # healthy connection may otherwise age right up to the fencing
@@ -798,11 +863,18 @@ class RemoteShardHandle:
         self._last_reply = _monotonic()
         return True
 
-    def _request(self, sock: socket.socket, payload: Mapping) -> dict:
-        """One stop-and-wait exchange on the live connection."""
+    def _request(self, sock: socket.socket, payload) -> dict:
+        """One stop-and-wait exchange on the live connection.
+
+        ``payload`` is an op mapping (JSON frame) or pre-encoded bytes
+        (binary ingest frame); replies are always JSON.
+        """
         if self._latency > 0.0:
             time.sleep(self._latency)
-        send_frame(sock, payload)
+        if isinstance(payload, (bytes, bytearray)):
+            send_raw_frame(sock, payload)
+        else:
+            send_frame(sock, payload)
         reply = recv_frame(sock, self.config.max_frame)
         self._last_reply = _monotonic()
         return reply
@@ -836,13 +908,18 @@ class RemoteShardHandle:
                             self._queue.popleft()
                 continue
             self.retries += sum(1 for entry in batches if entry[3])
-            payload = {
-                "op": "ingest",
-                "batches": [
-                    [entry[1], [encode_event(e) for e in entry[2]]]
-                    for entry in batches
-                ],
-            }
+            if self._binary_wire:
+                payload = encode_wire_batches(
+                    [(entry[1], entry[2]) for entry in batches], encode_event
+                )
+            else:
+                payload = {
+                    "op": "ingest",
+                    "batches": [
+                        [entry[1], [encode_event(e) for e in entry[2]]]
+                        for entry in batches
+                    ],
+                }
             for entry in batches:
                 entry[3] = True
             reply = self._exchange(payload, None)
@@ -861,7 +938,7 @@ class RemoteShardHandle:
                     self._queue.popleft()
                     self._queued_batches -= 1
 
-    def _exchange(self, payload: Mapping, waiter: _SyncWaiter | None):
+    def _exchange(self, payload, waiter: _SyncWaiter | None):
         """Send one request; resolve/fail ``waiter``; None on disconnect."""
         sock = self._sock
         if sock is None:
@@ -1005,8 +1082,15 @@ def start_remote_shards(
 
     The TCP twin of :func:`~repro.service.sharding.start_shard_workers`
     with the same journal-ownership contract: ``journal_paths`` is
-    ``None`` or one path per shard, opened inside the workers.
+    ``None`` or one path per shard, opened inside the workers.  A
+    ``wire_codec`` of ``"auto"`` (the default) resolves to the shard
+    journal codec, so binary-journal fleets ship binary ingest frames
+    and JSON fleets keep the JSON-only wire byte-identical.
     """
+    config = config or TransportConfig()
+    if config.wire_codec == "auto":
+        codec = str(dict(journal_opts or {}).get("codec", "json"))
+        config = replace(config, wire_codec=codec if codec in WIRE_CODECS else "json")
     launcher = WorkerLauncher(
         window,
         journal_paths,

@@ -1,0 +1,120 @@
+"""Tests for the shared benchmark harness helpers.
+
+The trajectory reader/writer and the core-count-aware speedup gate are
+plumbing every benchmark relies on; they get direct unit coverage here
+so a harness regression shows up as a test failure instead of a
+corrupted results file or a silently-passed gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from _harness import (  # noqa: E402
+    append_trajectory_run,
+    gate_parallel_speedup,
+    load_trajectory_runs,
+)
+
+
+class TestTrajectory:
+    def test_append_stamps_timestamp_and_cpu_count(self, tmp_path):
+        results = tmp_path / "r.json"
+        append_trajectory_run(results, {"mode": "full", "eps": 123.0})
+        runs = json.loads(results.read_text())["runs"]
+        assert len(runs) == 1
+        assert runs[0]["eps"] == 123.0
+        assert runs[0]["cpu_count"] >= 1
+        assert runs[0]["timestamp"]  # ISO 8601, non-empty
+
+    def test_append_preserves_history(self, tmp_path):
+        results = tmp_path / "r.json"
+        append_trajectory_run(results, {"mode": "full", "eps": 1.0})
+        append_trajectory_run(results, {"mode": "smoke", "eps": 2.0})
+        runs = json.loads(results.read_text())["runs"]
+        assert [run["eps"] for run in runs] == [1.0, 2.0]
+
+    def test_legacy_flat_file_migrates_to_first_undated_run(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(json.dumps({"eps": 42.0, "speedup": 1.5}))
+        append_trajectory_run(results, {"mode": "full", "eps": 50.0})
+        runs = json.loads(results.read_text())["runs"]
+        assert len(runs) == 2
+        assert runs[0] == {
+            "mode": "full",
+            "eps": 42.0,
+            "speedup": 1.5,
+            "timestamp": None,
+            "cpu_count": None,
+        }
+        assert runs[1]["timestamp"] is not None
+
+    def test_loader_backfills_and_orders_undated_first(self, tmp_path):
+        results = tmp_path / "r.json"
+        results.write_text(
+            json.dumps(
+                {
+                    "runs": [
+                        {"timestamp": "2026-08-01T00:00:00+00:00", "eps": 3.0},
+                        {"eps": 1.0},  # pre-stamping row: no stamp keys
+                        {"timestamp": "2026-07-01T00:00:00+00:00", "eps": 2.0},
+                    ]
+                }
+            )
+        )
+        runs = load_trajectory_runs(results)
+        assert [run["eps"] for run in runs] == [1.0, 2.0, 3.0]
+        assert all("timestamp" in run and "cpu_count" in run for run in runs)
+
+    def test_loader_missing_file_is_empty(self, tmp_path):
+        assert load_trajectory_runs(tmp_path / "absent.json") == []
+
+
+class TestSpeedupGate:
+    def test_passes_above_floor_on_enough_cores(self):
+        verdict = gate_parallel_speedup(
+            "sharded", 2.5, required_cores=4, floor=1.3, degraded_floor=0.2,
+            cpu_count=8,
+        )
+        assert verdict["failure"] is None
+        assert verdict["gated"] and not verdict["sub_core_run"]
+        assert verdict["floor"] == 1.3
+
+    def test_fails_below_floor_on_enough_cores(self):
+        verdict = gate_parallel_speedup(
+            "sharded", 1.1, required_cores=4, floor=1.3, degraded_floor=0.2,
+            cpu_count=8,
+        )
+        assert verdict["failure"] is not None
+        assert "1.10x" in verdict["failure"]
+
+    def test_sub_core_run_annotated_not_failed(self):
+        """On a 1-core box a sub-1x parallel 'speedup' is expected: the
+        gate must annotate, not fail."""
+        verdict = gate_parallel_speedup(
+            "sharded", 0.6, required_cores=4, floor=1.3, degraded_floor=0.2,
+            cpu_count=1,
+        )
+        assert verdict["failure"] is None
+        assert verdict["sub_core_run"]
+        assert verdict["floor"] == 0.2
+
+    def test_sub_core_pathological_regression_still_fails(self):
+        verdict = gate_parallel_speedup(
+            "sharded", 0.05, required_cores=4, floor=1.3, degraded_floor=0.2,
+            cpu_count=1,
+        )
+        assert verdict["failure"] is not None
+        assert "pathological" in verdict["failure"]
+
+    def test_defaults_to_host_core_count(self):
+        import os
+
+        verdict = gate_parallel_speedup(
+            "x", 10.0, required_cores=1, floor=1.0, degraded_floor=0.1
+        )
+        assert verdict["cpu_count"] == (os.cpu_count() or 1)

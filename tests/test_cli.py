@@ -227,3 +227,84 @@ class TestTuneCommand:
         text = out.getvalue()
         assert "final configuration" in text
         assert "DL[deadline]" in text
+
+
+class TestDumpJournal:
+    """`repro dump-journal` renders any codec's segments as JSON lines."""
+
+    @staticmethod
+    def _state_dir(tmp_path, codec, name="st", segment_records=4):
+        from repro.service.events import Heartbeat, JobSubmitted
+        from repro.service.journal import EventJournal
+
+        root = tmp_path / name
+        journal = EventJournal(
+            root / "journal", codec=codec, segment_records=segment_records
+        )
+        events = []
+        for i in range(6):
+            events.append(JobSubmitted(float(i), tenant="acme", job_id=f"j{i}"))
+            events.append(Heartbeat(float(i) + 0.5))
+        journal.append_events(events)
+        journal.close()
+        return root
+
+    def _dump(self, argv):
+        out = io.StringIO()
+        assert main(argv, out=out) == 0
+        return [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_dumps_binary_and_json_identically(self, tmp_path):
+        json_dir = self._state_dir(tmp_path, "json", name="stj")
+        binary_dir = self._state_dir(tmp_path, "binary", name="stb")
+        from_json = self._dump(["dump-journal", "--state-dir", str(json_dir)])
+        from_binary = self._dump(["dump-journal", "--state-dir", str(binary_dir)])
+        assert from_json == from_binary
+        assert [r["seq"] for r in from_json] == list(range(1, 13))
+        assert from_json[0]["data"]["job_id"] == "j0"
+
+    def test_segment_filter(self, tmp_path):
+        root = self._state_dir(tmp_path, "binary")
+        records = self._dump(
+            ["dump-journal", "--state-dir", str(root), "--segment", "5"]
+        )
+        assert [r["seq"] for r in records] == [5, 6, 7, 8]
+
+    def test_unknown_segment_rejected(self, tmp_path):
+        root = self._state_dir(tmp_path, "binary")
+        with pytest.raises(SystemExit, match="segments start at"):
+            main(
+                ["dump-journal", "--state-dir", str(root), "--segment", "3"],
+                out=io.StringIO(),
+            )
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="has no journal"):
+            main(
+                ["dump-journal", "--state-dir", str(tmp_path)], out=io.StringIO()
+            )
+
+    def test_missing_shard_rejected(self, tmp_path):
+        root = self._state_dir(tmp_path, "binary")
+        with pytest.raises(SystemExit, match="has no shard"):
+            main(
+                ["dump-journal", "--state-dir", str(root), "--shard", "2"],
+                out=io.StringIO(),
+            )
+
+    def test_shard_journal_selected(self, tmp_path):
+        from repro.service.events import Heartbeat
+        from repro.service.journal import EventJournal
+        from repro.service.sharding import shard_dir_name
+
+        root = self._state_dir(tmp_path, "json")
+        shard = EventJournal(
+            root / shard_dir_name(1) / "journal", codec="binary"
+        )
+        shard.append_events([Heartbeat(42.0)])
+        shard.close()
+        records = self._dump(
+            ["dump-journal", "--state-dir", str(root), "--shard", "1"]
+        )
+        assert len(records) == 1
+        assert records[0]["data"]["time"] == 42.0

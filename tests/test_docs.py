@@ -144,6 +144,7 @@ class TestDocsPages:
                 "status",
                 "chaos",
                 "worker",
+                "dump-journal",
             )
             for action in subs[name]._actions
             for s in action.option_strings
