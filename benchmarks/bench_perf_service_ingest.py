@@ -326,7 +326,13 @@ def bench_backlog_compounding(
 
 
 def bench_retune_latency(horizon: float = 3 * 3600.0) -> tuple[int, float, float, float]:
-    """(retunes, mean, p50, max) retune latency over a flash-crowd replay."""
+    """(retunes, mean, p50, max) retune latency over a flash-crowd replay.
+
+    A decision's ``latency`` is the wall time of its whatif phase (the
+    candidate-evaluation stage the evaluation plane optimizes), so the
+    p50 here doubles as the trajectory's median whatif-phase seconds
+    per tick.
+    """
     scenario = make_scenario("flash-crowd", horizon=horizon)
     service = build_service(
         scenario, ServiceConfig(drift_threshold=0.0), seed=0
@@ -385,6 +391,7 @@ def smoke() -> int:
     inproc_ratio = inproc4_eps / shard1_eps
     cores = os.cpu_count() or 1
     codec_json_eps, codec_binary_eps, codec_ratio = bench_codec_pair(events, trials=3)
+    whatif_retunes, _, whatif_p50, _ = bench_retune_latency(horizon=3600.0)
     print(
         f"smoke: {len(events):,} events, batched ingest {service_eps:,.0f}/s, "
         f"durable batched {durable_eps:,.0f}/s (overhead {overhead:.2f}x), "
@@ -399,6 +406,10 @@ def smoke() -> int:
         f"{cores} cores): 1 shard {shard1_eps:,.0f}/s, 4 in-proc "
         f"{inproc4_eps:,.0f}/s ({inproc_ratio:.2f}x), 4 workers "
         f"{workers4_eps:,.0f}/s ({worker_speedup:.2f}x)"
+    )
+    print(
+        f"smoke whatif phase: {whatif_retunes} retunes, "
+        f"median {whatif_p50 * 1e3:.1f} ms/tick"
     )
     failures = []
     # Generous ceilings: measured ~3x and ~1.3x on a noisy container;
@@ -460,6 +471,8 @@ def smoke() -> int:
                 "workers4_speedup": worker_speedup,
                 "parallel_gate": worker_gate,
             },
+            "retunes": whatif_retunes,
+            "whatif_phase_p50_s": whatif_p50,
             "failures": failures,
         }
     )
@@ -565,6 +578,7 @@ def main() -> int:
         ["retune latency mean (ms)", f"{mean_lat * 1e3:.1f}"],
         ["retune latency p50 (ms)", f"{p50_lat * 1e3:.1f}"],
         ["retune latency max (ms)", f"{max_lat * 1e3:.1f}"],
+        ["whatif phase p50 (ms/tick)", f"{p50_lat * 1e3:.1f}"],
         [
             "overload peak backlog (jobs)",
             f"per-interval={backlog['per-interval'][0]}, "
@@ -636,6 +650,7 @@ def main() -> int:
         "retune_latency_mean_s": mean_lat,
         "retune_latency_p50_s": p50_lat,
         "retune_latency_max_s": max_lat,
+        "whatif_phase_p50_s": p50_lat,
         "overload_peak_backlog": {
             label: backlog[label][0] for label in backlog
         },

@@ -1,0 +1,225 @@
+"""Perf benchmark: what-if candidate evaluation throughput.
+
+Not a paper figure — an operational benchmark for the what-if
+evaluation plane (:mod:`repro.whatif.evalpool`), the stage PALD and the
+serving daemon's whatif phase sit on.  Measurements, all over the same
+candidate batch in the same run (paired, like the journal-codec bench):
+
+1. **Serial cold** — a fresh evaluator and a fresh model evaluate the
+   batch one simulation at a time (the pre-plane behavior and the
+   ``--whatif-workers 0`` default).
+2. **Pooled cold** — a fresh model, 4 fork workers: the batch's cache
+   misses are simulated concurrently.  A *parallelism* measurement: it
+   needs >= 4 real cores, so the shared core-count-aware gate asserts
+   the speedup only there and annotates ``sub_core_run`` below.
+3. **Memo warm** — a fresh model, but the evaluator's cross-retune memo
+   already holds the batch (the repeat-evaluation fast path a stable
+   workload window hits every cadence tick).  Gated everywhere: cache
+   hits must beat cold simulation by an order of magnitude on any host.
+
+Every mode must return bit-identical QS vectors — the benchmark asserts
+it before timing anything, so a fast-but-wrong backend cannot post a
+number.  Speedups are gated on the **median of per-trial ratios**
+(each trial interleaves the modes back-to-back), which survives shared
+runners whose absolute timings jitter by 2x between trials.
+
+Alongside the printed table the benchmark appends one timestamped
+record per invocation — full runs *and* ``--smoke`` — to
+``benchmarks/results/whatif_throughput.json``, preserving the
+trajectory across PRs like ``perf_service_ingest.json`` does.
+
+Run:  PYTHONPATH=src python benchmarks/bench_whatif_throughput.py
+CI smoke (small batch + regression gates):
+      PYTHONPATH=src python benchmarks/bench_whatif_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from _harness import (
+    RESULTS_DIR,
+    append_trajectory_run,
+    gate_parallel_speedup,
+    report,
+)
+from repro.rm.config import ConfigSpace
+from repro.service.replay import make_scenario
+from repro.whatif import CandidateEvaluator, WhatIfModel
+
+#: Machine-readable trajectory file (a ``runs`` list; append-only).
+RESULTS_JSON = RESULTS_DIR / "whatif_throughput.json"
+
+#: Fork workers in the pooled mode (matches the ingest bench's shard
+#: fan-out and the CI gate's required core count).
+WORKERS = 4
+
+
+def build_problem(horizon: float = 1800.0, seed: int = 0):
+    """(scenario ingredients, space, workload) for the candidate runs.
+
+    One flash-crowd window's workload — the size a cadence tick hands
+    the controller — so per-candidate simulation cost matches what the
+    whatif phase actually pays.
+    """
+    scenario = make_scenario("flash-crowd", horizon=horizon)
+    workload = scenario.model.generate(seed, horizon)
+    space = ConfigSpace(scenario.cluster, sorted(scenario.model.tenants))
+    return scenario, space, workload
+
+
+def candidate_batch(space: ConfigSpace, count: int, seed: int = 0):
+    """``count`` random unit-cube candidates plus two duplicates.
+
+    The duplicates mirror a real PALD pool, where the incumbent
+    reappears among the perturbations — they must be deduped, not
+    re-simulated, and not counted as evaluations.
+    """
+    rng = np.random.default_rng(seed)
+    batch = [rng.uniform(size=space.dim) for _ in range(count)]
+    batch.append(batch[0].copy())
+    batch.append(batch[count // 2].copy())
+    return batch
+
+
+def bench_paired(
+    scenario, space, workload, batch, trials: int
+) -> dict:
+    """Timed serial/pooled/warm evaluations of ``batch``, interleaved.
+
+    Each trial runs the three modes back-to-back on fresh models (cold
+    modes also get fresh evaluators; the warm mode reuses one whose
+    memo was filled before timing started).  Returns best-of
+    throughputs plus the median per-trial speedup ratios.
+    """
+
+    def fresh_model() -> WhatIfModel:
+        return WhatIfModel(scenario.cluster, scenario.slos, [workload])
+
+    def timed(evaluator: CandidateEvaluator):
+        bound = evaluator.bind(fresh_model(), space)
+        start = time.perf_counter()
+        result = bound.evaluate_batch(batch)
+        return time.perf_counter() - start, result
+
+    # Parity before performance: every backend must produce the serial
+    # vectors bit-for-bit.
+    _, serial_result = timed(CandidateEvaluator(workers=0))
+    _, pooled_result = timed(CandidateEvaluator(workers=WORKERS))
+    warm_evaluator = CandidateEvaluator(workers=0)
+    warm_evaluator.bind(fresh_model(), space).evaluate_batch(batch)
+    _, warm_result = timed(warm_evaluator)
+    for mode, result in (("pooled", pooled_result), ("warm", warm_result)):
+        for expected, got in zip(serial_result.vectors, result.vectors):
+            assert np.array_equal(expected, got), f"{mode} diverged from serial"
+    assert warm_result.sim_runs == 0, "warm evaluation re-simulated"
+
+    serial_times, pooled_times, warm_times = [], [], []
+    pooled_ratios, warm_ratios = [], []
+    for _ in range(trials):
+        serial_s, _ = timed(CandidateEvaluator(workers=0))
+        pooled_s, _ = timed(CandidateEvaluator(workers=WORKERS))
+        warm_s, _ = timed(warm_evaluator)
+        serial_times.append(serial_s)
+        pooled_times.append(pooled_s)
+        warm_times.append(warm_s)
+        pooled_ratios.append(serial_s / pooled_s)
+        warm_ratios.append(serial_s / warm_s)
+    pooled_ratios.sort()
+    warm_ratios.sort()
+    count = len(batch)
+    return {
+        "batch_size": count,
+        "sim_runs_cold": serial_result.sim_runs,
+        "dedup_hits": serial_result.hits,
+        "serial_cps": count / min(serial_times),
+        "pooled_cps": count / min(pooled_times),
+        "warm_cps": count / min(warm_times),
+        "pooled_speedup": pooled_ratios[len(pooled_ratios) // 2],
+        "warm_speedup": warm_ratios[len(warm_ratios) // 2],
+    }
+
+
+def run(candidates: int, trials: int, mode: str) -> int:
+    """Measure, print, gate, and archive one invocation."""
+    scenario, space, workload = build_problem()
+    batch = candidate_batch(space, candidates)
+    measured = bench_paired(scenario, space, workload, batch, trials)
+    cores = os.cpu_count() or 1
+
+    pooled_gate = gate_parallel_speedup(
+        f"{WORKERS}-worker pooled whatif batch",
+        measured["pooled_speedup"],
+        required_cores=4,
+        floor=2.0,
+        degraded_floor=0.2,
+        cpu_count=cores,
+    )
+    failures = []
+    if pooled_gate["failure"]:
+        failures.append(pooled_gate["failure"])
+    # The memo fast path is pure lookup work — gated on every host.
+    if measured["warm_speedup"] < 10.0:
+        failures.append(
+            f"memo-warm evaluation {measured['warm_speedup']:.1f}x serial "
+            "cold (< 10x floor)"
+        )
+
+    rows = [
+        ["candidate batch (incl. 2 dups)", measured["batch_size"]],
+        ["simulations per cold batch", measured["sim_runs_cold"]],
+        ["serial cold (candidates/s)", f"{measured['serial_cps']:,.1f}"],
+        [
+            f"pooled cold, {WORKERS} workers (candidates/s)",
+            f"{measured['pooled_cps']:,.1f} "
+            f"({measured['pooled_speedup']:.2f}x on {cores} core(s); "
+            "parallel speedup needs >= 4 cores)",
+        ],
+        [
+            "memo warm (candidates/s)",
+            f"{measured['warm_cps']:,.1f} ({measured['warm_speedup']:.1f}x)",
+        ],
+    ]
+    report(
+        "whatif_throughput",
+        f"What-if evaluation throughput ({mode}, {trials} paired trials)",
+        ["metric", "value"],
+        rows,
+    )
+    for failure in failures:
+        print(f"BENCH FAILURE: {failure}")
+    append_trajectory_run(
+        RESULTS_JSON,
+        {
+            "mode": mode,
+            "workers": WORKERS,
+            **measured,
+            "parallel_gate": pooled_gate,
+            "failures": failures,
+        },
+    )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    """CLI entry: full measurement or the CI ``--smoke`` gate."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small candidate batch + regression gates (CI); appends a "
+        "'smoke' record to the same trajectory",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return run(candidates=8, trials=2, mode="smoke")
+    return run(candidates=24, trials=3, mode="full")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -394,6 +394,14 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         raise SystemExit(
             f"--freeze-after must be >= 1, got {args.freeze_after}"
         )
+    if args.whatif_workers < 0:
+        raise SystemExit(
+            f"--whatif-workers must be >= 0, got {args.whatif_workers}"
+        )
+    if args.whatif_cache_size < 0:
+        raise SystemExit(
+            f"--whatif-cache-size must be >= 0, got {args.whatif_cache_size}"
+        )
     failover = _failover_from_args(args.heartbeat_interval, args.failover_after)
     scenario = make_scenario(
         args.scenario,
@@ -441,6 +449,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
                 "failover_after": args.failover_after,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
+                "whatif_workers": args.whatif_workers,
+                "whatif_cache_size": args.whatif_cache_size,
                 "log_json": args.log_json,
             }
         )
@@ -461,6 +471,8 @@ def _run_scenario(args: argparse.Namespace, out, transport: str) -> int:
         revert_windows=args.revert_windows,
         guards=args.guards,
         freeze_after=args.freeze_after,
+        whatif_workers=args.whatif_workers,
+        whatif_cache_size=args.whatif_cache_size,
     )
     if args.log_json:
         service.on_decision(_json_decision_logger(out))
@@ -539,6 +551,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
                 "tcp_workers": args.tcp_workers,
                 "guards": args.guards,
                 "freeze_after": args.freeze_after,
+                "whatif_workers": args.whatif_workers,
+                "whatif_cache_size": args.whatif_cache_size,
                 "log_json": args.log_json,
             }
         )
@@ -559,6 +573,8 @@ def _run_trace(args: argparse.Namespace, out) -> int:
         revert_windows=args.revert_windows,
         guards=args.guards,
         freeze_after=args.freeze_after,
+        whatif_workers=args.whatif_workers,
+        whatif_cache_size=args.whatif_cache_size,
     )
     if args.log_json:
         service.on_decision(_json_decision_logger(out))
@@ -647,6 +663,8 @@ def cmd_resume(args: argparse.Namespace, out) -> int:
         revert_windows=meta.get("revert_windows", 1),
         guards=meta.get("guards"),
         freeze_after=meta.get("freeze_after"),
+        whatif_workers=int(meta.get("whatif_workers", 0)),
+        whatif_cache_size=int(meta.get("whatif_cache_size", 256)),
     )
     service = TempoService.resume(
         controller,
@@ -890,6 +908,54 @@ def cmd_compact(args: argparse.Namespace, out) -> int:
     return 0
 
 
+#: Canonical ordering of the cadence-tick phases in status output.
+_RETUNE_PHASES = ("drain", "guard", "merge", "whatif")
+
+
+def _hist_quantile(buckets, counts, q: float) -> float:
+    """Bucket-estimated quantile of a serialized histogram.
+
+    Returns the upper bound of the bucket holding the ``q``-quantile
+    observation (the last finite bound for +Inf overflow) — the usual
+    Prometheus-style estimate, good enough to spot a stalled phase.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            return float(buckets[i]) if i < len(buckets) else float(buckets[-1])
+    return float(buckets[-1])
+
+
+def _retune_phase_rows(histograms: dict) -> list[tuple]:
+    """Per-phase breakdown rows of ``tempo_retune_phase_seconds``.
+
+    One ``(phase, count, mean, p50, p95)`` row per observed phase, in
+    canonical drain/guard/merge/whatif order, so a retune stall is
+    attributable to its phase from a state dir alone.
+    """
+    rows = []
+    for phase in _RETUNE_PHASES:
+        key = f'tempo_retune_phase_seconds{{phase="{phase}"}}'
+        hist = histograms.get(key)
+        if hist is None or not hist["count"]:
+            continue
+        rows.append(
+            (
+                phase,
+                hist["count"],
+                hist["sum"] / hist["count"],
+                _hist_quantile(hist["buckets"], hist["counts"], 0.5),
+                _hist_quantile(hist["buckets"], hist["counts"], 0.95),
+            )
+        )
+    return rows
+
+
 def cmd_status(args: argparse.Namespace, out) -> int:
     """``repro status``: introspect a state dir's persisted metrics.
 
@@ -955,6 +1021,18 @@ def cmd_status(args: argparse.Namespace, out) -> int:
                 f"  {key}: count={count} mean={mean:.6g} sum={hist['sum']:.6g}",
                 file=out,
             )
+        phases = _retune_phase_rows(dump["histograms"])
+        if phases:
+            print("\nretune phases (seconds per cadence tick):", file=out)
+            print(
+                "  phase    count  mean      p50       p95", file=out
+            )
+            for phase, count, mean, p50, p95 in phases:
+                print(
+                    f"  {phase:<7}  {count:<5}  {mean:<8.3g}  "
+                    f"{p50:<8.3g}  {p95:<8.3g}",
+                    file=out,
+                )
     if not len(registry):
         print(
             "\nno persisted metrics (run predates metrics sampling, or no "
@@ -1152,6 +1230,21 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
         help="declare a shard dead after this many seconds without a "
         "heartbeat (or past a barrier reply) and fail it over to a "
         "replacement; default: supervision off, a dead shard raises",
+    )
+    parser.add_argument(
+        "--whatif-workers",
+        type=int,
+        default=0,
+        help="process-pool workers for batched what-if candidate "
+        "evaluation during the retune whatif phase (0, the default: "
+        "serial in-process evaluation, byte-identical to prior releases)",
+    )
+    parser.add_argument(
+        "--whatif-cache-size",
+        type=int,
+        default=256,
+        help="entries kept in the cross-retune what-if memo (LRU over "
+        "(workload signature, config) pairs; 0 disables memoization)",
     )
     parser.add_argument(
         "--log-json",

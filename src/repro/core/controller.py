@@ -50,6 +50,7 @@ from repro.sim.noise import NoiseModel
 from repro.sim.schedule import TaskSchedule
 from repro.sim.simulator import ClusterSimulator
 from repro.slo.objectives import SLOSet
+from repro.whatif.evalpool import CandidateEvaluator
 from repro.whatif.model import WhatIfModel
 from repro.workload.generator import StatisticalWorkloadModel, fit_workload_model
 from repro.workload.model import Workload
@@ -151,8 +152,15 @@ class TempoController:
             breaker; ignored when ``guards`` is a pre-built engine.
         ratchet: Ratchet best-effort thresholds to the best observed QS.
         heartbeat: Production simulator heartbeat seconds.
+        seed: Base RNG seed shared by production runs and PALD.
         store_traces: Keep each iteration's full trace on the record
             (memory-heavy; useful for analysis).
+        whatif_workers: Process-pool size for batched candidate
+            evaluation (see :class:`~repro.whatif.evalpool.
+            CandidateEvaluator`).  ``0`` — the default — evaluates
+            serially in-process, byte-identical to the pre-plane loop.
+        whatif_cache_size: Entries kept in the cross-retune what-if
+            memo (LRU over (workload signature, config) pairs).
     """
 
     def __init__(
@@ -179,6 +187,8 @@ class TempoController:
         heartbeat: float = 5.0,
         seed: int = 0,
         store_traces: bool = False,
+        whatif_workers: int = 0,
+        whatif_cache_size: int = 256,
     ):
         if whatif_mode not in ("replay", "fit"):
             raise ValueError(f"unknown whatif_mode {whatif_mode!r}")
@@ -216,6 +226,14 @@ class TempoController:
         # configuration (retained only for prediction-hungry pipelines).
         self._predicted: np.ndarray | None = None
         self.last_decision: DecisionRecord | None = None
+        # The what-if evaluation plane: batching seam + cross-retune
+        # memo + optional process pool.  It outlives every per-window
+        # WhatIfModel, so candidate evaluations memoize across retunes
+        # (and across resume/reshard/failover, which rebuild models but
+        # not the controller).
+        self.evalplane = CandidateEvaluator(
+            workers=whatif_workers, cache_size=whatif_cache_size
+        )
 
         # One persistent PALD: its sample buffer accumulates QS
         # observations across control iterations (the workload is
@@ -290,6 +308,11 @@ class TempoController:
         self._observed_recent.append(observed)
         smoothed = self.smoothed_observation()
         whatif = self._build_whatif(trace, window, index, cluster)
+        # Bind the model into the evaluation plane once per iteration:
+        # the bound evaluator serves the decision plane, the incumbent
+        # evaluation, and PALD's candidate batches from one shared
+        # memo (cross-retune hits) and one shared pool.
+        bound = self.evalplane.bind(whatif, self.space)
         decision = self.engine.judge(
             RevertSignals(
                 index=index,
@@ -298,7 +321,7 @@ class TempoController:
                 observed=observed,
                 smoothed=smoothed,
                 predicted=self._predicted,
-                evaluate=whatif.evaluate,
+                evaluate=bound.evaluate,
                 revert_mode=self.revert_mode,
                 tol=self.revert_tol,
             )
@@ -333,11 +356,11 @@ class TempoController:
         # freeze verdict (revert churn breaker) rolls back *without*
         # proposing a new candidate: the restored incumbent stands
         # until the workload moves.
-        self._pald.evaluator = whatif.evaluator(self.space)
+        self._pald.evaluator = bound
         if decision.verdict == VERDICT_FREEZE:
             step_x = self.x.copy()
         else:
-            step = self._pald.step(self.x, f_x=whatif.evaluate(self.config))
+            step = self._pald.step(self.x, f_x=bound.evaluate(self.config))
             step_x = step.x
 
         record = ControlIteration(
@@ -366,7 +389,7 @@ class TempoController:
             # evaluated, so this costs no extra simulation in practice.
             predicted = whatif.evaluate_cached(self.config)
             self._predicted = (
-                predicted if predicted is not None else whatif.evaluate(self.config)
+                predicted if predicted is not None else bound.evaluate(self.config)
             )
         return record
 

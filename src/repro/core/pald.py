@@ -41,7 +41,13 @@ Evaluator = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class PALDStep:
-    """Diagnostics of one PALD iteration."""
+    """Diagnostics of one PALD iteration.
+
+    ``evaluations`` counts *simulations actually executed* for this
+    step, not candidate-pool entries: duplicates deduplicated inside
+    the step and candidates served from an evaluator cache (see
+    :class:`~repro.whatif.evalpool.BoundWhatIf`) do not inflate it.
+    """
 
     iteration: int
     x: np.ndarray
@@ -80,6 +86,7 @@ class OptimizationResult:
 
     @property
     def total_evaluations(self) -> int:
+        """Simulations executed across the run (cache hits excluded)."""
         return sum(s.evaluations for s in self.steps)
 
 
@@ -169,34 +176,74 @@ class PALD:
             return -math.inf
         return float(np.max(f[finite] - r[finite]))
 
-    def _evaluate(self, x: np.ndarray) -> np.ndarray:
-        f = np.asarray(self.evaluator(x), dtype=float)
+    def _record(self, x: np.ndarray, f: np.ndarray) -> None:
         self.buffer.add(x, f)
         self.archive.add(x, f)
-        return f
+
+    def _evaluate_batch(
+        self, xs: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], int]:
+        """Evaluate a candidate batch through the evaluator seam.
+
+        Batch-capable evaluators (:class:`~repro.whatif.evalpool.
+        BoundWhatIf`) receive the whole pool at once — one pooled
+        submission instead of N sequential sim runs — and report how
+        many simulations actually ran.  Plain callables fall back to
+        per-vector calls with in-batch dedupe: identical vectors (the
+        incumbent often reappears in the perturbation pool) are
+        evaluated once and counted once.  Either way the returned QS
+        vectors are in submission order and bit-identical to serial
+        evaluation; samples are *not* recorded here so callers control
+        buffer/archive insertion order.
+        """
+        batch_eval = getattr(self.evaluator, "evaluate_batch", None)
+        if batch_eval is not None:
+            result = batch_eval(xs)
+            fs = [np.asarray(f, dtype=float) for f in result.vectors]
+            return fs, int(result.sim_runs)
+        unique: dict[bytes, np.ndarray] = {}
+        fs = []
+        for x in xs:
+            key = np.asarray(x, dtype=float).tobytes()
+            if key not in unique:
+                unique[key] = np.asarray(self.evaluator(x), dtype=float)
+            fs.append(unique[key].copy())
+        return fs, len(unique)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        fs, _ = self._evaluate_batch([x])
+        self._record(x, fs[0])
+        return fs[0]
 
     # -- the step -----------------------------------------------------------
 
     def step(self, x: Sequence[float], f_x: np.ndarray | None = None) -> PALDStep:
         """One PALD iteration from ``x``; returns the chosen next point."""
         x = self.space.clip(x)
-        evaluations = 0
+
+        # Draw the whole exploration pool up front (evaluation never
+        # touches the RNG, so the stream is identical to drawing and
+        # evaluating alternately), then submit incumbent + perturbations
+        # as ONE batch through the evaluator seam.
+        n_random = max(self.candidates - 2, 1)
+        neighbors = [
+            self.space.random_neighbor(x, self.trust_radius, self.rng)
+            for _ in range(n_random)
+        ]
+        batch = ([x] if f_x is None else []) + neighbors
+        fs, evaluations = self._evaluate_batch(batch)
         if f_x is None:
-            f_x = self._evaluate(x)
-            evaluations += 1
+            f_x, neighbor_fs = fs[0], fs[1:]
         else:
             f_x = np.asarray(f_x, dtype=float)
-            self.buffer.add(x, f_x)
-            self.archive.add(x, f_x)
-
+            neighbor_fs = fs
+        # Samples enter buffer and archive in the historical serial
+        # order (incumbent first), keeping LOESS fits bit-identical.
+        self._record(x, f_x)
         pool: list[tuple[np.ndarray, np.ndarray]] = [(x, f_x)]
-
-        # Exploration candidates within the trust region.
-        n_random = max(self.candidates - 2, 1)
-        for _ in range(n_random):
-            xc = self.space.random_neighbor(x, self.trust_radius, self.rng)
-            pool.append((xc, self._evaluate(xc)))
-            evaluations += 1
+        for xc, fc in zip(neighbors, neighbor_fs):
+            self._record(xc, fc)
+            pool.append((xc, fc))
 
         # Gradient-guided SGD candidate (needs enough samples for LOESS).
         c: np.ndarray | None = None
@@ -224,8 +271,10 @@ class PALD:
                 )
                 x_sgd = self.space.project(x - raw, x, self.trust_radius)
                 if self.space.distance(x_sgd, x) > 1e-9:
-                    pool.append((x_sgd, self._evaluate(x_sgd)))
-                    evaluations += 1
+                    sgd_fs, sgd_evals = self._evaluate_batch([x_sgd])
+                    self._record(x_sgd, sgd_fs[0])
+                    pool.append((x_sgd, sgd_fs[0]))
+                    evaluations += sgd_evals
 
         chosen_x, chosen_f = self._select(pool, c, rho)
         moved = bool(self.space.distance(chosen_x, x) > 1e-9)

@@ -8,12 +8,22 @@ provisioning module applies the same machinery across cluster sizes
 (Section 8.2.4).
 """
 
+from repro.whatif.evalpool import (
+    BatchResult,
+    BoundWhatIf,
+    CandidateEvaluator,
+    workload_signature,
+)
 from repro.whatif.model import WhatIfModel, capacity_floor
 from repro.whatif.provisioning import ProvisioningAdvisor, ProvisioningEstimate
 
 __all__ = [
+    "BatchResult",
+    "BoundWhatIf",
+    "CandidateEvaluator",
     "WhatIfModel",
     "capacity_floor",
+    "workload_signature",
     "ProvisioningAdvisor",
     "ProvisioningEstimate",
 ]
